@@ -1,0 +1,106 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures of the paper, but measurements of the two key ingredients the
+paper's Section 5 discusses qualitatively:
+
+* **Pruning** of conditional expressions (on/off) — the paper claims
+  pruning is "particularly effective when the probability distributions
+  have exponential size, such as in case of the SUM monoid";
+* **Shannon variable-choice heuristic** — the paper uses
+  most-occurrences and notes that "good choices can make the difference
+  between polynomial and exponential size decision diagrams".
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import average_time, print_series, run_point
+from repro.workloads.random_expr import ExprParams
+
+PRUNING_PARAMS = ExprParams(
+    left_terms=25,
+    variables=9,
+    clauses=2,
+    literals=2,
+    max_value=40,
+    constant=20,
+    theta="<=",
+)
+
+HEURISTIC_PARAMS = ExprParams(
+    left_terms=25,
+    variables=9,
+    clauses=2,
+    literals=2,
+    max_value=5,
+    constant=3,
+    theta="=",
+    agg_left="MIN",
+)
+
+RUNS = 2
+HEURISTICS = ["most-occurrences", "fewest-occurrences", "lexicographic"]
+
+
+@pytest.mark.parametrize("agg", ["MIN", "MAX", "SUM", "COUNT"])
+@pytest.mark.parametrize("pruning", [True, False], ids=["pruned", "unpruned"])
+def bench_pruning(benchmark, agg, pruning):
+    params = PRUNING_PARAMS.with_(agg_left=agg)
+    benchmark.pedantic(
+        average_time,
+        args=(params, RUNS),
+        kwargs={"pruning": pruning},
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def bench_heuristics(benchmark, heuristic):
+    benchmark.pedantic(
+        average_time,
+        args=(HEURISTIC_PARAMS, RUNS),
+        kwargs={"heuristic": heuristic},
+        rounds=1,
+        iterations=1,
+    )
+
+
+def main():
+    rows = []
+    for agg in ["MIN", "MAX", "SUM", "COUNT"]:
+        for pruning in (True, False):
+            mean, stdev = run_point(
+                PRUNING_PARAMS.with_(agg_left=agg),
+                runs=RUNS,
+                seed=1,
+                pruning=pruning,
+            )
+            rows.append(
+                (agg, "on" if pruning else "off",
+                 f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}")
+            )
+    print_series("Ablation — pruning on/off", ["agg", "pruning", "mean", "stdev"], rows)
+
+    rows = []
+    for heuristic in HEURISTICS:
+        mean, stdev = run_point(
+            HEURISTIC_PARAMS, runs=RUNS, seed=2, heuristic=heuristic
+        )
+        rows.append((heuristic, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+    print_series(
+        "Ablation — Shannon variable-choice heuristic",
+        ["heuristic", "mean", "stdev"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Experiment A (Figure 7): varying the constant ``c``.
+
+Paper parameters: #v=25, L=200, R=0, #cl=3, #l=3, maxv=200, c ∈ [0, 300]
+(c ∈ [0, 30000] for SUM), θ ∈ {=, ≤, ≥}, for MIN, MAX, COUNT, SUM.
+
+Scaled parameters here: #v=10, L=30, maxv=50, c swept over [0, 75]
+(scaled by maxv/2 · L for SUM, as in the paper).  Expected shapes:
+
+* MIN/MAX: runtime grows with c until c ≈ maxv, then plateaus — pruning
+  admits ever more terms until all participate;
+* COUNT: bell shape peaked near L/2 (binomial-coefficient hardness);
+* SUM ≈ COUNT with the c-axis scaled by maxv/2.
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import average_time, print_series, run_point
+from repro.workloads.random_expr import ExprParams
+
+BASE = ExprParams(
+    left_terms=30,
+    right_terms=0,
+    variables=10,
+    clauses=3,
+    literals=3,
+    max_value=50,
+)
+
+#: c-sweep for MIN/MAX (same axis as the paper's [0, 1.5·maxv]).
+C_VALUES = [0, 12, 25, 50, 75]
+
+#: For SUM the axis is scaled by maxv/2 = 25 (expected term value),
+#: for COUNT it spans the term count L.
+C_VALUES_COUNT = [0, 7, 15, 22, 30]
+C_VALUES_SUM = [0, 190, 375, 560, 750]
+
+THETAS = ["=", "<=", ">="]
+RUNS = 2
+
+
+def _params(agg: str, theta: str, c: int) -> ExprParams:
+    return BASE.with_(agg_left=agg, theta=theta, constant=c)
+
+
+def _sweep(agg: str, cs: list[int]) -> list[tuple]:
+    rows = []
+    for theta in THETAS:
+        for c in cs:
+            mean, stdev = run_point(_params(agg, theta, c), runs=RUNS, seed=c)
+            rows.append((agg, theta, c, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+    return rows
+
+
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("c", C_VALUES)
+def bench_min(benchmark, theta, c):
+    benchmark.pedantic(
+        average_time, args=(_params("MIN", theta, c), RUNS), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("c", C_VALUES)
+def bench_max(benchmark, theta, c):
+    benchmark.pedantic(
+        average_time, args=(_params("MAX", theta, c), RUNS), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("c", C_VALUES_COUNT)
+def bench_count(benchmark, theta, c):
+    benchmark.pedantic(
+        average_time, args=(_params("COUNT", theta, c), RUNS), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("c", C_VALUES_SUM)
+def bench_sum(benchmark, theta, c):
+    benchmark.pedantic(
+        average_time, args=(_params("SUM", theta, c), RUNS), rounds=1, iterations=1
+    )
+
+
+def main():
+    for agg, cs in [
+        ("MIN", C_VALUES),
+        ("MAX", C_VALUES),
+        ("COUNT", C_VALUES_COUNT),
+        ("SUM", C_VALUES_SUM),
+    ]:
+        print_series(
+            f"Experiment A — {agg} (Figure 7)",
+            ["agg", "θ", "c", "mean", "stdev"],
+            _sweep(agg, cs),
+        )
+
+
+if __name__ == "__main__":
+    main()

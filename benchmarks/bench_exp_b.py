@@ -1,0 +1,71 @@
+"""Experiment B (Figure 8b): varying the number of terms L.
+
+Paper parameters: #v=25, R=0, #cl=3, #l=3, maxv=200, c=100, θ is =,
+L ∈ [1, 1000], for MIN, MAX, COUNT, SUM.
+
+Scaled parameters: #v=10, maxv=50, c=25, L ∈ [5, 120].  Expected shape:
+an initial super-linear ramp (cost of mutex partitioning while variables
+are being eliminated) saturating to roughly linear growth once all
+variables have been considered; MIN/MAX orders of magnitude cheaper than
+COUNT/SUM.  This mimics "answering increasingly complex queries on a
+database of constant size".
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import average_time, print_series, run_point
+from repro.workloads.random_expr import ExprParams
+
+BASE = ExprParams(
+    right_terms=0,
+    variables=10,
+    clauses=3,
+    literals=3,
+    max_value=50,
+    constant=25,
+    theta="=",
+)
+
+L_VALUES = [5, 15, 30, 60, 120]
+AGGS = ["MIN", "MAX", "COUNT", "SUM"]
+RUNS = 2
+
+
+def _params(agg: str, terms: int) -> ExprParams:
+    constant = 25 if agg in ("MIN", "MAX") else max(1, terms // 2)
+    if agg == "SUM":
+        constant *= 25  # expected term value maxv/2
+    return BASE.with_(agg_left=agg, left_terms=terms, constant=constant)
+
+
+@pytest.mark.parametrize("agg", AGGS)
+@pytest.mark.parametrize("terms", L_VALUES)
+def bench_terms(benchmark, agg, terms):
+    benchmark.pedantic(
+        average_time, args=(_params(agg, terms), RUNS), rounds=1, iterations=1
+    )
+
+
+def main():
+    rows = []
+    for agg in AGGS:
+        for terms in L_VALUES:
+            mean, stdev = run_point(_params(agg, terms), runs=RUNS, seed=terms)
+            rows.append((agg, terms, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+    print_series(
+        "Experiment B — runtime vs number of terms L (Figure 8b)",
+        ["agg", "L", "mean", "stdev"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Experiment C (Figure 8a): varying the number of variables #v.
+
+Paper parameters: L=90, R=0, #cl=2, #l=2, maxv=5, c=3, θ is =, MIN,
+#v ∈ [0, 300], #runs=40.
+
+Scaled parameters: L=12, #v ∈ [3, 96].  Expected shape: the #SAT-style
+easy/hard/easy phase transition — few variables decompose quickly into
+mutually exclusive branches, many variables make clauses independent, and
+the hard regime (with large run-to-run variance) sits in between.
+Measured here: ~1.6ms → ~20ms (peak at #v≈24, ±18ms) → ~3.5ms.
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import print_series, run_point, average_time
+from repro.workloads.random_expr import ExprParams
+
+BASE = ExprParams(
+    left_terms=12,
+    right_terms=0,
+    clauses=2,
+    literals=2,
+    max_value=5,
+    constant=3,
+    theta="=",
+    agg_left="MIN",
+)
+
+V_VALUES = [3, 4, 6, 9, 14, 24, 48, 96]
+RUNS = 3
+
+
+def _params(variables: int) -> ExprParams:
+    return BASE.with_(variables=variables)
+
+
+@pytest.mark.parametrize("variables", V_VALUES)
+def bench_variables(benchmark, variables):
+    benchmark.pedantic(
+        average_time, args=(_params(variables), RUNS), rounds=1, iterations=1
+    )
+
+
+def main():
+    rows = []
+    for variables in V_VALUES:
+        mean, stdev = run_point(_params(variables), runs=RUNS, seed=variables)
+        rows.append((variables, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+    print_series(
+        "Experiment C — easy/hard/easy in #v (Figure 8a)",
+        ["#v", "mean", "stdev"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Experiment D (Figure 9): varying clause arity and clauses per term.
+
+Paper parameters: #v=25, L=100, R=0, maxv=5, c=3, θ is ≤, #runs=20;
+(a) #l ∈ [1, 20] at #cl=3, (b) #cl ∈ [1, 20] at #l=3, all four monoids.
+
+Scaled parameters: #v=10, L=30, #l and #cl ∈ [1, 8].  Expected shapes:
+easy/hard/easy in the number of literals per clause (single-literal
+clauses factor out read-once, near-full clauses absorb to ⊤ after one
+expansion — the hardness sits in between, as in random k-SAT), and
+runtime growing with clauses per term (each extra clause entangles more
+of the variable pool per term), with MIN/MAX below COUNT/SUM throughout.
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import average_time, print_series, run_point
+from repro.workloads.random_expr import ExprParams
+
+BASE = ExprParams(
+    left_terms=30,
+    right_terms=0,
+    variables=10,
+    max_value=5,
+    constant=3,
+    theta="<=",
+)
+
+ARITIES = [1, 2, 3, 5, 8]
+AGGS = ["MIN", "MAX", "COUNT", "SUM"]
+RUNS = 2
+
+
+def _params_literals(agg: str, literals: int) -> ExprParams:
+    return BASE.with_(agg_left=agg, clauses=3, literals=literals)
+
+
+def _params_clauses(agg: str, clauses: int) -> ExprParams:
+    return BASE.with_(agg_left=agg, clauses=clauses, literals=3)
+
+
+@pytest.mark.parametrize("agg", AGGS)
+@pytest.mark.parametrize("literals", ARITIES)
+def bench_literals_per_clause(benchmark, agg, literals):
+    benchmark.pedantic(
+        average_time,
+        args=(_params_literals(agg, literals), RUNS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("agg", AGGS)
+@pytest.mark.parametrize("clauses", ARITIES)
+def bench_clauses_per_term(benchmark, agg, clauses):
+    benchmark.pedantic(
+        average_time,
+        args=(_params_clauses(agg, clauses), RUNS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def main():
+    rows = []
+    for agg in AGGS:
+        for literals in ARITIES:
+            mean, stdev = run_point(
+                _params_literals(agg, literals), runs=RUNS, seed=literals
+            )
+            rows.append((agg, literals, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+    print_series(
+        "Experiment D(a) — literals per clause #l (Figure 9a)",
+        ["agg", "#l", "mean", "stdev"],
+        rows,
+    )
+    rows = []
+    for agg in AGGS:
+        for clauses in ARITIES:
+            mean, stdev = run_point(
+                _params_clauses(agg, clauses), runs=RUNS, seed=clauses
+            )
+            rows.append((agg, clauses, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+    print_series(
+        "Experiment D(b) — clauses per term #cl (Figure 9b)",
+        ["agg", "#cl", "mean", "stdev"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

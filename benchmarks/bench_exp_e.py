@@ -1,0 +1,110 @@
+"""Experiment E (Figure 10): two-sided aggregation comparisons.
+
+Paper parameters: #v=25, #cl=2, #l=2, maxv=200, c=100, θ is ≤, #runs=10;
+pairs MIN/MAX, MIN/COUNT, MAX/SUM; (a) R=150 and L ∈ [0, 2000],
+(b) L=150 and R ∈ [0, 2000].
+
+Scaled parameters: #v=10, maxv=50, fixed side 20, swept side ∈ [5, 80].
+Expected asymmetry (the paper's ``Σ_MAX ≤ Σ_SUM`` analysis): growing the
+left/MAX side makes the comparison harder (the maximum more often exceeds
+the right side, so more terms must be compiled), while growing the
+right/SUM side makes it easier (a few mutex steps already push the sum
+beyond the maximum).  The latter effect relies on the bound-based early
+folding of two-sided comparisons in :mod:`repro.algebra.bounds`.
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import average_time, print_series, run_point
+from repro.workloads.random_expr import ExprParams
+
+BASE = ExprParams(
+    variables=10,
+    clauses=2,
+    literals=2,
+    max_value=50,
+    constant=25,
+    theta="<=",
+)
+
+PAIRS = [("MIN", "MAX"), ("MIN", "COUNT"), ("MAX", "SUM")]
+SWEEP = [5, 10, 20, 40, 80]
+FIXED = 20
+RUNS = 2
+
+
+def _params(pair, left_terms, right_terms) -> ExprParams:
+    agg_left, agg_right = pair
+    return BASE.with_(
+        agg_left=agg_left,
+        agg_right=agg_right,
+        left_terms=left_terms,
+        right_terms=right_terms,
+    )
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=["-".join(p) for p in PAIRS])
+@pytest.mark.parametrize("left_terms", SWEEP)
+def bench_left_sweep(benchmark, pair, left_terms):
+    benchmark.pedantic(
+        average_time,
+        args=(_params(pair, left_terms, FIXED), RUNS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=["-".join(p) for p in PAIRS])
+@pytest.mark.parametrize("right_terms", SWEEP)
+def bench_right_sweep(benchmark, pair, right_terms):
+    benchmark.pedantic(
+        average_time,
+        args=(_params(pair, FIXED, right_terms), RUNS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def main():
+    rows = []
+    for pair in PAIRS:
+        for left_terms in SWEEP:
+            mean, stdev = run_point(
+                _params(pair, left_terms, FIXED), runs=RUNS, seed=left_terms
+            )
+            rows.append(
+                ("/".join(pair), left_terms, FIXED,
+                 f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}")
+            )
+    print_series(
+        "Experiment E(a) — varying L, R fixed (Figure 10a)",
+        ["pair", "L", "R", "mean", "stdev"],
+        rows,
+    )
+    rows = []
+    for pair in PAIRS:
+        for right_terms in SWEEP:
+            mean, stdev = run_point(
+                _params(pair, FIXED, right_terms), runs=RUNS, seed=right_terms
+            )
+            rows.append(
+                ("/".join(pair), FIXED, right_terms,
+                 f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}")
+            )
+    print_series(
+        "Experiment E(b) — varying R, L fixed (Figure 10b)",
+        ["pair", "L", "R", "mean", "stdev"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Experiment F (Figure 11): TPC-H queries Q1 and Q2 across scale factors.
+
+Paper setup: tuple-independent TPC-H databases up to 1 GB; for each query
+compare (1) deterministic evaluation without expressions (Q0), (2) the
+expression-construction step ``⟦·⟧``, and (3) probability computation
+``P(·)``.
+
+Here the TPC-H substitute generator of :mod:`repro.workloads.tpch` is used
+with scale factors that keep the sweep Python-feasible (each step roughly
+doubles the data).  Expected shapes:
+
+* both overheads grow polynomially with the scale factor, because TPC-H
+  scaling keeps per-group tuple correlations constant;
+* Q1 (very low selectivity; annotations orders of magnitude larger than
+  Q2's) pays a much larger ``P(·)`` overhead than Q2.
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import time
+
+import pytest
+
+from benchmarks.common import print_series
+from repro.engine.sprout import SproutEngine
+from repro.workloads.tpch import (
+    TPCHConfig,
+    generate_tpch,
+    prepare_q2_aliases,
+    tpch_q1,
+    tpch_q2,
+)
+from repro.workloads.tpch.queries import q2_candidate
+
+SCALE_FACTORS = [0.02, 0.05, 0.1, 0.2, 0.4]
+
+_DB_CACHE: dict[float, tuple] = {}
+
+
+def _database(scale_factor: float):
+    """Generate (and cache) the database and a Q2 instance for a scale."""
+    if scale_factor not in _DB_CACHE:
+        db = generate_tpch(TPCHConfig(scale_factor=scale_factor, seed=7))
+        prepare_q2_aliases(db)
+        part_key, region = q2_candidate(db)
+        _DB_CACHE[scale_factor] = (db, tpch_q2(part_key, region))
+    return _DB_CACHE[scale_factor]
+
+
+def measure(scale_factor: float, which: str) -> dict[str, float]:
+    """Q0 / ⟦·⟧ / P(·) wall-clock seconds for one query at one scale."""
+    db, q2 = _database(scale_factor)
+    query = tpch_q1() if which == "q1" else q2
+    engine = SproutEngine(db)
+    _, q0_seconds = engine.deterministic_baseline(query)
+    result = engine.run(query)
+    return {
+        "q0": q0_seconds,
+        "rewrite": result.timings["rewrite_seconds"],
+        "probability": result.timings["probability_seconds"],
+        "rows": len(result),
+    }
+
+
+@pytest.mark.parametrize("scale_factor", SCALE_FACTORS)
+def bench_q1(benchmark, scale_factor):
+    db, _ = _database(scale_factor)
+    engine = SproutEngine(db)
+    benchmark.pedantic(
+        lambda: engine.run(tpch_q1()), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("scale_factor", SCALE_FACTORS)
+def bench_q2(benchmark, scale_factor):
+    db, q2 = _database(scale_factor)
+    engine = SproutEngine(db)
+    benchmark.pedantic(lambda: engine.run(q2), rounds=1, iterations=1)
+
+
+def main():
+    for which, figure in (("q1", "Figure 11a"), ("q2", "Figure 11b")):
+        rows = []
+        for scale_factor in SCALE_FACTORS:
+            numbers = measure(scale_factor, which)
+            rows.append(
+                (
+                    scale_factor,
+                    f"{numbers['q0']*1000:.1f}ms",
+                    f"{numbers['rewrite']*1000:.1f}ms",
+                    f"{numbers['probability']*1000:.1f}ms",
+                    numbers["rows"],
+                )
+            )
+        print_series(
+            f"Experiment F — TPC-H {which.upper()} ({figure})",
+            ["scale", "Q0", "⟦·⟧", "P(·)", "rows"],
+            rows,
+        )
+
+
+if __name__ == "__main__":
+    main()

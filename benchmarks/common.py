@@ -1,0 +1,84 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Scaling note
+------------
+The paper's experiments ran compiled C code inside PostgreSQL on a Xeon
+X5650; this reproduction runs pure Python.  All parameter sets are
+therefore scaled down (fewer variables and terms, smaller value ranges)
+relative to Section 7 — by roughly one order of magnitude — while keeping
+every *ratio* the paper's qualitative claims depend on (e.g. the
+``c``-sweep of Experiment A still crosses ``maxv``; Experiment C still
+crosses the easy/hard/easy phase transition).  EXPERIMENTS.md records the
+mapping and compares the measured shapes against the published figures.
+
+Each ``bench_exp_*.py`` module doubles as a script: running it directly
+prints the full sweep as the rows/series of the corresponding figure.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.algebra.semiring import BOOLEAN
+from repro.core.compile import Compiler
+from repro.workloads.random_expr import ExprParams, generate_condition
+
+__all__ = [
+    "evaluate_once",
+    "average_time",
+    "print_series",
+    "run_point",
+]
+
+
+def evaluate_once(params: ExprParams, seed: int = 0, **compiler_options):
+    """Generate one Eq.-11 condition, compile it, compute its distribution.
+
+    Returns ``(elapsed_seconds, compiler)`` so callers can inspect
+    compilation statistics.
+    """
+    expr, registry = generate_condition(params, seed=seed)
+    start = time.perf_counter()
+    compiler = Compiler(registry, BOOLEAN, **compiler_options)
+    compiler.distribution(expr)
+    return time.perf_counter() - start, compiler
+
+
+def average_time(params: ExprParams, runs: int, seed: int = 0, **options) -> float:
+    """Mean evaluation time over ``runs`` random expressions.
+
+    Mirrors the paper's protocol of averaging #runs repetitions; with
+    ``runs >= 3`` the slowest and fastest run are discarded, as in
+    Section 7.
+    """
+    times = [
+        evaluate_once(params, seed=seed * 1013 + i, **options)[0]
+        for i in range(runs)
+    ]
+    if runs >= 3:
+        times = sorted(times)[1:-1]
+    return statistics.mean(times)
+
+
+def run_point(params: ExprParams, runs: int = 2, seed: int = 0, **options):
+    """One figure point: ``(mean_seconds, stdev_seconds)``."""
+    times = [
+        evaluate_once(params, seed=seed * 1013 + i, **options)[0]
+        for i in range(runs)
+    ]
+    mean = statistics.mean(times)
+    stdev = statistics.stdev(times) if len(times) > 1 else 0.0
+    return mean, stdev
+
+
+def print_series(title: str, header: list[str], rows: list[tuple]):
+    """Print a figure's data series as an aligned table."""
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(header[i]), *(len(f"{row[i]}") for row in rows))
+        for i in range(len(header))
+    ]
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    for row in rows:
+        print("  ".join(f"{cell}".ljust(widths[i]) for i, cell in enumerate(row)))

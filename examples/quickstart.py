@@ -1,0 +1,85 @@
+"""Quickstart: probabilistic aggregation in five minutes.
+
+A tiny product catalogue where each item's availability is uncertain.
+We ask: what is the distribution of the total price of available items,
+and what is the probability that the cheapest available item costs at
+most 100?
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    BOOLEAN,
+    AggSpec,
+    GroupAgg,
+    PVCDatabase,
+    Project,
+    Select,
+    SproutEngine,
+    Var,
+    VariableRegistry,
+    cmp_,
+    lit,
+    relation,
+)
+
+
+def main():
+    # 1. Declare independent Boolean random variables: "is this tuple in
+    #    the database?"  (tuple-independent probabilistic table).
+    registry = VariableRegistry()
+    db = PVCDatabase(registry=registry, semiring=BOOLEAN)
+
+    items = db.create_table("items", ["name", "category", "price"])
+    catalogue = [
+        ("inkjet printer", "printer", 99, 0.7),
+        ("laser printer", "printer", 349, 0.4),
+        ("ultrabook", "laptop", 1199, 0.8),
+        ("netbook", "laptop", 249, 0.9),
+        ("workstation", "laptop", 1999, 0.2),
+    ]
+    for i, (name, category, price, probability) in enumerate(catalogue):
+        variable = f"x{i}"
+        registry.bernoulli(variable, probability)
+        items.add((name, category, price), Var(variable))
+
+    engine = SproutEngine(db)
+
+    # 2. SUM aggregate: distribution of the total price of available items.
+    total_query = GroupAgg(
+        relation("items"), [], [AggSpec.of("total", "SUM", "price")]
+    )
+    result = engine.run(total_query)
+    row = result.rows[0]
+    print("Distribution of SUM(price) over available items:")
+    for value, probability in sorted(row.value_distribution("total").items()):
+        print(f"  total = {value:>5}:  {probability:.4f}")
+
+    # 3. Per-category MIN with a threshold: which categories offer an
+    #    available item for at most 300, and how likely?
+    cheapest = GroupAgg(
+        relation("items"), ["category"], [AggSpec.of("cheapest", "MIN", "price")]
+    )
+    affordable = Project(
+        Select(cheapest, cmp_("cheapest", "<=", lit(300))), ["category"]
+    )
+    print("\nP(category has an available item ≤ 300):")
+    for row in engine.run(affordable):
+        print(f"  {row.values[0]:<8} {row.probability():.4f}")
+
+    # 4. Peek under the hood: the symbolic annotation and its d-tree.
+    table = engine.rewrite(affordable)
+    from repro import Compiler
+
+    compiler = Compiler(registry, BOOLEAN)
+    first = table.rows[0]
+    print(f"\nSymbolic annotation of {first.values}:")
+    print(f"  Φ = {first.annotation!r}")
+    print("Decomposition tree:")
+    print(compiler.compile(first.annotation).pretty("  "))
+
+
+if __name__ == "__main__":
+    main()

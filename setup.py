@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` (PEP 660) requires ``wheel``; this file keeps the
+legacy ``python setup.py develop`` path working in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

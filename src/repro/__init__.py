@@ -1,0 +1,165 @@
+"""repro — Aggregation in probabilistic databases via knowledge compilation.
+
+A from-scratch Python reproduction of
+
+    Robert Fink, Larisa Han, Dan Olteanu.
+    "Aggregation in Probabilistic Databases via Knowledge Compilation."
+    PVLDB 5(5): 490-501 (VLDB 2012).
+
+The library implements the paper's full stack:
+
+* :mod:`repro.algebra` — monoids, semirings, semimodules, the symbolic
+  expression grammar of Figure 2, and valuation homomorphisms;
+* :mod:`repro.prob` — finite distributions, convolution (Prop. 1),
+  and the induced probability space;
+* :mod:`repro.core` — the contribution: compilation of semiring/semimodule
+  expressions into decomposition trees (Algorithm 1), bottom-up
+  probability computation (Theorem 2), pruning, joint distributions,
+  and budgeted approximation;
+* :mod:`repro.db` — pvc-tables and possible-worlds semantics (Section 3);
+* :mod:`repro.query` — the query language ``Q``, the Figure-4 rewriting,
+  the ``Q_ind``/``Q_hie`` tractability analysis (Theorem 3), and a small
+  SQL front-end;
+* :mod:`repro.engine` — the SPROUT-style engine plus brute-force and
+  Monte-Carlo baselines;
+* :mod:`repro.workloads` — the Eq.-11 random expression generator and a
+  TPC-H-shaped data generator with the paper's two queries.
+
+Quickstart::
+
+    from repro import *
+
+    reg = VariableRegistry()
+    db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+    items = db.create_table("items", ["name", "price"])
+    items.add(("inkjet", 99), Var("x1")); reg.bernoulli("x1", 0.7)
+    items.add(("laser", 349), Var("x2")); reg.bernoulli("x2", 0.4)
+
+    query = GroupAgg(relation("items"), [], [AggSpec.of("total", "SUM", "price")])
+    result = SproutEngine(db).run(query)
+    print(result.rows[0].value_distribution("total"))
+"""
+
+from repro.algebra import (
+    BOOLEAN,
+    COMPARISON_OPS,
+    COUNT,
+    MAX,
+    MIN,
+    NATURALS,
+    ONE,
+    PROD,
+    SUM,
+    ZERO,
+    AggSum,
+    CappedSumMonoid,
+    Compare,
+    MConst,
+    Monoid,
+    Normalizer,
+    Prod,
+    SConst,
+    Semiring,
+    Sum,
+    Tensor,
+    Valuation,
+    Var,
+    aggsum,
+    compare,
+    evaluate,
+    monoid_by_name,
+    normalize,
+    parse_expr,
+    sprod,
+    ssum,
+    tensor,
+)
+from repro.core import (
+    ApproximateCompiler,
+    Compiler,
+    DTree,
+    JointCompiler,
+    ProbabilityBounds,
+    approximate_probability,
+    collect_stats,
+    compile_expression,
+    joint_distribution,
+    prune,
+)
+from repro.db import (
+    PVCDatabase,
+    PVCRow,
+    PVCTable,
+    Relation,
+    Schema,
+    bid_table,
+    enumerate_database_worlds,
+    tuple_independent_table,
+)
+from repro.engine import MonteCarloEngine, NaiveEngine, SproutEngine
+from repro.errors import (
+    AlgebraError,
+    CompilationError,
+    DistributionError,
+    ParseError,
+    QueryValidationError,
+    ReproError,
+    SchemaError,
+)
+from repro.prob import Distribution, ProbabilitySpace, VariableRegistry
+from repro.query import (
+    AggSpec,
+    GroupAgg,
+    Product,
+    Project,
+    Query,
+    Select,
+    Union,
+    attr,
+    classify_query,
+    cmp_,
+    conj,
+    eq,
+    equijoin,
+    evaluate_query,
+    is_hierarchical,
+    lit,
+    optimize,
+    parse_sql,
+    product_of,
+    relation,
+    tuple_independent_relations,
+    validate_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # algebra
+    "Var", "SConst", "Sum", "Prod", "ZERO", "ONE", "ssum", "sprod",
+    "Compare", "compare", "COMPARISON_OPS",
+    "Monoid", "SUM", "COUNT", "MIN", "MAX", "PROD", "CappedSumMonoid",
+    "monoid_by_name", "Semiring", "BOOLEAN", "NATURALS",
+    "MConst", "Tensor", "AggSum", "tensor", "aggsum",
+    "Valuation", "evaluate", "Normalizer", "normalize", "parse_expr",
+    # prob
+    "Distribution", "VariableRegistry", "ProbabilitySpace",
+    # core
+    "Compiler", "compile_expression", "DTree", "JointCompiler",
+    "joint_distribution", "prune", "collect_stats",
+    "ApproximateCompiler", "ProbabilityBounds", "approximate_probability",
+    # db
+    "Schema", "Relation", "PVCRow", "PVCTable", "PVCDatabase",
+    "tuple_independent_table", "bid_table", "enumerate_database_worlds",
+    # query
+    "Query", "Select", "Project", "Product", "Union", "GroupAgg", "AggSpec",
+    "relation", "product_of", "equijoin", "attr", "lit", "eq", "cmp_",
+    "conj", "evaluate_query", "validate_query", "parse_sql", "optimize",
+    "classify_query", "is_hierarchical", "tuple_independent_relations",
+    # engines
+    "SproutEngine", "NaiveEngine", "MonteCarloEngine",
+    # errors
+    "ReproError", "AlgebraError", "ParseError", "DistributionError",
+    "CompilationError", "SchemaError", "QueryValidationError",
+]

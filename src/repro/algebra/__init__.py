@@ -1,0 +1,100 @@
+"""Algebraic substrate: monoids, semirings, semimodules, and expressions.
+
+This package implements Section 2.2 and the Figure-2 expression grammar of
+the paper: commutative aggregation monoids, concrete annotation semirings,
+the free semiring of symbolic annotations, semimodule expressions mixing
+annotations with aggregation values, conditional expressions, and the
+valuation homomorphisms that evaluate all of them.
+"""
+
+from repro.algebra.bounds import fold_comparison_by_bounds, value_bounds
+from repro.algebra.conditions import COMPARISON_OPS, Compare, ComparisonOp, compare
+from repro.algebra.expressions import (
+    ONE,
+    ZERO,
+    Expr,
+    Prod,
+    SConst,
+    SemiringExpr,
+    Sum,
+    Var,
+    count_occurrences,
+    sprod,
+    ssum,
+    variables_of,
+)
+from repro.algebra.monoid import (
+    COUNT,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    CappedSumMonoid,
+    Monoid,
+    monoid_by_name,
+)
+from repro.algebra.parser import parse_expr
+from repro.algebra.semimodule import (
+    AggSum,
+    MConst,
+    ModuleExpr,
+    Tensor,
+    aggsum,
+    module_terms,
+    tensor,
+)
+from repro.algebra.semiring import BOOLEAN, NATURALS, Semiring
+from repro.algebra.simplify import Normalizer, normalize
+from repro.algebra.valuation import Valuation, evaluate
+
+__all__ = [
+    # expressions
+    "Expr",
+    "SemiringExpr",
+    "Var",
+    "SConst",
+    "Sum",
+    "Prod",
+    "ZERO",
+    "ONE",
+    "ssum",
+    "sprod",
+    "variables_of",
+    "count_occurrences",
+    # monoids
+    "Monoid",
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "PROD",
+    "CappedSumMonoid",
+    "monoid_by_name",
+    # semirings
+    "Semiring",
+    "BOOLEAN",
+    "NATURALS",
+    # semimodule
+    "ModuleExpr",
+    "MConst",
+    "Tensor",
+    "AggSum",
+    "tensor",
+    "aggsum",
+    "module_terms",
+    # conditions
+    "Compare",
+    "ComparisonOp",
+    "compare",
+    "COMPARISON_OPS",
+    # valuation & simplification
+    "Valuation",
+    "evaluate",
+    "Normalizer",
+    "normalize",
+    # parsing
+    "parse_expr",
+    # bounds
+    "value_bounds",
+    "fold_comparison_by_bounds",
+]

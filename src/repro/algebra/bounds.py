@@ -1,0 +1,135 @@
+"""Value bounds for semimodule expressions.
+
+For a semimodule expression ``α = Σ_AGG Φᵢ ⊗ mᵢ (+ certain constants)``
+over independent Boolean-presence scalars, the attainable values in every
+possible world lie within a closed interval computable from the term
+values alone:
+
+* **MIN**: between ``min`` over all term values and the minimum of the
+  *certain* (constant) contributions (``+∞`` when there is none);
+* **MAX**: mirror image;
+* **SUM/COUNT** (Boolean scalars, so every term contributes at most
+  once): between the certain part plus all negative term values and the
+  certain part plus all positive term values.
+
+These bounds drive the early folding of two-sided conditional expressions
+``[α θ β]`` during compilation: once the intervals of the two sides
+separate, the comparison is decided in *every* remaining world and the
+conditional collapses to ``0_S``/``1_S``.  This is the effect the paper
+describes for Experiment E — "already a few mutex decomposition steps
+satisfy enough clauses to make the sum larger than the maximum on the
+left side", after which compilation stops.
+
+Under bag semantics (N-valued scalars) SUM contributions are unbounded
+above, so the bounds degenerate conservatively to ``±∞`` where needed;
+MIN/MAX bounds depend only on term *presence* and remain valid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algebra.expressions import Expr
+from repro.algebra.monoid import MaxMonoid, MinMonoid, ProdMonoid, SumMonoid
+from repro.algebra.semimodule import AggSum, MConst, ModuleExpr, Tensor
+
+__all__ = ["value_bounds", "fold_comparison_by_bounds"]
+
+_UNBOUNDED = (-math.inf, math.inf)
+
+
+def value_bounds(expr: Expr, boolean_scalars: bool) -> tuple[float, float]:
+    """A closed interval containing ``ν(expr)`` for every valuation ``ν``.
+
+    ``boolean_scalars`` states that all annotation scalars evaluate to
+    0/1 (set semantics, or Proposition 3's restricted variables); without
+    it, SUM-like bounds widen to infinity.  Always sound, possibly loose.
+    """
+    if not isinstance(expr, ModuleExpr):
+        return _UNBOUNDED
+    monoid = expr.monoid
+    if isinstance(monoid, ProdMonoid):
+        return _UNBOUNDED
+
+    certain: list[float] = []
+    optional: list[float] = []
+    for term in _terms(expr):
+        if isinstance(term, MConst):
+            certain.append(term.value)
+        elif isinstance(term, Tensor) and isinstance(term.arg, MConst):
+            optional.append(term.arg.value)
+        else:
+            return _UNBOUNDED  # non-canonical summand: give up
+
+    if isinstance(monoid, MinMonoid):
+        high = min(certain) if certain else math.inf
+        low = min(certain + optional) if (certain or optional) else math.inf
+        return (low, high)
+    if isinstance(monoid, MaxMonoid):
+        low = max(certain) if certain else -math.inf
+        high = max(certain + optional) if (certain or optional) else -math.inf
+        return (low, high)
+    if isinstance(monoid, SumMonoid):
+        base = sum(certain)
+        if boolean_scalars:
+            low = base + sum(v for v in optional if v < 0)
+            high = base + sum(v for v in optional if v > 0)
+            return (monoid.clamp(low), monoid.clamp(high))
+        # Bag semantics: non-negative multiplicities, unbounded above.
+        low = -math.inf if any(v < 0 for v in optional) else base
+        high = math.inf if any(v > 0 for v in optional) else base
+        return (low, high)
+    return _UNBOUNDED
+
+
+def _terms(expr: ModuleExpr):
+    if isinstance(expr, AggSum):
+        return expr.children
+    return (expr,)
+
+
+def fold_comparison_by_bounds(
+    left: Expr, op_symbol: str, right: Expr, boolean_scalars: bool
+) -> bool | None:
+    """Decide ``[left θ right]`` from value bounds, if possible.
+
+    Returns ``True``/``False`` when every valuation agrees on the
+    comparison, ``None`` when the intervals overlap and the outcome
+    still depends on the world.
+    """
+    lo_l, hi_l = value_bounds(left, boolean_scalars)
+    lo_r, hi_r = value_bounds(right, boolean_scalars)
+    if (lo_l, hi_l) == _UNBOUNDED or (lo_r, hi_r) == _UNBOUNDED:
+        return None
+
+    if op_symbol == "<=":
+        if hi_l <= lo_r:
+            return True
+        if lo_l > hi_r:
+            return False
+    elif op_symbol == "<":
+        if hi_l < lo_r:
+            return True
+        if lo_l >= hi_r:
+            return False
+    elif op_symbol == ">=":
+        if lo_l >= hi_r:
+            return True
+        if hi_l < lo_r:
+            return False
+    elif op_symbol == ">":
+        if lo_l > hi_r:
+            return True
+        if hi_l <= lo_r:
+            return False
+    elif op_symbol == "=":
+        if hi_l < lo_r or lo_l > hi_r:
+            return False
+        if lo_l == hi_l == lo_r == hi_r:
+            return True
+    elif op_symbol == "!=":
+        if hi_l < lo_r or lo_l > hi_r:
+            return True
+        if lo_l == hi_l == lo_r == hi_r:
+            return False
+    return None

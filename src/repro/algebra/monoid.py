@@ -1,0 +1,227 @@
+"""Commutative aggregation monoids (Section 2.2, Definition 2 of the paper).
+
+Aggregation over a column fixes a carrier of values and a commutative,
+associative binary operation with a neutral element.  The paper uses
+
+* ``SUM   = (N, +, 0)``
+* ``MIN   = (N ∪ {±∞}, min, +∞)``
+* ``MAX   = (N ∪ {±∞}, max, -∞)``
+* ``PROD  = (N, ·, 1)``
+* ``COUNT``: a special case of ``SUM`` in which every contribution is 1.
+
+In addition to the plain monoid operation, every monoid here exposes the
+*scalar actions* needed to form semimodules ``S ⊗ M`` (Definition 4):
+
+* :meth:`Monoid.act_bool` is the action of the Boolean semiring:
+  ``⊤ ⊗ m = m`` and ``⊥ ⊗ m = 0_M``.
+* :meth:`Monoid.act_nat` is the action of the semiring of naturals:
+  ``n ⊗ m`` is the n-fold monoid sum ``m + m + ... + m``, computed in
+  closed form per monoid (``n·m`` for SUM, ``m**n`` for PROD, ``m`` for
+  n>0 under MIN/MAX).
+
+The saturating :class:`CappedSumMonoid` implements the paper's pruning
+optimisation for SUM/COUNT conditions ``[Σ Φᵢ⊗mᵢ θ c]``: once a partial sum
+exceeds the comparison constant, its exact value is irrelevant, so addition
+may saturate at ``cap = c + 1``.  Saturating addition is still commutative
+and associative, hence a bona fide monoid, and it keeps the support of every
+intermediate distribution bounded by ``cap + 1`` values (Proposition 3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import AlgebraError
+
+__all__ = [
+    "Monoid",
+    "SumMonoid",
+    "CountMonoid",
+    "MinMonoid",
+    "MaxMonoid",
+    "ProdMonoid",
+    "CappedSumMonoid",
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "PROD",
+    "monoid_by_name",
+]
+
+
+class Monoid:
+    """A commutative monoid ``(M, +, 0)`` used for aggregation.
+
+    Subclasses define :meth:`add`, the neutral element :attr:`zero`, and the
+    scalar action :meth:`act_nat` of the natural-number semiring.
+    Instances are stateless and compare equal by :attr:`name`.
+    """
+
+    #: Human-readable identifier, e.g. ``"SUM"``.
+    name: str = "?"
+
+    #: Neutral element ``0_M`` of the monoid.
+    zero = None
+
+    def add(self, a, b):
+        """Return the monoid sum ``a + b``."""
+        raise NotImplementedError
+
+    def fold(self, values: Iterable):
+        """Fold an iterable of monoid values with :meth:`add`.
+
+        Returns :attr:`zero` for an empty iterable, mirroring that the
+        neutral element does not contribute to an aggregation.
+        """
+        result = self.zero
+        for value in values:
+            result = self.add(result, value)
+        return result
+
+    def act_bool(self, condition: bool, m):
+        """The Boolean-semiring action ``s ⊗ m`` (Definition 4).
+
+        ``⊤ ⊗ m = m`` (the value participates in the aggregation) and
+        ``⊥ ⊗ m = 0_M`` (it contributes nothing).
+        """
+        return self.clamp(m) if condition else self.zero
+
+    def act_nat(self, n: int, m):
+        """The naturals-semiring action: the n-fold sum ``m + ... + m``."""
+        raise NotImplementedError
+
+    def act(self, scalar, m, semiring):
+        """Dispatch the scalar action for a concrete ``semiring`` value."""
+        if semiring.is_boolean:
+            return self.act_bool(bool(scalar), m)
+        return self.act_nat(int(scalar), m)
+
+    def clamp(self, m):
+        """Normalise a raw value into the monoid's carrier.
+
+        The plain monoids are the identity; :class:`CappedSumMonoid`
+        saturates at its cap.
+        """
+        return m
+
+    def __eq__(self, other):
+        return isinstance(other, Monoid) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Monoid", self.name))
+
+    def __repr__(self):
+        return f"<Monoid {self.name}>"
+
+
+class SumMonoid(Monoid):
+    """``SUM = (N, +, 0)`` — also the carrier for real-valued sums."""
+
+    name = "SUM"
+    zero = 0
+
+    def add(self, a, b):
+        return a + b
+
+    def act_nat(self, n, m):
+        return n * m
+
+
+class CountMonoid(SumMonoid):
+    """``COUNT``: SUM in which every participating tuple contributes 1.
+
+    The monoid structure is identical to SUM; the distinction matters only
+    during query rewriting, where ``Γ = Σ_SUM (Φ ⊗ 1)`` replaces the
+    aggregated attribute value by the constant 1 (Figure 4).
+    """
+
+    name = "COUNT"
+
+
+class MinMonoid(Monoid):
+    """``MIN = (N ∪ {±∞}, min, +∞)``."""
+
+    name = "MIN"
+    zero = math.inf
+
+    def add(self, a, b):
+        return min(a, b)
+
+    def act_nat(self, n, m):
+        # m +min m +min ... = m whenever at least one copy participates.
+        return m if n > 0 else self.zero
+
+
+class MaxMonoid(Monoid):
+    """``MAX = (N ∪ {±∞}, max, -∞)``."""
+
+    name = "MAX"
+    zero = -math.inf
+
+    def add(self, a, b):
+        return max(a, b)
+
+    def act_nat(self, n, m):
+        return m if n > 0 else self.zero
+
+
+class ProdMonoid(Monoid):
+    """``PROD = (N, ·, 1)``: multiplicative aggregation."""
+
+    name = "PROD"
+    zero = 1
+
+    def add(self, a, b):
+        return a * b
+
+    def act_nat(self, n, m):
+        return m**n
+
+
+class CappedSumMonoid(SumMonoid):
+    """SUM with addition saturating at a cap (pruning, Section 5).
+
+    For a condition ``[Σ_SUM Φᵢ⊗mᵢ θ c]`` every sum strictly greater than
+    ``c`` behaves identically under every comparison operator θ, so partial
+    sums may be clamped to ``cap = c + 1``.  This bounds the support of all
+    intermediate distributions by ``cap + 1`` elements and is what makes
+    bounded-SUM (and COUNT) aggregation tractable (Proposition 3).
+    """
+
+    def __init__(self, cap: int):
+        if cap < 0:
+            raise AlgebraError(f"cap must be non-negative, got {cap}")
+        self.cap = cap
+        self.name = f"SUM<={cap}"
+
+    def add(self, a, b):
+        return min(a + b, self.cap)
+
+    def act_nat(self, n, m):
+        return min(n * m, self.cap)
+
+    def clamp(self, m):
+        return min(m, self.cap)
+
+
+#: Singleton instances; monoids are stateless, so these are shared.
+SUM = SumMonoid()
+COUNT = CountMonoid()
+MIN = MinMonoid()
+MAX = MaxMonoid()
+PROD = ProdMonoid()
+
+_BY_NAME = {m.name: m for m in (SUM, COUNT, MIN, MAX, PROD)}
+
+
+def monoid_by_name(name: str) -> Monoid:
+    """Look up one of the standard monoids by its (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise AlgebraError(
+            f"unknown aggregation monoid {name!r}; "
+            f"expected one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,168 @@
+"""A small text parser for the Figure-2 expression grammar.
+
+The parser accepts the notation used throughout the paper (modulo ASCII):
+
+* semiring expressions: ``x1*y11*(z1 + z5) + x2*y21``
+* tensor terms with ``@`` for ``⊗``: ``x*y @ 5``
+* conditional expressions in brackets: ``[x@10 + y@20 <= 15]``
+
+Monoid sums need a monoid: pass it as the ``monoid`` argument, e.g.
+``parse_expr("x@10 + y@20", monoid=MIN)`` builds
+``x ⊗ 10 +min y ⊗ 20``.  Operator precedence is ``@`` > ``*`` > ``+``.
+
+This front-end exists for tests, examples and the interactive experience;
+programmatic construction through :class:`~repro.algebra.expressions.Var`
+and the smart constructors is the primary API.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.algebra.conditions import COMPARISON_OPS, compare
+from repro.algebra.expressions import Expr, SConst, SemiringExpr, Var, sprod, ssum
+from repro.algebra.monoid import Monoid
+from repro.algebra.semimodule import MConst, ModuleExpr, aggsum, tensor
+from repro.errors import ParseError
+
+__all__ = ["parse_expr", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<int>\d+)"
+    r"|(?P<cmp><=|>=|!=|<>|==|[=<>])"
+    r"|(?P<punct>[+*()\[\]@]))"
+)
+
+
+def tokenize(text: str) -> list[tuple[str, str, int]]:
+    """Split ``text`` into ``(kind, value, position)`` tokens."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ParseError(f"unexpected character {text[pos]!r}", pos)
+            break
+        for kind in ("name", "int", "cmp", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value, match.start(kind)))
+                break
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, monoid: Monoid | None):
+        self.text = text
+        self.monoid = monoid
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    def peek(self):
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return (None, None, len(self.text))
+
+    def advance(self):
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, value: str):
+        kind, got, pos = self.advance()
+        if got != value:
+            raise ParseError(f"expected {value!r}, got {got!r}", pos)
+
+    def parse(self) -> Expr:
+        expr = self.parse_sum()
+        kind, value, pos = self.peek()
+        if kind is not None:
+            raise ParseError(f"unexpected trailing token {value!r}", pos)
+        return expr
+
+    def parse_sum(self) -> Expr:
+        terms = [self.parse_product()]
+        while self.peek()[1] == "+":
+            self.advance()
+            terms.append(self.parse_product())
+        if len(terms) == 1:
+            return terms[0]
+        if any(isinstance(t, ModuleExpr) for t in terms):
+            if self.monoid is None:
+                raise ParseError(
+                    "module-expression sum requires a monoid; "
+                    "pass parse_expr(..., monoid=...)"
+                )
+            lifted = [
+                t if isinstance(t, ModuleExpr) else tensor(t, MConst(self.monoid, 1))
+                for t in terms
+                if not (isinstance(t, SConst) and t.value == 0)
+            ]
+            return aggsum(self.monoid, lifted)
+        return ssum(terms)
+
+    def parse_product(self) -> Expr:
+        factors = [self.parse_atom()]
+        while self.peek()[1] == "*":
+            self.advance()
+            factors.append(self.parse_atom())
+        modules = [f for f in factors if isinstance(f, ModuleExpr)]
+        if modules:
+            _, _, pos = self.peek()
+            raise ParseError("cannot multiply semimodule expressions", pos)
+        left = factors[0] if len(factors) == 1 else sprod(factors)
+        if self.peek()[1] != "@":
+            return left
+        _, _, pos = self.advance()
+        if not isinstance(left, SemiringExpr):
+            raise ParseError("left side of '@' must be a semiring expression", pos)
+        right = self.parse_atom()
+        if isinstance(right, SConst):
+            if self.monoid is None:
+                raise ParseError(
+                    "tensor '@' requires a monoid; pass parse_expr(..., monoid=...)",
+                    pos,
+                )
+            right = MConst(self.monoid, right.value)
+        if not isinstance(right, ModuleExpr):
+            raise ParseError("right side of '@' must be a monoid value", pos)
+        if self.peek()[1] == "*":
+            raise ParseError(
+                "cannot multiply semimodule expressions", self.peek()[2]
+            )
+        return tensor(left, right)
+
+    def parse_atom(self) -> Expr:
+        kind, value, pos = self.advance()
+        if kind == "name":
+            return Var(value)
+        if kind == "int":
+            return SConst(int(value))
+        if value == "(":
+            inner = self.parse_sum()
+            self.expect(")")
+            return inner
+        if value == "[":
+            left = self.parse_sum()
+            op_kind, op_value, op_pos = self.advance()
+            if op_kind != "cmp":
+                raise ParseError(f"expected comparison operator, got {op_value!r}", op_pos)
+            right = self.parse_sum()
+            self.expect("]")
+            return compare(left, COMPARISON_OPS[op_value], right)
+        raise ParseError(f"unexpected token {value!r}", pos)
+
+
+def parse_expr(text: str, monoid: Monoid | None = None) -> Expr:
+    """Parse a semiring or semimodule expression from text.
+
+    >>> parse_expr("x1*y11*(z1 + z5)")
+    x1*y11*(z1 + z5)
+    >>> from repro.algebra.monoid import MIN
+    >>> parse_expr("[x@10 + y@20 <= 15]", monoid=MIN)
+    [(x⊗10 +min y⊗20) <= 15]
+    """
+    return _Parser(text, monoid).parse()

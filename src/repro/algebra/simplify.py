@@ -1,0 +1,166 @@
+"""Semiring-aware normalisation of expressions.
+
+The smart constructors in :mod:`repro.algebra.expressions` and
+:mod:`repro.algebra.semimodule` apply only simplifications valid in *every*
+semiring.  During compilation, however, the target semiring is known, which
+enables much stronger rewrites — most importantly after a Shannon expansion
+step ``Φ|x←s`` substitutes constants into the expression:
+
+* variable-free subexpressions fold to constants
+  (``SConst``/``MConst``) by direct evaluation;
+* in the **Boolean** semiring, sums absorb on ``⊤`` (``⊤ + Φ = ⊤``) and
+  both sums and products are idempotent (``Φ + Φ = Φ``, ``Φ · Φ = Φ``),
+  so duplicate children collapse;
+* in the **naturals** semiring, constant summands/factors fold
+  arithmetically.
+
+These rewrites are what keep the residual expressions of a mutex
+decomposition small; without Boolean absorption the Shannon rule would
+barely shrink the expression it expands.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.bounds import fold_comparison_by_bounds
+from repro.algebra.conditions import Compare, compare
+from repro.algebra.expressions import (
+    ONE,
+    Expr,
+    Prod,
+    SConst,
+    SemiringExpr,
+    Sum,
+    Var,
+    ssum,
+    sprod,
+)
+from repro.algebra.semimodule import AggSum, MConst, ModuleExpr, Tensor, aggsum, tensor
+from repro.algebra.semiring import Semiring
+from repro.errors import AlgebraError
+
+__all__ = ["Normalizer", "normalize"]
+
+
+class Normalizer:
+    """Normalise expressions relative to a fixed target semiring.
+
+    Instances memoise results, which matters during compilation where the
+    same subexpressions reappear across Shannon branches.
+    """
+
+    def __init__(self, semiring: Semiring):
+        self.semiring = semiring
+        self._cache: dict[Expr, Expr] = {}
+
+    def __call__(self, expr: Expr) -> Expr:
+        cached = self._cache.get(expr)
+        if cached is None:
+            cached = self._normalize(expr)
+            self._cache[expr] = cached
+        return cached
+
+    def _normalize(self, expr: Expr) -> Expr:
+        if isinstance(expr, (Var, SConst, MConst)):
+            return self._fold_const(expr)
+        if isinstance(expr, Sum):
+            return self._normalize_sum(expr)
+        if isinstance(expr, Prod):
+            return self._normalize_prod(expr)
+        if isinstance(expr, Compare):
+            return self._normalize_compare(expr)
+        if isinstance(expr, Tensor):
+            return self._normalize_tensor(expr)
+        if isinstance(expr, AggSum):
+            return self._normalize_aggsum(expr)
+        raise AlgebraError(f"cannot normalise expression of type {type(expr).__name__}")
+
+    def _fold_const(self, expr: Expr) -> Expr:
+        """Canonicalise constants for the target semiring."""
+        if isinstance(expr, SConst) and self.semiring.is_boolean:
+            return SConst(int(self.semiring.coerce(expr.value)))
+        return expr
+
+    def _normalize_sum(self, expr: Sum) -> SemiringExpr:
+        semiring = self.semiring
+        children = [self(c) for c in expr.children]
+        const_acc = semiring.zero
+        symbolic: list[SemiringExpr] = []
+        seen: set = set()
+        for child in children:
+            if isinstance(child, SConst):
+                const_acc = semiring.add(const_acc, semiring.coerce(child.value))
+            elif semiring.is_boolean:
+                if child not in seen:  # idempotence: Φ + Φ = Φ
+                    seen.add(child)
+                    symbolic.append(child)
+            else:
+                symbolic.append(child)
+        if semiring.is_boolean and const_acc:
+            return ONE  # absorption: ⊤ + Φ = ⊤
+        if const_acc != semiring.zero:
+            symbolic.append(SConst(int(const_acc)))
+        return ssum(symbolic)
+
+    def _normalize_prod(self, expr: Prod) -> SemiringExpr:
+        semiring = self.semiring
+        children = [self(c) for c in expr.children]
+        const_acc = semiring.one
+        symbolic: list[SemiringExpr] = []
+        seen: set = set()
+        for child in children:
+            if isinstance(child, SConst):
+                const_acc = semiring.mul(const_acc, semiring.coerce(child.value))
+                if const_acc == semiring.zero:
+                    return SConst(0)
+            elif semiring.is_boolean:
+                if child not in seen:  # idempotence: Φ · Φ = Φ
+                    seen.add(child)
+                    symbolic.append(child)
+            else:
+                symbolic.append(child)
+        if const_acc != semiring.one:
+            symbolic.append(SConst(int(const_acc)))
+        return sprod(symbolic)
+
+    def _normalize_compare(self, expr: Compare) -> SemiringExpr:
+        left = self(expr.left)
+        right = self(expr.right)
+        folded = compare(left, expr.op, right)
+        if isinstance(folded, SConst):
+            return self._fold_const(folded)
+        if isinstance(folded, Compare) and isinstance(folded.left, ModuleExpr):
+            # Early folding by value bounds: after Shannon substitutions
+            # the attainable intervals of the two sides may separate, at
+            # which point the comparison is decided in every remaining
+            # world (the Experiment-E effect).
+            decided = fold_comparison_by_bounds(
+                folded.left,
+                folded.op.symbol,
+                folded.right,
+                self.semiring.is_boolean,
+            )
+            if decided is not None:
+                return SConst(int(decided))
+        return folded
+
+    def _normalize_tensor(self, expr: Tensor) -> ModuleExpr:
+        phi = self(expr.phi)
+        arg = self(expr.arg)
+        if isinstance(phi, SConst) and isinstance(arg, MConst):
+            scalar = self.semiring.coerce(phi.value)
+            return MConst(arg.monoid, arg.monoid.act(scalar, arg.value, self.semiring))
+        if isinstance(phi, SConst):
+            scalar = self.semiring.coerce(phi.value)
+            if scalar == self.semiring.one:
+                return arg
+            if scalar == self.semiring.zero:
+                return MConst(arg.monoid, arg.monoid.zero)
+        return tensor(phi, arg)
+
+    def _normalize_aggsum(self, expr: AggSum) -> ModuleExpr:
+        return aggsum(expr.monoid, [self(c) for c in expr.children])
+
+
+def normalize(expr: Expr, semiring: Semiring) -> Expr:
+    """One-shot normalisation; see :class:`Normalizer`."""
+    return Normalizer(semiring)(expr)

@@ -1,0 +1,106 @@
+"""Valuations ``ν : X → S`` and the homomorphisms they induce (Section 3).
+
+A mapping of the variables into a concrete semiring ``S`` extends uniquely
+
+* to a *semiring homomorphism* ``ν : K → S`` evaluating annotation
+  expressions, and
+* to a *monoid homomorphism* ``ν : K ⊗ M → M`` evaluating semimodule
+  expressions,
+
+with conditional expressions ``[Φ θ Ψ]`` evaluating to ``1_S``/``0_S``
+per Equation (2).  Each valuation defines one possible world of a
+pvc-database (Definition 6).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.conditions import Compare
+from repro.algebra.expressions import Expr, Prod, SConst, Sum, Var
+from repro.algebra.semimodule import AggSum, MConst, Tensor
+from repro.algebra.semiring import Semiring
+from repro.errors import AlgebraError
+
+__all__ = ["Valuation", "evaluate"]
+
+
+class Valuation:
+    """A variable assignment together with its target semiring.
+
+    Calling the valuation on an expression evaluates it: semiring
+    expressions yield elements of ``S``, semimodule expressions yield
+    monoid values.
+
+    >>> from repro.algebra import Var, BOOLEAN
+    >>> nu = Valuation({"x": True, "y": False}, BOOLEAN)
+    >>> nu(Var("x") + Var("y"))
+    True
+    """
+
+    __slots__ = ("assignment", "semiring")
+
+    def __init__(self, assignment: Mapping[str, object], semiring: Semiring):
+        self.assignment = dict(assignment)
+        self.semiring = semiring
+
+    def __call__(self, expr: Expr):
+        return evaluate(expr, self.assignment, self.semiring)
+
+    def __getitem__(self, name: str):
+        return self.semiring.coerce(self.assignment[name])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.assignment
+
+    def __repr__(self):
+        pairs = ", ".join(f"{k}→{v}" for k, v in sorted(self.assignment.items()))
+        return f"Valuation({pairs}; {self.semiring.name})"
+
+
+def evaluate(expr: Expr, assignment: Mapping[str, object], semiring: Semiring):
+    """Evaluate ``expr`` under ``assignment`` into ``semiring``.
+
+    Implements the semiring/monoid homomorphisms of Section 3 and the
+    conditional-expression semantics of Equation (2).  Returns a semiring
+    value for semiring expressions and a monoid value for semimodule
+    expressions.
+    """
+    if isinstance(expr, Var):
+        try:
+            return semiring.coerce(assignment[expr.name])
+        except KeyError:
+            raise AlgebraError(
+                f"valuation does not assign variable {expr.name!r}"
+            ) from None
+    if isinstance(expr, SConst):
+        return semiring.coerce(expr.value)
+    if isinstance(expr, Sum):
+        result = semiring.zero
+        for child in expr.children:
+            result = semiring.add(result, evaluate(child, assignment, semiring))
+        return result
+    if isinstance(expr, Prod):
+        result = semiring.one
+        for child in expr.children:
+            result = semiring.mul(result, evaluate(child, assignment, semiring))
+            if result == semiring.zero:
+                return result
+        return result
+    if isinstance(expr, Compare):
+        left = evaluate(expr.left, assignment, semiring)
+        right = evaluate(expr.right, assignment, semiring)
+        return semiring.from_condition(expr.op(left, right))
+    if isinstance(expr, MConst):
+        return expr.value
+    if isinstance(expr, Tensor):
+        scalar = evaluate(expr.phi, assignment, semiring)
+        inner = evaluate(expr.arg, assignment, semiring)
+        return expr.monoid.act(scalar, inner, semiring)
+    if isinstance(expr, AggSum):
+        monoid = expr.monoid
+        result = monoid.zero
+        for child in expr.children:
+            result = monoid.add(result, evaluate(child, assignment, semiring))
+        return result
+    raise AlgebraError(f"cannot evaluate expression of type {type(expr).__name__}")

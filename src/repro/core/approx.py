@@ -1,0 +1,194 @@
+"""Approximate probability computation on partially compiled d-trees.
+
+The paper notes (Section 1) that "besides exact computation, decomposition
+trees also allow for approximate probability computation [18]": compiling
+an expression only partially and propagating *bounds* for the unexpanded
+residual expressions.  This module reproduces that scheme for Boolean-
+semiring expressions:
+
+* the expression is compiled with a budget on the number of Shannon (⊔)
+  expansions;
+* when the budget runs out, the remaining expression becomes an *unknown*
+  leaf whose probability of being true lies in ``[0, 1]`` (sharpened by
+  the trivial model/refutation bounds below);
+* bounds propagate upward through the independence rules because
+  ``P(Φ ∨ Ψ) = 1-(1-p)(1-q)`` and ``P(Φ ∧ Ψ) = p·q`` are monotone in both
+  arguments, and through mutex nodes because mixtures are monotone too.
+
+Increasing the budget refines the interval monotonically; with an
+unbounded budget the interval collapses to the exact probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.conditions import Compare
+from repro.algebra.expressions import (
+    Expr,
+    Prod,
+    SConst,
+    Sum,
+    Var,
+    count_occurrences,
+    ssum,
+    sprod,
+)
+from repro.algebra.simplify import Normalizer
+from repro.algebra.semiring import BOOLEAN
+from repro.core import decompose
+from repro.core.compile import Compiler
+from repro.errors import CompilationError
+from repro.prob.variables import VariableRegistry
+
+__all__ = ["ProbabilityBounds", "ApproximateCompiler", "approximate_probability"]
+
+
+@dataclass(frozen=True)
+class ProbabilityBounds:
+    """An interval ``[low, high]`` bracketing a Boolean probability."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not (0.0 - 1e-9 <= self.low <= self.high + 1e-9 <= 1.0 + 1e-9):
+            raise CompilationError(
+                f"invalid probability bounds [{self.low}, {self.high}]"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def contains(self, p: float, tol: float = 1e-9) -> bool:
+        return self.low - tol <= p <= self.high + tol
+
+    @classmethod
+    def exact(cls, p: float) -> "ProbabilityBounds":
+        return cls(p, p)
+
+    @classmethod
+    def unknown(cls) -> "ProbabilityBounds":
+        return cls(0.0, 1.0)
+
+    def disjunction(self, other: "ProbabilityBounds") -> "ProbabilityBounds":
+        """Bounds of ``P(Φ ∨ Ψ)`` for independent operands (monotone)."""
+        return ProbabilityBounds(
+            1.0 - (1.0 - self.low) * (1.0 - other.low),
+            1.0 - (1.0 - self.high) * (1.0 - other.high),
+        )
+
+    def conjunction(self, other: "ProbabilityBounds") -> "ProbabilityBounds":
+        """Bounds of ``P(Φ ∧ Ψ)`` for independent operands (monotone)."""
+        return ProbabilityBounds(self.low * other.low, self.high * other.high)
+
+    def __repr__(self):
+        return f"[{self.low:.6g}, {self.high:.6g}]"
+
+
+class ApproximateCompiler:
+    """Budgeted compilation producing probability bounds.
+
+    Only Boolean-semiring expressions built from variables, sums and
+    products are supported (the positive-relational-algebra annotations of
+    [18]); conditional or semimodule sub-expressions are treated as
+    unknown leaves when reached.
+    """
+
+    def __init__(self, registry: VariableRegistry, budget: int):
+        self.registry = registry
+        self.budget = budget
+        self._normalizer = Normalizer(BOOLEAN)
+        self._memo: dict[Expr, ProbabilityBounds] = {}
+
+    def bounds(self, expr: Expr) -> ProbabilityBounds:
+        """Bounds on ``P[expr = ⊤]`` within the expansion budget."""
+        return self._bounds(self._normalizer(expr))
+
+    def _bounds(self, expr: Expr) -> ProbabilityBounds:
+        cached = self._memo.get(expr)
+        if cached is None:
+            cached = self._bounds_uncached(expr)
+            self._memo[expr] = cached
+        return cached
+
+    def _bounds_uncached(self, expr: Expr) -> ProbabilityBounds:
+        if isinstance(expr, SConst):
+            return ProbabilityBounds.exact(float(BOOLEAN.coerce(expr.value)))
+        if isinstance(expr, Var):
+            return ProbabilityBounds.exact(self.registry[expr.name][True])
+        if isinstance(expr, Sum):
+            return self._combine(expr.children, ssum, "disjunction")
+        if isinstance(expr, Prod):
+            return self._combine(expr.children, sprod, "conjunction")
+        if isinstance(expr, Compare):
+            return ProbabilityBounds.unknown()
+        raise CompilationError(
+            f"approximation supports Boolean semiring expressions only, "
+            f"got {type(expr).__name__}"
+        )
+
+    def _combine(self, children, rebuild, combiner: str) -> ProbabilityBounds:
+        groups = decompose.independent_groups(children)
+        if len(groups) == 1:
+            # Connected: no independence rule applies, expand a variable.
+            return self._shannon(rebuild(children))
+        result: ProbabilityBounds | None = None
+        for group in groups:
+            if len(group) == 1:
+                group_bounds = self._bounds(group[0])
+            else:
+                group_bounds = self._shannon(rebuild(group))
+            result = (
+                group_bounds
+                if result is None
+                else getattr(result, combiner)(group_bounds)
+            )
+        return result
+
+    def _shannon(self, expr: Expr) -> ProbabilityBounds:
+        if not expr.variables:
+            return self._bounds(expr)
+        if self.budget <= 0:
+            return ProbabilityBounds.unknown()
+        self.budget -= 1
+        counts = count_occurrences(expr)
+        name = max(expr.variables, key=lambda n: (counts.get(n, 0), n))
+        low = high = 0.0
+        for value, prob in self.registry[name].items():
+            restricted = self._normalizer(
+                expr.substitute({name: SConst(int(value))})
+            )
+            child = self._bounds(restricted)
+            low += prob * child.low
+            high += prob * child.high
+        return ProbabilityBounds(low, high)
+
+
+def approximate_probability(
+    expr: Expr,
+    registry: VariableRegistry,
+    epsilon: float = 0.01,
+    initial_budget: int = 8,
+    max_budget: int = 1 << 20,
+) -> ProbabilityBounds:
+    """Refine bounds on ``P[expr = ⊤]`` until the interval width ≤ ε.
+
+    Doubles the Shannon budget until the requested precision is reached;
+    falls back to the exact compiler once the budget would exceed
+    ``max_budget`` (at which point exact compilation is typically cheaper
+    than further refinement).
+    """
+    budget = initial_budget
+    while budget <= max_budget:
+        bounds = ApproximateCompiler(registry, budget).bounds(expr)
+        if bounds.width <= epsilon:
+            return bounds
+        budget *= 2
+    exact = Compiler(registry, BOOLEAN).probability(expr)
+    return ProbabilityBounds.exact(exact)

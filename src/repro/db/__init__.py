@@ -1,0 +1,25 @@
+"""Probabilistic database substrate: pvc-tables and possible worlds.
+
+Implements Section 3 of the paper: schemas with aggregation-attribute
+tracking, deterministic relations with semiring multiplicities (the
+possible worlds), pvc-tables and pvc-databases, tuple-independent and BID
+constructors, and explicit world enumeration.
+"""
+
+from repro.db.pvc_table import PVCDatabase, PVCRow, PVCTable
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.db.tuple_independent import bid_table, tuple_independent_table
+from repro.db.worlds import enumerate_database_worlds, world_count
+
+__all__ = [
+    "Schema",
+    "Relation",
+    "PVCRow",
+    "PVCTable",
+    "PVCDatabase",
+    "tuple_independent_table",
+    "bid_table",
+    "enumerate_database_worlds",
+    "world_count",
+]

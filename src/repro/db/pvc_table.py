@@ -1,0 +1,188 @@
+"""pvc-tables: probabilistic value-conditioned tables (Section 3, Def. 6).
+
+A pvc-table is a relation with an annotation column ``Φ`` holding semiring
+expressions over the random variables, in which tuple *values* may be
+either constants or semimodule expressions.  A pvc-database is a set of
+pvc-tables over the same induced probability space.
+
+pvc-tables are a complete representation system (Theorem 1): any finite
+probability distribution over relational databases is representable, and —
+unlike pc-tables — results of aggregate queries stay polynomial in size
+because annotations and aggregated values can be intertwined in semimodule
+expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.algebra.expressions import ONE, SemiringExpr
+from repro.algebra.semimodule import ModuleExpr
+from repro.algebra.semiring import BOOLEAN, Semiring
+from repro.algebra.valuation import Valuation
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.errors import SchemaError
+from repro.prob.variables import VariableRegistry
+
+__all__ = ["PVCRow", "PVCTable", "PVCDatabase"]
+
+
+@dataclass(frozen=True)
+class PVCRow:
+    """One tuple of a pvc-table: values plus the annotation ``Φ``."""
+
+    values: tuple
+    annotation: SemiringExpr
+
+    def value_dict(self, schema: Schema) -> dict:
+        return dict(zip(schema.attributes, self.values))
+
+    def module_values(self, schema: Schema) -> dict:
+        """The semimodule-valued (aggregation) entries of this row."""
+        return {
+            name: value
+            for name, value in zip(schema.attributes, self.values)
+            if isinstance(value, ModuleExpr)
+        }
+
+
+class PVCTable:
+    """A pvc-table: schema, rows, annotations.
+
+    >>> from repro.algebra import Var
+    >>> table = PVCTable(Schema(["sid", "shop"]))
+    >>> table.add((1, "M&S"), Var("x1"))
+    >>> len(table)
+    1
+    """
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[PVCRow] = ()):
+        self.schema = schema
+        self.rows: list[PVCRow] = list(rows)
+
+    def add(self, values: Sequence, annotation: SemiringExpr = ONE):
+        """Append a row; the default annotation ``1_K`` means "certain"."""
+        values = tuple(values)
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"tuple of arity {len(values)} does not match schema "
+                f"{self.schema!r}"
+            )
+        self.rows.append(PVCRow(values, annotation))
+
+    def __iter__(self) -> Iterator[PVCRow]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def variables(self) -> frozenset:
+        """All variables mentioned by annotations or semimodule values."""
+        names: frozenset = frozenset()
+        for row in self.rows:
+            names |= row.annotation.variables
+            for value in row.values:
+                if isinstance(value, ModuleExpr):
+                    names |= value.variables
+        return names
+
+    def instantiate(self, valuation: Valuation, semiring: Semiring) -> Relation:
+        """The possible world of this table under ``valuation`` (Def. 6).
+
+        Annotations become multiplicities; semimodule values evaluate to
+        monoid values; constants stay as they are.
+        """
+        world = Relation(self.schema, semiring)
+        for row in self.rows:
+            multiplicity = valuation(row.annotation)
+            if multiplicity == semiring.zero:
+                continue
+            values = tuple(
+                valuation(v) if isinstance(v, ModuleExpr) else v
+                for v in row.values
+            )
+            world.add(values, multiplicity)
+        return world
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A plain-text rendering in the style of the paper's figures."""
+        header = list(self.schema.attributes) + ["Φ"]
+        body = [
+            [str(v) for v in row.values] + [repr(row.annotation)]
+            for row in self.rows[:max_rows]
+        ]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body), 1)
+            if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(name.ljust(widths[i]) for i, name in enumerate(header))
+        ]
+        for line in body:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"PVCTable({self.schema!r}, {len(self.rows)} rows)"
+
+
+class PVCDatabase:
+    """A set of pvc-tables over one induced probability space (Def. 6)."""
+
+    def __init__(
+        self,
+        tables: Mapping[str, PVCTable] | None = None,
+        registry: VariableRegistry | None = None,
+        semiring: Semiring = BOOLEAN,
+    ):
+        self.tables: dict[str, PVCTable] = dict(tables or {})
+        self.registry = registry if registry is not None else VariableRegistry()
+        self.semiring = semiring
+
+    def __getitem__(self, name: str) -> PVCTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r} in the database") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def add_table(self, name: str, table: PVCTable) -> PVCTable:
+        if name in self.tables:
+            raise SchemaError(f"table {name!r} already exists")
+        self.tables[name] = table
+        return table
+
+    def create_table(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        aggregation_attributes: Iterable[str] = (),
+    ) -> PVCTable:
+        """Create and register an empty pvc-table."""
+        return self.add_table(
+            name, PVCTable(Schema(attributes, aggregation_attributes))
+        )
+
+    @property
+    def variables(self) -> frozenset:
+        names: frozenset = frozenset()
+        for table in self.tables.values():
+            names |= table.variables
+        return names
+
+    def __repr__(self):
+        inner = ", ".join(
+            f"{name}({len(table)})" for name, table in sorted(self.tables.items())
+        )
+        return f"PVCDatabase[{self.semiring.name}]({inner})"

@@ -1,0 +1,116 @@
+"""Relation schemas with aggregation-attribute tracking.
+
+The query language ``Q`` (Definition 5) distinguishes ordinary attributes
+from *aggregation attributes* — attributes produced by the ``$`` operator
+whose values are semimodule expressions.  Projection, union and grouping
+must never be applied to aggregation attributes; schemas therefore carry
+that marking so the validator can enforce the constraints statically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An ordered list of attribute names with aggregation markings.
+
+    >>> s = Schema(["sid", "shop"])
+    >>> s.index("shop")
+    1
+    """
+
+    __slots__ = ("attributes", "aggregation_attributes", "_index")
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        aggregation_attributes: Iterable[str] = (),
+    ):
+        attributes = tuple(attributes)
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"duplicate attribute names in {attributes}")
+        aggregation_attributes = frozenset(aggregation_attributes)
+        unknown = aggregation_attributes - set(attributes)
+        if unknown:
+            raise SchemaError(
+                f"aggregation attributes {sorted(unknown)} not in schema "
+                f"{attributes}"
+            )
+        self.attributes = attributes
+        self.aggregation_attributes = aggregation_attributes
+        self._index = {name: i for i, name in enumerate(attributes)}
+
+    def index(self, attribute: str) -> int:
+        """Position of ``attribute`` in the schema."""
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema {self.attributes}"
+            ) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._index
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def is_aggregation(self, attribute: str) -> bool:
+        """True if ``attribute`` carries semimodule expressions."""
+        return attribute in self.aggregation_attributes
+
+    def project(self, attributes: Sequence[str]) -> "Schema":
+        """The sub-schema of ``attributes`` (order as given)."""
+        for attribute in attributes:
+            self.index(attribute)
+        return Schema(
+            tuple(attributes),
+            frozenset(attributes) & self.aggregation_attributes,
+        )
+
+    def extend(self, attribute: str, *, aggregation: bool = False) -> "Schema":
+        """Append a new attribute."""
+        if attribute in self._index:
+            raise SchemaError(f"attribute {attribute!r} already in schema")
+        aggs = set(self.aggregation_attributes)
+        if aggregation:
+            aggs.add(attribute)
+        return Schema(self.attributes + (attribute,), aggs)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of the cartesian product; attribute names must be disjoint."""
+        overlap = set(self.attributes) & set(other.attributes)
+        if overlap:
+            raise SchemaError(
+                f"cannot concatenate schemas sharing attributes "
+                f"{sorted(overlap)}; rename first"
+            )
+        return Schema(
+            self.attributes + other.attributes,
+            self.aggregation_attributes | other.aggregation_attributes,
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Schema)
+            and self.attributes == other.attributes
+            and self.aggregation_attributes == other.aggregation_attributes
+        )
+
+    def __hash__(self):
+        return hash((self.attributes, self.aggregation_attributes))
+
+    def __repr__(self):
+        parts = [
+            f"{name}*" if self.is_aggregation(name) else name
+            for name in self.attributes
+        ]
+        return f"Schema({', '.join(parts)})"

@@ -1,0 +1,45 @@
+"""Possible-worlds semantics of pvc-databases (Definition 6).
+
+The semantics of a pvc-database ``D`` is the set of worlds
+``{ν(T₁), ..., ν(Tₙ)}`` for every valuation ``ν`` of the variables,
+where ``ν`` maps annotations to multiplicities and semimodule values to
+monoid values.  This module enumerates those worlds explicitly — the
+exponential-cost ground truth used by the brute-force query engine and
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.db.pvc_table import PVCDatabase
+from repro.db.relation import Relation
+from repro.prob.space import ProbabilitySpace
+
+__all__ = ["enumerate_database_worlds", "world_count"]
+
+
+def world_count(db: PVCDatabase) -> int:
+    """Number of distinct valuations of the variables used by ``db``."""
+    space = ProbabilitySpace(db.registry, db.semiring)
+    return space.world_count(sorted(db.variables))
+
+
+def enumerate_database_worlds(
+    db: PVCDatabase,
+) -> Iterator[tuple[dict[str, Relation], float]]:
+    """Yield every possible world of the database with its probability.
+
+    A world is a mapping from table names to deterministic
+    :class:`~repro.db.relation.Relation` instances.  Only the variables
+    actually used by the database are enumerated; unused registry
+    variables are marginalised out.
+    """
+    space = ProbabilitySpace(db.registry, db.semiring)
+    names = sorted(db.variables)
+    for valuation, probability in space.enumerate_worlds(names):
+        world = {
+            table_name: table.instantiate(valuation, db.semiring)
+            for table_name, table in db.tables.items()
+        }
+        yield world, probability

@@ -1,0 +1,23 @@
+"""Query engines: compiled (SPROUT-style), brute-force, and Monte-Carlo.
+
+* :class:`~repro.engine.sprout.SproutEngine` — the paper's architecture:
+  Figure-4 rewriting followed by d-tree compilation (exact, efficient on
+  tractable queries).
+* :class:`~repro.engine.naive.NaiveEngine` — explicit possible-world
+  enumeration (exact, exponential; the test oracle).
+* :class:`~repro.engine.montecarlo.MonteCarloEngine` — sampling baseline
+  in the spirit of MCDB.
+"""
+
+from repro.engine.montecarlo import MonteCarloEngine
+from repro.engine.naive import NaiveEngine, evaluate_deterministic
+from repro.engine.sprout import QueryResult, ResultRow, SproutEngine
+
+__all__ = [
+    "SproutEngine",
+    "QueryResult",
+    "ResultRow",
+    "NaiveEngine",
+    "evaluate_deterministic",
+    "MonteCarloEngine",
+]

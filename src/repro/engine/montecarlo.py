@@ -1,0 +1,65 @@
+"""Monte-Carlo sampling baseline (in the spirit of MCDB [10]).
+
+The related work the paper contrasts with relies on sampling possible
+worlds and estimating answer probabilities from frequencies.  This engine
+implements that baseline: it samples valuations of the random variables,
+evaluates the query deterministically in each sampled world, and reports
+empirical tuple frequencies.  It converges at the usual ``O(1/√n)``
+Monte-Carlo rate and — unlike the compiled engine — provides no exactness
+guarantee, which is the paper's core argument for exact computation via
+knowledge compilation.
+"""
+
+from __future__ import annotations
+
+import random
+from repro.algebra.valuation import Valuation
+from repro.db.pvc_table import PVCDatabase
+from repro.engine.naive import evaluate_deterministic
+from repro.query.ast import Query
+from repro.query.validate import validate_query
+
+__all__ = ["MonteCarloEngine"]
+
+
+class MonteCarloEngine:
+    """Approximate query answering by sampling possible worlds."""
+
+    def __init__(self, db: PVCDatabase, seed: int | None = None):
+        self.db = db
+        self.random = random.Random(seed)
+
+    def sample_valuation(self) -> Valuation:
+        """Draw one valuation of all registered variables."""
+        assignment = {}
+        for name, dist in self.db.registry.items():
+            values, weights = zip(*dist.items())
+            assignment[name] = self.random.choices(values, weights=weights)[0]
+        return Valuation(assignment, self.db.semiring)
+
+    def tuple_probabilities(
+        self, query: Query, samples: int = 1000
+    ) -> dict[tuple, float]:
+        """Empirical estimate of ``P[t ∈ answer]`` from ``samples`` worlds."""
+        if samples <= 0:
+            raise ValueError("need at least one sample")
+        catalog = {name: t.schema for name, t in self.db.tables.items()}
+        validate_query(query, catalog)
+        counts: dict[tuple, int] = {}
+        for _ in range(samples):
+            valuation = self.sample_valuation()
+            world = {
+                name: table.instantiate(valuation, self.db.semiring)
+                for name, table in self.db.tables.items()
+            }
+            result = evaluate_deterministic(query, world)
+            for values in result.support():
+                counts[values] = counts.get(values, 0) + 1
+        return {values: count / samples for values, count in counts.items()}
+
+    def estimate_probability(
+        self, query: Query, values: tuple, samples: int = 1000
+    ) -> float:
+        """Estimate the probability of one specific answer tuple."""
+        estimates = self.tuple_probabilities(query, samples)
+        return estimates.get(tuple(values), 0.0)

@@ -1,0 +1,229 @@
+"""The SPROUT-style engine: rewrite, compile, compute probabilities.
+
+Mirrors the paper's prototype architecture (Section 7): query evaluation
+has two steps — (I) computing the result tuples with symbolic annotations
+via the Figure-4 rewriting, and (II) computing probability distributions
+for those annotations by compilation into d-trees.  The engine reports the
+same timing breakdown the experiments use:
+
+* ``Q0``   — evaluating the query on the deterministic database (no
+  expression or probability computation);
+* ``⟦·⟧``  — constructing the expressions (step I);
+* ``P(·)`` — computing the probability distributions (step II).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.algebra.expressions import SemiringExpr
+from repro.algebra.semimodule import ModuleExpr
+from repro.algebra.valuation import Valuation
+from repro.core.compile import Compiler
+from repro.core.joint import JointCompiler
+from repro.db.pvc_table import PVCDatabase, PVCTable
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.engine.naive import evaluate_deterministic
+from repro.prob.distribution import Distribution
+from repro.query.ast import Query
+from repro.query.rewrite import evaluate_query
+
+__all__ = ["SproutEngine", "QueryResult", "ResultRow"]
+
+
+@dataclass
+class ResultRow:
+    """One answer tuple with its symbolic and probabilistic views."""
+
+    schema: Schema
+    values: tuple
+    annotation: SemiringExpr
+    _compiler: Compiler = field(repr=False)
+
+    def probability(self) -> float:
+        """``P[t ∈ answer]`` — the annotation is non-zero (present)."""
+        dist = self._compiler.distribution(self.annotation)
+        return 1.0 - dist[self._compiler.semiring.zero]
+
+    def annotation_distribution(self) -> Distribution:
+        """Distribution of the annotation value (multiplicity under N)."""
+        return self._compiler.distribution(self.annotation)
+
+    def module_attributes(self) -> dict[str, ModuleExpr]:
+        """The semimodule-valued attributes of this row."""
+        return {
+            name: value
+            for name, value in zip(self.schema.attributes, self.values)
+            if isinstance(value, ModuleExpr)
+        }
+
+    def value_distribution(self, attribute: str) -> Distribution:
+        """Marginal distribution of a semimodule-valued attribute.
+
+        Note this marginal ignores whether the tuple is present; use
+        :meth:`answer_probabilities` for the joint semantics.
+        """
+        value = self.values[self.schema.index(attribute)]
+        if not isinstance(value, ModuleExpr):
+            return Distribution.point(value)
+        return self._compiler.distribution(value)
+
+    def conditional_value_distribution(self, attribute: str) -> Distribution:
+        """Distribution of an aggregate value *given the tuple is present*.
+
+        Joint-compiles the annotation with the attribute's semimodule
+        expression and conditions on a non-zero annotation.  This is the
+        quantity a user typically wants reported next to
+        :meth:`probability` — e.g. "given the group exists, how is its
+        SUM distributed?".
+        """
+        value = self.values[self.schema.index(attribute)]
+        if not isinstance(value, ModuleExpr):
+            return Distribution.point(value)
+        zero = self._compiler.semiring.zero
+        joint = JointCompiler(self._compiler).joint_distribution(
+            [self.annotation, value]
+        )
+        conditioned = joint.condition(lambda outcome: outcome[0] != zero)
+        return conditioned.map(lambda outcome: outcome[1])
+
+    def expected_value(self, attribute: str) -> float:
+        """Expectation of an aggregate value given the tuple is present."""
+        return self.conditional_value_distribution(attribute).expectation()
+
+    def answer_probabilities(self) -> dict[tuple, float]:
+        """``P[t present with concrete values v]`` for each outcome ``v``.
+
+        Joint-compiles the annotation with all semimodule values of the
+        row (Section 5, "Compiling Joint Probability Distributions") and
+        returns the distribution over fully concrete answer tuples,
+        restricted to worlds where the tuple is present.
+        """
+        module_attrs = self.module_attributes()
+        zero = self._compiler.semiring.zero
+        if not module_attrs:
+            probability = self.probability()
+            if probability <= 1e-15:
+                return {}
+            return {self.values: probability}
+        exprs = [self.annotation] + list(module_attrs.values())
+        joint = JointCompiler(self._compiler).joint_distribution(exprs)
+        results: dict[tuple, float] = {}
+        names = list(module_attrs)
+        for outcome, probability in joint.items():
+            presence, *module_values = outcome
+            if presence == zero or probability <= 1e-15:
+                continue
+            substitution = dict(zip(names, module_values))
+            concrete = tuple(
+                substitution[name] if name in substitution else value
+                for name, value in zip(self.schema.attributes, self.values)
+            )
+            results[concrete] = results.get(concrete, 0.0) + probability
+        return results
+
+    def __repr__(self):
+        return f"ResultRow({self.values!r}, Φ={self.annotation!r})"
+
+
+@dataclass
+class QueryResult:
+    """Answer pvc-table plus probabilities and the timing breakdown."""
+
+    schema: Schema
+    rows: list[ResultRow]
+    timings: dict[str, float]
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def tuple_probabilities(self) -> dict[tuple, float]:
+        """``P[t ∈ answer]`` over all rows, on fully concrete tuples.
+
+        Matches :meth:`repro.engine.naive.NaiveEngine.tuple_probabilities`
+        and is the equivalence interface between the two engines.
+        """
+        results: dict[tuple, float] = {}
+        for row in self.rows:
+            for values, probability in row.answer_probabilities().items():
+                results[values] = results.get(values, 0.0) + probability
+        return results
+
+    def pretty(self) -> str:
+        lines = []
+        for row in self.rows:
+            lines.append(
+                f"{row.values!r}  P={row.probability():.6g}  Φ={row.annotation!r}"
+            )
+        return "\n".join(lines)
+
+
+class SproutEngine:
+    """End-to-end probabilistic query answering on pvc-databases.
+
+    >>> # See examples/quickstart.py for a complete walk-through.
+    """
+
+    def __init__(self, db: PVCDatabase, **compiler_options):
+        self.db = db
+        self.compiler_options = compiler_options
+
+    def rewrite(self, query: Query) -> PVCTable:
+        """Step I only: the pvc-table of symbolic result tuples (⟦·⟧)."""
+        return evaluate_query(query, self.db)
+
+    def run(self, query: Query, compute_probabilities: bool = True) -> QueryResult:
+        """Evaluate ``query``; returns rows, probabilities and timings."""
+        start = time.perf_counter()
+        table = evaluate_query(query, self.db)
+        rewrite_seconds = time.perf_counter() - start
+
+        compiler = Compiler(
+            self.db.registry, self.db.semiring, **self.compiler_options
+        )
+        rows = [
+            ResultRow(table.schema, row.values, row.annotation, compiler)
+            for row in table
+        ]
+        probability_seconds = 0.0
+        if compute_probabilities:
+            start = time.perf_counter()
+            for row in rows:
+                row.probability()
+            probability_seconds = time.perf_counter() - start
+        timings = {
+            "rewrite_seconds": rewrite_seconds,
+            "probability_seconds": probability_seconds,
+        }
+        return QueryResult(table.schema, rows, timings)
+
+    def deterministic_baseline(self, query: Query) -> tuple[Relation, float]:
+        """The paper's Q0: run the query with every tuple certainly present.
+
+        Returns the deterministic answer and the wall-clock time, i.e. the
+        cost of query processing without any expression or probability
+        machinery.
+        """
+        world = {}
+        for name, table in self.db.tables.items():
+            rel = Relation(table.schema, self.db.semiring)
+            one = self.db.semiring.one
+            for row in table:
+                values = tuple(
+                    Valuation({}, self.db.semiring)(v)
+                    if isinstance(v, ModuleExpr)
+                    else v
+                    for v in row.values
+                )
+                rel.add(values, one)
+            world[name] = rel
+        start = time.perf_counter()
+        result = evaluate_deterministic(query, world)
+        elapsed = time.perf_counter() - start
+        return result, elapsed

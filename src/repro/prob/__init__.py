@@ -1,0 +1,33 @@
+"""Probability substrate: distributions, convolution, induced spaces.
+
+Implements Section 2.1 of the paper: finite discrete probability
+distributions with convolution with respect to arbitrary operations
+(Proposition 1), registries of independent random variables, and the
+induced probability space with a brute-force enumeration oracle.
+"""
+
+from repro.prob.convolution import (
+    comparison,
+    monoid_add,
+    mutex_mixture,
+    scalar_action,
+    semiring_add,
+    semiring_mul,
+)
+from repro.prob.distribution import TOLERANCE, Distribution
+from repro.prob.space import MAX_ENUMERABLE_WORLDS, ProbabilitySpace
+from repro.prob.variables import VariableRegistry
+
+__all__ = [
+    "Distribution",
+    "TOLERANCE",
+    "VariableRegistry",
+    "ProbabilitySpace",
+    "MAX_ENUMERABLE_WORLDS",
+    "semiring_add",
+    "semiring_mul",
+    "monoid_add",
+    "scalar_action",
+    "comparison",
+    "mutex_mixture",
+]

@@ -1,0 +1,95 @@
+"""The convolution equations (4)-(10) of Section 5, as named operations.
+
+:meth:`Distribution.convolve` implements the generic Proposition 1; this
+module provides thin, documented wrappers binding it to the six structural
+cases used at d-tree nodes:
+
+====================  ==============================================
+Equation              Operation
+====================  ==============================================
+Eq. (4)               semiring sum of independent annotations
+Eq. (5)               semiring product of independent annotations
+Eq. (6)               monoid sum of independent semimodule values
+Eq. (7)               scalar action ``Φ ⊗ α``
+Eq. (8) / Eq. (9)     conditional expressions ``[· θ ·]``
+Eq. (10)              mutex partitioning (Shannon expansion)
+====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.conditions import ComparisonOp
+from repro.algebra.monoid import Monoid
+from repro.algebra.semiring import Semiring
+from repro.prob.distribution import Distribution
+
+__all__ = [
+    "semiring_add",
+    "semiring_mul",
+    "monoid_add",
+    "scalar_action",
+    "comparison",
+    "mutex_mixture",
+]
+
+
+def semiring_add(
+    dist_phi: Distribution, dist_psi: Distribution, semiring: Semiring
+) -> Distribution:
+    """Eq. (4): distribution of ``Φ + Ψ`` for independent ``Φ``, ``Ψ``."""
+    return dist_phi.convolve(dist_psi, semiring.add)
+
+
+def semiring_mul(
+    dist_phi: Distribution, dist_psi: Distribution, semiring: Semiring
+) -> Distribution:
+    """Eq. (5): distribution of ``Φ · Ψ`` for independent ``Φ``, ``Ψ``."""
+    return dist_phi.convolve(dist_psi, semiring.mul)
+
+
+def monoid_add(
+    dist_alpha: Distribution, dist_beta: Distribution, monoid: Monoid
+) -> Distribution:
+    """Eq. (6): distribution of ``α +_M β`` for independent ``α``, ``β``."""
+    return dist_alpha.convolve(dist_beta, monoid.add)
+
+
+def scalar_action(
+    dist_phi: Distribution,
+    dist_alpha: Distribution,
+    monoid: Monoid,
+    semiring: Semiring,
+) -> Distribution:
+    """Eq. (7): distribution of ``Φ ⊗ α`` for independent ``Φ``, ``α``."""
+    return dist_phi.convolve(
+        dist_alpha, lambda s, m: monoid.act(s, m, semiring)
+    )
+
+
+def comparison(
+    dist_left: Distribution,
+    dist_right: Distribution,
+    op: ComparisonOp,
+    semiring: Semiring,
+) -> Distribution:
+    """Eqs. (8)/(9): distribution of ``[left θ right]``.
+
+    The result is a distribution over ``{0_S, 1_S}`` regardless of whether
+    the operands are semiring or semimodule valued.
+    """
+    return dist_left.convolve(
+        dist_right, lambda a, b: semiring.from_condition(op(a, b))
+    )
+
+
+def mutex_mixture(
+    branches: Iterable[tuple[float, Distribution]]
+) -> Distribution:
+    """Eq. (10): ``P_Φ[s] = Σ_{s'} P_x[s'] · P_{Φ|x←s'}[s]``.
+
+    ``branches`` pairs the probability ``P_x[s']`` of each eliminated
+    value with the distribution of the corresponding restriction.
+    """
+    return Distribution.mixture(branches)

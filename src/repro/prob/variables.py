@@ -1,0 +1,118 @@
+"""Registries of independent random variables and their distributions.
+
+A :class:`VariableRegistry` maps variable names to the discrete probability
+distributions of the corresponding independent random variables.  It is the
+``X`` of Section 2.1 together with the family ``(P_x)_{x∈X}``, and induces
+the probability space implemented in :mod:`repro.prob.space`.
+
+Variable values are *semiring* values: truth values for the Boolean
+semiring (set semantics) or non-negative integers for the naturals semiring
+(bag semantics).  Helpers are provided for the two common cases and for the
+Boolean reduction of Proposition 2 (``P_x[⊥] = P_x[0]``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import DistributionError
+from repro.prob.distribution import Distribution
+
+__all__ = ["VariableRegistry"]
+
+
+class VariableRegistry:
+    """Maps variable names to distributions of independent random variables.
+
+    >>> reg = VariableRegistry()
+    >>> _ = reg.bernoulli("x", 0.3)
+    >>> reg["x"][True]
+    0.3
+    """
+
+    def __init__(self, distributions: Mapping[str, Distribution] | None = None):
+        self._distributions: dict[str, Distribution] = {}
+        if distributions:
+            for name, dist in distributions.items():
+                self.declare(name, dist)
+
+    # -- declaration ---------------------------------------------------------
+
+    def declare(self, name: str, distribution: Distribution) -> Distribution:
+        """Register ``name`` with an explicit distribution.
+
+        Re-declaring a name with a *different* distribution is an error:
+        the variables of a probability space are fixed and independent.
+        """
+        existing = self._distributions.get(name)
+        if existing is not None and not existing.almost_equals(distribution):
+            raise DistributionError(
+                f"variable {name!r} is already declared with a different "
+                f"distribution"
+            )
+        self._distributions[name] = distribution
+        return distribution
+
+    def bernoulli(self, name: str, p: float) -> Distribution:
+        """Declare a Boolean variable with ``P[⊤] = p`` (set semantics)."""
+        return self.declare(name, Distribution.bernoulli(p))
+
+    def integer(self, name: str, probs: Mapping[int, float]) -> Distribution:
+        """Declare an N-valued variable (bag semantics), e.g. multiplicities."""
+        for value in probs:
+            if not isinstance(value, int) or value < 0:
+                raise DistributionError(
+                    f"bag-semantics variable {name!r} must take values in N, "
+                    f"got {value!r}"
+                )
+        return self.declare(name, Distribution(probs))
+
+    def constant(self, name: str, value) -> Distribution:
+        """Declare a deterministic variable (Table 1's deterministic rows)."""
+        return self.declare(name, Distribution.point(value))
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Distribution:
+        try:
+            return self._distributions[name]
+        except KeyError:
+            raise DistributionError(
+                f"variable {name!r} has no declared distribution"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._distributions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._distributions)
+
+    def __len__(self) -> int:
+        return len(self._distributions)
+
+    def names(self) -> list[str]:
+        return sorted(self._distributions)
+
+    def items(self):
+        return self._distributions.items()
+
+    def restrict(self, names: Iterable[str]) -> "VariableRegistry":
+        """The sub-registry containing only ``names``."""
+        return VariableRegistry({name: self[name] for name in names})
+
+    def boolean_reduction(self) -> "VariableRegistry":
+        """The B-valued reduction of Proposition 2.
+
+        Every variable is reduced to a Boolean one with
+        ``P[⊥] = P_x[0]`` and ``P[⊤] = 1 - P[⊥]``.  For MIN/MAX
+        aggregation this reduction leaves semimodule distributions
+        unchanged while shrinking variable supports to two values.
+        """
+        reduced = VariableRegistry()
+        for name, dist in self._distributions.items():
+            p_zero = dist.probability_of(lambda v: v == 0 or v is False)
+            reduced.bernoulli(name, 1.0 - p_zero)
+        return reduced
+
+    def __repr__(self):
+        return f"VariableRegistry({len(self)} variables)"

@@ -1,0 +1,82 @@
+"""Well-formedness validation for ``Q`` queries (Definition 5).
+
+The constraints of Definition 5 keep the Figure-4 rewriting simple by
+guaranteeing that projection, union and grouping never see semimodule
+expressions:
+
+1. in ``π_{A̅}(Q)`` and ``$_{A̅; ...}(Q)`` the attributes ``A̅`` are not
+   aggregation attributes — and neither are the aggregated inputs ``Bᵢ``;
+2. in ``Q₁ ∪ Q₂`` no attribute of the operands is an aggregation
+   attribute.
+
+Selection predicates may freely compare aggregation attributes with
+constants or other attributes (``α θ c``, ``α θ β``, ``α θ A``); those are
+the θ-comparisons of Section 6 and Example 3 (``σ_{B=γ}``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.db.schema import Schema
+from repro.errors import QueryValidationError
+from repro.query.ast import GroupAgg, Project, Query, Union
+
+__all__ = ["validate_query"]
+
+
+def validate_query(query: Query, catalog: Mapping[str, Schema]) -> Schema:
+    """Check Definition-5 constraints; returns the query's output schema.
+
+    Raises :class:`~repro.errors.QueryValidationError` on violation.
+    """
+    for node in query.walk():
+        if isinstance(node, Project):
+            _check_projection(node, catalog)
+        elif isinstance(node, Union):
+            _check_union(node, catalog)
+        elif isinstance(node, GroupAgg):
+            _check_group_agg(node, catalog)
+    return query.schema(catalog)
+
+
+def _check_projection(node: Project, catalog):
+    child_schema = node.child.schema(catalog)
+    offending = [
+        a for a in node.attributes if child_schema.is_aggregation(a)
+    ]
+    if offending:
+        raise QueryValidationError(
+            f"projection onto aggregation attributes {offending} violates "
+            f"Definition 5 (constraint 1)"
+        )
+
+
+def _check_union(node: Union, catalog):
+    for side, name in ((node.left, "left"), (node.right, "right")):
+        schema = side.schema(catalog)
+        if schema.aggregation_attributes:
+            raise QueryValidationError(
+                f"union {name} operand exposes aggregation attributes "
+                f"{sorted(schema.aggregation_attributes)}; violates "
+                f"Definition 5 (constraint 2)"
+            )
+
+
+def _check_group_agg(node: GroupAgg, catalog):
+    child_schema = node.child.schema(catalog)
+    offending = [a for a in node.groupby if child_schema.is_aggregation(a)]
+    if offending:
+        raise QueryValidationError(
+            f"grouping by aggregation attributes {offending} violates "
+            f"Definition 5 (constraint 1)"
+        )
+    for spec in node.aggregations:
+        if spec.attribute is not None and child_schema.is_aggregation(
+            spec.attribute
+        ):
+            raise QueryValidationError(
+                f"aggregating over the aggregation attribute "
+                f"{spec.attribute!r} is not supported (nested semimodule "
+                f"expressions)"
+            )

@@ -1,0 +1,9 @@
+"""Experiment workloads: Eq.-11 random expressions and TPC-H data/queries."""
+
+from repro.workloads.random_expr import (
+    ExprParams,
+    generate_condition,
+    generate_workload,
+)
+
+__all__ = ["ExprParams", "generate_condition", "generate_workload"]

@@ -1,0 +1,137 @@
+"""Random expression generator for the synthetic experiments (Eq. 11).
+
+Section 7.1 of the paper evaluates the compiler on randomly generated
+conditional expressions of the two forms ::
+
+    [ Σ_AGGL Φᵢ ⊗ vᵢ  θ  Σ_AGGR Ψⱼ ⊗ wⱼ ]      (two-sided, R > 0)
+    [ Σ_AGGL Φᵢ ⊗ vᵢ  θ  c ]                    (one-sided, R = 0)
+
+with parameters
+
+* ``L`` / ``R`` — number of semimodule terms on the left/right of θ;
+* ``AGGL`` / ``AGGR`` — the aggregation monoids of the two sides;
+* ``#v`` (``variables``) — number of distinct Boolean random variables;
+* ``#cl`` (``clauses``) — clauses per term Φᵢ;
+* ``#l`` (``literals``) — positive literals per clause;
+* ``maxv`` (``max_value``) — values vᵢ, wⱼ are drawn from ``[0, maxv]``;
+* ``c`` (``constant``) — right-hand constant of the one-sided form;
+* ``θ`` (``theta``) — the comparison operator.
+
+Each term ``Φᵢ`` is a product of ``#cl`` clauses, each clause a disjunction
+(semiring sum) of ``#l`` distinct variables — with ``#cl`` clauses per term
+this mimics the provenance of a ``#cl``-way join with projection
+alternatives, which is why the paper notes that Experiment A with
+``#cl = 3`` "evaluates COUNT DISTINCT on top of a conjunctive query".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import Expr, SemiringExpr, Var, sprod, ssum
+from repro.algebra.monoid import Monoid, monoid_by_name
+from repro.algebra.semimodule import MConst, ModuleExpr, aggsum, tensor
+from repro.errors import ReproError
+from repro.prob.variables import VariableRegistry
+
+__all__ = ["ExprParams", "generate_condition", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class ExprParams:
+    """Parameter vector of the Eq.-11 generator (names follow the paper)."""
+
+    left_terms: int = 200  # L
+    right_terms: int = 0  # R; 0 selects the one-sided form
+    variables: int = 25  # #v
+    clauses: int = 3  # #cl
+    literals: int = 3  # #l
+    max_value: int = 200  # maxv
+    constant: int = 100  # c
+    theta: str = "="  # θ
+    agg_left: str = "MIN"  # AGGL
+    agg_right: str = "MIN"  # AGGR
+    variable_probability: float | None = 0.5  # None: uniform in (0, 1)
+
+    def monoid_left(self) -> Monoid:
+        return monoid_by_name(self.agg_left)
+
+    def monoid_right(self) -> Monoid:
+        return monoid_by_name(self.agg_right)
+
+    def with_(self, **updates) -> "ExprParams":
+        """A copy with some parameters replaced (sweep convenience)."""
+        return replace(self, **updates)
+
+
+def _clause(rng: random.Random, names: list[str], literals: int) -> SemiringExpr:
+    chosen = rng.sample(names, min(literals, len(names)))
+    return ssum(Var(name) for name in chosen)
+
+
+def _term(
+    rng: random.Random,
+    names: list[str],
+    params: ExprParams,
+    monoid: Monoid,
+) -> ModuleExpr:
+    phi = sprod(
+        _clause(rng, names, params.literals) for _ in range(params.clauses)
+    )
+    value = rng.randint(0, params.max_value)
+    return tensor(phi, MConst(monoid, value))
+
+
+def _side(
+    rng: random.Random,
+    names: list[str],
+    params: ExprParams,
+    monoid: Monoid,
+    terms: int,
+) -> ModuleExpr:
+    return aggsum(
+        monoid, [_term(rng, names, params, monoid) for _ in range(terms)]
+    )
+
+
+def generate_condition(
+    params: ExprParams, seed: int | None = None
+) -> tuple[Expr, VariableRegistry]:
+    """Generate one Eq.-11 conditional expression and its variable registry.
+
+    Returns ``(expression, registry)``; the expression is a conditional
+    ``[... θ ...]`` over Boolean variables named ``v0 .. v{#v-1}``.
+    """
+    if params.left_terms <= 0:
+        raise ReproError("the left side needs at least one term (L ≥ 1)")
+    if params.variables < params.literals:
+        raise ReproError(
+            f"need at least #l = {params.literals} variables, got "
+            f"{params.variables}"
+        )
+    rng = random.Random(seed)
+    registry = VariableRegistry()
+    names = [f"v{i}" for i in range(params.variables)]
+    for name in names:
+        p = params.variable_probability
+        registry.bernoulli(name, rng.uniform(0.01, 0.99) if p is None else p)
+
+    left = _side(rng, names, params, params.monoid_left(), params.left_terms)
+    if params.right_terms > 0:
+        right: object = _side(
+            rng, names, params, params.monoid_right(), params.right_terms
+        )
+    else:
+        right = MConst(params.monoid_left(), params.constant)
+    return compare(left, params.theta, right), registry
+
+
+def generate_workload(
+    params: ExprParams, runs: int, seed: int = 0
+) -> Iterator[tuple[Expr, VariableRegistry]]:
+    """Generate ``runs`` independent expressions (the paper's ``#runs``)."""
+    for i in range(runs):
+        yield generate_condition(params, seed=seed * 10_007 + i)

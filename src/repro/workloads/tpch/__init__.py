@@ -1,0 +1,28 @@
+"""TPC-H workload: schemas, seeded data generator, and the paper's queries."""
+
+from repro.workloads.tpch.datagen import (
+    TPCHConfig,
+    generate_tpch,
+    table_cardinalities,
+)
+from repro.workloads.tpch.queries import (
+    alias_table,
+    prepare_q2_aliases,
+    tpch_q1,
+    tpch_q1_full,
+    tpch_q2,
+)
+from repro.workloads.tpch.schema import TPCH_SCHEMAS, alias_schema
+
+__all__ = [
+    "TPCHConfig",
+    "generate_tpch",
+    "table_cardinalities",
+    "tpch_q1",
+    "tpch_q1_full",
+    "tpch_q2",
+    "prepare_q2_aliases",
+    "alias_table",
+    "TPCH_SCHEMAS",
+    "alias_schema",
+]

@@ -1,0 +1,167 @@
+"""A seeded TPC-H-shaped data generator (dbgen substitute).
+
+The paper's Experiment F runs on tuple-independent TPC-H data at scales up
+to 1 GB.  Without the official ``dbgen`` (and at Python speed), this
+generator produces databases with the same *structure*:
+
+* the eight TPC-H tables with the official cardinality ratios
+  (4 partsupp rows per part, 1-7 lineitems per order, 25 nations over
+  5 regions, ...), scaled by a ``scale_factor``;
+* key/foreign-key relationships respected, so joins have the same
+  fan-outs — which is what keeps "tuple correlations constant" as the
+  scale grows (the property Experiment F measures);
+* every tuple annotated with a fresh Boolean variable whose probability is
+  drawn uniformly from a configurable range (tuple-independence).
+
+The absolute row counts are TPC-H's divided by 1000 (``scale_factor=1``
+yields ~10k tuples total), keeping the sweep tractable for a pure-Python
+engine while preserving all relative growth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.pvc_table import PVCDatabase, PVCTable
+from repro.db.tuple_independent import tuple_independent_table
+from repro.algebra.semiring import BOOLEAN
+from repro.prob.variables import VariableRegistry
+from repro.workloads.tpch.schema import TPCH_SCHEMAS
+
+__all__ = ["TPCHConfig", "generate_tpch", "table_cardinalities"]
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_TYPES = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_RETURN_FLAGS = ["R", "A", "N"]
+_LINE_STATUSES = ["O", "F"]
+
+#: Maximum day offset used for order dates (~7 years).
+MAX_DATE = 2400
+
+
+@dataclass(frozen=True)
+class TPCHConfig:
+    """Generator parameters.
+
+    ``scale_factor`` plays the role of TPC-H's SF; absolute counts are the
+    official ones divided by 1000 (see module docstring).
+    """
+
+    scale_factor: float = 0.1
+    seed: int = 0
+    min_probability: float = 0.5
+    max_probability: float = 0.95
+
+
+def table_cardinalities(scale_factor: float) -> dict[str, int]:
+    """Row counts per table (TPC-H ratios, scaled)."""
+    suppliers = max(3, round(10 * scale_factor))
+    parts = max(4, round(200 * scale_factor))
+    customers = max(3, round(150 * scale_factor))
+    orders = max(5, round(1500 * scale_factor))
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": suppliers,
+        "part": parts,
+        "partsupp": 4 * parts,  # TPC-H invariant: 4 suppliers per part
+        "customer": customers,
+        "orders": orders,
+        "lineitem": 4 * orders,  # expected value of 1-7 lines per order
+    }
+
+
+def generate_tpch(config: TPCHConfig) -> PVCDatabase:
+    """Generate a tuple-independent TPC-H-shaped pvc-database."""
+    rng = random.Random(config.seed)
+    counts = table_cardinalities(config.scale_factor)
+    registry = VariableRegistry()
+    db = PVCDatabase(registry=registry, semiring=BOOLEAN)
+
+    def prob() -> float:
+        return rng.uniform(config.min_probability, config.max_probability)
+
+    def build(name: str, rows: list[tuple]) -> PVCTable:
+        table = tuple_independent_table(
+            TPCH_SCHEMAS[name].attributes,
+            [(values, prob()) for values in rows],
+            registry,
+            prefix=f"{name}_",
+        )
+        db.add_table(name, table)
+        return table
+
+    build("region", [(k, _REGIONS[k]) for k in range(counts["region"])])
+    build(
+        "nation",
+        [(k, f"NATION{k:02d}", k % counts["region"]) for k in range(counts["nation"])],
+    )
+    build(
+        "supplier",
+        [
+            (k, f"Supplier#{k:05d}", rng.randrange(counts["nation"]))
+            for k in range(counts["supplier"])
+        ],
+    )
+    build(
+        "customer",
+        [
+            (
+                k,
+                f"Customer#{k:06d}",
+                rng.randrange(counts["nation"]),
+                rng.choice(_SEGMENTS),
+            )
+            for k in range(counts["customer"])
+        ],
+    )
+    build(
+        "part",
+        [
+            (k, f"Part#{k:06d}", rng.choice(_TYPES), rng.randint(1, 50))
+            for k in range(counts["part"])
+        ],
+    )
+
+    # partsupp: each part is supplied by 4 distinct suppliers.
+    suppliers_of: dict[int, list[int]] = {}
+    partsupp_rows = []
+    for part_key in range(counts["part"]):
+        k = min(4, counts["supplier"])
+        chosen = rng.sample(range(counts["supplier"]), k)
+        suppliers_of[part_key] = chosen
+        for supp_key in chosen:
+            partsupp_rows.append((part_key, supp_key, rng.randint(100, 1000)))
+    build("partsupp", partsupp_rows)
+
+    order_rows = []
+    order_dates = {}
+    for order_key in range(counts["orders"]):
+        date = rng.randrange(MAX_DATE)
+        order_dates[order_key] = date
+        order_rows.append((order_key, rng.randrange(counts["customer"]), date))
+    build("orders", order_rows)
+
+    lineitem_rows = []
+    target = counts["lineitem"]
+    while len(lineitem_rows) < target:
+        order_key = rng.randrange(counts["orders"])
+        part_key = rng.randrange(counts["part"])
+        supp_key = rng.choice(suppliers_of[part_key])
+        quantity = rng.randint(1, 50)
+        lineitem_rows.append(
+            (
+                order_key,
+                part_key,
+                supp_key,
+                quantity,
+                quantity * rng.randint(100, 2000),
+                rng.choice(_RETURN_FLAGS),
+                rng.choice(_LINE_STATUSES),
+                min(MAX_DATE, order_dates[order_key] + rng.randint(1, 120)),
+            )
+        )
+    build("lineitem", lineitem_rows)
+    return db

@@ -1,0 +1,205 @@
+"""The two TPC-H queries of the paper's Experiment F (Section 7.2).
+
+**Q1** "reports the amount of business that was billed, shipped, and
+returned (only the COUNT aggregate is selected)"::
+
+    SELECT l_returnflag, l_linestatus, COUNT(*)
+    FROM lineitem WHERE l_shipdate <= :cutoff
+    GROUP BY l_returnflag, l_linestatus
+
+**Q2** "is a join of five relations and with a nested aggregate query,
+which asks for suppliers with minimum cost for an order for a given part
+in a given region"::
+
+    SELECT s_name
+    FROM part, supplier, partsupp, nation, region
+    WHERE p_partkey = :part AND ps_partkey = p_partkey
+      AND s_suppkey = ps_suppkey AND s_nationkey = n_nationkey
+      AND n_regionkey = r_regionkey AND r_name = :region
+      AND ps_supplycost = (SELECT MIN(ps_supplycost)
+                           FROM partsupp, supplier, nation, region
+                           WHERE ps_partkey = :part AND ... same region ...)
+
+The nested aggregate references partsupp/supplier/nation/region a second
+time; pvc-tables handle this by *aliasing*: the alias tables share the
+same annotation variables (so the two occurrences are fully correlated)
+under renamed attributes.  Use :func:`prepare_q2_aliases` once per
+database before running :func:`tpch_q2`.
+"""
+
+from __future__ import annotations
+
+from repro.db.pvc_table import PVCDatabase, PVCTable
+from repro.db.schema import Schema
+from repro.query.ast import (
+    AggSpec,
+    GroupAgg,
+    Product,
+    Project,
+    Query,
+    Select,
+    product_of,
+    relation,
+)
+from repro.query.predicates import cmp_, conj, eq, lit
+
+__all__ = [
+    "tpch_q1",
+    "tpch_q1_full",
+    "tpch_q2",
+    "prepare_q2_aliases",
+    "alias_table",
+    "q2_candidate",
+]
+
+#: Default ship-date cutoff: ~90% of the date range, like TPC-H's
+#: ``l_shipdate <= date '1998-12-01' - interval ':1' day``.
+DEFAULT_CUTOFF = 2160
+
+_Q2_ALIASES = ("partsupp", "supplier", "nation", "region")
+
+
+def tpch_q1(cutoff: int = DEFAULT_CUTOFF) -> Query:
+    """TPC-H Q1 (COUNT variant): ``$_{flag,status; n←COUNT}(σ(lineitem))``.
+
+    The paper's Experiment F notes that "only the COUNT aggregate is
+    selected"; :func:`tpch_q1_full` provides the multi-aggregate variant.
+    """
+    filtered = Select(
+        relation("lineitem"), cmp_("l_shipdate", "<=", lit(cutoff))
+    )
+    return GroupAgg(
+        filtered,
+        ["l_returnflag", "l_linestatus"],
+        [AggSpec.of("order_count", "COUNT")],
+    )
+
+
+def tpch_q1_full(cutoff: int = DEFAULT_CUTOFF) -> Query:
+    """TPC-H Q1 with the benchmark's full aggregate list.
+
+    The official pricing-summary report computes several SUMs alongside
+    the count::
+
+        SELECT l_returnflag, l_linestatus,
+               SUM(l_quantity), SUM(l_extendedprice), COUNT(*)
+        FROM lineitem WHERE l_shipdate <= :cutoff
+        GROUP BY l_returnflag, l_linestatus
+
+    (the AVG columns are omitted: AVG is out of the paper's scope, being
+    conceptually composed from SUM and COUNT — Section 2.2).
+    """
+    filtered = Select(
+        relation("lineitem"), cmp_("l_shipdate", "<=", lit(cutoff))
+    )
+    return GroupAgg(
+        filtered,
+        ["l_returnflag", "l_linestatus"],
+        [
+            AggSpec.of("sum_qty", "SUM", "l_quantity"),
+            AggSpec.of("sum_base_price", "SUM", "l_extendedprice"),
+            AggSpec.of("count_order", "COUNT"),
+        ],
+    )
+
+
+def alias_table(db: PVCDatabase, name: str, alias: str, prefix: str = "i_") -> PVCTable:
+    """Register a correlated alias of a stored table.
+
+    The alias shares rows and annotation variables with the original (it
+    *is* the same relation, occurring a second time in a query) but
+    prefixes every attribute name, satisfying the disjoint-name
+    requirement of the product operator.
+    """
+    base = db[name]
+    schema = Schema(
+        [prefix + attribute for attribute in base.schema.attributes],
+        [prefix + a for a in base.schema.aggregation_attributes],
+    )
+    aliased = PVCTable(schema, list(base.rows))
+    return db.add_table(alias, aliased)
+
+
+def prepare_q2_aliases(db: PVCDatabase, prefix: str = "i_") -> None:
+    """Create the ``i_``-prefixed aliases Q2's nested aggregate needs."""
+    for name in _Q2_ALIASES:
+        alias = prefix + name
+        if alias not in db:
+            alias_table(db, name, alias, prefix)
+
+
+def q2_candidate(db: PVCDatabase) -> tuple[int, str]:
+    """A ``(part_key, region)`` pair for which Q2 has a non-empty answer.
+
+    Scans partsupp/supplier/nation/region for a part with at least two
+    suppliers in one region (so the MIN comparison is non-trivial).
+    """
+    region_name = {
+        row.values[0]: row.values[1] for row in db["region"]
+    }
+    nation_region = {
+        row.values[0]: row.values[2] for row in db["nation"]
+    }
+    supplier_nation = {
+        row.values[0]: row.values[2] for row in db["supplier"]
+    }
+    per_part_region: dict[tuple[int, str], int] = {}
+    for row in db["partsupp"]:
+        part_key, supp_key, _ = row.values
+        region = region_name[nation_region[supplier_nation[supp_key]]]
+        per_part_region[(part_key, region)] = (
+            per_part_region.get((part_key, region), 0) + 1
+        )
+    best = max(per_part_region, key=per_part_region.get)
+    return best
+
+
+def tpch_q2(part_key: int, region: str = "EUROPE") -> Query:
+    """TPC-H Q2: minimum-cost supplier for ``part_key`` in ``region``.
+
+    Requires :func:`prepare_q2_aliases` to have been called on the target
+    database.  Classified outside ``Q_hie`` (the partsupp relation
+    repeats), so evaluation relies on the generic compiler — mirroring the
+    paper, where Q2 exercises the non-read-once code path.
+    """
+    inner = GroupAgg(
+        Select(
+            product_of(
+                relation("i_partsupp"),
+                relation("i_supplier"),
+                relation("i_nation"),
+                relation("i_region"),
+            ),
+            conj(
+                eq("i_ps_partkey", lit(part_key)),
+                eq("i_ps_suppkey", "i_s_suppkey"),
+                eq("i_s_nationkey", "i_n_nationkey"),
+                eq("i_n_regionkey", "i_r_regionkey"),
+                eq("i_r_name", lit(region)),
+            ),
+        ),
+        [],
+        [AggSpec.of("min_cost", "MIN", "i_ps_supplycost")],
+    )
+    outer = Select(
+        Product(
+            product_of(
+                relation("part"),
+                relation("supplier"),
+                relation("partsupp"),
+                relation("nation"),
+                relation("region"),
+            ),
+            inner,
+        ),
+        conj(
+            eq("p_partkey", lit(part_key)),
+            eq("ps_partkey", "p_partkey"),
+            eq("s_suppkey", "ps_suppkey"),
+            eq("s_nationkey", "n_nationkey"),
+            eq("n_regionkey", "r_regionkey"),
+            eq("r_name", lit(region)),
+            cmp_("ps_supplycost", "=", "min_cost"),
+        ),
+    )
+    return Project(outer, ["s_name"])

@@ -1,0 +1,43 @@
+"""TPC-H table schemas (the columns used by the paper's experiments).
+
+Attribute names keep the TPC-H prefixes (``l_``, ``o_``, ...), which also
+guarantees the disjoint-name requirement of the product operator.  Dates
+are modelled as integer day offsets.  The ``*_i``-prefixed alias schemas
+support TPC-H Q2's correlated nested aggregate, which references a second
+copy of partsupp/supplier/nation/region (see
+:func:`repro.workloads.tpch.queries.prepare_q2_aliases`).
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import Schema
+
+__all__ = ["TPCH_SCHEMAS", "alias_schema"]
+
+TPCH_SCHEMAS: dict[str, Schema] = {
+    "region": Schema(["r_regionkey", "r_name"]),
+    "nation": Schema(["n_nationkey", "n_name", "n_regionkey"]),
+    "supplier": Schema(["s_suppkey", "s_name", "s_nationkey"]),
+    "customer": Schema(["c_custkey", "c_name", "c_nationkey", "c_mktsegment"]),
+    "part": Schema(["p_partkey", "p_name", "p_type", "p_size"]),
+    "partsupp": Schema(["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+    "orders": Schema(["o_orderkey", "o_custkey", "o_orderdate"]),
+    "lineitem": Schema(
+        [
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipdate",
+        ]
+    ),
+}
+
+
+def alias_schema(table: str, prefix: str = "i_") -> Schema:
+    """The schema of an aliased copy with every attribute prefixed."""
+    base = TPCH_SCHEMAS[table]
+    return Schema([prefix + name for name in base.attributes])

@@ -1,0 +1,130 @@
+"""Tests for value bounds and bound-based comparison folding."""
+
+import math
+
+import pytest
+
+from repro.algebra.bounds import fold_comparison_by_bounds, value_bounds
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import Var
+from repro.algebra.monoid import MAX, MIN, PROD, SUM
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.algebra.simplify import normalize
+from repro.core.compile import Compiler
+from repro.prob.space import ProbabilitySpace
+from repro.prob.variables import VariableRegistry
+
+
+def side(monoid, values, certain=()):
+    terms = [
+        tensor(Var(f"x{monoid.name}{i}"), MConst(monoid, v))
+        for i, v in enumerate(values)
+    ]
+    terms += [MConst(monoid, v) for v in certain]
+    return aggsum(monoid, terms)
+
+
+class TestValueBounds:
+    def test_min_bounds(self):
+        expr = side(MIN, [10, 30])
+        assert value_bounds(expr, True) == (10, math.inf)
+
+    def test_min_with_certain_part(self):
+        expr = side(MIN, [10, 30], certain=[20])
+        assert value_bounds(expr, True) == (10, 20)
+
+    def test_max_bounds(self):
+        expr = side(MAX, [10, 30], certain=[15])
+        assert value_bounds(expr, True) == (15, 30)
+
+    def test_sum_bounds_boolean(self):
+        expr = side(SUM, [5, 7], certain=[3])
+        assert value_bounds(expr, True) == (3, 15)
+
+    def test_sum_bounds_bag_semantics_unbounded_above(self):
+        expr = side(SUM, [5, 7], certain=[3])
+        low, high = value_bounds(expr, False)
+        assert low == 3 and high == math.inf
+
+    def test_prod_is_unbounded(self):
+        expr = side(PROD, [2, 3])
+        assert value_bounds(expr, True) == (-math.inf, math.inf)
+
+    def test_constant_is_a_point(self):
+        assert value_bounds(MConst(SUM, 7), True) == (7, 7)
+
+    def test_non_module_unbounded(self):
+        assert value_bounds(Var("x"), True) == (-math.inf, math.inf)
+
+
+class TestFolding:
+    def test_separated_le_folds_true(self):
+        left = side(MAX, [10, 20])
+        right = side(SUM, [30], certain=[25])
+        assert fold_comparison_by_bounds(left, "<=", right, True) is True
+
+    def test_separated_le_folds_false(self):
+        left = side(MAX, [10], certain=[50])
+        right = side(SUM, [5, 7])
+        assert fold_comparison_by_bounds(left, "<=", right, True) is False
+
+    def test_overlap_stays_undecided(self):
+        left = side(MAX, [10, 40])
+        right = side(SUM, [30])
+        assert fold_comparison_by_bounds(left, "<=", right, True) is None
+
+    def test_equality_disjoint_folds_false(self):
+        left = side(SUM, [1, 2])  # ≤ 3
+        right = side(SUM, [], certain=[10])
+        assert fold_comparison_by_bounds(left, "=", right, True) is False
+
+    def test_normalizer_applies_folding(self):
+        left = side(MAX, [10, 20])
+        right = aggsum(SUM, [MConst(SUM, 25)])
+        cond = compare(left, "<=", right)
+        assert normalize(cond, BOOLEAN).is_one()
+
+
+class TestSoundness:
+    """Bound folding never changes a compiled distribution."""
+
+    @pytest.mark.parametrize("theta", ["<=", "<", ">=", ">", "=", "!="])
+    def test_two_sided_comparisons_match_oracle(self, theta):
+        reg = VariableRegistry()
+        for i in range(3):
+            reg.bernoulli(f"xMAX{i}", 0.3 + 0.2 * i)
+        for i in range(3):
+            reg.bernoulli(f"xSUM{i}", 0.25 + 0.2 * i)
+        left = side(MAX, [5, 12, 30])
+        right = side(SUM, [4, 8, 20])
+        cond = compare(left, theta, right)
+        compiled = Compiler(reg, BOOLEAN).distribution(cond)
+        brute = ProbabilitySpace(reg, BOOLEAN).distribution_of(cond)
+        assert compiled.almost_equals(brute)
+
+    @pytest.mark.parametrize("theta", ["<=", ">", "="])
+    def test_bag_semantics_soundness(self, theta):
+        reg = VariableRegistry()
+        reg.integer("xMIN0", {0: 0.4, 2: 0.6})
+        reg.integer("xMIN1", {0: 0.5, 1: 0.5})
+        reg.integer("xSUM0", {0: 0.3, 1: 0.4, 3: 0.3})
+        left = side(MIN, [5, 9])
+        right = aggsum(SUM, [tensor(Var("xSUM0"), MConst(SUM, 4))])
+        cond = compare(left, theta, right)
+        compiled = Compiler(reg, NATURALS).distribution(cond)
+        brute = ProbabilitySpace(reg, NATURALS).distribution_of(cond)
+        assert compiled.almost_equals(brute)
+
+    def test_folding_reduces_compilation_work(self):
+        reg = VariableRegistry()
+        for i in range(6):
+            reg.bernoulli(f"xMAX{i}", 0.5)
+        reg.bernoulli("xSUM0", 0.5)
+        # MAX over values all ≤ 20 vs a certain 25: decided outright.
+        left = side(MAX, [5, 10, 15, 20, 12, 7])
+        right = aggsum(SUM, [MConst(SUM, 25)])
+        compiler = Compiler(reg, BOOLEAN)
+        tree = compiler.compile(compare(left, "<=", right))
+        assert compiler.mutex_nodes_created == 0
+        assert tree.distribution(compiler.context)[True] == 1.0

@@ -1,0 +1,82 @@
+"""Unit tests for conditional expressions ``[Φ θ Ψ]`` (Equation 2)."""
+
+import pytest
+
+from repro.algebra.conditions import COMPARISON_OPS, Compare, compare
+from repro.algebra.expressions import ONE, ZERO, SConst, Var
+from repro.algebra.monoid import MIN, SUM
+from repro.algebra.semimodule import MConst, tensor
+from repro.errors import AlgebraError
+
+
+class TestComparisonOps:
+    def test_all_six_relations_present(self):
+        for symbol in ("=", "!=", "<=", ">=", "<", ">"):
+            assert symbol in COMPARISON_OPS
+
+    def test_aliases(self):
+        assert COMPARISON_OPS["=="] is COMPARISON_OPS["="]
+        assert COMPARISON_OPS["<>"] is COMPARISON_OPS["!="]
+
+    def test_semantics(self):
+        assert COMPARISON_OPS["<="](3, 5)
+        assert not COMPARISON_OPS[">"](3, 5)
+        assert COMPARISON_OPS["!="](3, 5)
+
+    def test_negation(self):
+        assert COMPARISON_OPS["<="].negation is COMPARISON_OPS[">"]
+        assert COMPARISON_OPS["="].negation is COMPARISON_OPS["!="]
+
+
+class TestCompareConstruction:
+    def test_symbolic_comparison_stays_symbolic(self):
+        cond = compare(Var("x"), "<=", 5)
+        assert isinstance(cond, Compare)
+        assert cond.variables == frozenset({"x"})
+
+    def test_constant_fold_semiring(self):
+        assert compare(SConst(3), "<=", SConst(5)) == ONE
+        assert compare(SConst(7), "<=", SConst(5)) == ZERO
+
+    def test_constant_fold_module(self):
+        assert compare(MConst(MIN, 3), "<", MConst(MIN, 5)) == ONE
+
+    def test_int_coerces_to_module_side(self):
+        alpha = tensor(Var("x"), MConst(MIN, 10))
+        cond = compare(alpha, "<=", 15)
+        assert isinstance(cond.right, MConst)
+        assert cond.right.monoid == MIN
+
+    def test_module_vs_semiring_expression_rejected(self):
+        with pytest.raises(AlgebraError, match="cannot compare"):
+            compare(tensor(Var("x"), MConst(SUM, 1)), "<=", Var("y"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(AlgebraError, match="unknown comparison"):
+            compare(Var("x"), "~", 1)
+
+    def test_group_guard_shape(self):
+        # The [Σ Φ ≠ 0_K] guards produced by the $ rewriting.
+        guard = compare(Var("x") + Var("y"), "!=", ZERO)
+        assert isinstance(guard, Compare)
+        assert guard.op.symbol == "!="
+
+    def test_substitution_folds(self):
+        cond = compare(Var("x"), "=", SConst(1))
+        assert cond.substitute({"x": ONE}) == ONE
+        assert cond.substitute({"x": ZERO}) == ZERO
+
+    def test_compare_is_semiring_expression(self):
+        cond = compare(Var("x"), "<=", 5)
+        product = cond * Var("y")
+        assert product.variables == frozenset({"x", "y"})
+
+    def test_equality_and_hash(self):
+        c1 = compare(Var("x"), "<=", 5)
+        c2 = compare(Var("x"), "<=", 5)
+        c3 = compare(Var("x"), "<", 5)
+        assert c1 == c2 and hash(c1) == hash(c2)
+        assert c1 != c3
+
+    def test_repr_shows_operator(self):
+        assert "<=" in repr(compare(Var("x"), "<=", 5))

@@ -1,0 +1,148 @@
+"""Unit tests for the aggregation monoids (Definition 2)."""
+
+import math
+
+import pytest
+
+from repro.algebra.monoid import (
+    COUNT,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    CappedSumMonoid,
+    monoid_by_name,
+)
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.errors import AlgebraError
+
+
+class TestBasicOperations:
+    def test_sum_add(self):
+        assert SUM.add(3, 4) == 7
+
+    def test_sum_zero_is_neutral(self):
+        assert SUM.add(SUM.zero, 42) == 42
+
+    def test_min_add(self):
+        assert MIN.add(3, 7) == 3
+
+    def test_min_zero_is_positive_infinity(self):
+        assert MIN.zero == math.inf
+        assert MIN.add(MIN.zero, 5) == 5
+
+    def test_max_add(self):
+        assert MAX.add(3, 7) == 7
+
+    def test_max_zero_is_negative_infinity(self):
+        assert MAX.zero == -math.inf
+        assert MAX.add(MAX.zero, -100) == -100
+
+    def test_prod_add_is_multiplication(self):
+        assert PROD.add(3, 4) == 12
+
+    def test_prod_zero_is_one(self):
+        assert PROD.add(PROD.zero, 9) == 9
+
+    def test_count_behaves_like_sum(self):
+        assert COUNT.add(2, 3) == 5
+        assert COUNT.zero == 0
+
+
+class TestFold:
+    def test_fold_empty_returns_neutral(self):
+        assert SUM.fold([]) == 0
+        assert MIN.fold([]) == math.inf
+
+    def test_fold_min_of_column(self):
+        # The MIN example from Section 2.2.
+        assert MIN.fold([4, 8, 7, 6]) == 4
+
+    def test_fold_sum(self):
+        assert SUM.fold([4, 8, 7, 6]) == 25
+
+    def test_fold_prod(self):
+        assert PROD.fold([2, 3, 4]) == 24
+
+
+class TestScalarActions:
+    """The semimodule actions of Definition 4."""
+
+    def test_bool_action_true(self):
+        assert SUM.act_bool(True, 10) == 10
+        assert MIN.act_bool(True, 10) == 10
+
+    def test_bool_action_false_gives_neutral(self):
+        assert SUM.act_bool(False, 10) == 0
+        assert MIN.act_bool(False, 10) == math.inf
+        assert MAX.act_bool(False, 10) == -math.inf
+        assert PROD.act_bool(False, 10) == 1
+
+    def test_nat_action_sum_multiplies(self):
+        # n ⊗ m = m + m + ... (n times)
+        assert SUM.act_nat(3, 10) == 30
+
+    def test_nat_action_min_max_presence(self):
+        assert MIN.act_nat(5, 10) == 10
+        assert MIN.act_nat(0, 10) == math.inf
+        assert MAX.act_nat(2, 7) == 7
+        assert MAX.act_nat(0, 7) == -math.inf
+
+    def test_nat_action_prod_exponentiates(self):
+        assert PROD.act_nat(3, 2) == 8
+        assert PROD.act_nat(0, 2) == 1
+
+    def test_act_dispatches_by_semiring(self):
+        assert SUM.act(True, 5, BOOLEAN) == 5
+        assert SUM.act(3, 5, NATURALS) == 15
+
+
+class TestCappedSum:
+    """Saturating SUM used by the pruning rules (Proposition 3)."""
+
+    def test_addition_saturates(self):
+        capped = CappedSumMonoid(10)
+        assert capped.add(6, 7) == 10
+        assert capped.add(3, 4) == 7
+
+    def test_saturation_is_associative(self):
+        capped = CappedSumMonoid(10)
+        a, b, c = 4, 5, 8
+        assert capped.add(capped.add(a, b), c) == capped.add(a, capped.add(b, c))
+
+    def test_nat_action_saturates(self):
+        capped = CappedSumMonoid(10)
+        assert capped.act_nat(5, 7) == 10
+
+    def test_clamp(self):
+        assert CappedSumMonoid(10).clamp(25) == 10
+        assert CappedSumMonoid(10).clamp(5) == 5
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(AlgebraError):
+            CappedSumMonoid(-1)
+
+    def test_distinct_caps_are_distinct_monoids(self):
+        assert CappedSumMonoid(5) != CappedSumMonoid(6)
+        assert CappedSumMonoid(5) == CappedSumMonoid(5)
+
+
+class TestLookupAndEquality:
+    def test_lookup_by_name(self):
+        assert monoid_by_name("sum") is SUM
+        assert monoid_by_name("MIN") is MIN
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AlgebraError, match="unknown aggregation monoid"):
+            monoid_by_name("AVG")
+
+    def test_equality_by_name(self):
+        assert SUM == SUM
+        assert SUM != MIN
+        assert COUNT != SUM  # COUNT is a distinct monoid tag
+
+    def test_hashable(self):
+        assert len({SUM, MIN, MAX, PROD, COUNT}) == 5
+
+    def test_repr(self):
+        assert "SUM" in repr(SUM)

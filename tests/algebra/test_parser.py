@@ -1,0 +1,124 @@
+"""Unit tests for the Figure-2 grammar parser."""
+
+import pytest
+
+from repro.algebra.conditions import Compare
+from repro.algebra.expressions import Prod, SConst, Sum, Var, sprod, ssum
+from repro.algebra.monoid import MAX, MIN, SUM
+from repro.algebra.parser import parse_expr, tokenize
+from repro.algebra.semimodule import AggSum, MConst, Tensor, aggsum, tensor
+from repro.errors import ParseError
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("x1 * (y + 3)")
+        kinds = [k for k, _, _ in tokens]
+        assert kinds == ["name", "punct", "punct", "name", "punct", "int", "punct"]
+
+    def test_comparison_tokens(self):
+        tokens = tokenize("a <= b != c")
+        symbols = [v for k, v, _ in tokens if k == "cmp"]
+        assert symbols == ["<=", "!="]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            tokenize("x $ y")
+
+
+class TestSemiringParsing:
+    def test_single_variable(self):
+        assert parse_expr("x") == Var("x")
+
+    def test_sum_and_product_precedence(self):
+        assert parse_expr("a + b*c") == ssum([Var("a"), sprod([Var("b"), Var("c")])])
+
+    def test_parentheses(self):
+        expr = parse_expr("a*(b + c)")
+        assert isinstance(expr, Prod)
+        assert any(isinstance(child, Sum) for child in expr.children)
+
+    def test_figure1_annotation(self):
+        expr = parse_expr("x1*y11*(z1 + z5)")
+        assert expr.variables == frozenset({"x1", "y11", "z1", "z5"})
+
+    def test_integer_constants(self):
+        assert parse_expr("3") == SConst(3)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_expr("a b")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("(a + b")
+
+
+class TestModuleParsing:
+    def test_tensor(self):
+        expr = parse_expr("x @ 5", monoid=SUM)
+        assert expr == tensor(Var("x"), MConst(SUM, 5))
+
+    def test_tensor_binds_product_first(self):
+        # a*b@5 is (a·b) ⊗ 5
+        expr = parse_expr("a*b @ 5", monoid=MIN)
+        assert isinstance(expr, Tensor)
+        assert expr.phi == sprod([Var("a"), Var("b")])
+
+    def test_module_sum(self):
+        expr = parse_expr("x@10 + y@20", monoid=MIN)
+        assert isinstance(expr, AggSum)
+        assert expr.monoid == MIN
+
+    def test_module_sum_requires_monoid(self):
+        with pytest.raises(ParseError, match="monoid"):
+            parse_expr("x@10 + y@20")
+
+    def test_cannot_multiply_modules(self):
+        with pytest.raises(ParseError, match="multiply"):
+            parse_expr("x@1 * y@2", monoid=SUM)
+
+    def test_paper_figure6_expression(self):
+        expr = parse_expr(
+            "x4*y41*(z1+z5)@15 + x4*y43*z3@60 + x5*y51*(z1+z5)@10",
+            monoid=MAX,
+        )
+        assert isinstance(expr, AggSum)
+        assert len(expr.children) == 3
+        assert expr.variables == frozenset(
+            {"x4", "x5", "y41", "y43", "y51", "z1", "z3", "z5"}
+        )
+
+
+class TestConditionParsing:
+    def test_simple_condition(self):
+        expr = parse_expr("[x@10 + y@20 <= 15]", monoid=MIN)
+        assert isinstance(expr, Compare)
+        assert expr.op.symbol == "<="
+
+    def test_semiring_condition(self):
+        expr = parse_expr("[x + y != 0]")
+        assert isinstance(expr, Compare)
+
+    def test_condition_times_annotation(self):
+        expr = parse_expr("[x@10 <= 5] * w", monoid=MIN)
+        assert expr.variables == frozenset({"x", "w"})
+
+    def test_missing_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("[x + y]")
+
+    def test_roundtrip_equivalence_with_api(self):
+        via_parser = parse_expr("[a*b@3 + c@7 <= 5]", monoid=MIN)
+        via_api = __import__("repro.algebra.conditions", fromlist=["compare"]).compare(
+            aggsum(
+                MIN,
+                [
+                    tensor(sprod([Var("a"), Var("b")]), MConst(MIN, 3)),
+                    tensor(Var("c"), MConst(MIN, 7)),
+                ],
+            ),
+            "<=",
+            5,
+        )
+        assert via_parser == via_api

@@ -1,0 +1,119 @@
+"""Unit tests for semimodule expressions (Definition 4)."""
+
+import math
+
+import pytest
+
+from repro.algebra.expressions import ONE, ZERO, Var, sprod
+from repro.algebra.monoid import MAX, MIN, SUM
+from repro.algebra.semimodule import (
+    AggSum,
+    MConst,
+    Tensor,
+    aggsum,
+    module_terms,
+    tensor,
+)
+from repro.errors import AlgebraError
+
+
+class TestMConst:
+    def test_value_and_monoid(self):
+        const = MConst(SUM, 5)
+        assert const.value == 5
+        assert const.monoid == SUM
+
+    def test_module_zero(self):
+        assert MConst(SUM, 0).is_module_zero()
+        assert MConst(MIN, math.inf).is_module_zero()
+        assert not MConst(SUM, 1).is_module_zero()
+
+    def test_no_variables(self):
+        assert MConst(SUM, 5).variables == frozenset()
+
+
+class TestTensorLaws:
+    """The smart constructor enforces the Definition-4 identities."""
+
+    def test_one_tensor_is_identity(self):
+        # 1_S ⊗ m = m
+        assert tensor(ONE, MConst(SUM, 5)) == MConst(SUM, 5)
+
+    def test_zero_scalar_annihilates(self):
+        # 0_S ⊗ m = 0_M
+        assert tensor(ZERO, MConst(SUM, 5)) == MConst(SUM, 0)
+        assert tensor(ZERO, MConst(MIN, 5)) == MConst(MIN, math.inf)
+
+    def test_zero_module_annihilates(self):
+        # Φ ⊗ 0_M = 0_M
+        assert tensor(Var("x"), MConst(SUM, 0)).is_module_zero()
+
+    def test_nested_tensors_merge(self):
+        # s1 ⊗ (s2 ⊗ m) = (s1 · s2) ⊗ m
+        inner = tensor(Var("y"), MConst(SUM, 5))
+        outer = tensor(Var("x"), inner)
+        assert isinstance(outer, Tensor)
+        assert outer.phi == sprod([Var("x"), Var("y")])
+        assert outer.arg == MConst(SUM, 5)
+
+    def test_scalar_must_be_semiring(self):
+        with pytest.raises(AlgebraError):
+            tensor(MConst(SUM, 1), MConst(SUM, 5))
+
+    def test_argument_must_be_module(self):
+        with pytest.raises(AlgebraError):
+            tensor(Var("x"), 5)
+
+    def test_variables_union(self):
+        expr = tensor(Var("x") * Var("y"), MConst(SUM, 5))
+        assert expr.variables == frozenset({"x", "y"})
+
+
+class TestAggSum:
+    def test_flattens_same_monoid(self):
+        t1 = tensor(Var("x"), MConst(SUM, 1))
+        t2 = tensor(Var("y"), MConst(SUM, 2))
+        t3 = tensor(Var("z"), MConst(SUM, 3))
+        nested = aggsum(SUM, [aggsum(SUM, [t1, t2]), t3])
+        assert isinstance(nested, AggSum)
+        assert len(nested.children) == 3
+
+    def test_folds_constants_with_monoid(self):
+        expr = aggsum(MIN, [MConst(MIN, 5), MConst(MIN, 3), tensor(Var("x"), MConst(MIN, 9))])
+        consts = [c for c in module_terms(expr) if isinstance(c, MConst)]
+        assert consts == [MConst(MIN, 3)]
+
+    def test_drops_neutral(self):
+        t = tensor(Var("x"), MConst(SUM, 1))
+        assert aggsum(SUM, [t, MConst(SUM, 0)]) == t
+
+    def test_empty_sum_is_neutral(self):
+        assert aggsum(SUM, []) == MConst(SUM, 0)
+        assert aggsum(MAX, []) == MConst(MAX, -math.inf)
+
+    def test_mixed_monoids_rejected(self):
+        with pytest.raises(AlgebraError, match="cannot sum"):
+            aggsum(SUM, [MConst(MIN, 1)])
+
+    def test_non_module_term_rejected(self):
+        with pytest.raises(AlgebraError):
+            aggsum(SUM, [Var("x")])
+
+    def test_canonical_order(self):
+        t1 = tensor(Var("x"), MConst(SUM, 1))
+        t2 = tensor(Var("y"), MConst(SUM, 2))
+        assert aggsum(SUM, [t1, t2]) == aggsum(SUM, [t2, t1])
+
+    def test_module_terms_view(self):
+        t1 = tensor(Var("x"), MConst(SUM, 1))
+        assert module_terms(t1) == (t1,)
+        s = aggsum(SUM, [t1, tensor(Var("y"), MConst(SUM, 2))])
+        assert len(module_terms(s)) == 2
+
+    def test_substitution_through_module(self):
+        expr = aggsum(SUM, [
+            tensor(Var("x"), MConst(SUM, 10)),
+            tensor(Var("y"), MConst(SUM, 20)),
+        ])
+        reduced = expr.substitute({"x": ZERO})
+        assert reduced == tensor(Var("y"), MConst(SUM, 20))

@@ -1,0 +1,98 @@
+"""Unit tests for the concrete semirings (Definition 3, Table 1)."""
+
+import math
+
+import pytest
+
+from repro.algebra.monoid import MIN, PROD, SUM
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.errors import AlgebraError
+
+
+class TestBooleanSemiring:
+    def test_add_is_or(self):
+        assert BOOLEAN.add(True, False) is True
+        assert BOOLEAN.add(False, False) is False
+
+    def test_mul_is_and(self):
+        assert BOOLEAN.mul(True, True) is True
+        assert BOOLEAN.mul(True, False) is False
+
+    def test_neutral_elements(self):
+        assert BOOLEAN.zero is False
+        assert BOOLEAN.one is True
+
+    def test_coerce_ints(self):
+        assert BOOLEAN.coerce(0) is False
+        assert BOOLEAN.coerce(1) is True
+
+    def test_coerce_bools(self):
+        assert BOOLEAN.coerce(True) is True
+
+    def test_coerce_rejects_other_ints(self):
+        with pytest.raises(AlgebraError):
+            BOOLEAN.coerce(2)
+
+    def test_from_condition(self):
+        assert BOOLEAN.from_condition(True) is True
+        assert BOOLEAN.from_condition(False) is False
+
+    def test_action_set_semantics(self):
+        assert BOOLEAN.action(True, 10, SUM) == 10
+        assert BOOLEAN.action(False, 10, MIN) == math.inf
+
+
+class TestNaturalsSemiring:
+    def test_arithmetic(self):
+        assert NATURALS.add(2, 3) == 5
+        assert NATURALS.mul(2, 3) == 6
+
+    def test_neutral_elements(self):
+        assert NATURALS.zero == 0
+        assert NATURALS.one == 1
+
+    def test_coerce(self):
+        assert NATURALS.coerce(True) == 1
+        assert NATURALS.coerce(7) == 7
+
+    def test_coerce_rejects_negative(self):
+        with pytest.raises(AlgebraError):
+            NATURALS.coerce(-1)
+
+    def test_action_bag_semantics(self):
+        # multiplicity 3 of a tuple with value 10 contributes 30 to SUM
+        assert NATURALS.action(3, 10, SUM) == 30
+        assert NATURALS.action(3, 2, PROD) == 8
+        assert NATURALS.action(0, 5, MIN) == math.inf
+
+
+class TestSemiringLaws:
+    """Spot-check the Definition-3 axioms on concrete values."""
+
+    @pytest.mark.parametrize("semiring", [BOOLEAN, NATURALS])
+    def test_zero_annihilates(self, semiring):
+        for value in (semiring.zero, semiring.one):
+            assert semiring.mul(semiring.zero, value) == semiring.zero
+
+    @pytest.mark.parametrize("semiring", [BOOLEAN, NATURALS])
+    def test_one_is_multiplicative_identity(self, semiring):
+        for value in (semiring.zero, semiring.one):
+            assert semiring.mul(semiring.one, value) == value
+
+    def test_distributivity_naturals(self):
+        a, b, c = 2, 3, 4
+        assert NATURALS.mul(a, NATURALS.add(b, c)) == NATURALS.add(
+            NATURALS.mul(a, b), NATURALS.mul(a, c)
+        )
+
+    def test_distributivity_boolean(self):
+        for a in (False, True):
+            for b in (False, True):
+                for c in (False, True):
+                    left = BOOLEAN.mul(a, BOOLEAN.add(b, c))
+                    right = BOOLEAN.add(BOOLEAN.mul(a, b), BOOLEAN.mul(a, c))
+                    assert left == right
+
+    def test_equality_and_hash(self):
+        assert BOOLEAN != NATURALS
+        assert len({BOOLEAN, NATURALS}) == 2

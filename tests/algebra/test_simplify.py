@@ -1,0 +1,99 @@
+"""Unit tests for semiring-aware normalisation."""
+
+import math
+
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import ONE, ZERO, SConst, Var, sprod, ssum
+from repro.algebra.monoid import MIN, SUM
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.algebra.simplify import Normalizer, normalize
+
+
+class TestBooleanRewrites:
+    def test_absorption_on_true(self):
+        # ⊤ + Φ = ⊤
+        assert normalize(ssum([ONE, Var("x")]), BOOLEAN) == ONE
+
+    def test_sum_idempotence(self):
+        assert normalize(ssum([Var("x"), Var("x")]), BOOLEAN) == Var("x")
+
+    def test_prod_idempotence(self):
+        expr = sprod([Var("x"), Var("x"), Var("y")])
+        assert normalize(expr, BOOLEAN) == sprod([Var("x"), Var("y")])
+
+    def test_large_constants_coerce(self):
+        # After substitutions, N-style constants collapse to 0/1 in B.
+        assert normalize(SConst(1), BOOLEAN) == ONE
+
+    def test_zero_sum_stays(self):
+        assert normalize(ssum([ZERO, Var("x")]), BOOLEAN) == Var("x")
+
+
+class TestNaturalsRewrites:
+    def test_constants_fold_arithmetically(self):
+        expr = ssum([SConst(2), SConst(3), Var("x")])
+        result = normalize(expr, NATURALS)
+        assert SConst(5) in result.children
+
+    def test_no_idempotence_in_naturals(self):
+        # x + x must NOT collapse under bag semantics.
+        expr = ssum([Var("x"), Var("x")])
+        result = normalize(expr, NATURALS)
+        assert len(result.children) == 2
+
+    def test_product_constants_fold(self):
+        expr = sprod([SConst(2), SConst(3), Var("x")])
+        result = normalize(expr, NATURALS)
+        assert SConst(6) in result.children
+
+    def test_zero_product_annihilates(self):
+        expr = sprod([SConst(2), SConst(0), Var("x")])
+        assert normalize(expr, NATURALS) == ZERO
+
+
+class TestModuleRewrites:
+    def test_variable_free_tensor_folds(self):
+        expr = tensor(SConst(3), MConst(SUM, 5))
+        assert normalize(expr, NATURALS) == MConst(SUM, 15)
+        assert normalize(tensor(SConst(1), MConst(SUM, 5)), BOOLEAN) == MConst(SUM, 5)
+
+    def test_zero_scalar_folds_to_module_zero(self):
+        expr = tensor(SConst(0), MConst(MIN, 5))
+        assert normalize(expr, BOOLEAN) == MConst(MIN, math.inf)
+
+    def test_aggsum_constants_fold(self):
+        expr = aggsum(
+            MIN,
+            [tensor(Var("x"), MConst(MIN, 9)), MConst(MIN, 7), MConst(MIN, 3)],
+        )
+        result = normalize(expr, BOOLEAN)
+        assert MConst(MIN, 3) in result.children
+
+    def test_comparison_folds_after_normalisation(self):
+        # [2 ⊗ 5 <= 12] has no variables: folds to 0/1 via evaluation.
+        expr = compare(tensor(SConst(2), MConst(SUM, 5)), "<=", MConst(SUM, 12))
+        assert normalize(expr, NATURALS) == ONE
+
+
+class TestNormalizerBehaviour:
+    def test_memoisation_returns_same_object(self):
+        normalizer = Normalizer(BOOLEAN)
+        expr = ssum([Var("x"), Var("y")])
+        assert normalizer(expr) is normalizer(expr)
+
+    def test_normalisation_preserves_semantics(self):
+        from repro.algebra.valuation import Valuation
+
+        expr = ssum([sprod([Var("x"), Var("x")]), Var("y"), ZERO])
+        simplified = normalize(expr, BOOLEAN)
+        for x in (False, True):
+            for y in (False, True):
+                nu = Valuation({"x": x, "y": y}, BOOLEAN)
+                assert nu(expr) == nu(simplified)
+
+    def test_idempotent(self):
+        expr = ssum([sprod([Var("x"), Var("x")]), SConst(2)])
+        once = normalize(expr, NATURALS)
+        twice = normalize(once, NATURALS)
+        assert once == twice

@@ -1,0 +1,149 @@
+"""Unit tests for valuations and homomorphic evaluation (Section 3)."""
+
+import math
+
+import pytest
+
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import ONE, ZERO, SConst, Var
+from repro.algebra.monoid import MAX, MIN, SUM
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.algebra.valuation import Valuation, evaluate
+from repro.errors import AlgebraError
+
+
+class TestSemiringEvaluation:
+    def test_boolean_sum_product(self):
+        nu = Valuation({"x": True, "y": False}, BOOLEAN)
+        assert nu(Var("x") + Var("y")) is True
+        assert nu(Var("x") * Var("y")) is False
+
+    def test_naturals_sum_product(self):
+        nu = Valuation({"x": 2, "y": 3}, NATURALS)
+        assert nu(Var("x") + Var("y")) == 5
+        assert nu(Var("x") * Var("y")) == 6
+
+    def test_constants_coerced(self):
+        nu = Valuation({}, BOOLEAN)
+        assert nu(ONE) is True
+        assert nu(ZERO) is False
+        assert Valuation({}, NATURALS)(SConst(7)) == 7
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(AlgebraError, match="does not assign"):
+            Valuation({}, BOOLEAN)(Var("x"))
+
+    def test_distributivity_under_evaluation(self):
+        # x(y+z) and xy+xz evaluate identically (semiring law).
+        nu = Valuation({"x": 2, "y": 3, "z": 4}, NATURALS)
+        lhs = Var("x") * (Var("y") + Var("z"))
+        rhs = Var("x") * Var("y") + Var("x") * Var("z")
+        assert nu(lhs) == nu(rhs) == 14
+
+
+class TestExample6:
+    """Example 6 of the paper, verbatim."""
+
+    def test_min_semimodule_evaluation(self):
+        alpha = aggsum(
+            MIN,
+            [
+                tensor(Var("x") * Var("y"), MConst(MIN, 5)),
+                tensor(Var("x") + Var("z"), MConst(MIN, 10)),
+            ],
+        )
+        nu = Valuation({"x": 2, "y": 3, "z": 0}, NATURALS)
+        assert nu(alpha) == 5
+
+    def test_all_zero_valuation_gives_monoid_neutral(self):
+        alpha = aggsum(
+            MIN,
+            [
+                tensor(Var("x") * Var("y"), MConst(MIN, 5)),
+                tensor(Var("x") + Var("z"), MConst(MIN, 10)),
+            ],
+        )
+        nu = Valuation({"x": 0, "y": 0, "z": 0}, NATURALS)
+        assert nu(alpha) == math.inf
+
+
+class TestExample5Variants:
+    """Example 5/6: α = z1⊗4 + z2⊗8 + z3⊗7 + z4⊗6 under different targets."""
+
+    def _alpha(self, monoid):
+        weights = {"z1": 4, "z2": 8, "z3": 7, "z4": 6}
+        return aggsum(
+            monoid,
+            [tensor(Var(n), MConst(monoid, w)) for n, w in weights.items()],
+        )
+
+    def test_sum_aggregation_bag(self):
+        nu = Valuation({"z1": 2, "z2": 2, "z3": 0, "z4": 0}, NATURALS)
+        assert nu(self._alpha(SUM)) == 24
+
+    def test_min_aggregation_boolean(self):
+        nu = Valuation(
+            {"z1": False, "z2": True, "z3": True, "z4": True}, BOOLEAN
+        )
+        assert nu(self._alpha(MIN)) == 6
+
+
+class TestConditionalEvaluation:
+    def test_comparison_to_semiring_values(self):
+        cond = compare(
+            aggsum(
+                MIN,
+                [
+                    tensor(Var("x"), MConst(MIN, 10)),
+                    tensor(Var("y"), MConst(MIN, 20)),
+                ],
+            ),
+            "<=",
+            15,
+        )
+        assert Valuation({"x": True, "y": True}, BOOLEAN)(cond) is True
+        assert Valuation({"x": False, "y": True}, BOOLEAN)(cond) is False
+
+    def test_semiring_comparison(self):
+        guard = compare(Var("x") + Var("y"), "!=", ZERO)
+        assert Valuation({"x": False, "y": False}, BOOLEAN)(guard) is False
+        assert Valuation({"x": True, "y": False}, BOOLEAN)(guard) is True
+
+    def test_naturals_conditional_gives_multiplicity(self):
+        guard = compare(Var("x"), ">=", SConst(2))
+        assert Valuation({"x": 3}, NATURALS)(guard) == 1
+        assert Valuation({"x": 1}, NATURALS)(guard) == 0
+
+
+class TestIntroductionExample:
+    """The ν₁ valuation of Example 1 (the M&S annotation of Q2)."""
+
+    def test_ms_annotation_is_satisfied(self):
+        x = {f"x{i}": Var(f"x{i}") for i in (1, 2, 3)}
+        y = {k: Var(k) for k in ("y11", "y12", "y21", "y22", "y33", "y34")}
+        z = {k: Var(k) for k in ("z1", "z2", "z3", "z4", "z5")}
+        terms = [
+            (x["x1"] * y["y11"] * (z["z1"] + z["z5"]), 10),
+            (x["x1"] * y["y12"] * z["z2"], 50),
+            (x["x2"] * y["y21"] * (z["z1"] + z["z5"]), 11),
+            (x["x2"] * y["y22"] * z["z2"], 60),
+            (x["x3"] * y["y33"] * z["z3"], 60),
+            (x["x3"] * y["y34"] * z["z4"], 15),
+        ]
+        alpha = aggsum(MAX, [tensor(phi, MConst(MAX, v)) for phi, v in terms])
+        psi1 = compare(ssum_of(terms), "!=", ZERO)
+        phi = compare(alpha, "<=", 50) * psi1
+
+        true_vars = {"x1", "x2", "y11", "y21", "z1", "z2", "z5"}
+        assignment = {
+            name: (name in true_vars)
+            for name in phi.variables
+        }
+        assert Valuation(assignment, BOOLEAN)(phi) is True
+
+
+def ssum_of(terms):
+    from repro.algebra.expressions import ssum
+
+    return ssum([phi for phi, _ in terms])

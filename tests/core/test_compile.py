@@ -1,0 +1,269 @@
+"""Tests for Algorithm 1 — including the paper's Figures 5/6 and Example 12."""
+
+import math
+
+import pytest
+
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import Var, sprod, ssum
+from repro.algebra.monoid import MAX, MIN, SUM
+from repro.algebra.parser import parse_expr
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.core.compile import HEURISTICS, Compiler
+from repro.core.dtree import MutexNode, PlusNode, TensorNode, TimesNode, VarLeaf
+from repro.errors import CompilationError
+from repro.prob.distribution import Distribution
+from repro.prob.space import ProbabilitySpace
+from repro.prob.variables import VariableRegistry
+
+
+def boolean_compiler(probabilities: dict, **kwargs) -> Compiler:
+    reg = VariableRegistry()
+    for name, p in probabilities.items():
+        reg.bernoulli(name, p)
+    return Compiler(reg, BOOLEAN, **kwargs)
+
+
+class TestIndependenceRules:
+    def test_independent_sum_compiles_to_plus(self):
+        compiler = boolean_compiler({"a": 0.5, "b": 0.5})
+        tree = compiler.compile(Var("a") + Var("b"))
+        assert isinstance(tree, PlusNode)
+        assert compiler.mutex_nodes_created == 0
+
+    def test_independent_product_compiles_to_times(self):
+        compiler = boolean_compiler({"a": 0.5, "b": 0.5, "c": 0.5})
+        tree = compiler.compile(sprod([Var("a"), Var("b"), Var("c")]))
+        assert isinstance(tree, TimesNode)
+        assert compiler.mutex_nodes_created == 0
+
+    def test_read_once_factorisation_avoids_shannon(self):
+        # x(y11+y12): connected sum factors by the common variable.
+        compiler = boolean_compiler({"x": 0.5, "y1": 0.5, "y2": 0.5})
+        expr = Var("x") * Var("y1") + Var("x") * Var("y2")
+        tree = compiler.compile(expr)
+        assert compiler.mutex_nodes_created == 0
+        assert isinstance(tree, TimesNode)
+
+    def test_module_factorisation_example_14(self):
+        # x1(y11⊗10 + y12⊗50): tensor node over the common variable.
+        compiler = boolean_compiler({"x1": 0.5, "y11": 0.5, "y12": 0.5})
+        expr = aggsum(
+            SUM,
+            [
+                tensor(Var("x1") * Var("y11"), MConst(SUM, 10)),
+                tensor(Var("x1") * Var("y12"), MConst(SUM, 50)),
+            ],
+        )
+        tree = compiler.compile(expr)
+        assert compiler.mutex_nodes_created == 0
+        assert isinstance(tree, TensorNode)
+
+    def test_dependent_product_uses_shannon(self):
+        compiler = boolean_compiler({"a": 0.5, "b": 0.5, "c": 0.5})
+        expr = sprod([ssum([Var("a"), Var("b")]), ssum([Var("a"), Var("c")])])
+        compiler.compile(expr)
+        assert compiler.mutex_nodes_created >= 1
+
+    def test_variable_free_expression_is_constant_leaf(self):
+        compiler = boolean_compiler({})
+        tree = compiler.compile(compare(MConst(MIN, 3), "<=", MConst(MIN, 5)))
+        assert tree.distribution(compiler.context)[True] == 1.0
+
+    def test_repeated_subexpressions_share_nodes(self):
+        compiler = boolean_compiler({"a": 0.5, "b": 0.5, "c": 0.5, "d": 0.5})
+        shared = Var("c") * Var("d")
+        expr = ssum([Var("a") * shared, Var("b") * shared])
+        # Factorisation cannot split cd out as a unit (it extracts single
+        # variables), but memoisation still shares the compiled sub-DAG.
+        tree = compiler.compile(expr)
+        assert tree.dag_size() <= tree.tree_size()
+
+
+class TestFigure5Example12:
+    """The d-tree of Figure 5 and the distributions of Example 12."""
+
+    def setup_registry(self, pa, pb, pc):
+        reg = VariableRegistry()
+        reg.integer("a", {1: pa, 2: 1 - pa})
+        reg.integer("b", {1: pb, 2: 1 - pb})
+        reg.integer("c", {1: pc, 2: 1 - pc})
+        return reg
+
+    def alpha(self):
+        return aggsum(
+            SUM,
+            [
+                tensor(Var("a") * (Var("b") + Var("c")), MConst(SUM, 10)),
+                tensor(Var("c"), MConst(SUM, 20)),
+            ],
+        )
+
+    def test_root_is_mutex_on_c(self):
+        reg = self.setup_registry(0.5, 0.5, 0.5)
+        compiler = Compiler(reg, NATURALS)
+        tree = compiler.compile(self.alpha())
+        assert isinstance(tree, MutexNode)
+        assert tree.name == "c"
+        assert len(tree.branches) == 2
+
+    def test_sum_distribution_matches_paper(self):
+        pa, pb, pc = 0.6, 0.3, 0.7
+        qa, qb, qc = 1 - pa, 1 - pb, 1 - pc
+        reg = self.setup_registry(pa, pb, pc)
+        dist = Compiler(reg, NATURALS).distribution(self.alpha())
+        expected = Distribution(
+            {
+                40: pa * pb * pc,
+                50: pa * qb * pc,
+                60: qa * pb * pc,
+                70: pa * pb * qc,
+                80: qa * qb * pc + pa * qb * qc,
+                100: qa * pb * qc,
+                120: qa * qb * qc,
+            }
+        )
+        assert dist.almost_equals(expected)
+
+    def test_min_distribution_is_point_ten(self):
+        reg = self.setup_registry(0.6, 0.3, 0.7)
+        alpha_min = aggsum(
+            MIN,
+            [
+                tensor(Var("a") * (Var("b") + Var("c")), MConst(MIN, 10)),
+                tensor(Var("c"), MConst(MIN, 20)),
+            ],
+        )
+        dist = Compiler(reg, NATURALS).distribution(alpha_min)
+        assert dist.almost_equals(Distribution({10: 1.0}))
+
+    def test_boolean_min_distribution_matches_paper(self):
+        pa, pb, pc = 0.6, 0.3, 0.7
+        qa, qb, qc = 1 - pa, 1 - pb, 1 - pc
+        reg = VariableRegistry()
+        for name, p in (("a", pa), ("b", pb), ("c", pc)):
+            reg.bernoulli(name, p)
+        alpha_min = aggsum(
+            MIN,
+            [
+                tensor(Var("a") * (Var("b") + Var("c")), MConst(MIN, 10)),
+                tensor(Var("c"), MConst(MIN, 20)),
+            ],
+        )
+        dist = Compiler(reg, BOOLEAN).distribution(alpha_min)
+        expected = Distribution(
+            {
+                10: pa * pb * qc + pa * pc,
+                20: qa * pc,
+                math.inf: pa * qb * qc + qa * pb * qc + qa * qb * qc,
+            }
+        )
+        assert dist.almost_equals(expected)
+
+
+class TestFigure6:
+    """Compilation of the ⟨Gap⟩ annotation expression of Figure 1e."""
+
+    def test_matches_brute_force(self):
+        probs = {
+            name: 0.25 + 0.05 * i
+            for i, name in enumerate(
+                ["x4", "x5", "y41", "y43", "y51", "z1", "z3", "z5"]
+            )
+        }
+        compiler = boolean_compiler(probs)
+        expr = parse_expr(
+            "x4*y41*(z1+z5)@15 + x4*y43*z3@60 + x5*y51*(z1+z5)@10",
+            monoid=MAX,
+        )
+        reg = compiler.registry
+        expected = ProbabilitySpace(reg, BOOLEAN).distribution_of(expr)
+        assert compiler.distribution(expr).almost_equals(expected)
+
+    def test_semiring_component_same_shape(self):
+        probs = {n: 0.5 for n in ["x4", "x5", "y41", "y43", "y51", "z1", "z3", "z5"]}
+        compiler = boolean_compiler(probs)
+        phi = parse_expr("x4*y41*(z1+z5) + x4*y43*z3 + x5*y51*(z1+z5)")
+        expected = ProbabilitySpace(compiler.registry, BOOLEAN).distribution_of(phi)
+        assert compiler.distribution(phi).almost_equals(expected)
+
+    def test_root_mutex_on_most_frequent_variable(self):
+        # x4, z1, z5, x5, y51 occur... x4 and x5/z1/z5 tie-break: the
+        # paper eliminates x4; our heuristic picks a maximum-occurrence
+        # variable (x4 or x5, both occur twice; ties break by name).
+        probs = {n: 0.5 for n in ["x4", "x5", "y41", "y43", "y51", "z1", "z3", "z5"]}
+        compiler = boolean_compiler(probs)
+        expr = parse_expr(
+            "x4*y41*(z1+z5)@15 + x4*y43*z3@60 + x5*y51*(z1+z5)@10",
+            monoid=MAX,
+        )
+        tree = compiler.compile(expr)
+        assert isinstance(tree, MutexNode)
+        counts = {"x4": 2, "x5": 2, "z1": 2, "z5": 2}
+        assert tree.name in counts
+
+
+class TestHeuristics:
+    def test_all_heuristics_registered(self):
+        assert set(HEURISTICS) == {
+            "most-occurrences",
+            "fewest-occurrences",
+            "lexicographic",
+        }
+
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_heuristics_agree_on_probability(self, name):
+        probs = {f"v{i}": 0.3 + 0.1 * i for i in range(4)}
+        expr = parse_expr("(v0+v1)*(v0+v2) + v3*v1")
+        reference = None
+        compiler = boolean_compiler(probs, heuristic=name)
+        p = compiler.probability(expr)
+        brute = ProbabilitySpace(compiler.registry, BOOLEAN).probability(expr)
+        assert p == pytest.approx(brute)
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(CompilationError, match="unknown heuristic"):
+            boolean_compiler({"a": 0.5}, heuristic="random")
+
+    def test_callable_heuristic(self):
+        chosen = []
+
+        def pick_first(expr, candidates):
+            name = sorted(candidates)[0]
+            chosen.append(name)
+            return name
+
+        compiler = boolean_compiler({"a": 0.5, "b": 0.5}, heuristic=pick_first)
+        expr = parse_expr("(a+b)*(a*b + b)")
+        compiler.probability(expr)
+        assert chosen  # the custom heuristic was consulted
+
+
+class TestBudget:
+    def test_mutex_budget_enforced(self):
+        probs = {f"v{i}": 0.5 for i in range(8)}
+        # A highly entangled expression that needs several expansions.
+        expr = parse_expr(
+            "(v0+v1)*(v0+v2)*(v1+v3)*(v2+v4)*(v3+v5)*(v4+v6)*(v5+v7)*(v6+v7)"
+        )
+        compiler = boolean_compiler(probs, max_mutex_nodes=1)
+        with pytest.raises(CompilationError, match="budget"):
+            compiler.compile(expr)
+
+
+class TestNSemiringCompilation:
+    def test_bag_multiplicity_distribution(self):
+        reg = VariableRegistry()
+        reg.integer("m", {0: 0.2, 1: 0.5, 2: 0.3})
+        reg.integer("n", {1: 0.6, 3: 0.4})
+        compiler = Compiler(reg, NATURALS)
+        expr = Var("m") * Var("n")  # multiplicity of a joined tuple
+        expected = ProbabilitySpace(reg, NATURALS).distribution_of(expr)
+        assert compiler.distribution(expr).almost_equals(expected)
+
+    def test_probability_defaults_to_semiring_one(self):
+        reg = VariableRegistry()
+        reg.integer("m", {0: 0.25, 1: 0.75})
+        compiler = Compiler(reg, NATURALS)
+        assert compiler.probability(Var("m")) == pytest.approx(0.75)

@@ -1,0 +1,142 @@
+"""Edge-case tests for the compiler beyond the main behaviour suites."""
+
+import math
+
+import pytest
+
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import ONE, ZERO, SConst, Var, sprod, ssum
+from repro.algebra.monoid import MIN, SUM, CappedSumMonoid
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.core.compile import Compiler
+from repro.core.dtree import ConstLeaf, MutexNode, VarLeaf
+from repro.errors import DistributionError
+from repro.prob.distribution import Distribution
+from repro.prob.space import ProbabilitySpace
+from repro.prob.variables import VariableRegistry
+
+
+class TestDegenerateInputs:
+    def test_single_variable(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.4)
+        compiler = Compiler(reg, BOOLEAN)
+        tree = compiler.compile(Var("x"))
+        assert isinstance(tree, VarLeaf)
+        assert compiler.probability(Var("x")) == pytest.approx(0.4)
+
+    def test_constants(self):
+        compiler = Compiler(VariableRegistry(), BOOLEAN)
+        assert compiler.probability(ONE) == 1.0
+        assert compiler.probability(ZERO) == 0.0
+
+    def test_deterministic_variable_single_branch(self):
+        reg = VariableRegistry()
+        reg.constant("x", True)
+        reg.bernoulli("y", 0.5)
+        compiler = Compiler(reg, BOOLEAN)
+        # x is certain; (x+y)(x·y + y) is entangled, Shannon on it has
+        # one branch only.
+        expr = sprod([ssum([Var("x"), Var("y")]), ssum([sprod([Var("x"), Var("y")]), Var("y")])])
+        dist = compiler.distribution(expr)
+        brute = ProbabilitySpace(reg, BOOLEAN).distribution_of(expr)
+        assert dist.almost_equals(brute)
+
+    def test_undeclared_variable_fails_cleanly(self):
+        compiler = Compiler(VariableRegistry(), BOOLEAN)
+        with pytest.raises(DistributionError, match="no declared"):
+            compiler.distribution(Var("ghost"))
+
+    def test_module_zero(self):
+        compiler = Compiler(VariableRegistry(), BOOLEAN)
+        dist = compiler.distribution(MConst(MIN, math.inf))
+        assert dist[math.inf] == 1.0
+
+
+class TestSharedVariableComparisons:
+    def test_compare_sides_sharing_variables(self):
+        # [x·y ≤ x·z] needs Shannon on x before the sides separate.
+        reg = VariableRegistry()
+        for name, p in (("x", 0.5), ("y", 0.4), ("z", 0.7)):
+            reg.bernoulli(name, p)
+        left = aggsum(MIN, [tensor(Var("x") * Var("y"), MConst(MIN, 5))])
+        right = aggsum(MIN, [tensor(Var("x") * Var("z"), MConst(MIN, 9))])
+        cond = compare(left, "<=", right)
+        compiler = Compiler(reg, BOOLEAN)
+        dist = compiler.distribution(cond)
+        brute = ProbabilitySpace(reg, BOOLEAN).distribution_of(cond)
+        assert dist.almost_equals(brute)
+
+    def test_semiring_comparison_against_zero(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.3)
+        reg.bernoulli("y", 0.6)
+        guard = compare(Var("x") + Var("y"), "!=", ZERO)
+        compiler = Compiler(reg, BOOLEAN)
+        assert compiler.probability(guard) == pytest.approx(1 - 0.7 * 0.4)
+
+
+class TestCappedMonoidCompilation:
+    def test_capped_aggsum_support_is_bounded(self):
+        reg = VariableRegistry()
+        for i in range(8):
+            reg.bernoulli(f"x{i}", 0.5)
+        capped = CappedSumMonoid(3)
+        expr = aggsum(
+            capped,
+            [tensor(Var(f"x{i}"), MConst(capped, 1)) for i in range(8)],
+        )
+        dist = Compiler(reg, BOOLEAN).distribution(expr)
+        # Support bounded by cap + 1 values (Proposition 3's mechanism),
+        # with the cap absorbing the whole binomial tail.
+        assert dist.support() <= {0, 1, 2, 3}
+        assert dist[3] == pytest.approx(_binomial_tail(8, 0.5, 3))
+
+
+def _binomial_tail(n, p, k):
+    """P[Binomial(n, p) ≥ k]."""
+    from math import comb
+
+    return sum(comb(n, i) * p**i * (1 - p) ** (n - i) for i in range(k, n + 1))
+
+
+class TestMemoisation:
+    def test_memo_reuses_subtrees_across_calls(self):
+        reg = VariableRegistry()
+        for name in "abc":
+            reg.bernoulli(name, 0.5)
+        compiler = Compiler(reg, BOOLEAN)
+        first = compiler.compile(Var("a") * Var("b"))
+        second = compiler.compile(ssum([sprod([Var("a"), Var("b")]), Var("c")]))
+        assert any(node is first for node in second.iter_unique())
+
+    def test_mutex_counter_accumulates(self):
+        reg = VariableRegistry()
+        for name in "abc":
+            reg.bernoulli(name, 0.5)
+        compiler = Compiler(reg, BOOLEAN)
+        entangled = sprod([ssum([Var("a"), Var("b")]), ssum([Var("a"), Var("c")])])
+        compiler.compile(entangled)
+        count = compiler.mutex_nodes_created
+        compiler.compile(entangled)  # memoised: no new expansions
+        assert compiler.mutex_nodes_created == count
+
+
+class TestBagSemanticsModules:
+    def test_sum_with_multiplicities(self):
+        reg = VariableRegistry()
+        reg.integer("m", {0: 0.25, 1: 0.25, 3: 0.5})
+        expr = aggsum(SUM, [tensor(Var("m"), MConst(SUM, 10))])
+        dist = Compiler(reg, NATURALS).distribution(expr)
+        assert dist[0] == pytest.approx(0.25)
+        assert dist[10] == pytest.approx(0.25)
+        assert dist[30] == pytest.approx(0.5)
+
+    def test_min_with_multiplicities_uses_presence(self):
+        reg = VariableRegistry()
+        reg.integer("m", {0: 0.5, 5: 0.5})
+        expr = aggsum(MIN, [tensor(Var("m"), MConst(MIN, 7))])
+        dist = Compiler(reg, NATURALS).distribution(expr)
+        assert dist[7] == pytest.approx(0.5)
+        assert dist[math.inf] == pytest.approx(0.5)

@@ -1,0 +1,126 @@
+"""Unit tests for d-tree nodes and bottom-up evaluation (Definition 7)."""
+
+import math
+
+import pytest
+
+from repro.algebra.conditions import COMPARISON_OPS
+from repro.algebra.monoid import MIN, SUM
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.core.dtree import (
+    CompareNode,
+    CompileContext,
+    ConstLeaf,
+    MPlusNode,
+    MutexNode,
+    PlusNode,
+    TensorNode,
+    TimesNode,
+    VarLeaf,
+)
+from repro.errors import CompilationError
+from repro.prob.variables import VariableRegistry
+
+
+@pytest.fixture
+def ctx():
+    reg = VariableRegistry()
+    reg.bernoulli("x", 0.3)
+    reg.bernoulli("y", 0.6)
+    return CompileContext(reg, BOOLEAN)
+
+
+class TestLeaves:
+    def test_const_leaf(self, ctx):
+        assert ConstLeaf(5).distribution(ctx)[5] == 1.0
+
+    def test_var_leaf(self, ctx):
+        dist = VarLeaf("x").distribution(ctx)
+        assert dist[True] == pytest.approx(0.3)
+
+    def test_var_leaf_coerces_to_semiring(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.3)
+        nat_ctx = CompileContext(reg, NATURALS)
+        dist = VarLeaf("x").distribution(nat_ctx)
+        assert dist[1] == pytest.approx(0.3)
+        assert dist[0] == pytest.approx(0.7)
+
+
+class TestInnerNodes:
+    def test_plus_node_is_disjunction(self, ctx):
+        node = PlusNode([VarLeaf("x"), VarLeaf("y")])
+        assert node.distribution(ctx)[True] == pytest.approx(1 - 0.7 * 0.4)
+
+    def test_times_node_is_conjunction(self, ctx):
+        node = TimesNode([VarLeaf("x"), VarLeaf("y")])
+        assert node.distribution(ctx)[True] == pytest.approx(0.18)
+
+    def test_nodes_require_two_children(self):
+        with pytest.raises(CompilationError):
+            PlusNode([VarLeaf("x")])
+        with pytest.raises(CompilationError):
+            TimesNode([])
+
+    def test_mplus_node_min(self, ctx):
+        node = MPlusNode(
+            MIN,
+            [
+                TensorNode(MIN, VarLeaf("x"), ConstLeaf(5)),
+                TensorNode(MIN, VarLeaf("y"), ConstLeaf(9)),
+            ],
+        )
+        dist = node.distribution(ctx)
+        assert dist[5] == pytest.approx(0.3)
+        assert dist[9] == pytest.approx(0.7 * 0.6)
+        assert dist[math.inf] == pytest.approx(0.7 * 0.4)
+
+    def test_tensor_node(self, ctx):
+        node = TensorNode(SUM, VarLeaf("x"), ConstLeaf(10))
+        dist = node.distribution(ctx)
+        assert dist[10] == pytest.approx(0.3)
+        assert dist[0] == pytest.approx(0.7)
+
+    def test_compare_node(self, ctx):
+        left = TensorNode(SUM, VarLeaf("x"), ConstLeaf(10))
+        node = CompareNode(COMPARISON_OPS[">="], left, ConstLeaf(5))
+        assert node.distribution(ctx)[True] == pytest.approx(0.3)
+
+    def test_mutex_node_mixture(self, ctx):
+        node = MutexNode(
+            "x",
+            [
+                (False, 0.7, ConstLeaf(False)),
+                (True, 0.3, ConstLeaf(True)),
+            ],
+        )
+        assert node.distribution(ctx)[True] == pytest.approx(0.3)
+
+    def test_mutex_node_needs_branches(self):
+        with pytest.raises(CompilationError):
+            MutexNode("x", [])
+
+
+class TestStructureMetrics:
+    def test_sizes(self, ctx):
+        shared = VarLeaf("x")
+        node = PlusNode([TimesNode([shared, VarLeaf("y")]), shared])
+        assert node.tree_size() == 5
+        assert node.dag_size() == 4  # shared leaf counted once
+
+    def test_depth(self):
+        node = PlusNode([TimesNode([VarLeaf("x"), VarLeaf("y")]), VarLeaf("z")])
+        assert node.depth() == 3
+
+    def test_distribution_cached_per_context(self, ctx):
+        node = PlusNode([VarLeaf("x"), VarLeaf("y")])
+        assert node.distribution(ctx) is node.distribution(ctx)
+
+    def test_pretty_renders_all_nodes(self):
+        node = MutexNode(
+            "x",
+            [(False, 0.5, ConstLeaf(False)), (True, 0.5, VarLeaf("y"))],
+        )
+        text = node.pretty()
+        assert "⊔ x" in text
+        assert "y" in text

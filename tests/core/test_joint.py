@@ -1,0 +1,139 @@
+"""Tests for joint distribution compilation (Section 5)."""
+
+import pytest
+
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import ZERO, Var
+from repro.algebra.monoid import MAX, SUM
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.core.compile import Compiler
+from repro.core.joint import JointCompiler, joint_distribution
+from repro.errors import CompilationError
+from repro.prob.space import ProbabilitySpace
+from repro.prob.variables import VariableRegistry
+
+
+class TestPaperExample:
+    """The ⟨a+b, a·c⟩ example at the end of Section 5."""
+
+    def test_joint_value_probability(self):
+        reg = VariableRegistry()
+        for name in "abc":
+            reg.integer(name, {1: 0.5, 2: 0.5})
+        compiler = Compiler(reg, NATURALS)
+        joint = joint_distribution([Var("a") + Var("b"), Var("a") * Var("c")], compiler)
+        # P⟨3, 2⟩ = Pa[2]Pb[1]Pc[1] + Pa[1]Pb[2]Pc[2]
+        assert joint[(3, 2)] == pytest.approx(0.125 + 0.125)
+
+    def test_matches_enumeration(self):
+        reg = VariableRegistry()
+        for name in "abc":
+            reg.integer(name, {1: 0.3, 2: 0.7})
+        compiler = Compiler(reg, NATURALS)
+        exprs = [Var("a") + Var("b"), Var("a") * Var("c")]
+        joint = joint_distribution(exprs, compiler)
+        expected = ProbabilitySpace(reg, NATURALS).joint_distribution_of(exprs)
+        assert joint.almost_equals(expected)
+
+
+class TestIndependentComponents:
+    def test_product_distribution(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.3)
+        reg.bernoulli("y", 0.8)
+        compiler = Compiler(reg, BOOLEAN)
+        joint = joint_distribution([Var("x"), Var("y")], compiler)
+        assert joint[(True, True)] == pytest.approx(0.24)
+        assert joint[(False, True)] == pytest.approx(0.56)
+
+    def test_no_mutex_needed_for_independent(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.3)
+        reg.bernoulli("y", 0.8)
+        jc = JointCompiler(Compiler(reg, BOOLEAN))
+        jc.joint_distribution([Var("x"), Var("y")])
+        assert jc.mutex_nodes_created == 0
+
+    def test_single_expression(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.3)
+        compiler = Compiler(reg, BOOLEAN)
+        joint = joint_distribution([Var("x")], compiler)
+        assert joint[(True,)] == pytest.approx(0.3)
+
+
+class TestAnnotationValueJoint:
+    """The use case: joint of a tuple's annotation and aggregate value."""
+
+    def test_presence_conditioned_aggregate(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.5)
+        reg.bernoulli("y", 0.5)
+        compiler = Compiler(reg, BOOLEAN)
+        alpha = aggsum(
+            MAX,
+            [tensor(Var("x"), MConst(MAX, 10)), tensor(Var("y"), MConst(MAX, 20))],
+        )
+        guard = compare(Var("x") + Var("y"), "!=", ZERO)
+        joint = joint_distribution([guard, alpha], compiler)
+        expected = ProbabilitySpace(reg, BOOLEAN).joint_distribution_of(
+            [guard, alpha]
+        )
+        assert joint.almost_equals(expected)
+        # Conditional P(max=10 | present) = P(x ∧ ¬y)/P(x ∨ y)
+        present_mass = sum(
+            p for (g, _), p in joint.items() if g
+        )
+        assert present_mass == pytest.approx(0.75)
+
+    def test_memoisation_shares_restrictions(self):
+        reg = VariableRegistry()
+        for name in "ab":
+            reg.bernoulli(name, 0.5)
+        jc = JointCompiler(Compiler(reg, BOOLEAN))
+        exprs = [Var("a") * Var("b"), Var("a") + Var("b")]
+        first = jc.joint_distribution(exprs)
+        second = jc.joint_distribution(exprs)
+        assert first is second  # cached
+
+    def test_budget_enforced(self):
+        reg = VariableRegistry()
+        for i in range(6):
+            reg.bernoulli(f"v{i}", 0.5)
+        compiler = Compiler(reg, BOOLEAN)
+        jc = JointCompiler(compiler, max_mutex_nodes=0)
+        entangled = [
+            (Var("v0") + Var("v1")) * (Var("v0") + Var("v2")),
+            Var("v0") * Var("v3"),
+        ]
+        with pytest.raises(CompilationError, match="budget"):
+            jc.joint_distribution(entangled)
+
+    def test_three_way_joint(self):
+        reg = VariableRegistry()
+        for name in "abc":
+            reg.bernoulli(name, 0.4)
+        compiler = Compiler(reg, BOOLEAN)
+        exprs = [Var("a"), Var("a") + Var("b"), Var("b") * Var("c")]
+        joint = joint_distribution(exprs, compiler)
+        expected = ProbabilitySpace(reg, BOOLEAN).joint_distribution_of(exprs)
+        assert joint.almost_equals(expected)
+
+    def test_sum_aggregate_joint_with_count(self):
+        reg = VariableRegistry()
+        for name in ("x", "y"):
+            reg.bernoulli(name, 0.5)
+        compiler = Compiler(reg, BOOLEAN)
+        total = aggsum(
+            SUM,
+            [tensor(Var("x"), MConst(SUM, 5)), tensor(Var("y"), MConst(SUM, 7))],
+        )
+        count = aggsum(
+            SUM,
+            [tensor(Var("x"), MConst(SUM, 1)), tensor(Var("y"), MConst(SUM, 1))],
+        )
+        joint = joint_distribution([total, count], compiler)
+        assert joint[(12, 2)] == pytest.approx(0.25)
+        assert joint[(5, 1)] == pytest.approx(0.25)
+        assert joint[(0, 0)] == pytest.approx(0.25)

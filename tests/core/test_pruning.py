@@ -1,0 +1,199 @@
+"""Tests for the conditional-expression pruning rules (Section 5)."""
+
+import pytest
+
+from repro.algebra.conditions import Compare, compare
+from repro.algebra.expressions import ONE, SConst, Var
+from repro.algebra.monoid import MAX, MIN, PROD, SUM, CappedSumMonoid
+from repro.algebra.parser import parse_expr
+from repro.algebra.semimodule import MConst, aggsum, module_terms, tensor
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.core.compile import Compiler
+from repro.core.pruning import prune, prune_comparison
+from repro.prob.space import ProbabilitySpace
+from repro.prob.variables import VariableRegistry
+
+
+def min_condition(values, op, c):
+    expr = aggsum(
+        MIN,
+        [tensor(Var(f"x{i}"), MConst(MIN, v)) for i, v in enumerate(values)],
+    )
+    return compare(expr, op, c)
+
+
+def max_condition(values, op, c):
+    expr = aggsum(
+        MAX,
+        [tensor(Var(f"x{i}"), MConst(MAX, v)) for i, v in enumerate(values)],
+    )
+    return compare(expr, op, c)
+
+
+def kept_values(cond):
+    assert isinstance(cond, Compare)
+    return sorted(
+        term.arg.value for term in module_terms(cond.left)
+    )
+
+
+class TestMinPruning:
+    def test_paper_rule_le_drops_large_terms(self):
+        # [Σ_MIN Φᵢ⊗mᵢ ≤ m] ≡ [Σ_{mᵢ≤m} Φᵢ⊗mᵢ ≤ m]
+        cond = prune(min_condition([10, 20, 30], "<=", 15), BOOLEAN)
+        assert kept_values(cond) == [10]
+
+    def test_lt_keeps_strictly_smaller(self):
+        cond = prune(min_condition([10, 15, 30], "<", 15), BOOLEAN)
+        assert kept_values(cond) == [10]
+
+    def test_ge_keeps_violators_only(self):
+        cond = prune(min_condition([10, 20, 30], ">=", 15), BOOLEAN)
+        assert kept_values(cond) == [10]
+
+    def test_eq_keeps_up_to_threshold(self):
+        cond = prune(min_condition([10, 15, 30], "=", 15), BOOLEAN)
+        assert kept_values(cond) == [10, 15]
+
+    @pytest.mark.parametrize("op", ["<=", "<", ">=", ">", "=", "!="])
+    @pytest.mark.parametrize("c", [5, 15, 25, 35])
+    def test_pruning_preserves_distribution(self, op, c):
+        reg = VariableRegistry()
+        for i in range(4):
+            reg.bernoulli(f"x{i}", 0.2 + 0.2 * i)
+        cond = min_condition([10, 20, 30, 20], op, c)
+        pruned = prune(cond, BOOLEAN)
+        space = ProbabilitySpace(reg, BOOLEAN)
+        assert space.distribution_of(cond).almost_equals(
+            space.distribution_of(pruned)
+        )
+
+
+class TestMaxPruning:
+    def test_ge_drops_small_terms(self):
+        cond = prune(max_condition([10, 20, 30], ">=", 15), BOOLEAN)
+        assert kept_values(cond) == [20, 30]
+
+    @pytest.mark.parametrize("op", ["<=", "<", ">=", ">", "=", "!="])
+    @pytest.mark.parametrize("c", [5, 20, 35])
+    def test_pruning_preserves_distribution(self, op, c):
+        reg = VariableRegistry()
+        for i in range(4):
+            reg.bernoulli(f"x{i}", 0.3 + 0.15 * i)
+        cond = max_condition([10, 20, 30, 20], op, c)
+        pruned = prune(cond, BOOLEAN)
+        space = ProbabilitySpace(reg, BOOLEAN)
+        assert space.distribution_of(cond).almost_equals(
+            space.distribution_of(pruned)
+        )
+
+
+class TestSumPruning:
+    def sum_condition(self, values, op, c):
+        expr = aggsum(
+            SUM,
+            [tensor(Var(f"x{i}"), MConst(SUM, v)) for i, v in enumerate(values)],
+        )
+        return compare(expr, op, c)
+
+    def test_paper_rule_total_below_bound_folds_to_true(self):
+        # [Σ_SUM Φᵢ⊗mᵢ ≤ m] ≡ 1_S if Σmᵢ ≤ m
+        assert prune(self.sum_condition([1, 2, 3], "<=", 10), BOOLEAN) == ONE
+
+    def test_unreachable_bound_folds_to_false(self):
+        assert prune(self.sum_condition([1, 2, 3], ">", 10), BOOLEAN) == SConst(0)
+        assert prune(self.sum_condition([1, 2, 3], "=", 10), BOOLEAN) == SConst(0)
+
+    def test_negative_constant_decided_outright(self):
+        assert prune(self.sum_condition([1, 2], "<=", -1), NATURALS) == SConst(0)
+        assert prune(self.sum_condition([1, 2], ">=", -1), NATURALS) == ONE
+
+    def test_saturation_rewrites_monoid(self):
+        cond = prune(self.sum_condition([5, 10, 20], "<=", 12), BOOLEAN)
+        assert isinstance(cond, Compare)
+        assert isinstance(cond.left.monoid, CappedSumMonoid)
+        assert cond.left.monoid.cap == 13
+
+    def test_saturation_clamps_term_values(self):
+        cond = prune(self.sum_condition([5, 100], "<=", 12), BOOLEAN)
+        values = kept_values(cond)
+        assert max(values) == 13  # 100 clamped to cap
+
+    def test_no_fold_under_naturals_semiring(self):
+        # Bag multiplicities can exceed 1, so Σmᵢ is not an upper bound.
+        cond = prune(self.sum_condition([1, 2, 3], "<=", 10), NATURALS)
+        assert isinstance(cond, Compare)
+
+    @pytest.mark.parametrize("op", ["<=", "<", ">=", ">", "=", "!="])
+    @pytest.mark.parametrize("c", [0, 7, 14, 40])
+    def test_saturation_preserves_distribution_boolean(self, op, c):
+        reg = VariableRegistry()
+        for i in range(4):
+            reg.bernoulli(f"x{i}", 0.25 + 0.15 * i)
+        cond = self.sum_condition([5, 10, 15, 10], op, c)
+        pruned = prune(cond, BOOLEAN)
+        space = ProbabilitySpace(reg, BOOLEAN)
+        assert space.distribution_of(cond).almost_equals(
+            space.distribution_of(pruned)
+        )
+
+    @pytest.mark.parametrize("op", ["<=", ">", "="])
+    def test_saturation_preserves_distribution_bag(self, op):
+        reg = VariableRegistry()
+        reg.integer("x0", {0: 0.3, 1: 0.4, 2: 0.3})
+        reg.integer("x1", {0: 0.5, 3: 0.5})
+        cond = self.sum_condition([5, 10], op, 17)
+        pruned = prune(cond, NATURALS)
+        space = ProbabilitySpace(reg, NATURALS)
+        assert space.distribution_of(cond).almost_equals(
+            space.distribution_of(pruned)
+        )
+
+
+class TestPruningStructure:
+    def test_mirrored_constant_side(self):
+        # [c θ α] is rewritten to [α θ' c] before pruning.
+        alpha = aggsum(
+            MIN,
+            [tensor(Var("x"), MConst(MIN, 10)), tensor(Var("y"), MConst(MIN, 30))],
+        )
+        cond = compare(MConst(MIN, 15), ">=", alpha)
+        pruned = prune_comparison(cond, BOOLEAN)
+        assert kept_values(pruned) == [10]
+
+    def test_prod_monoid_left_untouched(self):
+        expr = aggsum(PROD, [tensor(Var("x"), MConst(PROD, 3))])
+        cond = compare(expr, "<=", MConst(PROD, 10))
+        assert prune(cond, BOOLEAN) == cond
+
+    def test_prune_recurses_into_products(self):
+        inner = compare(
+            aggsum(SUM, [tensor(Var("x"), MConst(SUM, 2))]), "<=", 5
+        )
+        expr = inner * Var("w")
+        pruned = prune(expr, BOOLEAN)
+        assert pruned == Var("w")  # inner folds to 1 and disappears
+
+    def test_two_sided_module_comparison_untouched(self):
+        left = aggsum(MIN, [tensor(Var("x"), MConst(MIN, 1))])
+        right = aggsum(MIN, [tensor(Var("y"), MConst(MIN, 2))])
+        cond = compare(left, "<=", right)
+        assert prune(cond, BOOLEAN) == cond
+
+
+class TestPruningEndToEnd:
+    def test_pruned_compilation_is_much_smaller(self):
+        reg = VariableRegistry()
+        values = [5 * i for i in range(1, 13)]
+        for i in range(len(values)):
+            reg.bernoulli(f"x{i}", 0.5)
+        cond = min_condition(values, "<=", 7)
+        pruned_compiler = Compiler(reg, BOOLEAN, pruning=True)
+        raw_compiler = Compiler(reg, BOOLEAN, pruning=False)
+        assert (
+            pruned_compiler.compile(cond).dag_size()
+            < raw_compiler.compile(cond).dag_size()
+        )
+        assert pruned_compiler.distribution(cond).almost_equals(
+            raw_compiler.distribution(cond)
+        )

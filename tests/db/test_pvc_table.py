@@ -1,0 +1,116 @@
+"""Unit tests for pvc-tables and pvc-databases (Definition 6)."""
+
+import math
+
+import pytest
+
+from repro.algebra.expressions import ONE, Var
+from repro.algebra.monoid import MIN
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.algebra.valuation import Valuation
+from repro.db.pvc_table import PVCDatabase, PVCTable
+from repro.db.schema import Schema
+from repro.errors import SchemaError
+from repro.prob.variables import VariableRegistry
+
+
+class TestPVCTable:
+    def test_add_and_iterate(self):
+        table = PVCTable(Schema(["a"]))
+        table.add((1,), Var("x"))
+        table.add((2,))
+        rows = list(table)
+        assert rows[0].annotation == Var("x")
+        assert rows[1].annotation == ONE
+        assert len(table) == 2
+
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            PVCTable(Schema(["a", "b"])).add((1,))
+
+    def test_variables_include_values(self):
+        table = PVCTable(Schema(["a", "agg"], ["agg"]))
+        alpha = aggsum(MIN, [tensor(Var("y"), MConst(MIN, 3))])
+        table.add((1, alpha), Var("x"))
+        assert table.variables == {"x", "y"}
+
+    def test_value_and_module_dicts(self):
+        schema = Schema(["a", "agg"], ["agg"])
+        table = PVCTable(schema)
+        alpha = aggsum(MIN, [tensor(Var("y"), MConst(MIN, 3))])
+        table.add((1, alpha), Var("x"))
+        row = table.rows[0]
+        assert row.value_dict(schema)["a"] == 1
+        assert row.module_values(schema) == {"agg": alpha}
+
+    def test_pretty_contains_annotations(self):
+        table = PVCTable(Schema(["sid", "shop"]))
+        table.add((1, "M&S"), Var("x1"))
+        text = table.pretty()
+        assert "x1" in text and "shop" in text
+
+
+class TestInstantiate:
+    """Possible worlds of a pvc-table (Definition 6)."""
+
+    def test_boolean_world(self):
+        table = PVCTable(Schema(["a"]))
+        table.add((1,), Var("x"))
+        table.add((2,), Var("y"))
+        nu = Valuation({"x": True, "y": False}, BOOLEAN)
+        world = table.instantiate(nu, BOOLEAN)
+        assert world.support() == {(1,)}
+
+    def test_bag_world_keeps_multiplicities(self):
+        table = PVCTable(Schema(["a"]))
+        table.add((1,), Var("x"))
+        nu = Valuation({"x": 3}, NATURALS)
+        world = table.instantiate(nu, NATURALS)
+        assert world.multiplicity((1,)) == 3
+
+    def test_module_values_evaluate(self):
+        table = PVCTable(Schema(["agg"], ["agg"]))
+        alpha = aggsum(MIN, [tensor(Var("y"), MConst(MIN, 3))])
+        table.add((alpha,), ONE)
+        world = table.instantiate(Valuation({"y": False}, BOOLEAN), BOOLEAN)
+        assert world.support() == {(math.inf,)}
+
+    def test_duplicate_values_merge_in_world(self):
+        table = PVCTable(Schema(["a"]))
+        table.add((1,), Var("x"))
+        table.add((1,), Var("y"))
+        nu = Valuation({"x": True, "y": True}, BOOLEAN)
+        assert len(table.instantiate(nu, BOOLEAN)) == 1
+
+
+class TestPVCDatabase:
+    def test_create_and_lookup(self):
+        db = PVCDatabase()
+        table = db.create_table("t", ["a"])
+        assert db["t"] is table
+        assert "t" in db
+
+    def test_missing_table_raises(self):
+        with pytest.raises(SchemaError, match="no table"):
+            PVCDatabase()["missing"]
+
+    def test_duplicate_table_rejected(self):
+        db = PVCDatabase()
+        db.create_table("t", ["a"])
+        with pytest.raises(SchemaError, match="already"):
+            db.create_table("t", ["a"])
+
+    def test_database_variables(self):
+        reg = VariableRegistry()
+        db = PVCDatabase(registry=reg)
+        t1 = db.create_table("t1", ["a"])
+        t1.add((1,), Var("x"))
+        t2 = db.create_table("t2", ["b"])
+        t2.add((2,), Var("y"))
+        assert db.variables == {"x", "y"}
+
+    def test_repr_mentions_tables(self):
+        db = PVCDatabase()
+        db.create_table("t", ["a"])
+        assert "t(0)" in repr(db)

@@ -1,0 +1,77 @@
+"""Unit tests for schemas with aggregation-attribute tracking."""
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_basic(self):
+        schema = Schema(["a", "b"])
+        assert schema.index("b") == 1
+        assert len(schema) == 2
+        assert list(schema) == ["a", "b"]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["a", "a"])
+
+    def test_aggregation_marking(self):
+        schema = Schema(["a", "total"], ["total"])
+        assert schema.is_aggregation("total")
+        assert not schema.is_aggregation("a")
+
+    def test_unknown_aggregation_attr_rejected(self):
+        with pytest.raises(SchemaError, match="not in schema"):
+            Schema(["a"], ["b"])
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(SchemaError, match="not in schema"):
+            Schema(["a"]).index("b")
+
+    def test_contains(self):
+        assert "a" in Schema(["a"])
+        assert "z" not in Schema(["a"])
+
+
+class TestOperations:
+    def test_project_keeps_order_and_markings(self):
+        schema = Schema(["a", "b", "total"], ["total"])
+        projected = schema.project(["total", "a"])
+        assert projected.attributes == ("total", "a")
+        assert projected.is_aggregation("total")
+
+    def test_project_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).project(["z"])
+
+    def test_extend(self):
+        schema = Schema(["a"]).extend("b")
+        assert schema.attributes == ("a", "b")
+
+    def test_extend_aggregation(self):
+        schema = Schema(["a"]).extend("g", aggregation=True)
+        assert schema.is_aggregation("g")
+
+    def test_extend_duplicate_rejected(self):
+        with pytest.raises(SchemaError, match="already"):
+            Schema(["a"]).extend("a")
+
+    def test_concat(self):
+        combined = Schema(["a"]).concat(Schema(["b", "g"], ["g"]))
+        assert combined.attributes == ("a", "b", "g")
+        assert combined.is_aggregation("g")
+
+    def test_concat_overlap_rejected(self):
+        with pytest.raises(SchemaError, match="rename"):
+            Schema(["a"]).concat(Schema(["a"]))
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+        assert Schema(["a"], ["a"]) != Schema(["a"])
+        assert len({Schema(["a"]), Schema(["a"])}) == 1
+
+    def test_repr_marks_aggregations(self):
+        assert "g*" in repr(Schema(["a", "g"], ["g"]))

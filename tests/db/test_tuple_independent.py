@@ -1,0 +1,67 @@
+"""Unit tests for tuple-independent and BID table constructors."""
+
+import pytest
+
+from repro.algebra.conditions import Compare
+from repro.algebra.expressions import Var
+from repro.algebra.semiring import NATURALS
+from repro.core.compile import Compiler
+from repro.db.tuple_independent import bid_table, tuple_independent_table
+from repro.errors import DistributionError
+from repro.prob.variables import VariableRegistry
+
+
+class TestTupleIndependent:
+    def test_fresh_variables_per_row(self):
+        reg = VariableRegistry()
+        table = tuple_independent_table(
+            ["a"], [((1,), 0.5), ((2,), 0.9)], reg, "t"
+        )
+        annotations = [row.annotation for row in table]
+        assert annotations == [Var("t0"), Var("t1")]
+        assert reg["t0"][True] == pytest.approx(0.5)
+        assert reg["t1"][True] == pytest.approx(0.9)
+
+    def test_values_preserved(self):
+        reg = VariableRegistry()
+        table = tuple_independent_table(
+            ["a", "b"], [((1, "x"), 0.5)], reg, "t"
+        )
+        assert table.rows[0].values == (1, "x")
+
+
+class TestBidTable:
+    def test_block_variables_and_conditions(self):
+        reg = VariableRegistry()
+        table = bid_table(
+            ["a"],
+            [[((1,), 0.3), ((2,), 0.5)], [((3,), 1.0)]],
+            reg,
+            "b",
+        )
+        assert all(isinstance(row.annotation, Compare) for row in table)
+        assert reg["b0"][1] == pytest.approx(0.3)
+        assert reg["b0"][2] == pytest.approx(0.5)
+        assert reg["b0"][0] == pytest.approx(0.2)  # the "none" remainder
+        assert reg["b1"][1] == pytest.approx(1.0)
+
+    def test_block_alternatives_are_exclusive(self):
+        reg = VariableRegistry()
+        table = bid_table(["a"], [[((1,), 0.4), ((2,), 0.6)]], reg, "b")
+        compiler = Compiler(reg, NATURALS)
+        a1, a2 = (row.annotation for row in table)
+        assert compiler.probability(a1) == pytest.approx(0.4)
+        assert compiler.probability(a2) == pytest.approx(0.6)
+        # Mutual exclusion: both annotations never true together.
+        joint = compiler.distribution(a1 * a2)
+        assert joint[1] == pytest.approx(0.0)
+
+    def test_overfull_block_rejected(self):
+        reg = VariableRegistry()
+        with pytest.raises(DistributionError, match="sum to"):
+            bid_table(["a"], [[((1,), 0.7), ((2,), 0.7)]], reg, "b")
+
+    def test_zero_probability_alternative_skipped(self):
+        reg = VariableRegistry()
+        table = bid_table(["a"], [[((1,), 0.0), ((2,), 1.0)]], reg, "b")
+        assert len(table) == 1

@@ -1,0 +1,67 @@
+"""Tests for possible-world enumeration of pvc-databases."""
+
+import pytest
+
+from repro.algebra.expressions import Var
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.db.pvc_table import PVCDatabase
+from repro.db.worlds import enumerate_database_worlds, world_count
+from repro.prob.variables import VariableRegistry
+
+
+def two_table_db():
+    reg = VariableRegistry()
+    reg.bernoulli("x", 0.5)
+    reg.bernoulli("y", 0.25)
+    db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+    r = db.create_table("R", ["a"])
+    r.add((1,), Var("x"))
+    s = db.create_table("S", ["b"])
+    s.add((2,), Var("y"))
+    return db
+
+
+class TestEnumeration:
+    def test_world_count(self):
+        assert world_count(two_table_db()) == 4
+
+    def test_probabilities_sum_to_one(self):
+        total = sum(p for _, p in enumerate_database_worlds(two_table_db()))
+        assert total == pytest.approx(1.0)
+
+    def test_each_world_has_all_tables(self):
+        for world, _ in enumerate_database_worlds(two_table_db()):
+            assert set(world) == {"R", "S"}
+
+    def test_world_contents_follow_valuation(self):
+        db = two_table_db()
+        seen = set()
+        for world, prob in enumerate_database_worlds(db):
+            seen.add((len(world["R"]), len(world["S"])))
+        assert seen == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_specific_world_probability(self):
+        db = two_table_db()
+        both_present = sum(
+            p
+            for world, p in enumerate_database_worlds(db)
+            if len(world["R"]) == 1 and len(world["S"]) == 1
+        )
+        assert both_present == pytest.approx(0.125)
+
+    def test_unused_registry_variables_marginalised(self):
+        db = two_table_db()
+        db.registry.bernoulli("unused", 0.5)
+        assert world_count(db) == 4  # still only x, y
+
+    def test_bag_semantics_worlds(self):
+        reg = VariableRegistry()
+        reg.integer("m", {0: 0.5, 2: 0.5})
+        db = PVCDatabase(registry=reg, semiring=NATURALS)
+        table = db.create_table("R", ["a"])
+        table.add((1,), Var("m"))
+        multiplicities = {
+            world["R"].multiplicity((1,))
+            for world, _ in enumerate_database_worlds(db)
+        }
+        assert multiplicities == {0, 2}

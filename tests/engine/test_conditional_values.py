@@ -1,0 +1,69 @@
+"""Tests for presence-conditioned aggregate value distributions."""
+
+import pytest
+
+from repro.algebra.expressions import Var
+from repro.algebra.semiring import BOOLEAN
+from repro.db.pvc_table import PVCDatabase
+from repro.engine.naive import NaiveEngine
+from repro.engine.sprout import SproutEngine
+from repro.prob.variables import VariableRegistry
+from repro.query.ast import AggSpec, GroupAgg, relation
+
+
+def simple_db():
+    reg = VariableRegistry()
+    db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+    r = db.create_table("R", ["g", "v"])
+    reg.bernoulli("x", 0.5)
+    reg.bernoulli("y", 0.25)
+    r.add((1, 10), Var("x"))
+    r.add((1, 20), Var("y"))
+    return db
+
+
+class TestConditionalValueDistribution:
+    def test_conditional_sum_distribution(self):
+        db = simple_db()
+        query = GroupAgg(relation("R"), ["g"], [AggSpec.of("s", "SUM", "v")])
+        row = SproutEngine(db).run(query).rows[0]
+        dist = row.conditional_value_distribution("s")
+        # P(present) = 1 - 0.5·0.75 = 0.625
+        present = 0.625
+        assert dist[10] == pytest.approx(0.5 * 0.75 / present)
+        assert dist[20] == pytest.approx(0.5 * 0.25 / present)
+        assert dist[30] == pytest.approx(0.5 * 0.25 / present)
+        assert 0 not in dist
+        assert dist.total() == pytest.approx(1.0)
+
+    def test_matches_naive_conditional(self):
+        db = simple_db()
+        query = GroupAgg(relation("R"), ["g"], [AggSpec.of("s", "SUM", "v")])
+        row = SproutEngine(db).run(query).rows[0]
+        dist = row.conditional_value_distribution("s")
+        naive = NaiveEngine(db).tuple_probabilities(query)
+        present = sum(naive.values())
+        for (group, value), p in naive.items():
+            assert dist[value] == pytest.approx(p / present)
+
+    def test_expected_value(self):
+        db = simple_db()
+        query = GroupAgg(relation("R"), ["g"], [AggSpec.of("s", "SUM", "v")])
+        row = SproutEngine(db).run(query).rows[0]
+        assert row.expected_value("s") == pytest.approx(
+            row.conditional_value_distribution("s").expectation()
+        )
+
+    def test_constant_attribute_is_point(self):
+        db = simple_db()
+        row = SproutEngine(db).run(relation("R")).rows[0]
+        dist = row.conditional_value_distribution("v")
+        assert dist[10] == 1.0
+
+    def test_global_aggregate_is_always_present(self):
+        db = simple_db()
+        query = GroupAgg(relation("R"), [], [AggSpec.of("s", "SUM", "v")])
+        row = SproutEngine(db).run(query).rows[0]
+        dist = row.conditional_value_distribution("s")
+        # annotation is 1_K: conditioning is a no-op, 0 stays possible
+        assert dist[0] == pytest.approx(0.5 * 0.75)

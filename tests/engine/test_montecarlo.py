@@ -1,0 +1,56 @@
+"""Tests for the Monte-Carlo sampling baseline."""
+
+import pytest
+
+from repro.algebra.expressions import Var
+from repro.algebra.semiring import BOOLEAN
+from repro.db.pvc_table import PVCDatabase
+from repro.engine.montecarlo import MonteCarloEngine
+from repro.engine.naive import NaiveEngine
+from repro.prob.variables import VariableRegistry
+from repro.query.ast import AggSpec, GroupAgg, Project, Select, relation
+from repro.query.predicates import cmp_
+
+
+def simple_db():
+    reg = VariableRegistry()
+    db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+    r = db.create_table("R", ["a", "v"])
+    reg.bernoulli("x", 0.5)
+    reg.bernoulli("y", 0.3)
+    r.add((1, 10), Var("x"))
+    r.add((1, 20), Var("y"))
+    return db
+
+
+class TestEstimation:
+    def test_seeded_runs_are_reproducible(self):
+        db = simple_db()
+        e1 = MonteCarloEngine(db, seed=7).tuple_probabilities(relation("R"), 200)
+        e2 = MonteCarloEngine(db, seed=7).tuple_probabilities(relation("R"), 200)
+        assert e1 == e2
+
+    def test_estimates_converge_to_exact(self):
+        db = simple_db()
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("m", "MIN", "v")])
+        exact = NaiveEngine(db).tuple_probabilities(query)
+        estimate = MonteCarloEngine(db, seed=3).tuple_probabilities(query, 5000)
+        for key, p in exact.items():
+            assert estimate.get(key, 0.0) == pytest.approx(p, abs=0.03)
+
+    def test_having_query(self):
+        db = simple_db()
+        agg = GroupAgg(relation("R"), ["a"], [AggSpec.of("m", "MAX", "v")])
+        query = Project(Select(agg, cmp_("m", "<=", 15)), ["a"])
+        exact = NaiveEngine(db).tuple_probabilities(query)
+        p = MonteCarloEngine(db, seed=11).estimate_probability(query, (1,), 5000)
+        assert p == pytest.approx(exact[(1,)], abs=0.03)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            MonteCarloEngine(simple_db()).tuple_probabilities(relation("R"), 0)
+
+    def test_sample_valuation_covers_all_variables(self):
+        db = simple_db()
+        valuation = MonteCarloEngine(db, seed=1).sample_valuation()
+        assert "x" in valuation and "y" in valuation

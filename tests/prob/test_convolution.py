@@ -1,0 +1,126 @@
+"""Tests for the convolution equations (4)-(10) of the paper."""
+
+import math
+
+import pytest
+
+from repro.algebra.conditions import COMPARISON_OPS
+from repro.algebra.monoid import MAX, MIN, SUM
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.prob import convolution
+from repro.prob.distribution import Distribution
+
+
+class TestExample2:
+    """P(Φ ∨ Ψ) = 1 - (1-p)(1-q) as a convolution special case."""
+
+    def test_disjunction_formula(self):
+        p, q = 0.3, 0.6
+        d_phi = Distribution.bernoulli(p)
+        d_psi = Distribution.bernoulli(q)
+        result = convolution.semiring_add(d_phi, d_psi, BOOLEAN)
+        assert result[True] == pytest.approx(1 - (1 - p) * (1 - q))
+
+    def test_conjunction_formula(self):
+        p, q = 0.3, 0.6
+        result = convolution.semiring_mul(
+            Distribution.bernoulli(p), Distribution.bernoulli(q), BOOLEAN
+        )
+        assert result[True] == pytest.approx(p * q)
+
+
+class TestSemiringConvolutions:
+    def test_naturals_addition(self):
+        d1 = Distribution({0: 0.5, 1: 0.5})
+        d2 = Distribution({0: 0.5, 2: 0.5})
+        result = convolution.semiring_add(d1, d2, NATURALS)
+        assert result[0] == pytest.approx(0.25)
+        assert result[3] == pytest.approx(0.25)
+
+    def test_naturals_multiplication(self):
+        d1 = Distribution({1: 0.5, 2: 0.5})
+        d2 = Distribution({3: 1.0})
+        result = convolution.semiring_mul(d1, d2, NATURALS)
+        assert result.support() == {3, 6}
+
+
+class TestMonoidConvolutions:
+    def test_min_addition(self):
+        d1 = Distribution({5: 0.5, math.inf: 0.5})
+        d2 = Distribution({3: 0.5, math.inf: 0.5})
+        result = convolution.monoid_add(d1, d2, MIN)
+        assert result[3] == pytest.approx(0.5)
+        assert result[5] == pytest.approx(0.25)
+        assert result[math.inf] == pytest.approx(0.25)
+
+    def test_max_addition(self):
+        d1 = Distribution({5: 1.0})
+        d2 = Distribution({3: 0.5, 7: 0.5})
+        result = convolution.monoid_add(d1, d2, MAX)
+        assert result[5] == pytest.approx(0.5)
+        assert result[7] == pytest.approx(0.5)
+
+    def test_sum_addition_support_grows(self):
+        d1 = Distribution({0: 0.5, 1: 0.5})
+        d2 = Distribution({0: 0.5, 2: 0.5})
+        result = convolution.monoid_add(d1, d2, SUM)
+        assert result.support() == {0, 1, 2, 3}
+
+
+class TestExample11:
+    """Example 11 of the paper, verbatim."""
+
+    def setup_method(self):
+        self.px = Distribution({0: 0.3, 1: 0.3, 2: 0.4})
+        py = Distribution({1: 0.4, 2: 0.4, 3: 0.2})
+        self.palpha = py.map(lambda v: v * 5)  # α = y ⊗ 5
+
+    def test_alpha_distribution(self):
+        assert self.palpha[5] == pytest.approx(0.4)
+        assert self.palpha[10] == pytest.approx(0.4)
+        assert self.palpha[15] == pytest.approx(0.2)
+
+    def test_scalar_action_naturals(self):
+        result = convolution.scalar_action(self.px, self.palpha, SUM, NATURALS)
+        # P[10] = Px[1]·Pα[10] + Px[2]·Pα[5]
+        assert result[10] == pytest.approx(0.3 * 0.4 + 0.4 * 0.4)
+        # "Further possible outcomes for Φ ⊗ α are 0, 5, 15, 20, 30."
+        assert result.support() == {0, 5, 10, 15, 20, 30}
+
+    def test_scalar_action_boolean(self):
+        px = Distribution.bernoulli(0.6)
+        palpha = Distribution.point(5)
+        result = convolution.scalar_action(px, palpha, SUM, BOOLEAN)
+        assert result[5] == pytest.approx(0.6)
+        assert result[0] == pytest.approx(0.4)
+
+
+class TestComparisonConvolution:
+    def test_module_comparison(self):
+        d_left = Distribution({10: 0.5, 20: 0.5})
+        d_right = Distribution({15: 1.0})
+        result = convolution.comparison(
+            d_left, d_right, COMPARISON_OPS["<="], BOOLEAN
+        )
+        assert result[True] == pytest.approx(0.5)
+
+    def test_comparison_into_naturals(self):
+        result = convolution.comparison(
+            Distribution({1: 0.3, 5: 0.7}),
+            Distribution.point(2),
+            COMPARISON_OPS[">"],
+            NATURALS,
+        )
+        assert result[1] == pytest.approx(0.7)
+        assert result[0] == pytest.approx(0.3)
+
+
+class TestMutexMixture:
+    def test_equation_10(self):
+        # P_Φ = Σ_s P_x[s] · P_{Φ|x←s}
+        branches = [
+            (0.3, Distribution({True: 1.0})),
+            (0.7, Distribution({True: 0.5, False: 0.5})),
+        ]
+        result = convolution.mutex_mixture(branches)
+        assert result[True] == pytest.approx(0.3 + 0.35)

@@ -1,0 +1,143 @@
+"""Unit tests for finite discrete distributions."""
+
+import math
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.prob.distribution import Distribution
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        d = Distribution({True: 0.3, False: 0.7})
+        assert d[True] == pytest.approx(0.3)
+
+    def test_from_pairs(self):
+        d = Distribution([(1, 0.5), (2, 0.5)])
+        assert d.support() == {1, 2}
+
+    def test_duplicate_values_accumulate(self):
+        d = Distribution([(1, 0.25), (1, 0.25), (2, 0.5)])
+        assert d[1] == pytest.approx(0.5)
+
+    def test_zero_probabilities_dropped(self):
+        d = Distribution({1: 1.0, 2: 0.0})
+        assert d.support() == {1}
+        assert len(d) == 1
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(DistributionError, match="negative"):
+            Distribution({1: -0.1, 2: 1.1})
+
+    def test_mass_above_one_rejected(self):
+        with pytest.raises(DistributionError, match="exceeds"):
+            Distribution({1: 0.9, 2: 0.9})
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(DistributionError, match="empty"):
+            Distribution({})
+
+    def test_point(self):
+        d = Distribution.point("value")
+        assert d["value"] == 1.0
+        assert len(d) == 1
+
+    def test_bernoulli(self):
+        d = Distribution.bernoulli(0.3)
+        assert d[True] == pytest.approx(0.3)
+        assert d[False] == pytest.approx(0.7)
+
+    def test_bernoulli_degenerate(self):
+        assert Distribution.bernoulli(1.0).support() == {True}
+        assert Distribution.bernoulli(0.0).support() == {False}
+
+    def test_bernoulli_custom_values(self):
+        d = Distribution.bernoulli(0.4, one=1, zero=0)
+        assert d.support() == {0, 1}
+
+    def test_bernoulli_out_of_range(self):
+        with pytest.raises(DistributionError):
+            Distribution.bernoulli(1.5)
+
+    def test_uniform(self):
+        d = Distribution.uniform([1, 2, 3, 4])
+        assert d[2] == pytest.approx(0.25)
+
+    def test_uniform_dedupes(self):
+        d = Distribution.uniform([1, 1, 2])
+        assert d[1] == pytest.approx(0.5)
+
+    def test_infinity_is_a_valid_value(self):
+        d = Distribution({math.inf: 0.5, 10: 0.5})
+        assert d[math.inf] == pytest.approx(0.5)
+
+
+class TestOperations:
+    def test_map_pushforward(self):
+        d = Distribution({1: 0.4, 2: 0.6})
+        doubled = d.map(lambda v: 2 * v)
+        assert doubled[2] == pytest.approx(0.4)
+        assert doubled[4] == pytest.approx(0.6)
+
+    def test_map_merges_collisions(self):
+        d = Distribution({-1: 0.3, 1: 0.7})
+        squared = d.map(abs)
+        assert squared[1] == pytest.approx(1.0)
+
+    def test_convolve_sum_of_dice(self):
+        die = Distribution.uniform(range(1, 7))
+        total = die.convolve(die, lambda a, b: a + b)
+        assert total[7] == pytest.approx(6 / 36)
+        assert total[2] == pytest.approx(1 / 36)
+
+    def test_convolve_cost_is_support_product(self):
+        d1 = Distribution.uniform(range(5))
+        d2 = Distribution.uniform(range(7))
+        result = d1.convolve(d2, lambda a, b: (a, b))
+        assert len(result) == 35
+
+    def test_mixture(self):
+        d1 = Distribution.point(1)
+        d2 = Distribution.point(2)
+        mixed = Distribution.mixture([(0.3, d1), (0.7, d2)])
+        assert mixed[1] == pytest.approx(0.3)
+        assert mixed[2] == pytest.approx(0.7)
+
+    def test_mixture_skips_zero_weights(self):
+        mixed = Distribution.mixture(
+            [(0.0, Distribution.point(1)), (1.0, Distribution.point(2))]
+        )
+        assert mixed.support() == {2}
+
+    def test_expectation(self):
+        d = Distribution({0: 0.5, 10: 0.5})
+        assert d.expectation() == pytest.approx(5.0)
+
+    def test_probability_of_predicate(self):
+        d = Distribution({1: 0.2, 2: 0.3, 3: 0.5})
+        assert d.probability_of(lambda v: v >= 2) == pytest.approx(0.8)
+
+    def test_total(self):
+        d = Distribution({1: 0.4, 2: 0.6})
+        assert d.total() == pytest.approx(1.0)
+
+
+class TestComparison:
+    def test_almost_equals(self):
+        d1 = Distribution({1: 0.5, 2: 0.5})
+        d2 = Distribution({1: 0.5 + 1e-10, 2: 0.5 - 1e-10})
+        assert d1.almost_equals(d2)
+
+    def test_equality_operator(self):
+        assert Distribution({1: 1.0}) == Distribution({1: 1.0})
+        assert Distribution({1: 1.0}) != Distribution({2: 1.0})
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Distribution({1: 1.0}))
+
+    def test_repr_is_deterministic(self):
+        d1 = Distribution({2: 0.5, 1: 0.5})
+        d2 = Distribution({1: 0.5, 2: 0.5})
+        assert repr(d1) == repr(d2)

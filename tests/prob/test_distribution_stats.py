@@ -1,0 +1,64 @@
+"""Tests for the statistics helpers on distributions."""
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.prob.distribution import Distribution
+
+
+class TestMoments:
+    def test_variance_of_point_is_zero(self):
+        assert Distribution.point(5).variance() == pytest.approx(0.0)
+
+    def test_variance_of_bernoulli(self):
+        d = Distribution.bernoulli(0.3, one=1, zero=0)
+        assert d.variance() == pytest.approx(0.3 * 0.7)
+
+    def test_variance_matches_definition(self):
+        d = Distribution({0: 0.5, 10: 0.5})
+        assert d.variance() == pytest.approx(25.0)
+
+
+class TestCdfQuantile:
+    def test_cdf(self):
+        d = Distribution({1: 0.2, 2: 0.3, 3: 0.5})
+        assert d.cdf(0) == pytest.approx(0.0)
+        assert d.cdf(2) == pytest.approx(0.5)
+        assert d.cdf(3) == pytest.approx(1.0)
+
+    def test_quantile(self):
+        d = Distribution({1: 0.2, 2: 0.3, 3: 0.5})
+        assert d.quantile(0.1) == 1
+        assert d.quantile(0.5) == 2
+        assert d.quantile(1.0) == 3
+
+    def test_median_of_uniform(self):
+        d = Distribution.uniform([10, 20, 30, 40])
+        assert d.quantile(0.5) == 20
+
+    def test_quantile_level_validated(self):
+        d = Distribution.point(1)
+        with pytest.raises(DistributionError):
+            d.quantile(0.0)
+        with pytest.raises(DistributionError):
+            d.quantile(1.5)
+
+
+class TestConditioning:
+    def test_condition_renormalises(self):
+        d = Distribution({1: 0.2, 2: 0.3, 3: 0.5})
+        conditioned = d.condition(lambda v: v >= 2)
+        assert conditioned[2] == pytest.approx(0.375)
+        assert conditioned[3] == pytest.approx(0.625)
+        assert conditioned.total() == pytest.approx(1.0)
+
+    def test_condition_on_null_event_rejected(self):
+        d = Distribution({1: 1.0})
+        with pytest.raises(DistributionError, match="null"):
+            d.condition(lambda v: v > 10)
+
+    def test_condition_then_map(self):
+        d = Distribution({(True, 10): 0.3, (True, 20): 0.3, (False, 0): 0.4})
+        present = d.condition(lambda kv: kv[0]).map(lambda kv: kv[1])
+        assert present[10] == pytest.approx(0.5)
+        assert present[20] == pytest.approx(0.5)

@@ -1,0 +1,101 @@
+"""Unit tests for the induced probability space (Definition 1)."""
+
+import math
+
+import pytest
+
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import Var
+from repro.algebra.monoid import MIN, SUM
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.errors import WorldEnumerationError
+from repro.prob.distribution import Distribution
+from repro.prob.space import MAX_ENUMERABLE_WORLDS, ProbabilitySpace
+from repro.prob.variables import VariableRegistry
+
+
+def boolean_space(probabilities: dict) -> ProbabilitySpace:
+    reg = VariableRegistry()
+    for name, p in probabilities.items():
+        reg.bernoulli(name, p)
+    return ProbabilitySpace(reg, BOOLEAN)
+
+
+class TestWorldEnumeration:
+    def test_world_count(self):
+        space = boolean_space({"a": 0.5, "b": 0.5})
+        assert space.world_count() == 4
+
+    def test_world_probabilities_sum_to_one(self):
+        space = boolean_space({"a": 0.3, "b": 0.8})
+        total = sum(p for _, p in space.enumerate_worlds())
+        assert total == pytest.approx(1.0)
+
+    def test_world_probability_is_product(self):
+        # Pr(ν) = Π_x P_x[ν(x)] (Definition 1)
+        space = boolean_space({"a": 0.3, "b": 0.8})
+        probs = {
+            (nu["a"], nu["b"]): p for nu, p in space.enumerate_worlds()
+        }
+        assert probs[(True, True)] == pytest.approx(0.24)
+        assert probs[(False, False)] == pytest.approx(0.7 * 0.2)
+
+    def test_restriction_marginalises(self):
+        space = boolean_space({"a": 0.3, "b": 0.8})
+        worlds = list(space.enumerate_worlds(["a"]))
+        assert len(worlds) == 2
+        assert sum(p for _, p in worlds) == pytest.approx(1.0)
+
+    def test_enumeration_limit(self):
+        reg = VariableRegistry()
+        for i in range(30):
+            reg.bernoulli(f"v{i}", 0.5)
+        space = ProbabilitySpace(reg, BOOLEAN)
+        assert space.world_count() > MAX_ENUMERABLE_WORLDS
+        with pytest.raises(WorldEnumerationError):
+            list(space.enumerate_worlds())
+
+
+class TestExpressionDistributions:
+    def test_example_2_via_enumeration(self):
+        space = boolean_space({"a": 0.3, "b": 0.6})
+        dist = space.distribution_of(Var("a") + Var("b"))
+        assert dist[True] == pytest.approx(1 - 0.7 * 0.4)
+
+    def test_integer_expression(self):
+        reg = VariableRegistry()
+        reg.integer("m", {1: 0.5, 2: 0.5})
+        reg.integer("n", {0: 0.5, 3: 0.5})
+        space = ProbabilitySpace(reg, NATURALS)
+        dist = space.distribution_of(Var("m") * Var("n"))
+        assert dist[0] == pytest.approx(0.5)
+        assert dist[6] == pytest.approx(0.25)
+
+    def test_module_expression(self):
+        space = boolean_space({"x": 0.5, "y": 0.5})
+        alpha = aggsum(
+            MIN,
+            [tensor(Var("x"), MConst(MIN, 5)), tensor(Var("y"), MConst(MIN, 9))],
+        )
+        dist = space.distribution_of(alpha)
+        assert dist[5] == pytest.approx(0.5)
+        assert dist[9] == pytest.approx(0.25)
+        assert dist[math.inf] == pytest.approx(0.25)
+
+    def test_conditional_expression(self):
+        space = boolean_space({"x": 0.4})
+        cond = compare(tensor(Var("x"), MConst(SUM, 3)), ">=", 1)
+        assert space.probability(cond) == pytest.approx(0.4)
+
+    def test_joint_distribution(self):
+        space = boolean_space({"x": 0.5, "y": 0.5})
+        joint = space.joint_distribution_of([Var("x"), Var("x") * Var("y")])
+        assert joint[(True, True)] == pytest.approx(0.25)
+        assert joint[(True, False)] == pytest.approx(0.25)
+        assert joint[(False, False)] == pytest.approx(0.5)
+        assert (False, True) not in joint
+
+    def test_probability_default_is_one_of_semiring(self):
+        space = boolean_space({"x": 0.25})
+        assert space.probability(Var("x")) == pytest.approx(0.25)

@@ -1,0 +1,88 @@
+"""Unit tests for variable registries."""
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.prob.distribution import Distribution
+from repro.prob.variables import VariableRegistry
+
+
+class TestDeclaration:
+    def test_bernoulli(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.3)
+        assert reg["x"][True] == pytest.approx(0.3)
+
+    def test_integer(self):
+        reg = VariableRegistry()
+        reg.integer("n", {0: 0.5, 3: 0.5})
+        assert reg["n"][3] == pytest.approx(0.5)
+
+    def test_integer_rejects_negative_values(self):
+        reg = VariableRegistry()
+        with pytest.raises(DistributionError, match="values in N"):
+            reg.integer("n", {-1: 1.0})
+
+    def test_constant(self):
+        reg = VariableRegistry()
+        reg.constant("c", 7)
+        assert reg["c"].support() == {7}
+
+    def test_redeclaration_same_distribution_ok(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.3)
+        reg.bernoulli("x", 0.3)
+        assert len(reg) == 1
+
+    def test_redeclaration_conflict_rejected(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.3)
+        with pytest.raises(DistributionError, match="already declared"):
+            reg.bernoulli("x", 0.4)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(DistributionError, match="no declared"):
+            VariableRegistry()["missing"]
+
+    def test_constructor_from_mapping(self):
+        reg = VariableRegistry({"x": Distribution.bernoulli(0.2)})
+        assert "x" in reg
+
+
+class TestViews:
+    def test_names_sorted(self):
+        reg = VariableRegistry()
+        reg.bernoulli("b", 0.5)
+        reg.bernoulli("a", 0.5)
+        assert reg.names() == ["a", "b"]
+
+    def test_restrict(self):
+        reg = VariableRegistry()
+        reg.bernoulli("a", 0.1)
+        reg.bernoulli("b", 0.2)
+        sub = reg.restrict(["a"])
+        assert "a" in sub and "b" not in sub
+
+    def test_iteration_and_len(self):
+        reg = VariableRegistry()
+        reg.bernoulli("a", 0.1)
+        reg.bernoulli("b", 0.2)
+        assert sorted(reg) == ["a", "b"]
+        assert len(reg) == 2
+
+
+class TestBooleanReduction:
+    """Proposition 2's variable reduction for MIN/MAX."""
+
+    def test_integer_variable_reduces(self):
+        reg = VariableRegistry()
+        reg.integer("n", {0: 0.25, 1: 0.5, 7: 0.25})
+        reduced = reg.boolean_reduction()
+        assert reduced["n"][False] == pytest.approx(0.25)
+        assert reduced["n"][True] == pytest.approx(0.75)
+
+    def test_boolean_variable_unchanged(self):
+        reg = VariableRegistry()
+        reg.bernoulli("x", 0.3)
+        reduced = reg.boolean_reduction()
+        assert reduced["x"].almost_equals(reg["x"])

@@ -1,0 +1,106 @@
+"""Hypothesis strategies for random expressions and probability spaces."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import SConst, Var, sprod, ssum
+from repro.algebra.monoid import MAX, MIN, SUM
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.prob.distribution import Distribution
+from repro.prob.variables import VariableRegistry
+
+#: Variable pool used by the expression strategies (kept small so the
+#: brute-force oracle stays fast).
+NAMES = ["a", "b", "c", "d", "e"]
+
+probabilities = st.floats(
+    min_value=0.05, max_value=0.95, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def boolean_registries(draw, names=tuple(NAMES)):
+    """A registry assigning Bernoulli distributions to the name pool."""
+    registry = VariableRegistry()
+    for name in names:
+        registry.bernoulli(name, draw(probabilities))
+    return registry
+
+
+@st.composite
+def integer_registries(draw, names=tuple(NAMES[:3]), max_value=3):
+    """A registry of small N-valued variables (bag semantics)."""
+    registry = VariableRegistry()
+    for name in names:
+        support = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max_value),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=1.0),
+                min_size=len(support),
+                max_size=len(support),
+            )
+        )
+        total = sum(weights)
+        registry.declare(
+            name,
+            Distribution({v: w / total for v, w in zip(support, weights)}),
+        )
+    return registry
+
+
+def variables():
+    return st.sampled_from(NAMES).map(Var)
+
+
+@st.composite
+def semiring_exprs(draw, depth=3):
+    """Random semiring expressions over the name pool."""
+    if depth <= 0:
+        return draw(st.one_of(variables(), st.integers(0, 1).map(SConst)))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(variables())
+    if kind == 1:
+        return draw(st.integers(0, 1).map(SConst))
+    children = draw(
+        st.lists(semiring_exprs(depth=depth - 1), min_size=2, max_size=3)
+    )
+    return ssum(children) if kind == 2 else sprod(children)
+
+
+@st.composite
+def monomials(draw, max_factors=3):
+    """Products of variables — the Φᵢ of tuple-independent provenance."""
+    factors = draw(st.lists(variables(), min_size=1, max_size=max_factors))
+    return sprod(factors)
+
+
+@st.composite
+def module_exprs(draw, monoid=None, max_terms=4, max_value=8):
+    """Random semimodule sums ``Σ Φᵢ ⊗ mᵢ``."""
+    if monoid is None:
+        monoid = draw(st.sampled_from([SUM, MIN, MAX]))
+    terms = []
+    for _ in range(draw(st.integers(1, max_terms))):
+        phi = draw(semiring_exprs(depth=2))
+        value = draw(st.integers(0, max_value))
+        terms.append(tensor(phi, MConst(monoid, value)))
+    return aggsum(monoid, terms)
+
+
+@st.composite
+def conditions(draw, max_value=8):
+    """Random conditional expressions ``[Σ ... θ c]``."""
+    alpha = draw(module_exprs(max_value=max_value))
+    op = draw(st.sampled_from(["=", "!=", "<=", ">=", "<", ">"]))
+    threshold = draw(st.integers(0, max_value + 2))
+    return compare(alpha, op, MConst(alpha.monoid, threshold))

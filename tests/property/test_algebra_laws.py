@@ -1,0 +1,138 @@
+"""Property tests: the algebraic laws of Definitions 2-4 hold.
+
+These are the structural invariants everything else rests on: if the
+monoid/semiring/semimodule axioms broke, convolution-based probability
+computation would silently produce garbage.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import Var
+from repro.algebra.monoid import COUNT, MAX, MIN, PROD, SUM, CappedSumMonoid
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.algebra.valuation import Valuation
+
+from tests.property.strategies import NAMES, semiring_exprs
+
+MONOIDS = [SUM, COUNT, MIN, MAX, PROD, CappedSumMonoid(10)]
+
+monoid_values = st.integers(min_value=0, max_value=20)
+nat_values = st.integers(min_value=0, max_value=10)
+bool_values = st.booleans()
+
+
+class TestMonoidLaws:
+    @given(st.sampled_from(MONOIDS), monoid_values, monoid_values, monoid_values)
+    def test_associativity(self, monoid, a, b, c):
+        assert monoid.add(monoid.add(a, b), c) == monoid.add(a, monoid.add(b, c))
+
+    @given(st.sampled_from(MONOIDS), monoid_values, monoid_values)
+    def test_commutativity(self, monoid, a, b):
+        assert monoid.add(a, b) == monoid.add(b, a)
+
+    @given(st.sampled_from(MONOIDS), monoid_values)
+    def test_neutral_element(self, monoid, a):
+        a = monoid.clamp(a)
+        assert monoid.add(monoid.zero, a) == a
+        assert monoid.add(a, monoid.zero) == a
+
+    @given(st.sampled_from(MONOIDS), nat_values, nat_values, monoid_values)
+    def test_nat_action_is_iterated_addition(self, monoid, n, m_count, value):
+        # n ⊗ m computed in closed form equals n-fold addition.
+        expected = monoid.fold([value] * n)
+        assert monoid.act_nat(n, value) == monoid.clamp(expected)
+
+
+class TestSemiringLaws:
+    semirings = st.sampled_from([BOOLEAN, NATURALS])
+
+    @given(semirings, nat_values, nat_values, nat_values)
+    def test_distributivity(self, semiring, a, b, c):
+        a, b, c = map(semiring.coerce, (min(a, 1), min(b, 1), min(c, 1)))
+        left = semiring.mul(a, semiring.add(b, c))
+        right = semiring.add(semiring.mul(a, b), semiring.mul(a, c))
+        assert left == right
+
+    @given(semirings, nat_values, nat_values)
+    def test_add_mul_commute(self, semiring, a, b):
+        a, b = semiring.coerce(min(a, 1)), semiring.coerce(min(b, 1))
+        assert semiring.add(a, b) == semiring.add(b, a)
+        assert semiring.mul(a, b) == semiring.mul(b, a)
+
+
+class TestSemimoduleLaws:
+    """Definition 4, checked through the valuation homomorphism."""
+
+    @given(
+        st.sampled_from([SUM, MIN, MAX]),
+        bool_values,
+        bool_values,
+        monoid_values,
+        monoid_values,
+    )
+    def test_action_distributes_over_monoid_sum_boolean(
+        self, monoid, s, _unused, m1, m2
+    ):
+        # s ⊗ (m1 + m2) = s ⊗ m1 + s ⊗ m2
+        left = monoid.act_bool(s, monoid.add(m1, m2))
+        right = monoid.add(monoid.act_bool(s, m1), monoid.act_bool(s, m2))
+        assert left == right
+
+    @given(st.sampled_from([MIN, MAX]), bool_values, bool_values, monoid_values)
+    def test_scalar_sum_distributes_boolean_idempotent(self, monoid, s1, s2, m):
+        # (s1 + s2) ⊗ m = s1 ⊗ m + s2 ⊗ m   (in B: + is ∨).
+        # Holds for the idempotent monoids MIN/MAX only: the paper notes
+        # that "a semimodule B⊗N over SUM would not have the intuitive
+        # semantics; this reflects the well-known incompatibility of SUM
+        # aggregation with set semantics" (Section 2.2).
+        left = monoid.act_bool(BOOLEAN.add(s1, s2), m)
+        right = monoid.add(monoid.act_bool(s1, m), monoid.act_bool(s2, m))
+        assert left == right
+
+    def test_sum_over_boolean_is_not_a_semimodule(self):
+        # The paper's counterexample, pinned: ⊤∨⊤ ⊗ m = m but m + m = 2m.
+        assert SUM.act_bool(BOOLEAN.add(True, True), 5) == 5
+        assert SUM.add(SUM.act_bool(True, 5), SUM.act_bool(True, 5)) == 10
+
+    @given(
+        st.sampled_from([SUM, MIN, MAX]), nat_values, nat_values, monoid_values
+    )
+    def test_scalar_product_is_composition_naturals(self, monoid, s1, s2, m):
+        # (s1 · s2) ⊗ m = s1 ⊗ (s2 ⊗ m)
+        left = monoid.act_nat(s1 * s2, m)
+        right = monoid.act_nat(s1, monoid.act_nat(s2, m))
+        assert left == right
+
+    @given(st.sampled_from([SUM, MIN, MAX]), nat_values)
+    def test_annihilation(self, monoid, s):
+        assert monoid.act_nat(s, monoid.zero) == monoid.zero
+        assert monoid.act_nat(0, 7) == monoid.zero
+
+
+class TestFreeSemiringInvariance:
+    """Evaluation is invariant under the constructors' canonicalisation."""
+
+    @settings(max_examples=50)
+    @given(
+        semiring_exprs(depth=3),
+        semiring_exprs(depth=3),
+        st.lists(st.booleans(), min_size=len(NAMES), max_size=len(NAMES)),
+    )
+    def test_sum_commutes_under_evaluation(self, e1, e2, values):
+        nu = Valuation(dict(zip(NAMES, values)), BOOLEAN)
+        assert nu(e1 + e2) == nu(e2 + e1)
+        assert nu(e1 * e2) == nu(e2 * e1)
+
+    @settings(max_examples=50)
+    @given(
+        semiring_exprs(depth=2),
+        semiring_exprs(depth=2),
+        semiring_exprs(depth=2),
+        st.lists(st.integers(0, 3), min_size=len(NAMES), max_size=len(NAMES)),
+    )
+    def test_distributivity_under_evaluation(self, e1, e2, e3, values):
+        nu = Valuation(dict(zip(NAMES, values)), NATURALS)
+        assert nu(e1 * (e2 + e3)) == nu(e1 * e2 + e1 * e3)

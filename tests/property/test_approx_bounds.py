@@ -1,0 +1,44 @@
+"""Property tests: approximation bounds always bracket the exact value."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.semiring import BOOLEAN
+from repro.core.approx import ApproximateCompiler
+from repro.core.compile import Compiler
+from repro.prob.space import ProbabilitySpace
+
+from tests.property.strategies import boolean_registries, semiring_exprs
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+class TestBoundsBracketExact:
+    @SETTINGS
+    @given(
+        boolean_registries(),
+        semiring_exprs(depth=3),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_bounds_contain_exact_probability(self, registry, expr, budget):
+        exact = Compiler(registry, BOOLEAN).probability(expr)
+        bounds = ApproximateCompiler(registry, budget).bounds(expr)
+        assert bounds.contains(exact, tol=1e-7)
+
+    @SETTINGS
+    @given(boolean_registries(), semiring_exprs(depth=3))
+    def test_bounds_monotone_in_budget(self, registry, expr):
+        widths = []
+        for budget in (0, 2, 8, 64):
+            bounds = ApproximateCompiler(registry, budget).bounds(expr)
+            widths.append(bounds.width)
+        # Widths never increase as the budget grows.
+        assert all(a >= b - 1e-9 for a, b in zip(widths, widths[1:]))
+
+    @SETTINGS
+    @given(boolean_registries(), semiring_exprs(depth=2))
+    def test_large_budget_is_exact(self, registry, expr):
+        bounds = ApproximateCompiler(registry, 1 << 12).bounds(expr)
+        exact = ProbabilitySpace(registry, BOOLEAN).probability(expr)
+        assert bounds.width < 1e-9
+        assert abs(bounds.low - exact) < 1e-7

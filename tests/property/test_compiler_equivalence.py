@@ -1,0 +1,128 @@
+"""The central property: compiled distributions equal brute-force ones.
+
+Proposition 4 states that Algorithm 1 produces a d-tree with the same
+probability distribution as the input expression.  These tests check it on
+randomly generated semiring expressions, semimodule expressions, and
+conditional expressions, under both set (B) and bag (N) semantics, with
+and without pruning, and across all Shannon heuristics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.algebra.simplify import normalize
+from repro.core.compile import Compiler
+from repro.core.joint import JointCompiler
+from repro.prob.space import ProbabilitySpace
+
+from tests.property.strategies import (
+    boolean_registries,
+    conditions,
+    integer_registries,
+    module_exprs,
+    semiring_exprs,
+)
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestSemiringEquivalence:
+    @SETTINGS
+    @given(boolean_registries(), semiring_exprs(depth=3))
+    def test_boolean_semiring(self, registry, expr):
+        compiled = Compiler(registry, BOOLEAN).distribution(expr)
+        brute = ProbabilitySpace(registry, BOOLEAN).distribution_of(expr)
+        assert compiled.almost_equals(brute)
+
+    @SETTINGS
+    @given(integer_registries(), semiring_exprs(depth=2))
+    def test_naturals_semiring(self, registry, expr):
+        expr = _restrict(expr, registry)
+        compiled = Compiler(registry, NATURALS).distribution(expr)
+        brute = ProbabilitySpace(registry, NATURALS).distribution_of(expr)
+        assert compiled.almost_equals(brute)
+
+
+class TestModuleEquivalence:
+    @SETTINGS
+    @given(boolean_registries(), module_exprs())
+    def test_boolean_module(self, registry, expr):
+        compiled = Compiler(registry, BOOLEAN).distribution(expr)
+        brute = ProbabilitySpace(registry, BOOLEAN).distribution_of(expr)
+        assert compiled.almost_equals(brute)
+
+    @SETTINGS
+    @given(integer_registries(), module_exprs(max_terms=3))
+    def test_naturals_module(self, registry, expr):
+        expr = _restrict(expr, registry)
+        compiled = Compiler(registry, NATURALS).distribution(expr)
+        brute = ProbabilitySpace(registry, NATURALS).distribution_of(expr)
+        assert compiled.almost_equals(brute)
+
+
+class TestConditionEquivalence:
+    @SETTINGS
+    @given(boolean_registries(), conditions())
+    def test_conditions_with_pruning(self, registry, expr):
+        compiled = Compiler(registry, BOOLEAN, pruning=True).distribution(expr)
+        brute = ProbabilitySpace(registry, BOOLEAN).distribution_of(expr)
+        assert compiled.almost_equals(brute)
+
+    @SETTINGS
+    @given(boolean_registries(), conditions())
+    def test_pruning_changes_nothing(self, registry, expr):
+        with_pruning = Compiler(registry, BOOLEAN, pruning=True).distribution(expr)
+        without = Compiler(registry, BOOLEAN, pruning=False).distribution(expr)
+        assert with_pruning.almost_equals(without)
+
+
+class TestHeuristicInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        boolean_registries(),
+        semiring_exprs(depth=3),
+        st.sampled_from(["most-occurrences", "fewest-occurrences", "lexicographic"]),
+    )
+    def test_heuristic_does_not_change_distribution(self, registry, expr, heuristic):
+        compiled = Compiler(registry, BOOLEAN, heuristic=heuristic).distribution(expr)
+        brute = ProbabilitySpace(registry, BOOLEAN).distribution_of(expr)
+        assert compiled.almost_equals(brute)
+
+
+class TestDistributionWellFormedness:
+    @SETTINGS
+    @given(boolean_registries(), module_exprs())
+    def test_total_mass_is_one(self, registry, expr):
+        dist = Compiler(registry, BOOLEAN).distribution(expr)
+        assert abs(dist.total() - 1.0) < 1e-7
+
+    @SETTINGS
+    @given(boolean_registries(), semiring_exprs(depth=3))
+    def test_normalisation_preserves_distribution(self, registry, expr):
+        compiler = Compiler(registry, BOOLEAN)
+        original = ProbabilitySpace(registry, BOOLEAN).distribution_of(expr)
+        simplified = normalize(expr, BOOLEAN)
+        assert compiler.distribution(simplified).almost_equals(original)
+
+
+class TestJointEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        boolean_registries(),
+        semiring_exprs(depth=2),
+        semiring_exprs(depth=2),
+    )
+    def test_joint_matches_enumeration(self, registry, e1, e2):
+        compiler = Compiler(registry, BOOLEAN)
+        joint = JointCompiler(compiler).joint_distribution([e1, e2])
+        brute = ProbabilitySpace(registry, BOOLEAN).joint_distribution_of([e1, e2])
+        assert joint.almost_equals(brute)
+
+
+def _restrict(expr, registry):
+    """Drop variables the (smaller) integer registries do not declare."""
+    from repro.algebra.expressions import ONE
+
+    mapping = {name: ONE for name in expr.variables if name not in registry}
+    return expr.substitute(mapping)

@@ -1,0 +1,136 @@
+"""Unit tests for the query algebra AST (Definition 5)."""
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.errors import QueryValidationError, SchemaError
+from repro.query.ast import (
+    AggSpec,
+    BaseRelation,
+    Extend,
+    GroupAgg,
+    Product,
+    Project,
+    Select,
+    Union,
+    equijoin,
+    product_of,
+    relation,
+)
+from repro.query.predicates import cmp_, eq
+
+CATALOG = {
+    "R": Schema(["a", "b"]),
+    "S": Schema(["c", "d"]),
+    "T": Schema(["a", "b"]),
+}
+
+
+class TestSchemas:
+    def test_base_relation(self):
+        assert relation("R").schema(CATALOG) == CATALOG["R"]
+
+    def test_unknown_relation(self):
+        with pytest.raises(QueryValidationError, match="unknown relation"):
+            relation("missing").schema(CATALOG)
+
+    def test_extend(self):
+        schema = Extend(relation("R"), "a2", "a").schema(CATALOG)
+        assert schema.attributes == ("a", "b", "a2")
+
+    def test_select_keeps_schema(self):
+        query = Select(relation("R"), eq("a", 1))
+        assert query.schema(CATALOG) == CATALOG["R"]
+
+    def test_select_checks_predicate_attributes(self):
+        query = Select(relation("R"), eq("z", 1))
+        with pytest.raises(SchemaError):
+            query.schema(CATALOG)
+
+    def test_project(self):
+        schema = Project(relation("R"), ["b"]).schema(CATALOG)
+        assert schema.attributes == ("b",)
+
+    def test_product_concatenates(self):
+        schema = Product(relation("R"), relation("S")).schema(CATALOG)
+        assert schema.attributes == ("a", "b", "c", "d")
+
+    def test_product_name_clash_rejected(self):
+        with pytest.raises(SchemaError, match="rename"):
+            Product(relation("R"), relation("T")).schema(CATALOG)
+
+    def test_union_compatible(self):
+        schema = Union(relation("R"), relation("T")).schema(CATALOG)
+        assert schema.attributes == ("a", "b")
+
+    def test_union_incompatible_rejected(self):
+        with pytest.raises(SchemaError, match="incompatible"):
+            Union(relation("R"), relation("S")).schema(CATALOG)
+
+    def test_group_agg_schema_marks_aggregations(self):
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "b")])
+        schema = query.schema(CATALOG)
+        assert schema.attributes == ("a", "t")
+        assert schema.is_aggregation("t")
+        assert not schema.is_aggregation("a")
+
+    def test_group_agg_empty_groupby(self):
+        query = GroupAgg(relation("R"), [], [AggSpec.of("n", "COUNT")])
+        assert query.schema(CATALOG).attributes == ("n",)
+
+    def test_group_agg_needs_aggregations(self):
+        with pytest.raises(QueryValidationError):
+            GroupAgg(relation("R"), ["a"], [])
+
+
+class TestAggSpec:
+    def test_count_without_attribute(self):
+        spec = AggSpec.of("n", "COUNT")
+        assert spec.attribute is None
+
+    def test_non_count_requires_attribute(self):
+        with pytest.raises(QueryValidationError, match="requires an input"):
+            AggSpec.of("t", "SUM")
+
+    def test_monoid_instance_accepted(self):
+        from repro.algebra.monoid import MIN
+
+        assert AggSpec.of("m", MIN, "b").monoid == MIN
+
+    def test_repr(self):
+        assert "SUM(b)" in repr(AggSpec.of("t", "SUM", "b"))
+        assert "COUNT(*)" in repr(AggSpec.of("n", "COUNT"))
+
+
+class TestHelpers:
+    def test_product_of_left_deep(self):
+        query = product_of(relation("R"), relation("S"))
+        assert isinstance(query, Product)
+
+    def test_product_of_single(self):
+        assert product_of(relation("R")) == relation("R")
+
+    def test_product_of_empty_rejected(self):
+        with pytest.raises(QueryValidationError):
+            product_of()
+
+    def test_equijoin_is_select_product(self):
+        query = equijoin(relation("R"), relation("S"), [("a", "c")])
+        assert isinstance(query, Select)
+        assert isinstance(query.child, Product)
+
+    def test_walk_and_base_relations(self):
+        query = Project(
+            Select(Product(relation("R"), relation("S")), eq("a", "c")), ["b"]
+        )
+        assert query.base_relations() == ["R", "S"]
+        assert query.is_non_repeating()
+
+    def test_repeating_detected(self):
+        query = Product(relation("R"), relation("R"))
+        assert not query.is_non_repeating()
+
+    def test_repr_uses_algebra_notation(self):
+        query = Project(Select(relation("R"), cmp_("a", "<=", 5)), ["b"])
+        text = repr(query)
+        assert "π" in text and "σ" in text

@@ -1,0 +1,109 @@
+"""Unit tests for selection predicates."""
+
+import pytest
+
+from repro.algebra.conditions import Compare
+from repro.algebra.expressions import Prod, Var
+from repro.algebra.monoid import MIN
+from repro.algebra.semimodule import MConst, aggsum, tensor
+from repro.errors import QueryValidationError
+from repro.query.predicates import (
+    AttrRef,
+    Comparison,
+    Conjunction,
+    TruePredicate,
+    attr,
+    cmp_,
+    conj,
+    eq,
+    lit,
+)
+
+
+class TestOperands:
+    def test_attr_resolve(self):
+        assert attr("a").resolve({"a": 5}) == 5
+
+    def test_attr_missing_raises(self):
+        with pytest.raises(QueryValidationError, match="unknown attribute"):
+            attr("z").resolve({"a": 5})
+
+    def test_literal_resolve(self):
+        assert lit(42).resolve({}) == 42
+
+    def test_equality_and_hash(self):
+        assert attr("a") == attr("a") and lit(1) == lit(1)
+        assert attr("a") != lit("a")
+        assert len({attr("a"), attr("a"), lit(1)}) == 2
+
+
+class TestComparison:
+    def test_concrete_true_false(self):
+        assert eq("a", 5).evaluate({"a": 5}) is True
+        assert eq("a", 5).evaluate({"a": 6}) is False
+
+    def test_theta_operators(self):
+        assert cmp_("a", "<=", 10).evaluate({"a": 3}) is True
+        assert cmp_("a", ">", "b").evaluate({"a": 3, "b": 5}) is False
+
+    def test_string_shorthand_builds_attr_refs(self):
+        pred = eq("a", "b")
+        assert isinstance(pred.left, AttrRef) and isinstance(pred.right, AttrRef)
+
+    def test_module_operand_yields_symbolic_condition(self):
+        alpha = aggsum(MIN, [tensor(Var("x"), MConst(MIN, 10))])
+        outcome = cmp_("agg", "<=", 15).evaluate({"agg": alpha})
+        assert isinstance(outcome, Compare)
+        assert outcome.variables == {"x"}
+
+    def test_classifiers(self):
+        assert eq("a", "b").is_attribute_equality()
+        assert not eq("a", 5).is_attribute_equality()
+        assert eq("a", 5).is_constant_equality()
+        assert not cmp_("a", "<", 5).is_constant_equality()
+
+    def test_attributes(self):
+        assert cmp_("a", "<", "b").attributes() == {"a", "b"}
+        assert eq("a", 5).attributes() == {"a"}
+
+
+class TestConjunction:
+    def test_empty_conj_is_true(self):
+        assert isinstance(conj(), TruePredicate)
+        assert conj().evaluate({}) is True
+
+    def test_single_passes_through(self):
+        pred = eq("a", 1)
+        assert conj(pred) is pred
+
+    def test_all_concrete(self):
+        pred = conj(eq("a", 1), cmp_("b", "<", 5))
+        assert pred.evaluate({"a": 1, "b": 3}) is True
+        assert pred.evaluate({"a": 2, "b": 3}) is False
+
+    def test_short_circuit_on_false(self):
+        pred = conj(eq("a", 99), cmp_("missing", "<", 5))
+        # First atom fails; the unresolvable second atom is never touched.
+        assert pred.evaluate({"a": 1}) is False
+
+    def test_symbolic_atoms_multiply(self):
+        alpha = aggsum(MIN, [tensor(Var("x"), MConst(MIN, 10))])
+        beta = aggsum(MIN, [tensor(Var("y"), MConst(MIN, 3))])
+        pred = conj(cmp_("f", "<=", 15), cmp_("g", ">=", 1))
+        outcome = pred.evaluate({"f": alpha, "g": beta})
+        assert isinstance(outcome, Prod)
+        assert outcome.variables == {"x", "y"}
+
+    def test_mixed_concrete_and_symbolic(self):
+        alpha = aggsum(MIN, [tensor(Var("x"), MConst(MIN, 10))])
+        pred = conj(eq("a", 1), cmp_("f", "<=", 15))
+        outcome = pred.evaluate({"a": 1, "f": alpha})
+        assert isinstance(outcome, Compare)
+
+    def test_nested_conjunctions_flatten(self):
+        pred = conj(conj(eq("a", 1), eq("b", 2)), eq("c", 3))
+        assert len(pred.atoms()) == 3
+
+    def test_attributes_union(self):
+        pred = conj(eq("a", 1), cmp_("b", "<", "c"))
+        assert pred.attributes() == {"a", "b", "c"}

@@ -1,0 +1,120 @@
+"""Tests for the mini SQL front-end."""
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.errors import ParseError
+from repro.query.ast import GroupAgg, Product, Project, Select
+from repro.query.sql import parse_sql
+from repro.query.validate import validate_query
+
+CATALOG = {
+    "R": Schema(["a", "b", "c"]),
+    "S": Schema(["d", "e"]),
+}
+
+
+class TestBasicSelect:
+    def test_projection(self):
+        query = parse_sql("SELECT a, b FROM R")
+        assert isinstance(query, Project)
+        assert query.attributes == ("a", "b")
+
+    def test_where(self):
+        query = parse_sql("SELECT a FROM R WHERE b = 5")
+        assert isinstance(query.child, Select)
+
+    def test_string_literal(self):
+        query = parse_sql("SELECT a FROM R WHERE b = 'M&S x'")
+        atom = query.child.predicate.atoms()[0]
+        assert atom.right.value == "M&S x"
+
+    def test_join(self):
+        query = parse_sql("SELECT a FROM R, S WHERE b = d")
+        assert isinstance(query.child.child, Product)
+        validate_query(query, CATALOG)
+
+    def test_multiple_conditions(self):
+        query = parse_sql("SELECT a FROM R WHERE b = 5 AND c <= 10")
+        assert len(query.child.predicate.atoms()) == 2
+
+    def test_keywords_case_insensitive(self):
+        query = parse_sql("select a from R where b = 5")
+        assert isinstance(query, Project)
+
+
+class TestAggregates:
+    def test_group_by(self):
+        query = parse_sql("SELECT a, SUM(b) AS total FROM R GROUP BY a")
+        assert isinstance(query, GroupAgg)
+        assert query.groupby == ("a",)
+        assert query.aggregations[0].output == "total"
+        assert query.aggregations[0].monoid.name == "SUM"
+
+    def test_implicit_group_by(self):
+        query = parse_sql("SELECT a, MAX(b) AS m FROM R")
+        assert query.groupby == ("a",)
+
+    def test_count_star(self):
+        query = parse_sql("SELECT a, COUNT(*) AS n FROM R GROUP BY a")
+        assert query.aggregations[0].attribute is None
+
+    def test_global_aggregate(self):
+        query = parse_sql("SELECT MIN(b) AS m FROM R")
+        assert isinstance(query, GroupAgg)
+        assert query.groupby == ()
+
+    def test_default_output_name(self):
+        query = parse_sql("SELECT MIN(b) FROM R")
+        assert query.aggregations[0].output == "min_b"
+
+    def test_group_by_mismatch_rejected(self):
+        with pytest.raises(ParseError, match="must match"):
+            parse_sql("SELECT a, SUM(b) AS t FROM R GROUP BY c")
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(ParseError, match="without aggregates"):
+            parse_sql("SELECT a FROM R GROUP BY a")
+
+
+class TestScalarSubqueries:
+    def test_example_3_shape(self):
+        # SELECT A FROM R WHERE B = (SELECT MIN(C) FROM S)
+        query = parse_sql("SELECT a FROM R WHERE b = (SELECT MIN(d) FROM S)")
+        assert isinstance(query, Project)
+        select = query.child
+        assert isinstance(select, Select)
+        assert isinstance(select.child, Product)
+        inner = select.child.right
+        assert isinstance(inner, GroupAgg)
+        assert inner.groupby == ()
+
+    def test_subquery_comparison_operator_preserved(self):
+        query = parse_sql("SELECT a FROM R WHERE b <= (SELECT MAX(d) FROM S)")
+        atom = query.child.predicate.atoms()[-1]
+        assert atom.op.symbol == "<="
+
+    def test_grouped_subquery_rejected(self):
+        with pytest.raises(ParseError, match="ungrouped"):
+            parse_sql(
+                "SELECT a FROM R WHERE b = "
+                "(SELECT d, MIN(e) AS m FROM S GROUP BY d)"
+            )
+
+
+class TestErrors:
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_sql("SELECT a FROM R extra")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a")
+
+    def test_plain_alias_rejected(self):
+        with pytest.raises(ParseError, match="aliasing"):
+            parse_sql("SELECT a AS x FROM R")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM R WHERE b ~ 5")

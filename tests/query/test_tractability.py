@@ -1,0 +1,219 @@
+"""Tests for the hierarchical property and Q_ind/Q_hie classes (Section 6)."""
+
+import pytest
+
+from repro.algebra.expressions import Var
+from repro.db.pvc_table import PVCDatabase
+from repro.db.schema import Schema
+from repro.prob.variables import VariableRegistry
+from repro.query.ast import (
+    AggSpec,
+    GroupAgg,
+    Product,
+    Project,
+    Select,
+    product_of,
+    relation,
+)
+from repro.query.predicates import cmp_, conj, eq, lit
+from repro.query.tractability import (
+    QueryClass,
+    classify_query,
+    flatten_spj,
+    is_hierarchical,
+    root_attribute_classes,
+    tuple_independent_relations,
+)
+
+CATALOG = {
+    "R": Schema(["r_a", "r_b"]),
+    "S": Schema(["s_b", "s_c"]),
+    "T": Schema(["t_c", "t_d"]),
+    "Sup": Schema(["sid", "shop"]),
+    "PS": Schema(["psid", "pid", "price"]),
+}
+TI = set(CATALOG)
+
+
+class TestFlatten:
+    def test_spj_block_structure(self):
+        query = Project(
+            Select(Product(relation("R"), relation("S")), eq("r_b", "s_b")),
+            ["r_a"],
+        )
+        block = flatten_spj(query)
+        assert block.head == ("r_a",)
+        assert len(block.leaves) == 2
+        assert len(block.atoms) == 1
+
+    def test_nested_selects_collected(self):
+        query = Select(
+            Select(Product(relation("R"), relation("S")), eq("r_b", "s_b")),
+            eq("r_a", lit(1)),
+        )
+        block = flatten_spj(query)
+        assert len(block.atoms) == 2
+        assert block.head is None
+
+
+class TestHierarchical:
+    def test_two_relation_join_is_hierarchical(self):
+        query = Project(
+            Select(Product(relation("R"), relation("S")), eq("r_b", "s_b")),
+            [],
+        )
+        assert is_hierarchical(query, CATALOG)
+
+    def test_rst_chain_is_not_hierarchical(self):
+        # The classic non-hierarchical pattern R(a,b) S(b,c) T(c,d) with
+        # joins on b and c: at(b*)={R,S}, at(c*)={S,T} overlap on S.
+        query = Project(
+            Select(
+                product_of(relation("R"), relation("S"), relation("T")),
+                conj(eq("r_b", "s_b"), eq("s_c", "t_c")),
+            ),
+            [],
+        )
+        assert not is_hierarchical(query, CATALOG)
+
+    def test_head_attributes_are_exempt(self):
+        # Projecting the offending attribute into the head restores the
+        # hierarchical property.
+        query = Project(
+            Select(
+                product_of(relation("R"), relation("S"), relation("T")),
+                conj(eq("r_b", "s_b"), eq("s_c", "t_c")),
+            ),
+            ["s_c", "t_c"],
+        )
+        assert is_hierarchical(query, CATALOG)
+
+    def test_constant_equated_attributes_are_exempt(self):
+        query = Project(
+            Select(
+                product_of(relation("R"), relation("S"), relation("T")),
+                conj(eq("r_b", "s_b"), eq("s_c", "t_c"), eq("s_c", lit(7))),
+            ),
+            [],
+        )
+        assert is_hierarchical(query, CATALOG)
+
+    def test_repeating_queries_are_not_hierarchical(self):
+        query = Project(Product(relation("R"), relation("R")), [])
+        assert not is_hierarchical(query, CATALOG)
+
+    def test_root_attributes(self):
+        query = Project(
+            Select(Product(relation("Sup"), relation("PS")), eq("sid", "psid")),
+            [],
+        )
+        roots = root_attribute_classes(query, CATALOG)
+        assert frozenset({"sid", "psid"}) in roots
+        assert all("shop" not in cls for cls in roots)
+
+
+class TestClassification:
+    def test_tuple_independent_base_is_qind(self):
+        result = classify_query(relation("R"), CATALOG, TI)
+        assert result.query_class is QueryClass.QIND
+
+    def test_unknown_base_is_unknown(self):
+        result = classify_query(relation("R"), CATALOG, set())
+        assert result.query_class is QueryClass.UNKNOWN
+
+    def test_def_82a_project_away_aggregate(self):
+        agg = GroupAgg(relation("PS"), ["pid"], [AggSpec.of("m", "MAX", "price")])
+        query = Project(Select(agg, cmp_("m", "<=", 50)), ["pid"])
+        result = classify_query(query, CATALOG, TI)
+        assert result.query_class is QueryClass.QIND
+        assert any("8.2a" in reason for reason in result.reasons)
+
+    def test_def_82b_hierarchical_join_with_root_head(self):
+        query = Project(
+            Select(Product(relation("Sup"), relation("PS")), eq("sid", "psid")),
+            ["sid"],
+        )
+        result = classify_query(query, CATALOG, TI)
+        assert result.query_class is QueryClass.QIND
+
+    def test_def_82b_non_root_head_not_qind(self):
+        query = Project(
+            Select(Product(relation("Sup"), relation("PS")), eq("sid", "psid")),
+            ["shop"],
+        )
+        result = classify_query(query, CATALOG, TI)
+        # 'shop' is not a root attribute, so 8.2(b) does not apply; the
+        # query is still hierarchical, hence Q_hie by 9.2.
+        assert result.query_class is QueryClass.QHIE
+
+    def test_def_82c_aggregate_comparison(self):
+        g1 = GroupAgg(relation("R"), [], [AggSpec.of("m1", "MIN", "r_b")])
+        g2 = GroupAgg(relation("S"), [], [AggSpec.of("m2", "MIN", "s_b")])
+        query = Project(Select(Product(g1, g2), cmp_("m1", "<=", "m2")), [])
+        result = classify_query(query, CATALOG, TI)
+        assert result.query_class is QueryClass.QIND
+        assert any("8.2c" in reason for reason in result.reasons)
+
+    def test_def_91_grouped_aggregation_over_hierarchical_join(self):
+        # Example 14: $_{∅;α←SUM(price)}(σ_{shop=c}(Sup ⋈ PS))
+        join = Select(
+            Product(relation("Sup"), relation("PS")),
+            conj(eq("sid", "psid"), eq("shop", lit("M&S"))),
+        )
+        query = GroupAgg(join, [], [AggSpec.of("alpha", "SUM", "price")])
+        result = classify_query(query, CATALOG, TI)
+        assert result.query_class is QueryClass.QHIE
+        assert any("9.1" in reason for reason in result.reasons)
+
+    def test_def_92_plain_hierarchical_join(self):
+        query = Project(
+            Select(Product(relation("R"), relation("S")), eq("r_b", "s_b")),
+            ["r_a"],
+        )
+        result = classify_query(query, CATALOG, TI)
+        assert result.tractable
+
+    def test_non_hierarchical_aggregation_unknown(self):
+        join = Select(
+            product_of(relation("R"), relation("S"), relation("T")),
+            conj(eq("r_b", "s_b"), eq("s_c", "t_c")),
+        )
+        query = GroupAgg(join, [], [AggSpec.of("n", "COUNT")])
+        result = classify_query(query, CATALOG, TI)
+        assert result.query_class is QueryClass.UNKNOWN
+
+    def test_repeating_query_unknown(self):
+        query = Project(Product(relation("R"), relation("R")), [])
+        result = classify_query(query, CATALOG, TI)
+        assert result.query_class is QueryClass.UNKNOWN
+        assert any("repeats" in reason for reason in result.reasons)
+
+
+class TestTupleIndependenceDetection:
+    def test_detects_ti_tables(self):
+        reg = VariableRegistry()
+        db = PVCDatabase(registry=reg)
+        table = db.create_table("R", ["a"])
+        for i in range(3):
+            reg.bernoulli(f"x{i}", 0.5)
+            table.add((i,), Var(f"x{i}"))
+        assert tuple_independent_relations(db) == {"R"}
+
+    def test_shared_variable_breaks_independence(self):
+        reg = VariableRegistry()
+        db = PVCDatabase(registry=reg)
+        reg.bernoulli("x", 0.5)
+        t1 = db.create_table("R", ["a"])
+        t1.add((1,), Var("x"))
+        t2 = db.create_table("S", ["b"])
+        t2.add((2,), Var("x"))
+        assert tuple_independent_relations(db) == set()
+
+    def test_composite_annotation_breaks_independence(self):
+        reg = VariableRegistry()
+        db = PVCDatabase(registry=reg)
+        reg.bernoulli("x", 0.5)
+        reg.bernoulli("y", 0.5)
+        table = db.create_table("R", ["a"])
+        table.add((1,), Var("x") * Var("y"))
+        assert tuple_independent_relations(db) == set()

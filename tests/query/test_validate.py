@@ -1,0 +1,84 @@
+"""Tests for Definition-5 query validation."""
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.errors import QueryValidationError
+from repro.query.ast import (
+    AggSpec,
+    GroupAgg,
+    Project,
+    Select,
+    Union,
+    relation,
+)
+from repro.query.predicates import cmp_, eq
+from repro.query.validate import validate_query
+
+CATALOG = {
+    "R": Schema(["a", "b"]),
+    "S": Schema(["a", "b"]),
+}
+
+
+def agg_query():
+    """$_{a; t←SUM(b)}(R) — exposes aggregation attribute t."""
+    return GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "b")])
+
+
+class TestConstraint1:
+    def test_projection_onto_aggregation_attribute_rejected(self):
+        query = Project(agg_query(), ["t"])
+        with pytest.raises(QueryValidationError, match="constraint 1"):
+            validate_query(query, CATALOG)
+
+    def test_projection_away_from_aggregate_ok(self):
+        query = Project(agg_query(), ["a"])
+        schema = validate_query(query, CATALOG)
+        assert schema.attributes == ("a",)
+
+    def test_grouping_by_aggregation_attribute_rejected(self):
+        query = GroupAgg(agg_query(), ["t"], [AggSpec.of("n", "COUNT")])
+        with pytest.raises(QueryValidationError, match="constraint 1"):
+            validate_query(query, CATALOG)
+
+    def test_aggregating_aggregation_attribute_rejected(self):
+        query = GroupAgg(agg_query(), ["a"], [AggSpec.of("s", "SUM", "t")])
+        with pytest.raises(QueryValidationError, match="nested semimodule"):
+            validate_query(query, CATALOG)
+
+
+class TestConstraint2:
+    def test_paper_example_3_invalid_union(self):
+        # R ∪ $_{A;β←SUM(B)}(S) is not in Q.
+        query = Union(relation("R"), GroupAgg(
+            relation("S"), ["a"], [AggSpec.of("b", "SUM", "b")]
+        ))
+        with pytest.raises(QueryValidationError, match="constraint 2"):
+            validate_query(query, CATALOG)
+
+    def test_paper_example_3_valid_variant(self):
+        # π_A(R) ∪ π_A(σ_{β≥5}($_{A;β←SUM(B)}(S))) is a valid Q-query.
+        left = Project(relation("R"), ["a"])
+        inner = GroupAgg(relation("S"), ["a"], [AggSpec.of("beta", "SUM", "b")])
+        right = Project(Select(inner, cmp_("beta", ">=", 5)), ["a"])
+        schema = validate_query(Union(left, right), CATALOG)
+        assert schema.attributes == ("a",)
+
+
+class TestSelectionsOnAggregates:
+    def test_theta_comparison_with_aggregate_allowed(self):
+        query = Select(agg_query(), cmp_("t", "<=", 50))
+        validate_query(query, CATALOG)
+
+    def test_equality_between_value_and_aggregate_allowed(self):
+        # Example 3's σ_{B=γ} pattern.
+        from repro.query.ast import Product
+
+        inner = GroupAgg(relation("S"), [], [AggSpec.of("g", "MIN", "b")])
+        query = Select(Product(relation("R"), inner), eq("b", "g"))
+        validate_query(query, CATALOG)
+
+    def test_plain_queries_validate(self):
+        query = Project(Select(relation("R"), eq("a", 1)), ["b"])
+        assert validate_query(query, CATALOG).attributes == ("b",)

@@ -1,0 +1,110 @@
+"""Tests for the Eq.-11 random expression generator."""
+
+import pytest
+
+from repro.algebra.conditions import Compare
+from repro.algebra.monoid import MIN, SUM
+from repro.algebra.semimodule import AggSum, MConst, module_terms
+from repro.algebra.semiring import BOOLEAN
+from repro.core.compile import Compiler
+from repro.errors import ReproError
+from repro.prob.space import ProbabilitySpace
+from repro.workloads.random_expr import ExprParams, generate_condition, generate_workload
+
+
+class TestGeneratorShape:
+    def test_one_sided_form(self):
+        params = ExprParams(
+            left_terms=5, right_terms=0, variables=6, clauses=2, literals=2,
+            max_value=20, constant=10, theta="<=", agg_left="MIN",
+        )
+        expr, registry = generate_condition(params, seed=1)
+        assert isinstance(expr, Compare)
+        assert isinstance(expr.right, MConst)
+        assert expr.right.value == 10
+        assert len(registry) == 6
+
+    def test_two_sided_form(self):
+        params = ExprParams(
+            left_terms=4, right_terms=3, variables=6, clauses=2, literals=2,
+            agg_left="MIN", agg_right="SUM", theta="<=",
+        )
+        expr, _ = generate_condition(params, seed=1)
+        assert isinstance(expr.left, AggSum) and expr.left.monoid == MIN
+        assert isinstance(expr.right, AggSum) and expr.right.monoid == SUM
+
+    def test_term_count(self):
+        params = ExprParams(left_terms=7, variables=10, clauses=2, literals=2)
+        expr, _ = generate_condition(params, seed=2)
+        # Canonicalisation may merge identical terms, never add new ones.
+        assert len(module_terms(expr.left)) <= 7
+
+    def test_values_bounded(self):
+        params = ExprParams(left_terms=20, variables=8, max_value=30,
+                            clauses=1, literals=1)
+        expr, _ = generate_condition(params, seed=3)
+        for term in module_terms(expr.left):
+            assert 0 <= term.arg.value <= 30
+
+    def test_variable_probability_fixed(self):
+        params = ExprParams(left_terms=2, variables=4, variable_probability=0.25)
+        _, registry = generate_condition(params, seed=4)
+        for name in registry:
+            assert registry[name][True] == pytest.approx(0.25)
+
+    def test_variable_probability_random(self):
+        params = ExprParams(left_terms=2, variables=6, variable_probability=None)
+        _, registry = generate_condition(params, seed=5)
+        probs = {registry[name][True] for name in registry}
+        assert len(probs) > 1
+
+    def test_seed_reproducibility(self):
+        params = ExprParams(left_terms=5, variables=8)
+        e1, _ = generate_condition(params, seed=42)
+        e2, _ = generate_condition(params, seed=42)
+        assert e1 == e2
+
+    def test_different_seeds_differ(self):
+        params = ExprParams(left_terms=5, variables=8)
+        e1, _ = generate_condition(params, seed=1)
+        e2, _ = generate_condition(params, seed=2)
+        assert e1 != e2
+
+    def test_workload_yields_runs(self):
+        params = ExprParams(left_terms=3, variables=6)
+        items = list(generate_workload(params, runs=4, seed=0))
+        assert len(items) == 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            generate_condition(ExprParams(left_terms=0))
+        with pytest.raises(ReproError):
+            generate_condition(ExprParams(variables=2, literals=5))
+
+    def test_with_updates(self):
+        params = ExprParams().with_(left_terms=3)
+        assert params.left_terms == 3
+        assert params.variables == ExprParams().variables
+
+
+class TestGeneratedExpressionsCompile:
+    @pytest.mark.parametrize("agg", ["MIN", "MAX", "COUNT", "SUM"])
+    def test_compiled_matches_brute_force(self, agg):
+        params = ExprParams(
+            left_terms=4, variables=6, clauses=2, literals=2,
+            max_value=8, constant=4, theta="<=", agg_left=agg,
+        )
+        expr, registry = generate_condition(params, seed=9)
+        compiled = Compiler(registry, BOOLEAN).distribution(expr)
+        brute = ProbabilitySpace(registry, BOOLEAN).distribution_of(expr)
+        assert compiled.almost_equals(brute)
+
+    def test_two_sided_compiles(self):
+        params = ExprParams(
+            left_terms=3, right_terms=3, variables=6, clauses=1, literals=2,
+            max_value=10, theta="<=", agg_left="MAX", agg_right="SUM",
+        )
+        expr, registry = generate_condition(params, seed=10)
+        compiled = Compiler(registry, BOOLEAN).distribution(expr)
+        brute = ProbabilitySpace(registry, BOOLEAN).distribution_of(expr)
+        assert compiled.almost_equals(brute)
