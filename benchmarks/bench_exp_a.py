@@ -22,7 +22,7 @@ if __package__ in (None, ""):  # direct script execution: python benchmarks/...
 
 import pytest
 
-from benchmarks.common import average_time, print_series, run_point
+from benchmarks.common import average_time, print_series, run_point, smoke_mode
 from repro.workloads.random_expr import ExprParams
 
 BASE = ExprParams(
@@ -50,11 +50,11 @@ def _params(agg: str, theta: str, c: int) -> ExprParams:
     return BASE.with_(agg_left=agg, theta=theta, constant=c)
 
 
-def _sweep(agg: str, cs: list[int]) -> list[tuple]:
+def _sweep(agg: str, cs: list[int], thetas: list[str] = None, runs: int = RUNS) -> list[tuple]:
     rows = []
-    for theta in THETAS:
+    for theta in thetas if thetas is not None else THETAS:
         for c in cs:
-            mean, stdev = run_point(_params(agg, theta, c), runs=RUNS, seed=c)
+            mean, stdev = run_point(_params(agg, theta, c), runs=runs, seed=c)
             rows.append((agg, theta, c, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
     return rows
 
@@ -92,16 +92,21 @@ def bench_sum(benchmark, theta, c):
 
 
 def main():
+    smoke = smoke_mode()
     for agg, cs in [
         ("MIN", C_VALUES),
         ("MAX", C_VALUES),
         ("COUNT", C_VALUES_COUNT),
         ("SUM", C_VALUES_SUM),
     ]:
+        if smoke:  # CI perf-smoke job: one mid-sweep point, one θ, one run
+            cs, thetas, runs = [cs[len(cs) // 2]], ["<="], 1
+        else:
+            thetas, runs = THETAS, RUNS
         print_series(
             f"Experiment A — {agg} (Figure 7)",
             ["agg", "θ", "c", "mean", "stdev"],
-            _sweep(agg, cs),
+            _sweep(agg, cs, thetas, runs),
         )
 
 

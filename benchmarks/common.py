@@ -18,6 +18,7 @@ prints the full sweep as the rows/series of the corresponding figure.
 from __future__ import annotations
 
 import statistics
+import sys
 import time
 
 from repro.algebra.semiring import BOOLEAN
@@ -29,7 +30,19 @@ __all__ = [
     "average_time",
     "print_series",
     "run_point",
+    "smoke_mode",
 ]
+
+
+def smoke_mode(argv: list[str] | None = None) -> bool:
+    """True when ``--smoke`` was passed on the command line.
+
+    CI runs each experiment script with ``--smoke`` to exercise the
+    measurement path on a trimmed sweep (one point per series, one run)
+    without paying for the full figure.
+    """
+    args = sys.argv[1:] if argv is None else argv
+    return "--smoke" in args
 
 
 def evaluate_once(params: ExprParams, seed: int = 0, **compiler_options):

@@ -3,36 +3,24 @@
 A tiny product catalogue where each item's availability is uncertain.
 We ask: what is the distribution of the total price of available items,
 and what is the probability that the cheapest available item costs at
-most 100?
+most 100?  Everything goes through the :func:`repro.connect` session
+facade — one front door, three engines behind it.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    BOOLEAN,
-    AggSpec,
-    GroupAgg,
-    PVCDatabase,
-    Project,
-    Select,
-    SproutEngine,
-    Var,
-    VariableRegistry,
-    cmp_,
-    lit,
-    relation,
-)
+import warnings
+
+from repro import cmp_, connect, lit, min_, sum_
 
 
 def main():
-    # 1. Declare independent Boolean random variables: "is this tuple in
-    #    the database?"  (tuple-independent probabilistic table).
-    registry = VariableRegistry()
-    db = PVCDatabase(registry=registry, semiring=BOOLEAN)
-
-    items = db.create_table("items", ["name", "category", "price"])
+    # 1. Open a session and define a tuple-independent probabilistic
+    #    table; insert(p=...) auto-mints one Bernoulli variable per row.
+    s = connect(seed=7)
+    items = s.table("items", ["name", "category", "price"])
     catalogue = [
         ("inkjet printer", "printer", 99, 0.7),
         ("laser printer", "printer", 349, 0.4),
@@ -40,45 +28,71 @@ def main():
         ("netbook", "laptop", 249, 0.9),
         ("workstation", "laptop", 1999, 0.2),
     ]
-    for i, (name, category, price, probability) in enumerate(catalogue):
-        variable = f"x{i}"
-        registry.bernoulli(variable, probability)
-        items.add((name, category, price), Var(variable))
-
-    engine = SproutEngine(db)
+    for name, category, price, probability in catalogue:
+        items.insert((name, category, price), p=probability)
 
     # 2. SUM aggregate: distribution of the total price of available items.
-    total_query = GroupAgg(
-        relation("items"), [], [AggSpec.of("total", "SUM", "price")]
-    )
-    result = engine.run(total_query)
+    result = items.agg(total=sum_("price")).run(engine="sprout")
     row = result.rows[0]
     print("Distribution of SUM(price) over available items:")
     for value, probability in sorted(row.value_distribution("total").items()):
         print(f"  total = {value:>5}:  {probability:.4f}")
 
-    # 3. Per-category MIN with a threshold: which categories offer an
-    #    available item for at most 300, and how likely?
-    cheapest = GroupAgg(
-        relation("items"), ["category"], [AggSpec.of("cheapest", "MIN", "price")]
+    # 3. Per-category MIN with a threshold, built fluently: which
+    #    categories offer an available item for at most 300?
+    affordable = (
+        items.group_by("category")
+        .agg(cheapest=min_("price"))
+        .where(cmp_("cheapest", "<=", lit(300)))
+        .select("category")
     )
-    affordable = Project(
-        Select(cheapest, cmp_("cheapest", "<=", lit(300))), ["category"]
-    )
-    print("\nP(category has an available item ≤ 300):")
-    for row in engine.run(affordable):
-        print(f"  {row.values[0]:<8} {row.probability():.4f}")
 
-    # 4. Peek under the hood: the symbolic annotation and its d-tree.
-    table = engine.rewrite(affordable)
-    from repro import Compiler
+    # 4. The same query through all three engines — one QueryResult type.
+    print(f"\nClassification: {affordable.classify()!r}")
+    print("P(category has an available item ≤ 300), per engine:")
+    results = {
+        engine: affordable.run(engine=engine, **option)
+        for engine, option in [
+            ("sprout", {}),
+            ("naive", {}),
+            ("montecarlo", {"samples": 4000}),
+        ]
+    }
+    for engine, result in results.items():
+        answers = ", ".join(
+            f"{values[0]}: {p:.4f}"
+            for values, p in sorted(result.tuple_probabilities().items())
+        )
+        print(f"  {result.engine:<11} {answers}")
 
-    compiler = Compiler(registry, BOOLEAN)
+    # The two exact engines agree to within numerical noise.
+    exact = results["sprout"].tuple_probabilities()
+    oracle = results["naive"].tuple_probabilities()
+    assert set(exact) == set(oracle)
+    assert all(abs(exact[key] - oracle[key]) < 1e-9 for key in oracle)
+    print("  (sprout and naive agree to 1e-9)")
+
+    # 5. engine="auto" dispatches on tractability: the affordable query is
+    #    provably in Q_ind, so it compiles exactly; a query repeating a
+    #    base relation falls outside the analysis and falls back to
+    #    Monte-Carlo sampling (with a warning).
+    print("\nAutomatic engine selection:")
+    auto = affordable.run(engine="auto")
+    print(f"  tractable query  -> engine={auto.engine!r}")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        hard = s.sql(
+            "SELECT name FROM items WHERE price <= (SELECT MIN(price) FROM items)"
+        )
+    print(f"  self-join query  -> engine={hard.engine!r} (sampled fallback)")
+
+    # 6. Peek under the hood: the symbolic annotation and its d-tree.
+    table = s.rewrite(affordable)
     first = table.rows[0]
     print(f"\nSymbolic annotation of {first.values}:")
     print(f"  Φ = {first.annotation!r}")
     print("Decomposition tree:")
-    print(compiler.compile(first.annotation).pretty("  "))
+    print(s.compiler.compile(first.annotation).pretty("  "))
 
 
 if __name__ == "__main__":

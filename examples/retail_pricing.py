@@ -2,7 +2,7 @@
 
 Reconstructs the pvc-database of Figure 1 — uncertain suppliers S,
 uncertain price listings PS, and two uncertain product tables P1/P2 —
-then evaluates
+through the session facade, then evaluates
 
 * Q1 = π_{shop, price}[S ⋈ PS ⋈ (P1 ∪ P2)]  (Figure 1d), and
 * Q2 = π_shop σ_{P≤50} $_{shop; P←MAX(price)}[Q1]  (Figure 1e),
@@ -15,92 +15,73 @@ Run with::
     python examples/retail_pricing.py
 """
 
-from repro import (
-    BOOLEAN,
-    AggSpec,
-    Compiler,
-    GroupAgg,
-    PVCDatabase,
-    Project,
-    Select,
-    SproutEngine,
-    Union,
-    Var,
-    VariableRegistry,
-    cmp_,
-    conj,
-    eq,
-    product_of,
-    relation,
-)
+from repro import BOOLEAN, Compiler, cmp_, connect, eq, max_
 
 
-def build_database() -> PVCDatabase:
-    registry = VariableRegistry()
-    db = PVCDatabase(registry=registry, semiring=BOOLEAN)
+def build_session():
+    s = connect(engine="sprout")
 
-    suppliers = db.create_table("S", ["sid", "shop"])
+    suppliers = s.table("S", ["sid", "shop"])
     for sid, shop in [(1, "M&S"), (2, "M&S"), (3, "M&S"), (4, "Gap"), (5, "Gap")]:
-        registry.bernoulli(f"x{sid}", 0.5)
-        suppliers.add((sid, shop), Var(f"x{sid}"))
+        suppliers.insert((sid, shop), p=0.5, var=f"x{sid}")
 
-    listings = db.create_table("PS", ["psid", "pid", "price"])
+    listings = s.table("PS", ["psid", "pid", "price"])
     for sid, pid, price in [
         (1, 1, 10), (1, 2, 50), (2, 1, 11), (2, 2, 60), (3, 3, 15),
         (3, 4, 40), (4, 1, 15), (4, 3, 60), (5, 1, 10),
     ]:
-        name = f"y{sid}{pid}"
-        registry.bernoulli(name, 0.6)
-        listings.add((sid, pid, price), Var(name))
+        listings.insert((sid, pid, price), p=0.6, var=f"y{sid}{pid}")
 
-    products1 = db.create_table("P1", ["ppid", "weight"])
+    products1 = s.table("P1", ["ppid", "weight"])
     for pid, weight in [(1, 4), (2, 8), (3, 7), (4, 6)]:
-        registry.bernoulli(f"z{pid}", 0.7)
-        products1.add((pid, weight), Var(f"z{pid}"))
+        products1.insert((pid, weight), p=0.7, var=f"z{pid}")
 
-    products2 = db.create_table("P2", ["ppid", "weight"])
-    registry.bernoulli("z5", 0.5)
-    products2.add((1, 5), Var("z5"))
-    return db
+    s.table("P2", ["ppid", "weight"]).insert((1, 5), p=0.5, var="z5")
+    return s
 
 
-def q1():
+def q1(s):
     """Q1 = π_{shop,price}[S ⋈ PS ⋈ (P1 ∪ P2)]."""
-    products = Union(relation("P1"), relation("P2"))
-    joined = Select(
-        product_of(relation("S"), relation("PS"), products),
-        conj(eq("sid", "psid"), eq("pid", "ppid")),
+    products = s.table("P1").union(s.table("P2"))
+    return (
+        s.table("S")
+        .product(s.table("PS"))
+        .product(products)
+        .where(eq("sid", "psid"), eq("pid", "ppid"))
+        .select("shop", "price")
     )
-    return Project(joined, ["shop", "price"])
 
 
-def q2(limit: int = 50):
+def q2(s, limit: int = 50):
     """Q2 = π_shop σ_{P≤limit} $_{shop; P←MAX(price)}[Q1]."""
-    grouped = GroupAgg(q1(), ["shop"], [AggSpec.of("P", "MAX", "price")])
-    return Project(Select(grouped, cmp_("P", "<=", limit)), ["shop"])
+    return (
+        q1(s)
+        .group_by("shop")
+        .agg(P=max_("price"))
+        .where(cmp_("P", "<=", limit))
+        .select("shop")
+    )
 
 
 def main():
-    db = build_database()
-    engine = SproutEngine(db)
+    s = build_session()
 
     print("Q1 — prices of products available in shops (Figure 1d):")
-    print(engine.rewrite(q1()).pretty())
+    print(s.rewrite(q1(s)).pretty())
 
     print("\nQ1 answer probabilities:")
-    for row in engine.run(q1()):
+    for row in q1(s).run():
         print(f"  {row.values}:  P = {row.probability():.4f}")
 
     print("\nQ2 — shops whose maximal price is ≤ 50 (Figure 1e):")
-    result = engine.run(q2())
-    for row in result:
+    for row in q2(s).run():
         print(f"  {row.values[0]:<5} P = {row.probability():.4f}")
         print(f"        Φ = {row.annotation!r}")
 
     # The distribution of MAX(price) per shop, conditioned on existence.
-    grouped = GroupAgg(q1(), ["shop"], [AggSpec.of("P", "MAX", "price")])
+    grouped = q1(s).group_by("shop").agg(P=max_("price"))
     print("\nDistribution of MAX(price) per shop:")
-    for row in engine.run(grouped):
+    for row in grouped.run():
         shop = row.values[0]
         print(f"  {shop}:")
         for value, probability in sorted(
@@ -108,9 +89,10 @@ def main():
         ):
             print(f"    max = {value:>4}:  {probability:.4f}")
 
-    # Figure 6: the d-tree of the Gap group's semimodule expression.
-    gap_row = next(r for r in engine.rewrite(grouped) if r.values[0] == "Gap")
-    compiler = Compiler(db.registry, BOOLEAN)
+    # Figure 6: the d-tree of the Gap group's semimodule expression
+    # (a fresh compiler, so the node/expansion counts are this tree's own).
+    gap_row = next(r for r in s.rewrite(grouped) if r.values[0] == "Gap")
+    compiler = Compiler(s.registry, BOOLEAN)
     tree = compiler.compile(gap_row.values[1])
     print("\nDecomposition tree of the ⟨Gap⟩ aggregation value (Figure 6):")
     print(tree.pretty("  "))

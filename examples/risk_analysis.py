@@ -21,13 +21,12 @@ from repro import (
     BOOLEAN,
     SUM,
     ApproximateCompiler,
-    Compiler,
     MConst,
     Var,
-    VariableRegistry,
     aggsum,
     approximate_probability,
     compare,
+    connect,
     prune,
     tensor,
 )
@@ -57,21 +56,24 @@ def build_penalty_expression(rng, registry, shipments=14):
 
 
 def main():
+    # The session facade also fronts raw expression workloads: it owns the
+    # registry and routes distribution queries through its per-session
+    # compilation cache.
     rng = random.Random(2026)
-    registry = VariableRegistry()
+    session = connect()
+    registry = session.registry
     total_penalty = build_penalty_expression(rng, registry)
 
-    compiler = Compiler(registry, BOOLEAN)
     condition = compare(total_penalty, "<=", SERVICE_LEVEL)
 
     # 1. Exact distribution of the total penalty.
-    dist = compiler.distribution(total_penalty)
+    dist = session.distribution(total_penalty)
     print(f"Total-penalty distribution ({len(dist)} outcomes):")
     print(f"  expectation : {dist.expectation():8.2f}")
     print(f"  std. dev    : {dist.variance() ** 0.5:8.2f}")
     print(f"  95% quantile: {dist.quantile(0.95):8.0f}")
 
-    exact = compiler.probability(condition)
+    exact = session.probability(condition)
     print(f"\nP(total penalty ≤ {SERVICE_LEVEL}) exact: {exact:.6f}")
 
     # 2. Guaranteed bounds at increasing compilation budgets.  Budgeted
@@ -82,7 +84,7 @@ def main():
         phi = node.phi
         any_delay = phi if any_delay is None else any_delay + phi
     print("\nBounds for P(at least one shipment delayed):")
-    exact_delay = compiler.probability(any_delay)
+    exact_delay = session.probability(any_delay)
     for budget in (0, 1, 2, 4, 16):
         bounds = ApproximateCompiler(registry, budget).bounds(any_delay)
         marker = "=" if bounds.width < 1e-9 else "∈"

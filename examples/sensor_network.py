@@ -11,11 +11,11 @@ ways the paper's model captures naturally:
 
 We then ask per-floor questions: the distribution of the number of live
 readings (COUNT), the probability that the maximum temperature exceeds an
-alert threshold (MAX with a HAVING-style condition), and the joint
-behaviour of the two.
+alert threshold (MAX with a HAVING-style condition), and — through the
+session facade — the same alert answered by all three engines.
 
 BID blocks need bag semantics (the block variables range over 0..k), so
-the whole database runs under the naturals semiring — demonstrating
+the whole session runs under the naturals semiring — demonstrating
 Table 1's probabilistic-bag row.
 
 Run with::
@@ -23,95 +23,65 @@ Run with::
     python examples/sensor_network.py
 """
 
-from repro import (
-    NATURALS,
-    AggSpec,
-    GroupAgg,
-    MonteCarloEngine,
-    NaiveEngine,
-    PVCDatabase,
-    Project,
-    Select,
-    SproutEngine,
-    VariableRegistry,
-    bid_table,
-    cmp_,
-    relation,
-    tuple_independent_table,
-)
+from repro import NATURALS, cmp_, connect, count_, max_
 
 ALERT_THRESHOLD = 30
 
 
-def build_database() -> PVCDatabase:
-    registry = VariableRegistry()
-    db = PVCDatabase(registry=registry, semiring=NATURALS)
+def build_session():
+    s = connect(semiring=NATURALS, engine="sprout", seed=1)
 
     # Reliable sensors: the reading is correct when the sensor was online.
     # (floor, sensor, temperature) with per-row probability of being live.
-    steady = tuple_independent_table(
-        ["floor", "sensor", "temp"],
+    s.table("steady", ["floor", "sensor", "temp"]).insert_many(
         [
             ((1, "s11", 21), 0.95),
             ((1, "s12", 24), 0.9),
             ((2, "s21", 28), 0.85),
             ((2, "s22", 26), 0.9),
-        ],
-        registry,
-        prefix="live",
+        ]
     )
-    db.add_table("steady", steady)
 
     # Flaky sensors: each block lists mutually exclusive candidate
     # readings (at most one is real; the remainder is "no reading").
-    flaky = bid_table(
-        ["floor", "sensor", "temp"],
-        [
-            [((1, "f1", 23), 0.5), ((1, "f1", 35), 0.3)],   # 20% offline
-            [((2, "f2", 29), 0.6), ((2, "f2", 33), 0.4)],
-        ],
-        registry,
-        prefix="blk",
-    )
-    db.add_table("flaky", flaky)
-    return db
+    flaky = s.table("flaky", ["floor", "sensor", "temp"])
+    flaky.insert_block([((1, "f1", 23), 0.5), ((1, "f1", 35), 0.3)])  # 20% offline
+    flaky.insert_block([((2, "f2", 29), 0.6), ((2, "f2", 33), 0.4)])
+    return s
 
 
 def main():
-    db = build_database()
-    engine = SproutEngine(db)
-
-    from repro import Union
-
-    readings = Union(relation("steady"), relation("flaky"))
+    s = build_session()
+    readings = s.table("steady").union(s.table("flaky"))
 
     # 1. COUNT of live readings per floor.
-    counts = GroupAgg(readings, ["floor"], [AggSpec.of("n", "COUNT")])
+    counts = readings.group_by("floor").agg(n=count_())
     print("Distribution of the number of live readings per floor:")
-    for row in engine.run(counts):
+    for row in counts.run():
         floor = row.values[0]
         dist = row.value_distribution("n")
         line = ", ".join(f"{v}:{p:.3f}" for v, p in sorted(dist.items()))
         print(f"  floor {floor}: {line}")
 
     # 2. Overheating alert: P(MAX(temp) > threshold) per floor.
-    hottest = GroupAgg(readings, ["floor"], [AggSpec.of("hot", "MAX", "temp")])
-    alert = Project(
-        Select(hottest, cmp_("hot", ">", ALERT_THRESHOLD)), ["floor"]
+    alert = (
+        readings.group_by("floor")
+        .agg(hot=max_("temp"))
+        .where(cmp_("hot", ">", ALERT_THRESHOLD))
+        .select("floor")
     )
     print(f"\nP(max temperature > {ALERT_THRESHOLD}) per floor:")
-    for row in engine.run(alert):
+    for row in alert.run():
         print(f"  floor {row.values[0]}: {row.probability():.4f}")
 
     # 3. Cross-check against the exact possible-worlds oracle and a
-    #    Monte-Carlo estimate (the baselines the paper compares against).
-    exact = NaiveEngine(db).tuple_probabilities(alert)
-    sampled = MonteCarloEngine(db, seed=1).tuple_probabilities(alert, 2000)
+    #    Monte-Carlo estimate — the same query, the same QueryResult type,
+    #    three engines behind the one facade.
+    compiled = alert.run(engine="sprout").tuple_probabilities()
+    exact = alert.run(engine="naive").tuple_probabilities()
+    sampled = alert.run(engine="montecarlo", samples=2000).tuple_probabilities()
     print("\nFloor-1 alert probability, three ways:")
     key = (1,)
-    compiled = {
-        tuple(row.values): row.probability() for row in engine.run(alert)
-    }
     print(f"  compiled d-tree : {compiled.get(key, 0.0):.4f}")
     print(f"  possible worlds : {exact.get(key, 0.0):.4f}")
     print(f"  Monte Carlo(2k) : {sampled.get(key, 0.0):.4f}")

@@ -12,7 +12,7 @@ Run with::
 
 import sys
 
-from repro import SproutEngine, classify_query, tuple_independent_relations
+from repro import connect
 from repro.workloads.tpch import (
     TPCHConfig,
     generate_tpch,
@@ -30,16 +30,16 @@ def main():
     for name, table in sorted(db.tables.items()):
         print(f"  {name:<10} {len(table):>6} tuples")
 
-    catalog = {name: table.schema for name, table in db.tables.items()}
-    independent = tuple_independent_relations(db)
-    engine = SproutEngine(db)
+    # Adopt the generated database into a session; Q1/Q2 are outside the
+    # SQL fragment, so they go in as algebra trees through the same facade.
+    s = connect(database=db, engine="sprout")
 
     # --- Q1: grouped COUNT over lineitem --------------------------------
     q1 = tpch_q1()
     print(f"\nQ1 = {q1!r}")
-    print(f"  tractability: {classify_query(q1, catalog, independent)!r}")
-    _, q0_seconds = engine.deterministic_baseline(q1)
-    result = engine.run(q1)
+    print(f"  tractability: {s.classify(q1)!r}")
+    _, q0_seconds = s.deterministic_baseline(q1)
+    result = s.run(q1)
     print(
         f"  Q0 = {q0_seconds*1000:.1f}ms   "
         f"⟦·⟧ = {result.timings['rewrite_seconds']*1000:.1f}ms   "
@@ -55,13 +55,12 @@ def main():
     prepare_q2_aliases(db)
     part_key, region = q2_candidate(db)
     q2 = tpch_q2(part_key, region)
-    catalog = {name: table.schema for name, table in db.tables.items()}
     print(f"\nQ2 (part {part_key}, region {region!r})")
-    print(f"  tractability: {classify_query(q2, catalog, independent)!r}")
+    print(f"  tractability: {s.classify(q2)!r}")
     print("  (the nested aggregate repeats partsupp — outside Q_hie, so")
     print("   evaluation relies on the generic compilation path)")
-    _, q0_seconds = engine.deterministic_baseline(q2)
-    result = engine.run(q2)
+    _, q0_seconds = s.deterministic_baseline(q2)
+    result = s.run(q2)
     print(
         f"  Q0 = {q0_seconds*1000:.1f}ms   "
         f"⟦·⟧ = {result.timings['rewrite_seconds']*1000:.1f}ms   "

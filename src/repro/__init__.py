@@ -25,19 +25,19 @@ The library implements the paper's full stack:
 * :mod:`repro.workloads` — the Eq.-11 random expression generator and a
   TPC-H-shaped data generator with the paper's two queries.
 
-Quickstart::
+Quickstart (the primary API is the :func:`connect` session facade)::
 
-    from repro import *
+    from repro import connect, sum_
 
-    reg = VariableRegistry()
-    db = PVCDatabase(registry=reg, semiring=BOOLEAN)
-    items = db.create_table("items", ["name", "price"])
-    items.add(("inkjet", 99), Var("x1")); reg.bernoulli("x1", 0.7)
-    items.add(("laser", 349), Var("x2")); reg.bernoulli("x2", 0.4)
+    s = connect()
+    items = s.table("items", ["name", "price"])
+    items.insert(("inkjet", 99), p=0.7).insert(("laser", 349), p=0.4)
 
-    query = GroupAgg(relation("items"), [], [AggSpec.of("total", "SUM", "price")])
-    result = SproutEngine(db).run(query)
+    result = items.agg(total=sum_("price")).run()
     print(result.rows[0].value_distribution("total"))
+
+The underlying layers (registries, pvc-databases, the algebra, the
+engines) remain public — ``SproutEngine(db).run(query)`` works unchanged.
 """
 
 from repro.algebra import (
@@ -96,7 +96,19 @@ from repro.db import (
     enumerate_database_worlds,
     tuple_independent_table,
 )
-from repro.engine import MonteCarloEngine, NaiveEngine, SproutEngine
+from repro.engine import (
+    CompilationCache,
+    Engine,
+    MonteCarloAdapter,
+    MonteCarloEngine,
+    NaiveAdapter,
+    NaiveEngine,
+    QueryResult,
+    ResultRow,
+    SproutAdapter,
+    SproutEngine,
+    create_engine,
+)
 from repro.errors import (
     AlgebraError,
     CompilationError,
@@ -109,28 +121,36 @@ from repro.errors import (
 from repro.prob import Distribution, ProbabilitySpace, VariableRegistry
 from repro.query import (
     AggSpec,
+    AggTerm,
     GroupAgg,
     Product,
     Project,
     Query,
+    QueryBuilder,
     Select,
     Union,
     attr,
     classify_query,
     cmp_,
     conj,
+    count_,
     eq,
     equijoin,
     evaluate_query,
     is_hierarchical,
     lit,
+    max_,
+    min_,
     optimize,
     parse_sql,
+    prod_,
     product_of,
     relation,
+    sum_,
     tuple_independent_relations,
     validate_query,
 )
+from repro.session import Session, TableHandle, connect
 
 __version__ = "1.0.0"
 
@@ -157,8 +177,14 @@ __all__ = [
     "relation", "product_of", "equijoin", "attr", "lit", "eq", "cmp_",
     "conj", "evaluate_query", "validate_query", "parse_sql", "optimize",
     "classify_query", "is_hierarchical", "tuple_independent_relations",
+    # session facade
+    "connect", "Session", "TableHandle",
+    "QueryBuilder", "AggTerm", "sum_", "count_", "min_", "max_", "prod_",
     # engines
     "SproutEngine", "NaiveEngine", "MonteCarloEngine",
+    "QueryResult", "ResultRow",
+    "Engine", "SproutAdapter", "NaiveAdapter", "MonteCarloAdapter",
+    "create_engine", "CompilationCache",
     # errors
     "ReproError", "AlgebraError", "ParseError", "DistributionError",
     "CompilationError", "SchemaError", "QueryValidationError",

@@ -143,6 +143,14 @@ class Compiler:
             expr = self._normalizer(prune(expr, self.semiring))
         return self._compile(expr)
 
+    def normalize(self, expr: Expr) -> Expr:
+        """Semiring-aware normal form of ``expr``.
+
+        Public hook for per-session compilation caches, which key their
+        entries on normalized annotations.
+        """
+        return self._normalizer(expr)
+
     def distribution(self, expr: Expr) -> Distribution:
         """Compile ``expr`` and compute its probability distribution."""
         return self.compile(expr).distribution(self.context)

@@ -17,13 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from repro.algebra.expressions import ONE, SemiringExpr
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import ONE, SemiringExpr, Var
 from repro.algebra.semimodule import ModuleExpr
 from repro.algebra.semiring import BOOLEAN, Semiring
 from repro.algebra.valuation import Valuation
 from repro.db.relation import Relation
 from repro.db.schema import Schema
-from repro.errors import SchemaError
+from repro.errors import DistributionError, SchemaError
+from repro.prob.distribution import Distribution
 from repro.prob.variables import VariableRegistry
 
 __all__ = ["PVCRow", "PVCTable", "PVCDatabase"]
@@ -73,6 +75,41 @@ class PVCTable:
                 f"{self.schema!r}"
             )
         self.rows.append(PVCRow(values, annotation))
+
+    def add_block(
+        self,
+        alternatives: Sequence[tuple],
+        registry: VariableRegistry,
+        name: str,
+    ) -> None:
+        """Append mutually exclusive row alternatives driven by variable
+        ``name`` (the BID encoding shared by :func:`bid_table` and
+        :meth:`PVCDatabase.insert_block`).
+
+        ``alternatives`` is a sequence of ``(values, probability)`` pairs
+        summing to at most 1; the remainder is the probability that no
+        alternative is chosen.  Alternative ``i`` gets the conditional
+        annotation ``[name = i+1]`` over one integer block variable.
+        """
+        alternatives = list(alternatives)
+        total = sum(probability for _, probability in alternatives)
+        if total > 1.0 + 1e-9:
+            raise DistributionError(
+                f"block {name!r} probabilities sum to {total} > 1"
+            )
+        support = {
+            i + 1: probability
+            for i, (_, probability) in enumerate(alternatives)
+            if probability > 0
+        }
+        remainder = 1.0 - total
+        if remainder > 1e-12:
+            support[0] = remainder
+        registry.declare(name, Distribution(support))
+        for i, (values, probability) in enumerate(alternatives):
+            if probability <= 0:
+                continue
+            self.add(tuple(values), compare(Var(name), "=", i + 1))
 
     def __iter__(self) -> Iterator[PVCRow]:
         return iter(self.rows)
@@ -147,6 +184,7 @@ class PVCDatabase:
         self.tables: dict[str, PVCTable] = dict(tables or {})
         self.registry = registry if registry is not None else VariableRegistry()
         self.semiring = semiring
+        self._variable_counters: dict[str, int] = {}
 
     def __getitem__(self, name: str) -> PVCTable:
         try:
@@ -173,6 +211,104 @@ class PVCDatabase:
         return self.add_table(
             name, PVCTable(Schema(attributes, aggregation_attributes))
         )
+
+    def catalog(self) -> dict[str, Schema]:
+        """Mapping of table names to schemas (for validation/planning)."""
+        return {name: table.schema for name, table in self.tables.items()}
+
+    def _coerce_values(self, table: PVCTable, values) -> tuple:
+        """Accept positional tuples or attribute dictionaries."""
+        if isinstance(values, Mapping):
+            missing = set(table.schema.attributes) - set(values)
+            extra = set(values) - set(table.schema.attributes)
+            if missing or extra:
+                raise SchemaError(
+                    f"row keys {sorted(values)} do not match schema "
+                    f"{table.schema!r}"
+                )
+            return tuple(values[name] for name in table.schema.attributes)
+        return tuple(values)
+
+    def fresh_variable(self, stem: str) -> str:
+        """Mint a variable name ``{stem}{i}`` unused by the registry."""
+        index = self._variable_counters.get(stem, 0)
+        while f"{stem}{index}" in self.registry:
+            index += 1
+        self._variable_counters[stem] = index + 1
+        return f"{stem}{index}"
+
+    def insert(
+        self,
+        table_name: str,
+        values,
+        p: float | None = None,
+        annotation: SemiringExpr | None = None,
+        var: str | None = None,
+    ) -> SemiringExpr:
+        """Insert one row, auto-minting a Bernoulli variable for ``p``.
+
+        * ``p=None`` (default) inserts a certain row (annotation ``1_K``);
+        * ``0 <= p < 1`` declares a fresh Boolean variable with
+          ``P[⊤] = p`` (named ``var`` if given, else ``{table}_{i}``) and
+          annotates the row with it; ``p = 1`` is treated as certain —
+          unless ``var`` is given, which forces the named variable to be
+          declared (with ``P[⊤] = 1``) so later rows can reference it;
+        * an explicit ``annotation`` bypasses variable minting entirely.
+
+        Returns the row's annotation, so callers can correlate further
+        rows with the same event.
+        """
+        table = self[table_name]
+        values = self._coerce_values(table, values)
+        if annotation is not None:
+            if p is not None or var is not None:
+                raise DistributionError(
+                    "an explicit annotation cannot be combined with p= or var="
+                )
+            table.add(values, annotation)
+            return annotation
+        if p is None:
+            if var is not None:
+                raise DistributionError(
+                    f"naming variable {var!r} requires a probability p"
+                )
+            table.add(values)
+            return ONE
+        if not 0.0 <= p <= 1.0:
+            raise DistributionError(f"probability {p} is not in [0, 1]")
+        if p >= 1.0 and var is None:
+            table.add(values)  # certain row: no variable to mint
+            return ONE
+        name = var if var is not None else self.fresh_variable(f"{table_name}_")
+        self.registry.bernoulli(name, p)
+        expr = Var(name)
+        table.add(values, expr)
+        return expr
+
+    def insert_block(
+        self,
+        table_name: str,
+        alternatives: Sequence[tuple],
+        var: str | None = None,
+    ) -> str:
+        """Insert a block of mutually exclusive row alternatives (BID).
+
+        ``alternatives`` is a sequence of ``(values, probability)`` pairs
+        whose probabilities sum to at most 1 (the remainder is "no row").
+        One integer block variable drives the block, and alternative ``i``
+        is annotated ``[x_b = i]`` — which requires the **naturals**
+        semiring, as with :func:`repro.db.tuple_independent.bid_table`.
+
+        Returns the name of the block variable.
+        """
+        table = self[table_name]
+        alternatives = [
+            (self._coerce_values(table, values), probability)
+            for values, probability in alternatives
+        ]
+        name = var if var is not None else self.fresh_variable(f"{table_name}_blk")
+        table.add_block(alternatives, self.registry, name)
+        return name
 
     @property
     def variables(self) -> frozenset:

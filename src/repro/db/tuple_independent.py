@@ -13,12 +13,9 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.algebra.conditions import compare
 from repro.algebra.expressions import Var
 from repro.db.pvc_table import PVCTable
 from repro.db.schema import Schema
-from repro.errors import DistributionError
-from repro.prob.distribution import Distribution
 from repro.prob.variables import VariableRegistry
 
 __all__ = ["tuple_independent_table", "bid_table"]
@@ -70,20 +67,5 @@ def bid_table(
     """
     table = PVCTable(Schema(attributes))
     for b, block in enumerate(blocks):
-        block = list(block)
-        total = sum(p for _, p in block)
-        if total > 1.0 + 1e-9:
-            raise DistributionError(
-                f"block {b} probabilities sum to {total} > 1"
-            )
-        name = f"{prefix}{b}"
-        support = {i + 1: p for i, (_, p) in enumerate(block) if p > 0}
-        remainder = 1.0 - total
-        if remainder > 1e-12:
-            support[0] = remainder
-        registry.declare(name, Distribution(support))
-        for i, (values, probability) in enumerate(block):
-            if probability <= 0:
-                continue
-            table.add(tuple(values), compare(Var(name), "=", i + 1))
+        table.add_block(block, registry, f"{prefix}{b}")
     return table

@@ -7,8 +7,23 @@
   enumeration (exact, exponential; the test oracle).
 * :class:`~repro.engine.montecarlo.MonteCarloEngine` — sampling baseline
   in the spirit of MCDB.
+
+All three are also available behind the uniform
+:class:`~repro.engine.base.Engine` protocol (adapters returning the same
+:class:`~repro.engine.sprout.QueryResult` type), which is what the
+:class:`~repro.session.Session` facade dispatches on.
 """
 
+from repro.engine.base import (
+    ENGINE_NAMES,
+    CompilationCache,
+    Engine,
+    MonteCarloAdapter,
+    NaiveAdapter,
+    SproutAdapter,
+    create_engine,
+    select_engine_name,
+)
 from repro.engine.montecarlo import MonteCarloEngine
 from repro.engine.naive import NaiveEngine, evaluate_deterministic
 from repro.engine.sprout import QueryResult, ResultRow, SproutEngine
@@ -20,4 +35,12 @@ __all__ = [
     "NaiveEngine",
     "evaluate_deterministic",
     "MonteCarloEngine",
+    "Engine",
+    "ENGINE_NAMES",
+    "CompilationCache",
+    "SproutAdapter",
+    "NaiveAdapter",
+    "MonteCarloAdapter",
+    "create_engine",
+    "select_engine_name",
 ]

@@ -1,0 +1,251 @@
+"""The pluggable ``Engine`` protocol and its adapters.
+
+Every engine in the library answers the same question — ``P[t ∈ answer]``
+for a ``Q``-algebra query over a pvc-database — but the seed grew three
+incompatible surfaces: the compiled engine returned a rich
+:class:`~repro.engine.sprout.QueryResult` while the brute-force and
+Monte-Carlo baselines returned raw probability dicts.  This module gives
+all three one front door:
+
+* :class:`Engine` — the protocol (``name`` + ``run(query) -> QueryResult``);
+* :class:`SproutAdapter` / :class:`NaiveAdapter` / :class:`MonteCarloAdapter`
+  — adapters returning the **same** :class:`QueryResult` type;
+* :func:`create_engine` — the factory keyed on engine names;
+* :func:`select_engine_name` — the ``engine="auto"`` policy: exact
+  compilation for queries the Section-6 analysis proves tractable,
+  Monte-Carlo fallback (with a warning and a sample budget) otherwise;
+* :class:`CompilationCache` — a shared distribution cache keyed on
+  normalized annotations, so repeated and overlapping rows across runs
+  never recompile the same d-tree.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Protocol, runtime_checkable
+
+from repro.algebra.expressions import ONE, Expr
+from repro.core.compile import Compiler
+from repro.db.pvc_table import PVCDatabase
+from repro.engine.montecarlo import MonteCarloEngine
+from repro.engine.naive import NaiveEngine
+from repro.engine.sprout import QueryResult, ResultRow, SproutEngine
+from repro.errors import QueryValidationError
+from repro.prob.distribution import Distribution
+from repro.query.ast import Query
+from repro.query.tractability import (
+    Classification,
+    classify_query,
+    tuple_independent_relations,
+)
+
+__all__ = [
+    "Engine",
+    "ENGINE_NAMES",
+    "CompilationCache",
+    "SproutAdapter",
+    "NaiveAdapter",
+    "MonteCarloAdapter",
+    "create_engine",
+    "select_engine_name",
+]
+
+#: The registered engine names, in preference order.
+ENGINE_NAMES = ("sprout", "naive", "montecarlo")
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """An engine answers queries on a pvc-database with a QueryResult."""
+
+    name: str
+
+    def run(self, query: Query, **options) -> QueryResult:
+        """Evaluate ``query`` and return rows with probabilities."""
+        ...
+
+
+class CompilationCache:
+    """Per-session distribution cache keyed on normalized annotations.
+
+    Wraps one persistent :class:`Compiler`, whose d-tree memo already
+    shares work between *overlapping* annotations; this cache additionally
+    short-circuits *repeated* annotations (the same normalized expression
+    across rows, runs, or ``pretty()``/accessor calls) to a stored
+    :class:`Distribution` without touching the compiler at all.
+
+    Duck-types the ``distribution``/``semiring`` surface of
+    :class:`Compiler`, so it can stand in wherever result rows expect a
+    distribution source.
+    """
+
+    def __init__(self, compiler: Compiler):
+        self.compiler = compiler
+        self.hits = 0
+        self.misses = 0
+        self._distributions: dict[Expr, Distribution] = {}
+
+    @property
+    def semiring(self):
+        return self.compiler.semiring
+
+    @property
+    def registry(self):
+        return self.compiler.registry
+
+    def distribution(self, expr: Expr) -> Distribution:
+        key = self.compiler.normalize(expr)
+        cached = self._distributions.get(key)
+        if cached is None:
+            self.misses += 1
+            cached = self.compiler.distribution(key)
+            self._distributions[key] = cached
+        else:
+            self.hits += 1
+        return cached
+
+    def compile(self, expr: Expr):
+        return self.compiler.compile(expr)
+
+    def __len__(self) -> int:
+        return len(self._distributions)
+
+    def __repr__(self):
+        return (
+            f"CompilationCache({len(self)} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
+class SproutAdapter:
+    """The paper's two-step pipeline behind the :class:`Engine` protocol."""
+
+    name = "sprout"
+
+    def __init__(self, db: PVCDatabase, distribution_source=None, **compiler_options):
+        self.engine = SproutEngine(
+            db, distribution_source=distribution_source, **compiler_options
+        )
+
+    def run(self, query: Query, **options) -> QueryResult:
+        result = self.engine.run(query, **options)
+        result.engine = self.name
+        return result
+
+
+def _concrete_rows(schema, probabilities, compare_key=repr):
+    """Sorted ResultRows for engines reporting concrete tuples only."""
+    return [
+        ResultRow(schema, values, ONE, None, _probability=probability)
+        for values, probability in sorted(
+            probabilities.items(), key=lambda kv: compare_key(kv[0])
+        )
+    ]
+
+
+class NaiveAdapter:
+    """Possible-worlds enumeration behind the :class:`Engine` protocol.
+
+    Rows carry *concrete* values (aggregates are instantiated per world),
+    so there are no symbolic annotations to expose; the probabilities are
+    exact and precomputed.
+    """
+
+    name = "naive"
+
+    def __init__(self, db: PVCDatabase):
+        self.engine = NaiveEngine(db)
+
+    def run(self, query: Query, **options) -> QueryResult:
+        if options:
+            raise QueryValidationError(
+                f"naive engine takes no run options, got {sorted(options)}"
+            )
+        start = time.perf_counter()
+        probabilities = self.engine.tuple_probabilities(query)
+        elapsed = time.perf_counter() - start
+        schema = query.schema(self.engine.db.catalog())
+        rows = _concrete_rows(schema, probabilities)
+        return QueryResult(
+            schema, rows, {"enumeration_seconds": elapsed}, engine=self.name
+        )
+
+
+class MonteCarloAdapter:
+    """MCDB-style sampling behind the :class:`Engine` protocol."""
+
+    name = "montecarlo"
+
+    def __init__(self, db: PVCDatabase, seed: int | None = None, samples: int = 1000):
+        self.engine = MonteCarloEngine(db, seed=seed)
+        self.samples = samples
+
+    def run(self, query: Query, samples: int | None = None, **options) -> QueryResult:
+        if options:
+            raise QueryValidationError(
+                f"montecarlo engine takes only a 'samples' run option, got "
+                f"{sorted(options)}"
+            )
+        budget = self.samples if samples is None else samples
+        start = time.perf_counter()
+        probabilities = self.engine.tuple_probabilities(query, samples=budget)
+        elapsed = time.perf_counter() - start
+        schema = query.schema(self.engine.db.catalog())
+        rows = _concrete_rows(schema, probabilities)
+        return QueryResult(
+            schema, rows, {"sampling_seconds": elapsed}, engine=self.name
+        )
+
+
+def create_engine(
+    name: str,
+    db: PVCDatabase,
+    *,
+    distribution_source=None,
+    seed: int | None = None,
+    samples: int = 1000,
+    **compiler_options,
+) -> Engine:
+    """Instantiate the engine adapter registered under ``name``."""
+    if name == "sprout":
+        return SproutAdapter(
+            db, distribution_source=distribution_source, **compiler_options
+        )
+    if name == "naive":
+        return NaiveAdapter(db)
+    if name == "montecarlo":
+        return MonteCarloAdapter(db, seed=seed, samples=samples)
+    raise QueryValidationError(
+        f"unknown engine {name!r}; expected one of {list(ENGINE_NAMES)} or 'auto'"
+    )
+
+
+def select_engine_name(
+    db: PVCDatabase,
+    query: Query,
+    samples: int = 1000,
+    tuple_independent: set[str] | None = None,
+) -> tuple[str, Classification]:
+    """The ``engine="auto"`` policy (Theorem 3 as a dispatcher).
+
+    Queries the static analysis proves inside ``Q_ind``/``Q_hie`` go to
+    exact compilation; everything else falls back to Monte-Carlo sampling
+    with a warning — generic compilation may be exponential there.
+    ``tuple_independent`` lets callers (the session) pass a cached scan
+    instead of re-walking every table row per query.
+    """
+    if tuple_independent is None:
+        tuple_independent = tuple_independent_relations(db)
+    classification = classify_query(query, db.catalog(), tuple_independent)
+    if classification.tractable:
+        return "sprout", classification
+    warnings.warn(
+        f"query is not known to be tractable "
+        f"({'; '.join(classification.reasons)}); falling back to Monte-Carlo "
+        f"estimation with {samples} samples — pass engine='sprout' to force "
+        f"exact compilation",
+        UserWarning,
+        stacklevel=3,
+    )
+    return "montecarlo", classification

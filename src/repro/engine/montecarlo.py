@@ -43,7 +43,7 @@ class MonteCarloEngine:
         """Empirical estimate of ``P[t ∈ answer]`` from ``samples`` worlds."""
         if samples <= 0:
             raise ValueError("need at least one sample")
-        catalog = {name: t.schema for name, t in self.db.tables.items()}
+        catalog = self.db.catalog()
         validate_query(query, catalog)
         counts: dict[tuple, int] = {}
         for _ in range(samples):

@@ -204,7 +204,7 @@ class NaiveEngine:
         values, so e.g. ⟨'M&S', 15⟩ and ⟨'M&S', 50⟩ are distinct answers
         whose probabilities generally do not sum to 1.
         """
-        catalog = {name: t.schema for name, t in self.db.tables.items()}
+        catalog = self.db.catalog()
         validate_query(query, catalog)
         probabilities: dict[tuple, float] = {}
         for world, probability in enumerate_database_worlds(self.db):
@@ -215,7 +215,7 @@ class NaiveEngine:
 
     def multiplicity_distribution(self, query: Query, values: tuple) -> Distribution:
         """Distribution of the multiplicity of one answer tuple."""
-        catalog = {name: t.schema for name, t in self.db.tables.items()}
+        catalog = self.db.catalog()
         validate_query(query, catalog)
         accum: dict = {}
         for world, probability in enumerate_database_worlds(self.db):
@@ -230,7 +230,7 @@ class NaiveEngine:
         The heaviest oracle: the exact distribution of the full query
         answer across worlds, used to validate joint behaviours.
         """
-        catalog = {name: t.schema for name, t in self.db.tables.items()}
+        catalog = self.db.catalog()
         validate_query(query, catalog)
         accum: dict = {}
         for world, probability in enumerate_database_worlds(self.db):

@@ -27,6 +27,7 @@ from repro.db.pvc_table import PVCDatabase, PVCTable
 from repro.db.relation import Relation
 from repro.db.schema import Schema
 from repro.engine.naive import evaluate_deterministic
+from repro.errors import CompilationError
 from repro.prob.distribution import Distribution
 from repro.query.ast import Query
 from repro.query.rewrite import evaluate_query
@@ -34,23 +35,57 @@ from repro.query.rewrite import evaluate_query
 __all__ = ["SproutEngine", "QueryResult", "ResultRow"]
 
 
+def _base_compiler(source) -> Compiler:
+    """The underlying :class:`Compiler` of a distribution source.
+
+    Sources are either a :class:`Compiler` or a session-level cache
+    wrapping one (see :class:`repro.engine.base.CompilationCache`).
+    """
+    return getattr(source, "compiler", source)
+
+
 @dataclass
 class ResultRow:
-    """One answer tuple with its symbolic and probabilistic views."""
+    """One answer tuple with its symbolic and probabilistic views.
+
+    ``_compiler`` is any object exposing ``distribution(expr)`` and
+    ``semiring`` — a plain :class:`Compiler` or a shared per-session
+    compilation cache.  Rows produced by engines without symbolic
+    annotations (brute-force, Monte-Carlo) carry ``_compiler=None`` and a
+    precomputed probability instead.
+    """
 
     schema: Schema
     values: tuple
     annotation: SemiringExpr
-    _compiler: Compiler = field(repr=False)
+    _compiler: Compiler | None = field(repr=False, compare=False, default=None)
+    _probability: float | None = field(repr=False, compare=False, default=None)
+    _annotation_dist: Distribution | None = field(
+        repr=False, compare=False, default=None
+    )
 
     def probability(self) -> float:
-        """``P[t ∈ answer]`` — the annotation is non-zero (present)."""
-        dist = self._compiler.distribution(self.annotation)
-        return 1.0 - dist[self._compiler.semiring.zero]
+        """``P[t ∈ answer]`` — the annotation is non-zero (present).
+
+        Memoized: repeated calls (and :meth:`QueryResult.pretty`,
+        :meth:`QueryResult.to_dicts`, ...) never recompile the d-tree.
+        """
+        if self._probability is None:
+            dist = self.annotation_distribution()
+            zero = self._compiler.semiring.zero
+            self._probability = 1.0 - dist[zero]
+        return self._probability
 
     def annotation_distribution(self) -> Distribution:
         """Distribution of the annotation value (multiplicity under N)."""
-        return self._compiler.distribution(self.annotation)
+        if self._annotation_dist is None:
+            if self._compiler is None:
+                raise CompilationError(
+                    "row carries no symbolic annotation compiler; annotation "
+                    "distributions are only available from the sprout engine"
+                )
+            self._annotation_dist = self._compiler.distribution(self.annotation)
+        return self._annotation_dist
 
     def module_attributes(self) -> dict[str, ModuleExpr]:
         """The semimodule-valued attributes of this row."""
@@ -84,7 +119,7 @@ class ResultRow:
         if not isinstance(value, ModuleExpr):
             return Distribution.point(value)
         zero = self._compiler.semiring.zero
-        joint = JointCompiler(self._compiler).joint_distribution(
+        joint = JointCompiler(_base_compiler(self._compiler)).joint_distribution(
             [self.annotation, value]
         )
         conditioned = joint.condition(lambda outcome: outcome[0] != zero)
@@ -103,14 +138,14 @@ class ResultRow:
         restricted to worlds where the tuple is present.
         """
         module_attrs = self.module_attributes()
-        zero = self._compiler.semiring.zero
         if not module_attrs:
             probability = self.probability()
             if probability <= 1e-15:
                 return {}
             return {self.values: probability}
+        zero = self._compiler.semiring.zero
         exprs = [self.annotation] + list(module_attrs.values())
-        joint = JointCompiler(self._compiler).joint_distribution(exprs)
+        joint = JointCompiler(_base_compiler(self._compiler)).joint_distribution(exprs)
         results: dict[tuple, float] = {}
         names = list(module_attrs)
         for outcome, probability in joint.items():
@@ -131,17 +166,53 @@ class ResultRow:
 
 @dataclass
 class QueryResult:
-    """Answer pvc-table plus probabilities and the timing breakdown."""
+    """Answer pvc-table plus probabilities and the timing breakdown.
+
+    The common result type of *all* engines (sprout, naive, montecarlo);
+    ``engine`` names the engine that produced it.
+    """
 
     schema: Schema
     rows: list[ResultRow]
     timings: dict[str, float]
+    engine: str = "sprout"
 
     def __iter__(self) -> Iterator[ResultRow]:
         return iter(self.rows)
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def to_dicts(self, include_probability: bool = True) -> list[dict]:
+        """The rows as attribute dictionaries, probability included.
+
+        Symbolic (semimodule) aggregate values are passed through as-is;
+        use the per-row distribution accessors for their distributions.
+        """
+        dicts = []
+        for row in self.rows:
+            record = dict(zip(self.schema.attributes, row.values))
+            if include_probability:
+                record["probability"] = row.probability()
+            dicts.append(record)
+        return dicts
+
+    def top_k(self, k: int, by: str = "probability") -> "QueryResult":
+        """The ``k`` highest-ranked rows as a new :class:`QueryResult`.
+
+        ``by`` is ``"probability"`` (default) or the name of an attribute
+        holding concrete (non-symbolic) values.
+        """
+        if by == "probability":
+            def key(row):
+                return row.probability()
+        else:
+            index = self.schema.index(by)
+
+            def key(row):
+                return row.values[index]
+        rows = sorted(self.rows, key=key, reverse=True)[:k]
+        return QueryResult(self.schema, rows, dict(self.timings), self.engine)
 
     def tuple_probabilities(self) -> dict[tuple, float]:
         """``P[t ∈ answer]`` over all rows, on fully concrete tuples.
@@ -163,6 +234,9 @@ class QueryResult:
             )
         return "\n".join(lines)
 
+    def __repr__(self):
+        return f"QueryResult(engine={self.engine!r}, rows={len(self.rows)})"
+
 
 class SproutEngine:
     """End-to-end probabilistic query answering on pvc-databases.
@@ -170,9 +244,20 @@ class SproutEngine:
     >>> # See examples/quickstart.py for a complete walk-through.
     """
 
-    def __init__(self, db: PVCDatabase, **compiler_options):
+    def __init__(
+        self,
+        db: PVCDatabase,
+        distribution_source=None,
+        **compiler_options,
+    ):
         self.db = db
         self.compiler_options = compiler_options
+        #: Optional shared distribution source (e.g. a per-session
+        #: :class:`~repro.engine.base.CompilationCache`).  When set, runs
+        #: reuse it — and its d-tree memo — instead of building a fresh
+        #: :class:`Compiler` per query, so repeated and overlapping
+        #: annotations never recompile.
+        self.distribution_source = distribution_source
 
     def rewrite(self, query: Query) -> PVCTable:
         """Step I only: the pvc-table of symbolic result tuples (⟦·⟧)."""
@@ -184,9 +269,11 @@ class SproutEngine:
         table = evaluate_query(query, self.db)
         rewrite_seconds = time.perf_counter() - start
 
-        compiler = Compiler(
-            self.db.registry, self.db.semiring, **self.compiler_options
-        )
+        compiler = self.distribution_source
+        if compiler is None:
+            compiler = Compiler(
+                self.db.registry, self.db.semiring, **self.compiler_options
+            )
         rows = [
             ResultRow(table.schema, row.values, row.annotation, compiler)
             for row in table

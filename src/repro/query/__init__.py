@@ -33,6 +33,15 @@ from repro.query.predicates import (
     eq,
     lit,
 )
+from repro.query.builder import (
+    AggTerm,
+    QueryBuilder,
+    count_,
+    max_,
+    min_,
+    prod_,
+    sum_,
+)
 from repro.query.plan import optimize
 from repro.query.rewrite import evaluate_query
 from repro.query.sql import parse_sql
@@ -72,6 +81,13 @@ __all__ = [
     "optimize",
     "validate_query",
     "parse_sql",
+    "QueryBuilder",
+    "AggTerm",
+    "sum_",
+    "count_",
+    "min_",
+    "max_",
+    "prod_",
     "QueryClass",
     "Classification",
     "classify_query",

@@ -1,0 +1,251 @@
+"""A lazy fluent builder for the query language ``Q``.
+
+The builder is syntactic sugar over :mod:`repro.query.ast`: every method
+returns a *new* builder wrapping a larger algebra tree, and nothing is
+evaluated until :meth:`QueryBuilder.run` (or until the built query is
+handed to an engine).  A builder bound to a
+:class:`~repro.session.Session` can execute itself; unbound builders are
+pure AST factories.
+
+    s.table("items").where(cmp_("price", "<=", lit(300)))
+        .group_by("category").agg(total=sum_("price"))
+        .run(engine="sprout")
+
+Aggregation terms are spelled with the :func:`sum_`, :func:`count_`,
+:func:`min_`, :func:`max_`, :func:`prod_` helpers; name outputs either
+with ``.as_("total")`` or with keyword arguments to :meth:`agg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import QueryValidationError
+from repro.query.ast import (
+    AggSpec,
+    Extend,
+    GroupAgg,
+    Product,
+    Project,
+    Query,
+    Select,
+    Union,
+    equijoin,
+    relation,
+)
+from repro.query.predicates import Comparison, Literal, Predicate, attr, cmp_, conj
+
+__all__ = [
+    "AggTerm",
+    "QueryBuilder",
+    "sum_",
+    "count_",
+    "min_",
+    "max_",
+    "prod_",
+]
+
+
+@dataclass(frozen=True)
+class AggTerm:
+    """One pending aggregation ``output ← AGG(attribute)``."""
+
+    agg: str
+    attribute: str | None
+    output: str | None = None
+
+    def as_(self, output: str) -> "AggTerm":
+        """Name the output attribute of this aggregation."""
+        return AggTerm(self.agg, self.attribute, output)
+
+    def to_spec(self, output: str | None = None) -> AggSpec:
+        # An explicit caller-supplied name (agg(total=...)) wins over a
+        # pre-set .as_() name; the outermost naming is the user's intent.
+        name = output or self.output
+        if name is None:
+            name = f"{self.agg.lower()}_{self.attribute or 'all'}"
+        return AggSpec.of(name, self.agg, self.attribute)
+
+
+def sum_(attribute: str) -> AggTerm:
+    """``SUM(attribute)``."""
+    return AggTerm("SUM", attribute)
+
+
+def count_() -> AggTerm:
+    """``COUNT(*)``."""
+    return AggTerm("COUNT", None)
+
+
+def min_(attribute: str) -> AggTerm:
+    """``MIN(attribute)``."""
+    return AggTerm("MIN", attribute)
+
+
+def max_(attribute: str) -> AggTerm:
+    """``MAX(attribute)``."""
+    return AggTerm("MAX", attribute)
+
+
+def prod_(attribute: str) -> AggTerm:
+    """``PROD(attribute)``."""
+    return AggTerm("PROD", attribute)
+
+
+def _coerce_agg(term, output: str | None = None) -> AggSpec:
+    if isinstance(term, AggSpec):
+        if output is not None and term.output != output:
+            return AggSpec.of(output, term.monoid, term.attribute)
+        return term
+    if isinstance(term, AggTerm):
+        return term.to_spec(output)
+    if isinstance(term, tuple) and len(term) in (2, 3):
+        agg, attribute = term[0], term[1]
+        name = term[2] if len(term) == 3 else output
+        return AggTerm(agg.upper(), attribute, name).to_spec(output)
+    raise QueryValidationError(
+        f"cannot interpret {term!r} as an aggregation; use sum_/count_/... "
+        f"helpers or an AggSpec"
+    )
+
+
+def _coerce_predicate(predicate) -> Predicate:
+    if isinstance(predicate, Predicate):
+        return predicate
+    if isinstance(predicate, tuple) and len(predicate) == 3:
+        left, op, right = predicate
+        return cmp_(left, op, right)
+    raise QueryValidationError(
+        f"cannot interpret {predicate!r} as a predicate; use cmp_/eq or a "
+        f"(left, op, right) triple"
+    )
+
+
+def _coerce_query(source) -> Query:
+    if isinstance(source, QueryBuilder):
+        return source.build()
+    if isinstance(source, Query):
+        return source
+    if isinstance(source, str):
+        return relation(source)
+    raise QueryValidationError(
+        f"cannot interpret {source!r} as a query; expected a QueryBuilder, "
+        f"a Query node, or a table name"
+    )
+
+
+class QueryBuilder:
+    """An immutable fluent wrapper around a ``Q``-algebra tree."""
+
+    def __init__(self, query, session=None):
+        self._query = _coerce_query(query) if not isinstance(query, Query) else query
+        self._session = session
+
+    # -- construction --------------------------------------------------------
+
+    def _wrap(self, query: Query) -> "QueryBuilder":
+        return QueryBuilder(query, self._session)
+
+    def where(self, *predicates, **equalities) -> "QueryBuilder":
+        """``σ_φ``: filter by a conjunction of predicates.
+
+        Positional arguments are predicates (or ``(left, op, right)``
+        triples, where strings name attributes); keyword arguments are
+        attribute-to-constant equalities: ``where(category="laptop")``.
+        """
+        atoms = [_coerce_predicate(p) for p in predicates]
+        atoms.extend(
+            Comparison(attr(name), "=", Literal(value))
+            for name, value in equalities.items()
+        )
+        if not atoms:
+            return self
+        return self._wrap(Select(self._query, conj(*atoms)))
+
+    def select(self, *attributes: str) -> "QueryBuilder":
+        """``π_{A̅}``: project onto ``attributes``."""
+        return self._wrap(Project(self._query, attributes))
+
+    def project(self, *attributes: str) -> "QueryBuilder":
+        """Alias of :meth:`select`."""
+        return self.select(*attributes)
+
+    def extend(self, target: str, source: str) -> "QueryBuilder":
+        """``δ_{B←A}``: duplicate attribute ``source`` as ``target``."""
+        return self._wrap(Extend(self._query, target, source))
+
+    def product(self, other) -> "QueryBuilder":
+        """``×``: cartesian product with another query/builder/table."""
+        return self._wrap(Product(self._query, _coerce_query(other)))
+
+    def join(self, other, on: Sequence[tuple[str, str]]) -> "QueryBuilder":
+        """Equijoin on ``on = [(left_attr, right_attr), ...]``."""
+        return self._wrap(equijoin(self._query, _coerce_query(other), on))
+
+    def union(self, other) -> "QueryBuilder":
+        """``∪``: union with a schema-compatible query/builder/table."""
+        return self._wrap(Union(self._query, _coerce_query(other)))
+
+    def group_by(self, *keys: str) -> "GroupedBuilder":
+        """``$_{A̅;...}`` step one: fix the grouping attributes."""
+        return GroupedBuilder(self, keys)
+
+    def agg(self, *terms, **named) -> "QueryBuilder":
+        """Ungrouped (whole-relation) aggregation: ``$_{∅;...}``."""
+        return self.group_by().agg(*terms, **named)
+
+    # -- execution -----------------------------------------------------------
+
+    def build(self) -> Query:
+        """The underlying ``Q``-algebra tree."""
+        return self._query
+
+    @property
+    def query(self) -> Query:
+        return self._query
+
+    def run(self, engine: str | None = None, **options):
+        """Execute through the bound session; see :meth:`Session.run`."""
+        if self._session is None:
+            raise QueryValidationError(
+                "this query builder is not bound to a session; call "
+                "build() and hand the query to an engine yourself"
+            )
+        return self._session.run(self._query, engine=engine, **options)
+
+    def classify(self):
+        """Tractability classification through the bound session."""
+        if self._session is None:
+            raise QueryValidationError(
+                "this query builder is not bound to a session"
+            )
+        return self._session.classify(self._query)
+
+    def __repr__(self):
+        return f"QueryBuilder({self._query!r})"
+
+
+class GroupedBuilder:
+    """Intermediate ``group_by`` state awaiting its aggregations."""
+
+    def __init__(self, builder: QueryBuilder, keys: Sequence[str]):
+        self._builder = builder
+        self._keys = tuple(keys)
+
+    def agg(self, *terms, **named) -> QueryBuilder:
+        """Attach aggregations: ``agg(total=sum_("price"))`` or
+        ``agg(sum_("price").as_("total"))``."""
+        specs = [_coerce_agg(term) for term in terms]
+        specs.extend(_coerce_agg(term, output) for output, term in named.items())
+        if not specs:
+            raise QueryValidationError(
+                "group_by(...) needs at least one aggregation"
+            )
+        return self._builder._wrap(
+            GroupAgg(self._builder.query, self._keys, specs)
+        )
+
+    def __repr__(self):
+        keys = ", ".join(self._keys) if self._keys else "∅"
+        return f"GroupedBuilder[{keys}]({self._builder.query!r})"

@@ -230,16 +230,18 @@ def root_attribute_classes(
 def tuple_independent_relations(db: PVCDatabase) -> set[str]:
     """Base tables that are tuple-independent.
 
-    A table qualifies when every tuple is annotated with its own variable,
-    no variable is reused (within or across tables), and no tuple value is
-    a semimodule expression.
+    A table qualifies when every tuple is annotated with its own variable
+    (or is certain — a variable-free annotation is a deterministic
+    multiplicity, trivially independent of everything), no variable is
+    reused (within or across tables), and no tuple value is a semimodule
+    expression.
     """
     usage: dict[str, int] = {}
     candidates: set[str] = set()
     for name, table in db.tables.items():
         independent = True
         for row in table:
-            if not isinstance(row.annotation, Var):
+            if not isinstance(row.annotation, Var) and row.annotation.variables:
                 independent = False
             if any(isinstance(v, ModuleExpr) for v in row.values):
                 independent = False

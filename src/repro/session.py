@@ -1,0 +1,358 @@
+"""The unified ``Session`` facade — one front door to the whole stack.
+
+The paper's architecture (Section 7) is a two-step pipeline: symbolic
+rewriting (⟦·⟧) followed by d-tree compilation (P(·)).  A :class:`Session`
+owns the pieces every caller previously hand-assembled — the
+:class:`~repro.prob.variables.VariableRegistry`, the
+:class:`~repro.db.pvc_table.PVCDatabase`, a persistent
+:class:`~repro.core.compile.Compiler` behind a
+:class:`~repro.engine.base.CompilationCache` — and exposes:
+
+* fluent table definition with auto-minted Bernoulli variables::
+
+      s = connect()
+      items = s.table("items", ["name", "price"])
+      items.insert(("inkjet", 99), p=0.7)
+
+* a lazy fluent query builder lowering to :mod:`repro.query.ast`::
+
+      items.where(cmp_("price", "<=", lit(300))).group_by("category") \\
+           .agg(total=sum_("price")).run()
+
+* a SQL front door: ``s.sql("SELECT SUM(price) AS t FROM items")``;
+* pluggable engines behind one :class:`~repro.engine.base.Engine`
+  protocol, with ``engine="auto"`` dispatching on the Section-6
+  tractability analysis (exact compilation when provably tractable,
+  Monte-Carlo fallback with a warning otherwise);
+* reproducibility: ``connect(seed=N)`` seeds the Monte-Carlo engine and
+  the Eq.-11 workload generator.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.semiring import BOOLEAN, Semiring
+from repro.core.compile import Compiler
+from repro.db.pvc_table import PVCDatabase, PVCTable
+from repro.db.schema import Schema
+from repro.engine.base import (
+    ENGINE_NAMES,
+    CompilationCache,
+    Engine,
+    create_engine,
+    select_engine_name,
+)
+from repro.engine.sprout import QueryResult
+from repro.errors import QueryValidationError, SchemaError
+from repro.prob.variables import VariableRegistry
+from repro.query.ast import Query, relation
+from repro.query.builder import QueryBuilder
+from repro.query.rewrite import evaluate_query
+from repro.query.sql import parse_sql
+from repro.query.tractability import (
+    Classification,
+    classify_query,
+    tuple_independent_relations,
+)
+from repro.query.validate import validate_query
+
+__all__ = ["Session", "TableHandle", "connect"]
+
+
+class TableHandle(QueryBuilder):
+    """A named table that is both an insert target and a query root."""
+
+    def __init__(self, session: "Session", name: str):
+        super().__init__(relation(name), session)
+        self.name = name
+
+    @property
+    def table(self) -> PVCTable:
+        return self._session.db[self.name]
+
+    @property
+    def schema(self):
+        return self.table.schema
+
+    def insert(self, values, p=None, annotation=None, var=None) -> "TableHandle":
+        """Insert one row; ``p`` auto-mints a Bernoulli variable.
+
+        Returns the handle, so inserts chain fluently.  ``values`` may be
+        a positional tuple or an attribute dictionary; see
+        :meth:`repro.db.pvc_table.PVCDatabase.insert`.
+        """
+        self._session.db.insert(
+            self.name, values, p=p, annotation=annotation, var=var
+        )
+        return self
+
+    def insert_many(self, rows) -> "TableHandle":
+        """Insert ``(values, probability)`` pairs in bulk."""
+        for values, p in rows:
+            self.insert(values, p=p)
+        return self
+
+    def insert_block(self, alternatives, var=None) -> "TableHandle":
+        """Insert mutually exclusive alternatives (a BID block)."""
+        self._session.db.insert_block(self.name, alternatives, var=var)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def pretty(self, max_rows: int = 20) -> str:
+        return self.table.pretty(max_rows)
+
+    def __repr__(self):
+        return f"TableHandle({self.name!r}, {len(self)} rows)"
+
+
+class Session:
+    """One connection-like object owning registry, database and caches."""
+
+    def __init__(
+        self,
+        semiring: Semiring = BOOLEAN,
+        engine: str = "auto",
+        seed: int | None = None,
+        samples: int = 1000,
+        database: PVCDatabase | None = None,
+        **compiler_options,
+    ):
+        if engine != "auto" and engine not in ENGINE_NAMES:
+            raise QueryValidationError(
+                f"unknown engine {engine!r}; expected 'auto' or one of "
+                f"{list(ENGINE_NAMES)}"
+            )
+        if database is not None:
+            if semiring != BOOLEAN and semiring != database.semiring:
+                raise QueryValidationError(
+                    f"semiring {semiring!r} conflicts with the adopted "
+                    f"database's semiring {database.semiring!r}; omit "
+                    f"semiring= when passing database="
+                )
+            self.db = database
+        else:
+            self.db = PVCDatabase(registry=VariableRegistry(), semiring=semiring)
+        self.registry = self.db.registry
+        self.semiring = self.db.semiring
+        self.default_engine = engine
+        self.seed = seed
+        self.samples = samples
+        self.compiler_options = compiler_options
+        #: The persistent compiler; its d-tree memo is shared by every
+        #: sprout run of this session.
+        self.compiler = Compiler(self.registry, self.semiring, **compiler_options)
+        #: Distribution cache keyed on normalized annotations.
+        self.cache = CompilationCache(self.compiler)
+        self._engines: dict[str, Engine] = {}
+        self._tuple_independent: tuple | None = None
+
+    # -- schema and data ------------------------------------------------------
+
+    def table(
+        self,
+        name: str,
+        columns=None,
+        aggregation_attributes=(),
+    ) -> TableHandle:
+        """A handle for table ``name``, creating it when ``columns`` given.
+
+        ``s.table("items", ["name", "price"])`` creates the table (error
+        if one exists with a different schema); ``s.table("items")``
+        requires it to exist.
+        """
+        if columns is not None:
+            if name in self.db:
+                wanted = Schema(columns, aggregation_attributes)
+                if self.db[name].schema != wanted:
+                    raise SchemaError(
+                        f"table {name!r} already exists with schema "
+                        f"{self.db[name].schema!r}, not {wanted!r}"
+                    )
+            else:
+                self.db.create_table(name, columns, aggregation_attributes)
+        else:
+            self.db[name]  # raises SchemaError when absent
+        return TableHandle(self, name)
+
+    @property
+    def tables(self) -> dict[str, PVCTable]:
+        return self.db.tables
+
+    # -- engines --------------------------------------------------------------
+
+    def engine(self, name: str) -> Engine:
+        """The (cached) engine adapter registered under ``name``."""
+        adapter = self._engines.get(name)
+        if adapter is None:
+            adapter = create_engine(
+                name,
+                self.db,
+                distribution_source=self.cache,
+                seed=self.seed,
+                samples=self.samples,
+                **self.compiler_options,
+            )
+            self._engines[name] = adapter
+        return adapter
+
+    def _lower(self, query) -> Query:
+        """Accept AST nodes, builders, and SQL strings uniformly."""
+        if isinstance(query, QueryBuilder):
+            return query.build()
+        if isinstance(query, str):
+            return parse_sql(query)
+        if isinstance(query, Query):
+            return query
+        raise QueryValidationError(
+            f"cannot run {query!r}; expected a Query, QueryBuilder, or SQL"
+        )
+
+    def run(
+        self,
+        query,
+        engine: str | None = None,
+        samples: int | None = None,
+        **options,
+    ) -> QueryResult:
+        """Evaluate ``query`` and return a :class:`QueryResult`.
+
+        ``engine`` overrides the session default; ``engine="auto"``
+        dispatches on the tractability classification.  ``samples`` is the
+        sampling budget: it reaches the Monte-Carlo engine whether chosen
+        explicitly or as the auto fallback, and is simply unused when auto
+        resolves to an exact engine.  Extra ``options`` are forwarded to
+        the engine (e.g. ``compute_probabilities=`` for sprout).
+        """
+        query = self._lower(query)
+        # Validate up front so schema errors surface before engine
+        # selection (and before any auto-fallback warning fires).
+        validate_query(query, self.db.catalog())
+        name = self.default_engine if engine is None else engine
+        auto = name == "auto"
+        if auto:
+            budget = self.samples if samples is None else samples
+            name, _ = select_engine_name(
+                self.db,
+                query,
+                samples=budget,
+                tuple_independent=self.tuple_independent_relations(),
+            )
+        if samples is not None:
+            if name == "montecarlo":
+                options["samples"] = samples
+            elif not auto:
+                raise QueryValidationError(
+                    f"engine {name!r} does not take a sample budget"
+                )
+        return self.engine(name).run(query, **options)
+
+    def sql(self, text: str, engine: str | None = None, **options) -> QueryResult:
+        """Parse SQL and evaluate it through :meth:`run`."""
+        return self.run(parse_sql(text), engine=engine, **options)
+
+    # -- analysis and lower-level access --------------------------------------
+
+    def tuple_independent_relations(self) -> set[str]:
+        """The database's tuple-independent tables, cached per state.
+
+        :func:`~repro.query.tractability.tuple_independent_relations`
+        scans every row of every table; under ``engine="auto"`` it would
+        otherwise run on each query.  The scan is memoized against a cheap
+        fingerprint (table count, total rows, registry size) that changes
+        on every insert.
+        """
+        fingerprint = (
+            len(self.db.tables),
+            sum(len(table) for table in self.db.tables.values()),
+            len(self.registry),
+        )
+        if self._tuple_independent is None or (
+            self._tuple_independent[0] != fingerprint
+        ):
+            self._tuple_independent = (
+                fingerprint,
+                tuple_independent_relations(self.db),
+            )
+        return self._tuple_independent[1]
+
+    def classify(self, query) -> Classification:
+        """Static ``Q_ind``/``Q_hie`` classification of ``query``."""
+        query = self._lower(query)
+        return classify_query(
+            query, self.db.catalog(), self.tuple_independent_relations()
+        )
+
+    def rewrite(self, query):
+        """Step I only: the pvc-table of symbolic result tuples (⟦·⟧)."""
+        return evaluate_query(self._lower(query), self.db)
+
+    def deterministic_baseline(self, query):
+        """The paper's Q0 timing baseline; see
+        :meth:`repro.engine.sprout.SproutEngine.deterministic_baseline`."""
+        return self.engine("sprout").engine.deterministic_baseline(
+            self._lower(query)
+        )
+
+    def distribution(self, expr):
+        """Distribution of a raw algebra expression, via the session cache."""
+        return self.cache.distribution(expr)
+
+    def probability(self, expr, value=None) -> float:
+        """P[expr = value]; ``value`` defaults to the semiring's ``1_S``."""
+        if value is None:
+            value = self.semiring.one
+        return self.distribution(expr)[value]
+
+    def workload(self, params, seed: int | None = None):
+        """One Eq.-11 workload condition, seeded by the session.
+
+        Thin veneer over
+        :func:`repro.workloads.random_expr.generate_condition` that plumbs
+        ``connect(seed=...)`` through, so synthetic-benchmark runs are
+        reproducible from the facade.
+        """
+        from repro.workloads.random_expr import generate_condition
+
+        return generate_condition(params, seed=self.seed if seed is None else seed)
+
+    def __repr__(self):
+        inner = ", ".join(
+            f"{name}({len(table)})" for name, table in sorted(self.tables.items())
+        )
+        return (
+            f"Session[{self.semiring.name}, engine={self.default_engine!r}]"
+            f"({inner})"
+        )
+
+
+def connect(
+    semiring: Semiring = BOOLEAN,
+    engine: str = "auto",
+    seed: int | None = None,
+    samples: int = 1000,
+    database: PVCDatabase | None = None,
+    **compiler_options,
+) -> Session:
+    """Open a :class:`Session` — the primary entry point of the library.
+
+    >>> s = connect()
+    >>> _ = s.table("items", ["name", "price"]).insert(("inkjet", 99), p=0.7)
+    >>> result = s.sql("SELECT SUM(price) AS total FROM items")
+    >>> len(result)
+    1
+
+    ``engine`` may be ``"auto"`` (default: exact compilation for provably
+    tractable queries, Monte-Carlo fallback otherwise), ``"sprout"``,
+    ``"naive"``, or ``"montecarlo"``.  ``seed`` makes Monte-Carlo runs and
+    generated workloads reproducible.  An existing :class:`PVCDatabase`
+    can be adopted via ``database=``.
+    """
+    return Session(
+        semiring=semiring,
+        engine=engine,
+        seed=seed,
+        samples=samples,
+        database=database,
+        **compiler_options,
+    )

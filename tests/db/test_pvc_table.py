@@ -114,3 +114,66 @@ class TestPVCDatabase:
         db = PVCDatabase()
         db.create_table("t", ["a"])
         assert "t(0)" in repr(db)
+
+
+class TestInsertHelpers:
+    def test_insert_mints_fresh_variables(self):
+        db = PVCDatabase()
+        db.create_table("t", ["a"])
+        first = db.insert("t", (1,), p=0.3)
+        second = db.insert("t", (2,), p=0.6)
+        assert isinstance(first, Var) and isinstance(second, Var)
+        assert first.name != second.name
+        assert db.registry[first.name][True] == 0.3
+
+    def test_insert_avoids_registry_collisions(self):
+        db = PVCDatabase()
+        db.create_table("t", ["a"])
+        db.registry.bernoulli("t_0", 0.9)  # name taken by someone else
+        minted = db.insert("t", (1,), p=0.5)
+        assert minted.name != "t_0"
+        assert db.registry[minted.name][True] == 0.5
+
+    def test_insert_certain_rows(self):
+        db = PVCDatabase()
+        db.create_table("t", ["a"])
+        assert db.insert("t", (1,)) is ONE
+        assert db.insert("t", (2,), p=1.0) is ONE
+        assert len(db.registry) == 0
+
+    def test_insert_named_variable_is_always_declared(self):
+        from repro.errors import DistributionError
+
+        db = PVCDatabase()
+        db.create_table("t", ["a"])
+        minted = db.insert("t", (1,), p=1.0, var="x9")
+        assert minted == Var("x9") and "x9" in db.registry
+        with pytest.raises(DistributionError, match="requires a probability"):
+            db.insert("t", (2,), var="x10")
+        with pytest.raises(DistributionError, match="cannot be combined"):
+            db.insert("t", (3,), annotation=Var("x9"), var="x11")
+
+    def test_insert_block_is_mutually_exclusive(self):
+        from repro.db.worlds import enumerate_database_worlds
+
+        reg = VariableRegistry()
+        db = PVCDatabase(registry=reg, semiring=NATURALS)
+        db.create_table("t", ["a"])
+        db.insert_block("t", [((1,), 0.5), ((2,), 0.3)])
+        together = sum(
+            probability
+            for world, probability in enumerate_database_worlds(db)
+            if len(world["t"].support()) > 1
+        )
+        assert together == 0.0
+        none = sum(
+            probability
+            for world, probability in enumerate_database_worlds(db)
+            if not world["t"].support()
+        )
+        assert math.isclose(none, 0.2)
+
+    def test_catalog_maps_names_to_schemas(self):
+        db = PVCDatabase()
+        db.create_table("t", ["a", "b"])
+        assert db.catalog() == {"t": Schema(["a", "b"])}

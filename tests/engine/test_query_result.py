@@ -1,0 +1,87 @@
+"""QueryResult conveniences and per-row memoization."""
+
+import pytest
+
+from repro import BOOLEAN, Compiler, Schema, Var, VariableRegistry, connect
+from repro.engine.sprout import QueryResult, ResultRow
+
+
+class CountingSource:
+    """Distribution source that counts compile requests."""
+
+    def __init__(self, registry):
+        self.compiler = Compiler(registry, BOOLEAN)
+        self.calls = 0
+
+    @property
+    def semiring(self):
+        return self.compiler.semiring
+
+    def distribution(self, expr):
+        self.calls += 1
+        return self.compiler.distribution(expr)
+
+
+@pytest.fixture
+def source():
+    registry = VariableRegistry()
+    registry.bernoulli("x", 0.25)
+    registry.bernoulli("y", 0.5)
+    return CountingSource(registry)
+
+
+class TestMemoization:
+    def test_probability_compiles_once(self, source):
+        row = ResultRow(Schema(["a"]), (1,), Var("x"), source)
+        assert row.probability() == pytest.approx(0.25)
+        assert row.probability() == pytest.approx(0.25)
+        assert source.calls == 1
+
+    def test_annotation_distribution_shares_the_memo(self, source):
+        row = ResultRow(Schema(["a"]), (1,), Var("x"), source)
+        row.probability()
+        dist = row.annotation_distribution()
+        assert dist[True] == pytest.approx(0.25)
+        assert source.calls == 1
+
+    def test_pretty_does_not_recompile(self, source):
+        schema = Schema(["a"])
+        rows = [
+            ResultRow(schema, (1,), Var("x"), source),
+            ResultRow(schema, (2,), Var("y"), source),
+        ]
+        result = QueryResult(schema, rows, {})
+        result.pretty()
+        result.pretty()
+        result.to_dicts()
+        assert source.calls == 2  # once per distinct row
+
+
+class TestConveniences:
+    @pytest.fixture
+    def result(self):
+        s = connect()
+        t = s.table("R", ["name", "score"])
+        for name, score, p in [("a", 3, 0.2), ("b", 1, 0.9), ("c", 2, 0.5)]:
+            t.insert((name, score), p=p)
+        return s.table("R").select("name", "score").run(engine="sprout")
+
+    def test_to_dicts(self, result):
+        dicts = result.to_dicts()
+        assert {"name": "b", "score": 1, "probability": pytest.approx(0.9)} in dicts
+        assert all(set(d) == {"name", "score", "probability"} for d in dicts)
+        bare = result.to_dicts(include_probability=False)
+        assert all(set(d) == {"name", "score"} for d in bare)
+
+    def test_top_k_by_probability(self, result):
+        top = result.top_k(2)
+        assert [row.values[0] for row in top] == ["b", "c"]
+        assert isinstance(top, QueryResult)
+        assert top.engine == result.engine
+
+    def test_top_k_by_attribute(self, result):
+        top = result.top_k(1, by="score")
+        assert top.rows[0].values == ("a", 3)
+
+    def test_repr_shows_engine_and_rows(self, result):
+        assert repr(result) == "QueryResult(engine='sprout', rows=3)"

@@ -1,0 +1,136 @@
+"""The fluent query builder lowers to the documented ``Q`` algebra."""
+
+import pytest
+
+from repro import (
+    AggSpec,
+    GroupAgg,
+    Product,
+    Project,
+    QueryBuilder,
+    Select,
+    Union,
+    cmp_,
+    conj,
+    connect,
+    count_,
+    eq,
+    lit,
+    max_,
+    min_,
+    prod_,
+    relation,
+    sum_,
+)
+from repro.errors import QueryValidationError
+from repro.query.ast import Extend
+
+
+def b(name="R"):
+    return QueryBuilder(name)
+
+
+class TestLowering:
+    def test_base_relation(self):
+        assert repr(b().build()) == repr(relation("R"))
+
+    def test_where_select(self):
+        built = b().where(cmp_("a", "<=", lit(3))).select("a").build()
+        manual = Project(
+            Select(relation("R"), cmp_("a", "<=", lit(3))), ["a"]
+        )
+        assert repr(built) == repr(manual)
+
+    def test_where_triples_and_kwargs(self):
+        built = b().where(("a", "<=", 3), kind="x").build()
+        manual = Select(
+            relation("R"),
+            conj(cmp_("a", "<=", lit(3)), cmp_("kind", "=", lit("x"))),
+        )
+        assert repr(built) == repr(manual)
+
+    def test_where_kwargs_are_literals_not_attributes(self):
+        # eq("kind", "x") would read "x" as an attribute reference; the
+        # builder's keyword form must produce a constant comparison.
+        built = b().where(kind="x").build()
+        assert repr(built.predicate) == "kind = 'x'"
+
+    def test_empty_where_is_identity(self):
+        builder = b()
+        assert builder.where() is builder
+
+    def test_group_by_agg(self):
+        built = b().group_by("g").agg(total=sum_("a"), n=count_()).build()
+        manual = GroupAgg(
+            relation("R"),
+            ("g",),
+            (AggSpec.of("total", "SUM", "a"), AggSpec.of("n", "COUNT")),
+        )
+        assert repr(built) == repr(manual)
+
+    def test_agg_as_and_default_names(self):
+        built = b().agg(min_("a").as_("lo"), max_("a"), prod_("a")).build()
+        outputs = [spec.output for spec in built.aggregations]
+        assert outputs == ["lo", "max_a", "prod_a"]
+        assert built.groupby == ()
+
+    def test_agg_keyword_name_wins_over_as_(self):
+        built = b().agg(total=min_("a").as_("ignored")).build()
+        assert [spec.output for spec in built.aggregations] == ["total"]
+
+    def test_agg_keyword_name_renames_aggspec(self):
+        built = b().agg(total=AggSpec.of("x", "SUM", "a")).build()
+        assert [spec.output for spec in built.aggregations] == ["total"]
+
+    def test_group_by_requires_aggregations(self):
+        with pytest.raises(QueryValidationError):
+            b().group_by("g").agg()
+
+    def test_join_union_product_extend(self):
+        joined = b("R").join("S", on=[("a", "b")]).build()
+        assert repr(joined) == repr(
+            Select(Product(relation("R"), relation("S")), eq("a", "b"))
+        )
+        unioned = b("R").union(b("S")).build()
+        assert repr(unioned) == repr(Union(relation("R"), relation("S")))
+        extended = b("R").extend("b", "a").build()
+        assert repr(extended) == repr(Extend(relation("R"), "b", "a"))
+
+    def test_coercion_errors(self):
+        with pytest.raises(QueryValidationError):
+            b().where(42)
+        with pytest.raises(QueryValidationError):
+            b().agg(42)
+        with pytest.raises(QueryValidationError):
+            b().union(42)
+
+    def test_builders_are_immutable(self):
+        base = b()
+        filtered = base.where(("a", "=", 1))
+        assert base.build() is not filtered.build()
+        assert repr(base.build()) == "R"
+
+
+class TestBoundBuilders:
+    def test_unbound_builder_cannot_run(self):
+        with pytest.raises(QueryValidationError):
+            b().run()
+        with pytest.raises(QueryValidationError):
+            b().classify()
+
+    def test_bound_builder_runs_and_classifies(self):
+        s = connect()
+        t = s.table("R", ["a"])
+        t.insert((1,), p=0.4).insert((2,), p=0.5)
+        builder = s.table("R").where(("a", "<=", 1)).select("a")
+        assert builder.classify().tractable
+        result = builder.run(engine="sprout")
+        assert result.tuple_probabilities() == {(1,): pytest.approx(0.4)}
+
+    def test_table_handle_reports_rows(self):
+        s = connect()
+        t = s.table("R", ["a", "p"])
+        t.insert_many([((1, 2), 0.5), ((3, 4), 0.25)])
+        assert len(t) == 2
+        assert "a" in t.pretty()
+        assert t.schema.attributes == ("a", "p")

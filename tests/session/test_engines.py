@@ -1,0 +1,123 @@
+"""The Engine protocol: three adapters, one QueryResult type."""
+
+import pytest
+
+from repro import (
+    Engine,
+    MonteCarloAdapter,
+    NaiveAdapter,
+    SproutAdapter,
+    connect,
+    count_,
+    create_engine,
+)
+from repro.engine.base import select_engine_name
+from repro.errors import CompilationError, QueryValidationError
+
+
+@pytest.fixture
+def session():
+    s = connect(seed=3)
+    t = s.table("R", ["kind", "value"])
+    for kind, value, p in [
+        ("a", 10, 0.5),
+        ("a", 20, 0.4),
+        ("b", 30, 0.7),
+    ]:
+        t.insert((kind, value), p=p)
+    return s
+
+
+def grouped(s):
+    return s.table("R").group_by("kind").agg(n=count_())
+
+
+class TestProtocol:
+    def test_adapters_satisfy_protocol(self, session):
+        for name in ("sprout", "naive", "montecarlo"):
+            assert isinstance(session.engine(name), Engine)
+
+    def test_create_engine_dispatch(self, session):
+        assert isinstance(create_engine("sprout", session.db), SproutAdapter)
+        assert isinstance(create_engine("naive", session.db), NaiveAdapter)
+        assert isinstance(
+            create_engine("montecarlo", session.db), MonteCarloAdapter
+        )
+        with pytest.raises(QueryValidationError):
+            create_engine("quantum", session.db)
+
+    def test_adapters_are_cached_per_session(self, session):
+        assert session.engine("naive") is session.engine("naive")
+
+
+class TestResultParity:
+    def test_exact_engines_agree_to_1e9(self, session):
+        query = grouped(session)
+        sprout = query.run(engine="sprout").tuple_probabilities()
+        naive = query.run(engine="naive").tuple_probabilities()
+        assert set(sprout) == set(naive)
+        for key in naive:
+            assert abs(sprout[key] - naive[key]) < 1e-9
+
+    def test_montecarlo_converges(self, session):
+        query = grouped(session)
+        exact = query.run(engine="naive").tuple_probabilities()
+        sampled = query.run(engine="montecarlo", samples=8000).tuple_probabilities()
+        for key, probability in exact.items():
+            assert sampled.get(key, 0.0) == pytest.approx(probability, abs=0.05)
+
+    def test_all_engines_return_query_result_rows(self, session):
+        query = session.table("R").select("kind")
+        for name in ("sprout", "naive", "montecarlo"):
+            result = query.run(engine=name)
+            assert result.engine == name
+            assert result.schema.attributes == ("kind",)
+            for row in result:
+                assert 0.0 <= row.probability() <= 1.0 + 1e-12
+
+    def test_concrete_rows_reject_symbolic_accessors(self, session):
+        result = session.table("R").select("kind").run(engine="naive")
+        row = result.rows[0]
+        assert row.probability() > 0  # precomputed, no compiler needed
+        with pytest.raises(CompilationError):
+            row.annotation_distribution()
+
+    def test_naive_rejects_run_options(self, session):
+        with pytest.raises(QueryValidationError):
+            session.run(session.table("R").select("kind"), engine="naive", samples=10)
+
+    def test_montecarlo_rejects_unknown_run_options(self, session):
+        # In particular, an auto-fallback carrying sprout-only options must
+        # fail with a library error, not a raw TypeError.
+        with pytest.raises(QueryValidationError, match="samples"):
+            session.run(
+                session.table("R").select("kind"),
+                engine="montecarlo",
+                compute_probabilities=True,
+            )
+
+    def test_timings_report_engine_step(self, session):
+        query = session.table("R").select("kind")
+        assert "enumeration_seconds" in query.run(engine="naive").timings
+        assert "sampling_seconds" in query.run(engine="montecarlo").timings
+        sprout = query.run(engine="sprout").timings
+        assert {"rewrite_seconds", "probability_seconds"} <= set(sprout)
+
+
+class TestAutoSelection:
+    def test_tractable_query_selects_sprout(self, session):
+        name, classification = select_engine_name(
+            session.db, grouped(session).build()
+        )
+        assert name == "sprout"
+        assert classification.tractable
+
+    def test_hard_query_selects_montecarlo(self, session):
+        # Repeating a base relation leaves Q_ind/Q_hie (Section 6).
+        from repro.query.ast import Product, Project, relation
+
+        repeated = Project(Product(relation("R"), relation("R")), ["kind"])
+        with pytest.warns(UserWarning, match="Monte-Carlo"):
+            name, classification = select_engine_name(session.db, repeated)
+        assert name == "montecarlo"
+        assert not classification.tractable
