@@ -21,7 +21,7 @@ if __package__ in (None, ""):  # direct script execution: python benchmarks/...
 
 import pytest
 
-from benchmarks.common import average_time, print_series, run_point
+from benchmarks.common import BenchReport, average_time, print_series, run_point
 from repro.workloads.random_expr import ExprParams
 
 PRUNING_PARAMS = ExprParams(
@@ -74,6 +74,7 @@ def bench_heuristics(benchmark, heuristic):
 
 
 def main():
+    report = BenchReport("ablations")
     rows = []
     for agg in ["MIN", "MAX", "SUM", "COUNT"]:
         for pruning in (True, False):
@@ -87,6 +88,8 @@ def main():
                 (agg, "on" if pruning else "off",
                  f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}")
             )
+            report.add("pruning", {"agg": agg, "pruning": pruning, "runs": RUNS},
+                       mean=mean, stdev=stdev)
     print_series("Ablation — pruning on/off", ["agg", "pruning", "mean", "stdev"], rows)
 
     rows = []
@@ -95,11 +98,14 @@ def main():
             HEURISTIC_PARAMS, runs=RUNS, seed=2, heuristic=heuristic
         )
         rows.append((heuristic, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+        report.add("heuristic", {"heuristic": heuristic, "runs": RUNS},
+                   mean=mean, stdev=stdev)
     print_series(
         "Ablation — Shannon variable-choice heuristic",
         ["heuristic", "mean", "stdev"],
         rows,
     )
+    report.finish()
 
 
 if __name__ == "__main__":

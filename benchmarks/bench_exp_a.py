@@ -20,9 +20,21 @@ if __package__ in (None, ""):  # direct script execution: python benchmarks/...
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
+import dataclasses
+import statistics
+import time
+
 import pytest
 
-from benchmarks.common import average_time, print_series, run_point, smoke_mode
+from benchmarks.common import (
+    BenchReport,
+    average_time,
+    build_mc_database,
+    mc_query,
+    print_series,
+    run_point,
+    smoke_mode,
+)
 from repro.workloads.random_expr import ExprParams
 
 BASE = ExprParams(
@@ -46,17 +58,59 @@ THETAS = ["=", "<=", ">="]
 RUNS = 2
 
 
+#: Monte-Carlo baseline parameters (see ``common.build_mc_database``).
+MC_SAMPLES = 2000
+MC_RUNS = 3
+
+
 def _params(agg: str, theta: str, c: int) -> ExprParams:
     return BASE.with_(agg_left=agg, theta=theta, constant=c)
 
 
-def _sweep(agg: str, cs: list[int], thetas: list[str] = None, runs: int = RUNS) -> list[tuple]:
+def _sweep(
+    agg: str,
+    cs: list[int],
+    thetas: list[str] = None,
+    runs: int = RUNS,
+    report: BenchReport | None = None,
+) -> list[tuple]:
     rows = []
     for theta in thetas if thetas is not None else THETAS:
         for c in cs:
             mean, stdev = run_point(_params(agg, theta, c), runs=runs, seed=c)
             rows.append((agg, theta, c, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+            if report is not None:
+                report.add(
+                    agg,
+                    {"theta": theta, "c": c, "runs": runs},
+                    mean=mean,
+                    stdev=stdev,
+                )
     return rows
+
+
+def montecarlo_baseline(
+    samples: int = MC_SAMPLES, runs: int = MC_RUNS
+) -> tuple[float, float]:
+    """Time the MCDB-style sampling baseline on the grouped-SUM workload.
+
+    Returns ``(mean_seconds, stdev_seconds)`` over ``runs`` engine
+    instances with distinct seeds (as for the compiled sweeps, engine
+    construction is not timed — sampling and evaluation are).
+    """
+    from repro.engine.montecarlo import MonteCarloEngine
+
+    query = mc_query()
+    times = []
+    for run in range(runs):
+        db = build_mc_database()
+        engine = MonteCarloEngine(db, seed=42 + run)
+        start = time.perf_counter()
+        engine.tuple_probabilities(query, samples=samples)
+        times.append(time.perf_counter() - start)
+    mean = statistics.mean(times)
+    stdev = statistics.stdev(times) if len(times) > 1 else 0.0
+    return mean, stdev
 
 
 @pytest.mark.parametrize("theta", THETAS)
@@ -93,6 +147,11 @@ def bench_sum(benchmark, theta, c):
 
 def main():
     smoke = smoke_mode()
+    report = BenchReport(
+        "exp_a",
+        base_params=dataclasses.asdict(BASE),
+        mc={"rows": 40, "groups": 4, "max_value": 50, "samples": MC_SAMPLES},
+    )
     for agg, cs in [
         ("MIN", C_VALUES),
         ("MAX", C_VALUES),
@@ -106,8 +165,19 @@ def main():
         print_series(
             f"Experiment A — {agg} (Figure 7)",
             ["agg", "θ", "c", "mean", "stdev"],
-            _sweep(agg, cs, thetas, runs),
+            _sweep(agg, cs, thetas, runs, report=report),
         )
+    samples, runs = (200, 1) if smoke else (MC_SAMPLES, MC_RUNS)
+    mean, stdev = montecarlo_baseline(samples=samples, runs=runs)
+    print_series(
+        "Monte-Carlo baseline — grouped SUM, sampled worlds",
+        ["samples", "mean", "stdev"],
+        [(samples, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}")],
+    )
+    report.add(
+        "MONTECARLO", {"samples": samples, "runs": runs}, mean=mean, stdev=stdev
+    )
+    report.finish()
 
 
 if __name__ == "__main__":

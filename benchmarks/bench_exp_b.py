@@ -21,7 +21,7 @@ if __package__ in (None, ""):  # direct script execution: python benchmarks/...
 
 import pytest
 
-from benchmarks.common import average_time, print_series, run_point
+from benchmarks.common import BenchReport, average_time, print_series, run_point
 from repro.workloads.random_expr import ExprParams
 
 BASE = ExprParams(
@@ -55,16 +55,19 @@ def bench_terms(benchmark, agg, terms):
 
 
 def main():
+    report = BenchReport("exp_b")
     rows = []
     for agg in AGGS:
         for terms in L_VALUES:
             mean, stdev = run_point(_params(agg, terms), runs=RUNS, seed=terms)
             rows.append((agg, terms, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+            report.add(agg, {"L": terms, "runs": RUNS}, mean=mean, stdev=stdev)
     print_series(
         "Experiment B — runtime vs number of terms L (Figure 8b)",
         ["agg", "L", "mean", "stdev"],
         rows,
     )
+    report.finish()
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ if __package__ in (None, ""):  # direct script execution: python benchmarks/...
 
 import pytest
 
-from benchmarks.common import print_series, run_point, average_time
+from benchmarks.common import BenchReport, average_time, print_series, run_point
 from repro.workloads.random_expr import ExprParams
 
 BASE = ExprParams(
@@ -50,15 +50,18 @@ def bench_variables(benchmark, variables):
 
 
 def main():
+    report = BenchReport("exp_c")
     rows = []
     for variables in V_VALUES:
         mean, stdev = run_point(_params(variables), runs=RUNS, seed=variables)
         rows.append((variables, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+        report.add("MIN", {"variables": variables, "runs": RUNS}, mean=mean, stdev=stdev)
     print_series(
         "Experiment C — easy/hard/easy in #v (Figure 8a)",
         ["#v", "mean", "stdev"],
         rows,
     )
+    report.finish()
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ if __package__ in (None, ""):  # direct script execution: python benchmarks/...
 
 import pytest
 
-from benchmarks.common import average_time, print_series, run_point
+from benchmarks.common import BenchReport, average_time, print_series, run_point
 from repro.workloads.random_expr import ExprParams
 
 BASE = ExprParams(
@@ -69,6 +69,7 @@ def bench_clauses_per_term(benchmark, agg, clauses):
 
 
 def main():
+    report = BenchReport("exp_d")
     rows = []
     for agg in AGGS:
         for literals in ARITIES:
@@ -76,6 +77,7 @@ def main():
                 _params_literals(agg, literals), runs=RUNS, seed=literals
             )
             rows.append((agg, literals, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+            report.add(agg, {"literals": literals, "runs": RUNS}, mean=mean, stdev=stdev)
     print_series(
         "Experiment D(a) — literals per clause #l (Figure 9a)",
         ["agg", "#l", "mean", "stdev"],
@@ -88,11 +90,13 @@ def main():
                 _params_clauses(agg, clauses), runs=RUNS, seed=clauses
             )
             rows.append((agg, clauses, f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}"))
+            report.add(agg, {"clauses": clauses, "runs": RUNS}, mean=mean, stdev=stdev)
     print_series(
         "Experiment D(b) — clauses per term #cl (Figure 9b)",
         ["agg", "#cl", "mean", "stdev"],
         rows,
     )
+    report.finish()
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ if __package__ in (None, ""):  # direct script execution: python benchmarks/...
 
 import pytest
 
-from benchmarks.common import average_time, print_series, run_point
+from benchmarks.common import BenchReport, average_time, print_series, run_point
 from repro.workloads.random_expr import ExprParams
 
 BASE = ExprParams(
@@ -74,6 +74,7 @@ def bench_right_sweep(benchmark, pair, right_terms):
 
 
 def main():
+    report = BenchReport("exp_e")
     rows = []
     for pair in PAIRS:
         for left_terms in SWEEP:
@@ -84,6 +85,8 @@ def main():
                 ("/".join(pair), left_terms, FIXED,
                  f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}")
             )
+            report.add("/".join(pair), {"L": left_terms, "R": FIXED, "runs": RUNS},
+                       mean=mean, stdev=stdev)
     print_series(
         "Experiment E(a) — varying L, R fixed (Figure 10a)",
         ["pair", "L", "R", "mean", "stdev"],
@@ -99,11 +102,14 @@ def main():
                 ("/".join(pair), FIXED, right_terms,
                  f"{mean*1000:.1f}ms", f"±{stdev*1000:.1f}")
             )
+            report.add("/".join(pair), {"L": FIXED, "R": right_terms, "runs": RUNS},
+                       mean=mean, stdev=stdev)
     print_series(
         "Experiment E(b) — varying R, L fixed (Figure 10b)",
         ["pair", "L", "R", "mean", "stdev"],
         rows,
     )
+    report.finish()
 
 
 if __name__ == "__main__":

@@ -27,7 +27,7 @@ import time
 
 import pytest
 
-from benchmarks.common import print_series
+from benchmarks.common import BenchReport, print_series
 from repro.engine.sprout import SproutEngine
 from repro.workloads.tpch import (
     TPCHConfig,
@@ -85,6 +85,7 @@ def bench_q2(benchmark, scale_factor):
 
 
 def main():
+    report = BenchReport("exp_f")
     for which, figure in (("q1", "Figure 11a"), ("q2", "Figure 11b")):
         rows = []
         for scale_factor in SCALE_FACTORS:
@@ -98,11 +99,21 @@ def main():
                     numbers["rows"],
                 )
             )
+            report.add(
+                which,
+                {"scale_factor": scale_factor},
+                mean=numbers["rewrite"] + numbers["probability"],
+                q0=numbers["q0"],
+                rewrite=numbers["rewrite"],
+                probability=numbers["probability"],
+                rows=numbers["rows"],
+            )
         print_series(
             f"Experiment F — TPC-H {which.upper()} ({figure})",
             ["scale", "Q0", "⟦·⟧", "P(·)", "rows"],
             rows,
         )
+    report.finish()
 
 
 if __name__ == "__main__":

@@ -17,6 +17,9 @@ prints the full sweep as the rows/series of the corresponding figure.
 
 from __future__ import annotations
 
+import json
+import platform
+import random
 import statistics
 import sys
 import time
@@ -31,6 +34,11 @@ __all__ = [
     "print_series",
     "run_point",
     "smoke_mode",
+    "json_path",
+    "baseline_path",
+    "BenchReport",
+    "build_mc_database",
+    "mc_query",
 ]
 
 
@@ -43,6 +51,102 @@ def smoke_mode(argv: list[str] | None = None) -> bool:
     """
     args = sys.argv[1:] if argv is None else argv
     return "--smoke" in args
+
+
+def _flag_value(flag: str, argv: list[str] | None = None) -> str | None:
+    args = sys.argv[1:] if argv is None else argv
+    for index, arg in enumerate(args):
+        if arg == flag and index + 1 < len(args):
+            return args[index + 1]
+        if arg.startswith(flag + "="):
+            return arg.split("=", 1)[1]
+    return None
+
+
+def json_path(argv: list[str] | None = None) -> str | None:
+    """The PATH of ``--json PATH``, if given — where to write the report."""
+    return _flag_value("--json", argv)
+
+
+def baseline_path(argv: list[str] | None = None) -> str | None:
+    """The PATH of ``--baseline PATH`` — a previously recorded report to
+    embed for before/after comparison (the perf trajectory)."""
+    return _flag_value("--baseline", argv)
+
+
+class BenchReport:
+    """Structured benchmark results for ``--json PATH`` output.
+
+    Collects one record per measured point (series name, parameters,
+    metrics) plus enough environment information — engine, Python and
+    numpy versions — to make recorded numbers comparable across runs.
+    """
+
+    def __init__(self, bench: str, **config):
+        self.bench = bench
+        self.config = config
+        self.points: list[dict] = []
+
+    def add(self, series: str, params: dict, **metrics) -> None:
+        """Record one measured point (timings in seconds)."""
+        self.points.append({"series": series, "params": params, **metrics})
+
+    def payload(self) -> dict:
+        try:
+            import numpy
+            numpy_version = numpy.__version__
+        except ImportError:
+            numpy_version = None
+        from repro.prob import kernels
+
+        return {
+            "bench": self.bench,
+            "engine": "repro-compiled" if self.bench != "montecarlo" else "montecarlo",
+            "python_version": platform.python_version(),
+            "numpy_version": numpy_version,
+            "numpy_kernels_enabled": kernels.numpy_enabled(),
+            "config": self.config,
+            "points": self.points,
+        }
+
+    def finish(self, argv: list[str] | None = None) -> None:
+        """Write the report when ``--json`` was requested.
+
+        With ``--baseline PATH`` the previously recorded report is
+        embedded under ``"baseline"`` and a total-over-total speedup is
+        computed from the points' ``mean`` metrics.
+        """
+        path = json_path(argv)
+        if path is None:
+            return
+        payload = self.payload()
+        base = baseline_path(argv)
+        if base is not None:
+            with open(base) as handle:
+                baseline = json.load(handle)
+            payload["baseline"] = baseline
+
+            def keys(points):
+                return {
+                    (p.get("series"), tuple(sorted(p.get("params", {}).items())))
+                    for p in points
+                }
+
+            ours = sum(p.get("mean", 0.0) for p in self.points)
+            theirs = sum(
+                p.get("mean", 0.0) for p in baseline.get("points", ())
+            )
+            # A total-over-total ratio is only meaningful when both runs
+            # measured the same point set (e.g. a --smoke run against a
+            # full-sweep baseline must not record a bogus speedup).
+            if keys(self.points) != keys(baseline.get("points", ())):
+                payload["baseline_point_mismatch"] = True
+            elif ours > 0 and theirs > 0:
+                payload["speedup_vs_baseline"] = round(theirs / ours, 3)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"\n[json report written to {path}]")
 
 
 def evaluate_once(params: ExprParams, seed: int = 0, **compiler_options):
@@ -83,6 +187,41 @@ def run_point(params: ExprParams, runs: int = 2, seed: int = 0, **options):
     mean = statistics.mean(times)
     stdev = statistics.stdev(times) if len(times) > 1 else 0.0
     return mean, stdev
+
+
+def build_mc_database(
+    rows: int = 40, groups: int = 4, max_value: int = 50, seed: int = 0
+):
+    """The Monte-Carlo baseline database: one probabilistic fact table
+    ``R(a, v)`` with an independent Bernoulli(0.5) event per row, plus an
+    unrelated table ``S`` that the benchmark query never touches (a
+    regression guard for per-world instantiation being restricted to the
+    relations a query references)."""
+    from repro.algebra.expressions import Var
+    from repro.db.pvc_table import PVCDatabase
+    from repro.prob.variables import VariableRegistry
+
+    rng = random.Random(seed)
+    registry = VariableRegistry()
+    db = PVCDatabase(registry=registry, semiring=BOOLEAN)
+    table = db.create_table("R", ["a", "v"])
+    for i in range(rows):
+        name = f"r{i}"
+        registry.bernoulli(name, 0.5)
+        table.add((i % groups, rng.randint(0, max_value)), Var(name))
+    other = db.create_table("S", ["b"])
+    for i in range(rows):
+        name = f"s{i}"
+        registry.bernoulli(name, 0.5)
+        other.add((i,), Var(name))
+    return db
+
+
+def mc_query():
+    """The Monte-Carlo baseline query: a grouped SUM over the fact table."""
+    from repro.query.ast import AggSpec, GroupAgg, relation
+
+    return GroupAgg(relation("R"), ["a"], [AggSpec.of("total", "SUM", "v")])
 
 
 def print_series(title: str, header: list[str], rows: list[tuple]):

@@ -96,14 +96,21 @@ class Compare(SemiringExpr):
         self.op = op
         self.right = right
         self.children = (left, right)
+        self._finalize()
 
     def _compute_key(self):
         return ("?", self.op.symbol, self.left.key, self.right.key)
+
+    def _compute_hash(self):
+        return hash(("?", self.op.symbol, self.left._hash, self.right._hash))
 
     def _compute_vars(self):
         return self.left.variables | self.right.variables
 
     def substitute(self, mapping):
+        variables = self.variables
+        if all(name not in variables for name in mapping):
+            return self
         return compare(
             self.left.substitute(mapping), self.op, self.right.substitute(mapping)
         )

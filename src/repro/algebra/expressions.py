@@ -57,7 +57,11 @@ class Expr:
     """Base class of all (semiring and semimodule) expressions.
 
     Expressions are immutable; equality and hashing are structural via a
-    cached canonical key.
+    canonical key.  Key, hash and variable set are computed **eagerly** by
+    :meth:`_finalize` at construction time: every composite expression
+    sorts its children by key anyway, and expressions spend their lives as
+    dictionary keys in the compiler's memo tables, so laziness would only
+    add per-access property overhead on the hottest paths in the library.
     """
 
     __slots__ = ("_key", "_vars", "_hash")
@@ -71,23 +75,31 @@ class Expr:
     def _compute_vars(self) -> frozenset:
         raise NotImplementedError
 
+    def _finalize(self):
+        """Populate the structural caches; call last in every ``__init__``."""
+        self._key = self._compute_key()
+        self._vars = self._compute_vars()
+        self._hash = self._compute_hash()
+
+    def _compute_hash(self) -> int:
+        """Structural hash built from the *cached* child hashes.
+
+        Hashing the nested key tuple directly would re-walk the whole
+        subtree on every construction (tuples do not cache their hash);
+        combining the children's cached hashes is O(#children) and still
+        consistent with key equality.
+        """
+        raise NotImplementedError
+
     @property
     def key(self) -> tuple:
         """Canonical sort/equality key of this expression."""
-        try:
-            return self._key
-        except AttributeError:
-            self._key = self._compute_key()
-            return self._key
+        return self._key
 
     @property
     def variables(self) -> frozenset:
         """The set of variable names occurring in this expression."""
-        try:
-            return self._vars
-        except AttributeError:
-            self._vars = self._compute_vars()
-            return self._vars
+        return self._vars
 
     def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
         """Return this expression with variables replaced per ``mapping``.
@@ -113,14 +125,10 @@ class Expr:
     def __eq__(self, other):
         if self is other:
             return True
-        return isinstance(other, Expr) and self.key == other.key
+        return isinstance(other, Expr) and self._key == other._key
 
     def __hash__(self):
-        try:
-            return self._hash
-        except AttributeError:
-            self._hash = hash(self.key)
-            return self._hash
+        return self._hash
 
 
 class SemiringExpr(Expr):
@@ -174,9 +182,13 @@ class Var(SemiringExpr):
         if not name or not isinstance(name, str):
             raise AlgebraError(f"variable name must be a non-empty string, got {name!r}")
         self.name = name
+        self._finalize()
 
     def _compute_key(self):
         return ("v", self.name)
+
+    def _compute_hash(self):
+        return hash(("v", self.name))
 
     def _compute_vars(self):
         return frozenset((self.name,))
@@ -207,9 +219,13 @@ class SConst(SemiringExpr):
                 f"(or booleans), got {value!r}"
             )
         self.value = value
+        self._finalize()
 
     def _compute_key(self):
         return ("c", self.value)
+
+    def _compute_hash(self):
+        return hash(("c", self.value))
 
     def _compute_vars(self):
         return frozenset()
@@ -235,14 +251,21 @@ class Sum(SemiringExpr):
 
     def __init__(self, children: tuple):
         self.children = children
+        self._finalize()
 
     def _compute_key(self):
         return ("+",) + tuple(c.key for c in self.children)
+
+    def _compute_hash(self):
+        return hash(("+",) + tuple(c._hash for c in self.children))
 
     def _compute_vars(self):
         return frozenset().union(*(c.variables for c in self.children))
 
     def substitute(self, mapping):
+        variables = self.variables
+        if all(name not in variables for name in mapping):
+            return self
         return ssum([c.substitute(mapping) for c in self.children])
 
     def __repr__(self):
@@ -256,14 +279,21 @@ class Prod(SemiringExpr):
 
     def __init__(self, children: tuple):
         self.children = children
+        self._finalize()
 
     def _compute_key(self):
         return ("*",) + tuple(c.key for c in self.children)
+
+    def _compute_hash(self):
+        return hash(("*",) + tuple(c._hash for c in self.children))
 
     def _compute_vars(self):
         return frozenset().union(*(c.variables for c in self.children))
 
     def substitute(self, mapping):
+        variables = self.variables
+        if all(name not in variables for name in mapping):
+            return self
         return sprod([c.substitute(mapping) for c in self.children])
 
     def __repr__(self):
@@ -276,8 +306,14 @@ class Prod(SemiringExpr):
         return "*".join(parts)
 
 
+def _key_of(expr: Expr):
+    """Canonical-sort key extractor shared by every smart constructor
+    (module-level function: avoids a fresh lambda per sort call)."""
+    return expr._key
+
+
 def _sorted_canonical(children: Iterable[SemiringExpr]) -> tuple:
-    return tuple(sorted(children, key=lambda c: c.key))
+    return tuple(sorted(children, key=_key_of))
 
 
 def ssum(terms: Iterable) -> SemiringExpr:
@@ -338,10 +374,19 @@ def count_occurrences(expr: Expr) -> dict[str, int]:
     """Count how many times each variable symbol occurs in ``expr``.
 
     Used by the compiler's Shannon-expansion heuristic, which eliminates
-    a variable with the most occurrences (Section 5).
+    a variable with the most occurrences (Section 5).  Variable-free
+    subtrees (constants, folded aggregation values) are not descended
+    into — their cached variable sets are empty.
     """
     counts: dict[str, int] = {}
-    for node in expr.walk():
-        if isinstance(node, Var):
-            counts[node.name] = counts.get(node.name, 0) + 1
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if type(node) is Var:
+            name = node.name
+            counts[name] = counts.get(name, 0) + 1
+        else:
+            for child in node.children:
+                if child.variables:
+                    stack.append(child)
     return counts

@@ -31,9 +31,11 @@ from repro.algebra.expressions import (
     SemiringExpr,
     Sum,
     Var,
+    _key_of,
     ssum,
     sprod,
 )
+from repro.algebra.monoid import CappedSumMonoid, MaxMonoid, MinMonoid
 from repro.algebra.semimodule import AggSum, MConst, ModuleExpr, Tensor, aggsum, tensor
 from repro.algebra.semiring import Semiring
 from repro.errors import AlgebraError
@@ -46,11 +48,19 @@ class Normalizer:
 
     Instances memoise results, which matters during compilation where the
     same subexpressions reappear across Shannon branches.
+
+    :meth:`restrict` is the fused fast path for Shannon expansion: it
+    computes the normalised restriction ``Φ|x←s`` in one pass (with its
+    own memo), instead of materialising the substituted-but-unnormalised
+    expression first.  Subtrees not mentioning ``x`` are returned
+    untouched, which preserves object identity and therefore turns the
+    subsequent normaliser/compiler memo lookups into cache hits.
     """
 
     def __init__(self, semiring: Semiring):
         self.semiring = semiring
         self._cache: dict[Expr, Expr] = {}
+        self._restrict_cache: dict[tuple, Expr] = {}
 
     def __call__(self, expr: Expr) -> Expr:
         cached = self._cache.get(expr)
@@ -63,16 +73,82 @@ class Normalizer:
         if isinstance(expr, (Var, SConst, MConst)):
             return self._fold_const(expr)
         if isinstance(expr, Sum):
-            return self._normalize_sum(expr)
+            return self._combine_sum([self(c) for c in expr.children])
         if isinstance(expr, Prod):
-            return self._normalize_prod(expr)
+            return self._combine_prod([self(c) for c in expr.children])
         if isinstance(expr, Compare):
-            return self._normalize_compare(expr)
+            return self._combine_compare(self(expr.left), expr.op, self(expr.right))
         if isinstance(expr, Tensor):
-            return self._normalize_tensor(expr)
+            return self._combine_tensor(self(expr.phi), self(expr.arg))
         if isinstance(expr, AggSum):
-            return self._normalize_aggsum(expr)
+            return self._combine_aggsum(expr.monoid, [self(c) for c in expr.children])
         raise AlgebraError(f"cannot normalise expression of type {type(expr).__name__}")
+
+    # -- Shannon restriction ----------------------------------------------
+
+    def restrict(self, expr: Expr, name: str, constant: SConst) -> Expr:
+        """The normalised restriction ``expr|name←constant`` (Eq. 10).
+
+        Precondition: ``expr`` is already in normal form (everything the
+        compiler Shannon-expands is).  Subtrees not mentioning ``name``
+        are therefore returned as-is, without re-normalisation.
+
+        Results are memoised per ``(name, value)`` branch, keyed directly
+        on the (shared) subexpressions, so sibling Shannon branches pay a
+        dictionary hit per reused summand instead of a re-restriction.
+        """
+        if name not in expr.variables:
+            return self(expr)
+        branch = self._restrict_cache.get((name, constant.value))
+        if branch is None:
+            branch = self._restrict_cache[(name, constant.value)] = {}
+        cached = branch.get(expr)
+        if cached is None:
+            cached = self._restrict(expr, name, constant, branch)
+            branch[expr] = cached
+        return cached
+
+    def _restrict(self, expr: Expr, name: str, constant: SConst, branch: dict) -> Expr:
+        # ``name ∈ expr.variables`` is guaranteed by the callers; untouched
+        # children are normalised already and pass through unchanged.
+        kind = type(expr)
+        if kind is Var:
+            return self._fold_const(constant)
+        if kind is Sum or kind is Prod or kind is AggSum:
+            out = []
+            for child in expr.children:
+                if name not in child._vars:
+                    out.append(child)
+                    continue
+                restricted = branch.get(child)
+                if restricted is None:
+                    restricted = self._restrict(child, name, constant, branch)
+                    branch[child] = restricted
+                out.append(restricted)
+            if kind is Sum:
+                return self._combine_sum(out)
+            if kind is Prod:
+                return self._combine_prod(out)
+            return self._combine_aggsum(expr.monoid, out)
+        if kind is Tensor or kind is Compare:
+            pair = []
+            for child in expr.children:
+                if name not in child._vars:
+                    pair.append(child)
+                    continue
+                restricted = branch.get(child)
+                if restricted is None:
+                    restricted = self._restrict(child, name, constant, branch)
+                    branch[child] = restricted
+                pair.append(restricted)
+            if kind is Tensor:
+                return self._combine_tensor(pair[0], pair[1])
+            return self._combine_compare(pair[0], expr.op, pair[1])
+        raise AlgebraError(
+            f"cannot restrict expression of type {type(expr).__name__}"
+        )
+
+    # -- per-node-type combination rules ----------------------------------
 
     def _fold_const(self, expr: Expr) -> Expr:
         """Canonicalise constants for the target semiring."""
@@ -80,9 +156,8 @@ class Normalizer:
             return SConst(int(self.semiring.coerce(expr.value)))
         return expr
 
-    def _normalize_sum(self, expr: Sum) -> SemiringExpr:
+    def _combine_sum(self, children: list) -> SemiringExpr:
         semiring = self.semiring
-        children = [self(c) for c in expr.children]
         const_acc = semiring.zero
         symbolic: list[SemiringExpr] = []
         seen: set = set()
@@ -101,9 +176,8 @@ class Normalizer:
             symbolic.append(SConst(int(const_acc)))
         return ssum(symbolic)
 
-    def _normalize_prod(self, expr: Prod) -> SemiringExpr:
+    def _combine_prod(self, children: list) -> SemiringExpr:
         semiring = self.semiring
-        children = [self(c) for c in expr.children]
         const_acc = semiring.one
         symbolic: list[SemiringExpr] = []
         seen: set = set()
@@ -122,10 +196,8 @@ class Normalizer:
             symbolic.append(SConst(int(const_acc)))
         return sprod(symbolic)
 
-    def _normalize_compare(self, expr: Compare) -> SemiringExpr:
-        left = self(expr.left)
-        right = self(expr.right)
-        folded = compare(left, expr.op, right)
+    def _combine_compare(self, left: Expr, op, right: Expr) -> SemiringExpr:
+        folded = compare(left, op, right)
         if isinstance(folded, SConst):
             return self._fold_const(folded)
         if isinstance(folded, Compare) and isinstance(folded.left, ModuleExpr):
@@ -143,9 +215,7 @@ class Normalizer:
                 return SConst(int(decided))
         return folded
 
-    def _normalize_tensor(self, expr: Tensor) -> ModuleExpr:
-        phi = self(expr.phi)
-        arg = self(expr.arg)
+    def _combine_tensor(self, phi: SemiringExpr, arg: ModuleExpr) -> ModuleExpr:
         if isinstance(phi, SConst) and isinstance(arg, MConst):
             scalar = self.semiring.coerce(phi.value)
             return MConst(arg.monoid, arg.monoid.act(scalar, arg.value, self.semiring))
@@ -157,8 +227,113 @@ class Normalizer:
                 return MConst(arg.monoid, arg.monoid.zero)
         return tensor(phi, arg)
 
-    def _normalize_aggsum(self, expr: AggSum) -> ModuleExpr:
-        return aggsum(expr.monoid, [self(c) for c in expr.children])
+    def _combine_aggsum(self, monoid, children: list) -> ModuleExpr:
+        # Trusted-input variant of :func:`repro.algebra.semimodule.aggsum`:
+        # the children are already-normalised semimodule expressions of
+        # this monoid (restriction and normalisation preserve both), so
+        # the per-term validation is skipped on this very hot path.
+        flat: list[ModuleExpr] = []
+        const_acc = monoid.zero
+        for term in children:
+            kind = type(term)
+            if kind is MConst:
+                const_acc = monoid.add(const_acc, term.value)
+            elif kind is AggSum:
+                for sub in term.children:
+                    if type(sub) is MConst:
+                        const_acc = monoid.add(const_acc, sub.value)
+                    else:
+                        flat.append(sub)
+            else:
+                flat.append(term)
+        if const_acc != monoid.zero:
+            flat.append(MConst(monoid, const_acc))
+        if not flat:
+            return MConst(monoid, monoid.zero)
+        if len(flat) == 1:
+            return flat[0]
+        expr = AggSum(monoid, tuple(sorted(flat, key=_key_of)))
+        folded = _dominance_fold(expr)
+        if folded is not None:
+            return folded
+        return expr
+
+
+def _canonical_term_value(term: ModuleExpr):
+    """The monoid value of a canonical summand ``Φ ⊗ m``, else ``None``."""
+    if isinstance(term, Tensor):
+        arg = term.arg
+        if isinstance(arg, MConst):
+            return arg.value
+    return None
+
+
+def _dominance_fold(expr: AggSum) -> ModuleExpr | None:
+    """Drop summands dominated by the sum's *certain* part.
+
+    As Shannon expansion assigns variables, terms ``Φᵢ ⊗ mᵢ`` whose scalar
+    folds to ``1_K`` merge into a single certain :class:`MConst`.  That
+    certain value dominates optional terms under the selective monoids —
+    the key fact being that an optional term contributes either its value
+    or the monoid's neutral element:
+
+    * **MIN** with certain value ``m``: a term with ``mᵢ ≥ m`` contributes
+      ``min(m, mᵢ) = m`` or ``min(m, +∞) = m`` — droppable either way;
+    * **MAX** dually for ``mᵢ ≤ m``;
+    * **capped SUM** (:class:`~repro.algebra.monoid.CappedSumMonoid`) with
+      its certain part saturated at the cap: adding any non-negative
+      term leaves the sum at the cap, so the whole expression folds to
+      ``MConst(cap)``.
+
+    This is the distribution-level counterpart of the Section-5 pruning
+    rules: it is what makes Shannon subtrees collapse once enough clauses
+    are satisfied (the paper's Experiment-E effect).  Returns ``None``
+    when no summand can be dropped.
+    """
+    monoid = expr.monoid
+    if isinstance(monoid, MinMonoid):
+        keep = lambda value, certain: value < certain  # noqa: E731
+    elif isinstance(monoid, MaxMonoid):
+        keep = lambda value, certain: value > certain  # noqa: E731
+    elif isinstance(monoid, CappedSumMonoid):
+        certain = None
+        for child in expr.children:
+            if isinstance(child, MConst):
+                certain = child.value
+                break
+        if certain is None or certain < monoid.cap:
+            return None
+        for child in expr.children:
+            if isinstance(child, MConst):
+                continue
+            value = _canonical_term_value(child)
+            if value is None or value < 0:
+                return None  # negative/opaque contribution: keep everything
+        return MConst(monoid, monoid.cap)
+    else:
+        return None
+
+    certain = None
+    for child in expr.children:
+        if isinstance(child, MConst):
+            certain = child.value
+            break
+    if certain is None:
+        return None
+    kept: list[ModuleExpr] = []
+    dropped = False
+    for child in expr.children:
+        if isinstance(child, MConst):
+            continue
+        value = _canonical_term_value(child)
+        if value is not None and not keep(value, certain):
+            dropped = True
+        else:
+            kept.append(child)
+    if not dropped:
+        return None
+    kept.append(MConst(monoid, certain))
+    return aggsum(monoid, kept)
 
 
 def normalize(expr: Expr, semiring: Semiring) -> Expr:

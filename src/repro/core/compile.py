@@ -23,6 +23,7 @@ sub-problems across Shannon branches compile once and the resulting
 
 from __future__ import annotations
 
+from operator import add as operator_add
 from typing import Callable
 
 from repro.algebra.conditions import Compare
@@ -61,19 +62,21 @@ from repro.prob.variables import VariableRegistry
 __all__ = ["Compiler", "compile_expression", "HEURISTICS"]
 
 
-def _most_occurrences(expr: Expr, candidates: frozenset) -> str:
+def _most_occurrences(expr: Expr, candidates: frozenset, counts=None) -> str:
     """The paper's default: eliminate a variable with the most occurrences."""
-    counts = count_occurrences(expr)
+    if counts is None:
+        counts = count_occurrences(expr)
     return max(candidates, key=lambda name: (counts.get(name, 0), name))
 
 
-def _fewest_occurrences(expr: Expr, candidates: frozenset) -> str:
+def _fewest_occurrences(expr: Expr, candidates: frozenset, counts=None) -> str:
     """Ablation heuristic: eliminate a variable with the fewest occurrences."""
-    counts = count_occurrences(expr)
+    if counts is None:
+        counts = count_occurrences(expr)
     return min(candidates, key=lambda name: (counts.get(name, 0), name))
 
 
-def _lexicographic(expr: Expr, candidates: frozenset) -> str:
+def _lexicographic(expr: Expr, candidates: frozenset, counts=None) -> str:
     """Ablation heuristic: eliminate the lexicographically first variable."""
     return min(candidates)
 
@@ -127,12 +130,24 @@ class Compiler:
                     f"expected one of {sorted(HEURISTICS)}"
                 ) from None
         self.choose_variable = heuristic
+        #: Built-in count-based heuristics accept a precomputed
+        #: occurrence-count dict (lexicographic never reads counts, so it
+        #: stays on the cheap path); user-supplied two-argument callables
+        #: keep working unchanged.
+        self._heuristic_takes_counts = heuristic in (
+            _most_occurrences,
+            _fewest_occurrences,
+        )
         self.pruning = pruning
         self.max_mutex_nodes = max_mutex_nodes
         self.mutex_nodes_created = 0
         self.context = CompileContext(registry, semiring)
         self._normalizer = Normalizer(semiring)
         self._memo: dict[Expr, DTree] = {}
+        self._counts_memo: dict[Expr, dict] = {}
+        self._var_bits: dict[str, int] = {}
+        self._var_positions: dict[str, int] = {}
+        self._mask_memo: dict[Expr, int] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -174,22 +189,79 @@ class Compiler:
         # Rule 0: variable-free expressions evaluate to constants.
         if not expr.variables:
             return ConstLeaf(evaluate(expr, {}, self.semiring))
-        if isinstance(expr, Var):
-            return VarLeaf(expr.name)
-        if isinstance(expr, Sum):
-            return self._compile_sum(expr)
-        if isinstance(expr, Prod):
-            return self._compile_prod(expr)
-        if isinstance(expr, AggSum):
-            return self._compile_aggsum(expr)
-        if isinstance(expr, Tensor):
-            return self._compile_tensor(expr)
-        if isinstance(expr, Compare):
-            return self._compile_compare(expr)
-        raise CompilationError(f"cannot compile expression {expr!r}")
+        handler = self._DISPATCH.get(type(expr))
+        if handler is None:
+            raise CompilationError(f"cannot compile expression {expr!r}")
+        return handler(self, expr)
+
+    def _compile_var(self, expr: Var) -> DTree:
+        return VarLeaf(expr.name)
+
+    def _variable_mask(self, expr: Expr) -> int:
+        """The expression's variable set as a bit mask (memoised).
+
+        Bits are assigned to variable names on first sight.  Masks turn
+        the per-decomposition connectivity analysis into integer
+        intersections, and the memo is shared across Shannon branches —
+        which reuse almost all of their summands.
+        """
+        mask = self._mask_memo.get(expr)
+        if mask is None:
+            if type(expr) is Var:
+                bits = self._var_bits
+                bit = bits.get(expr.name)
+                if bit is None:
+                    bit = 1 << len(bits)
+                    bits[expr.name] = bit
+                mask = bit
+            else:
+                mask = 0
+                for child in expr.children:
+                    if child._vars:
+                        mask |= self._variable_mask(child)
+            self._mask_memo[expr] = mask
+        return mask
+
+    def _independent_groups(self, exprs) -> list[list[Expr]]:
+        """Mask-based connected components, ordered like
+        :func:`repro.core.decompose.independent_groups`.
+
+        The common case during Shannon expansion is a single connected
+        component, which costs one integer AND per summand here.
+        """
+        components: list[list] = []  # [mask, (index, expr), ...]
+        for index, expr in enumerate(exprs):
+            if not expr._vars:
+                components.append([0, (index, expr)])
+                continue
+            mask = self._variable_mask(expr)
+            first = None
+            i = 0
+            while i < len(components):
+                component = components[i]
+                if component[0] & mask:
+                    if first is None:
+                        first = component
+                        component[0] |= mask
+                        component.append((index, expr))
+                        i += 1
+                    else:  # expr bridges two components: merge them
+                        first[0] |= component[0]
+                        first.extend(component[1:])
+                        del components[i]
+                else:
+                    i += 1
+            if first is None:
+                components.append([mask, (index, expr)])
+        groups = []
+        for component in components:
+            members = component[1:]
+            members.sort()
+            groups.append([expr for _, expr in members])
+        return groups
 
     def _compile_sum(self, expr: Sum) -> DTree:
-        groups = decompose.independent_groups(expr.children)
+        groups = self._independent_groups(expr.children)
         if len(groups) > 1:  # Rule 1: independent summands.
             return PlusNode(self._compile(ssum(group)) for group in groups)
         factored = self._try_factor_sum(expr.children, is_module=False)
@@ -198,13 +270,13 @@ class Compiler:
         return self._shannon(expr)
 
     def _compile_prod(self, expr: Prod) -> DTree:
-        groups = decompose.independent_groups(expr.children)
+        groups = self._independent_groups(expr.children)
         if len(groups) > 1:  # Rule 2: independent factors.
             return TimesNode(self._compile(sprod(group)) for group in groups)
         return self._shannon(expr)
 
     def _compile_aggsum(self, expr: AggSum) -> DTree:
-        groups = decompose.independent_groups(expr.children)
+        groups = self._independent_groups(expr.children)
         if len(groups) > 1:  # Rule 1 for semimodule sums.
             return MPlusNode(
                 expr.monoid,
@@ -253,6 +325,40 @@ class Compiler:
             return TimesNode((var_tree, rest_tree))
         return None
 
+    def _occurrence_counts(self, expr: Expr) -> tuple:
+        """Memoised per-node occurrence counts, as a position-indexed tuple.
+
+        Shannon branches share almost all their subexpressions with their
+        siblings, so a bottom-up merge over the expression DAG turns the
+        per-⊔-node O(|Φ|) counting walk into a handful of lookups.  Index
+        positions are assigned per variable name on first sight
+        (``_var_positions``); tuples may be shorter than the full variable
+        count when a subexpression predates later variables.
+        """
+        cached = self._counts_memo.get(expr)
+        if cached is None:
+            if type(expr) is Var:
+                positions = self._var_positions
+                position = positions.get(expr.name)
+                if position is None:
+                    position = len(positions)
+                    positions[expr.name] = position
+                cached = (0,) * position + (1,)
+            else:
+                cached = ()
+                for child in expr.children:
+                    if not child._vars:
+                        continue
+                    child_counts = self._occurrence_counts(child)
+                    gap = len(child_counts) - len(cached)
+                    if gap > 0:
+                        cached = cached + (0,) * gap
+                    elif gap < 0:
+                        child_counts = child_counts + (0,) * -gap
+                    cached = tuple(map(operator_add, cached, child_counts))
+            self._counts_memo[expr] = cached
+        return cached
+
     def _shannon(self, expr: Expr) -> DTree:
         """Rule 6: mutually exclusive expansion ``⊔ₓ`` (Eq. 10)."""
         if self.max_mutex_nodes is not None and (
@@ -262,15 +368,38 @@ class Compiler:
                 f"compilation budget of {self.max_mutex_nodes} ⊔-nodes exhausted"
             )
         self.mutex_nodes_created += 1
-        name = self.choose_variable(expr, expr.variables)
+        if self._heuristic_takes_counts:
+            counts_list = self._occurrence_counts(expr)
+            positions = self._var_positions
+            bound = len(counts_list)
+            counts = {}
+            for candidate in expr.variables:
+                position = positions.get(candidate)
+                if position is not None and position < bound:
+                    counts[candidate] = counts_list[position]
+            name = self.choose_variable(expr, expr.variables, counts)
+        else:
+            name = self.choose_variable(expr, expr.variables)
         branches = []
         for value, prob in sorted(
             self.registry[name].items(), key=lambda kv: repr(kv[0])
         ):
             constant = SConst(int(value))
-            restricted = self._normalizer(expr.substitute({name: constant}))
+            restricted = self._normalizer.restrict(expr, name, constant)
             branches.append((value, prob, self._compile(restricted)))
         return MutexNode(name, branches)
+
+
+#: Exact-type dispatch table for :meth:`Compiler._compile_uncached` — one
+#: dict lookup instead of an isinstance chain on the hottest entry point.
+Compiler._DISPATCH = {
+    Var: Compiler._compile_var,
+    Sum: Compiler._compile_sum,
+    Prod: Compiler._compile_prod,
+    AggSum: Compiler._compile_aggsum,
+    Tensor: Compiler._compile_tensor,
+    Compare: Compiler._compile_compare,
+}
 
 
 def compile_expression(

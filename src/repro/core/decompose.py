@@ -45,31 +45,49 @@ def independent_groups(exprs: Sequence[Expr]) -> list[list[Expr]]:
     expressions and whose edges join expressions with intersecting
     variable sets.  Variable-free expressions are singleton components.
     Expressions in different components are independent random variables.
+
+    Instead of the quadratic pairwise variable-set intersection this is a
+    union-find indexed by variable: each variable remembers the first
+    expression owning it and later owners union with it, so the total
+    cost is near-linear in ``Σ |vars(Φᵢ)|``.  This runs on *every* sum
+    the compiler decomposes, so the inner loops are kept free of helper
+    calls.
     """
-    parent = list(range(len(exprs)))
-
-    def find(i: int) -> int:
-        while parent[i] != i:
-            parent[i] = parent[parent[i]]
-            i = parent[i]
-        return i
-
-    def union(i: int, j: int):
-        ri, rj = find(i), find(j)
-        if ri != rj:
-            parent[rj] = ri
+    count = len(exprs)
+    if count == 1:
+        return [list(exprs)]
+    parent = list(range(count))
 
     owner: dict[str, int] = {}
     for index, expr in enumerate(exprs):
         for name in expr.variables:
-            if name in owner:
-                union(owner[name], index)
-            else:
+            prior = owner.get(name)
+            if prior is None:
                 owner[name] = index
+                continue
+            # find(prior) / find(index) with path halving, inlined.
+            ri = prior
+            while parent[ri] != ri:
+                parent[ri] = parent[parent[ri]]
+                ri = parent[ri]
+            rj = index
+            while parent[rj] != rj:
+                parent[rj] = parent[parent[rj]]
+                rj = parent[rj]
+            if ri != rj:
+                parent[rj] = ri
 
     groups: dict[int, list[Expr]] = {}
     for index, expr in enumerate(exprs):
-        groups.setdefault(find(index), []).append(expr)
+        root = index
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        group = groups.get(root)
+        if group is None:
+            groups[root] = [expr]
+        else:
+            group.append(expr)
     return list(groups.values())
 
 

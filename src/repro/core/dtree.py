@@ -186,12 +186,9 @@ class PlusNode(DTree):
         self.children = children
 
     def _compute_distribution(self, ctx):
-        result = self.children[0].distribution(ctx)
-        for child in self.children[1:]:
-            result = convolution.semiring_add(
-                result, child.distribution(ctx), ctx.semiring
-            )
-        return result
+        return convolution.semiring_add_many(
+            [child.distribution(ctx) for child in self.children], ctx.semiring
+        )
 
 
 class TimesNode(DTree):
@@ -207,12 +204,9 @@ class TimesNode(DTree):
         self.children = children
 
     def _compute_distribution(self, ctx):
-        result = self.children[0].distribution(ctx)
-        for child in self.children[1:]:
-            result = convolution.semiring_mul(
-                result, child.distribution(ctx), ctx.semiring
-            )
-        return result
+        return convolution.semiring_mul_many(
+            [child.distribution(ctx) for child in self.children], ctx.semiring
+        )
 
 
 class MPlusNode(DTree):
@@ -229,12 +223,9 @@ class MPlusNode(DTree):
         self.children = children
 
     def _compute_distribution(self, ctx):
-        result = self.children[0].distribution(ctx)
-        for child in self.children[1:]:
-            result = convolution.monoid_add(
-                result, child.distribution(ctx), self.monoid
-            )
-        return result
+        return convolution.monoid_add_many(
+            [child.distribution(ctx) for child in self.children], self.monoid
+        )
 
     def _label(self):
         return f"⊕ [{self.monoid.name}]"

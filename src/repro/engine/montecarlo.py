@@ -8,18 +8,64 @@ empirical tuple frequencies.  It converges at the usual ``O(1/√n)``
 Monte-Carlo rate and — unlike the compiled engine — provides no exactness
 guarantee, which is the paper's core argument for exact computation via
 knowledge compilation.
+
+The sampler is **batched**:
+
+* all ``samples × variables`` draws happen up front, one vectorized
+  categorical draw per variable (``numpy.random.Generator`` when numpy is
+  available, a single ``random.Random.choices(k=samples)`` call per
+  variable otherwise);
+* only the variables and relations actually referenced by the query are
+  sampled and instantiated;
+* for the common shape — selections/projections/grouping over
+  tuple-independent tables under set semantics — whole *batches of
+  worlds* are evaluated at once from per-row presence vectors, without
+  materialising any per-world relation;
+* the generic per-world fallback memoises repeated worlds, so databases
+  with few effective variables never evaluate the same world twice.
+
+Estimates remain plain empirical frequencies either way, and a fixed
+``seed`` makes runs reproducible.
 """
 
 from __future__ import annotations
 
+import math
 import random
+
+from repro.algebra.expressions import SConst, Var
+from repro.algebra.monoid import (
+    CappedSumMonoid,
+    CountMonoid,
+    MaxMonoid,
+    MinMonoid,
+    SumMonoid,
+)
+from repro.algebra.semimodule import ModuleExpr
 from repro.algebra.valuation import Valuation
 from repro.db.pvc_table import PVCDatabase
 from repro.engine.naive import evaluate_deterministic
-from repro.query.ast import Query
+from repro.prob import kernels
+from repro.query.ast import (
+    BaseRelation,
+    Extend,
+    GroupAgg,
+    Project,
+    Query,
+    Select,
+)
 from repro.query.validate import validate_query
 
+try:  # optional accelerator; the engine is fully functional without it
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = ["MonteCarloEngine"]
+
+
+class _Fallback(Exception):
+    """Raised internally when the batched fast path does not apply."""
 
 
 class MonteCarloEngine:
@@ -28,6 +74,15 @@ class MonteCarloEngine:
     def __init__(self, db: PVCDatabase, seed: int | None = None):
         self.db = db
         self.random = random.Random(seed)
+        self._np_rng = (
+            _np.random.default_rng(seed) if _np is not None else None
+        )
+        #: Diagnostics of the most recent run: sample budget, whether the
+        #: vectorized batch evaluator handled the query, and how many
+        #: distinct worlds the fallback actually evaluated.
+        self.last_run_info: dict = {}
+
+    # -- sampling ------------------------------------------------------------
 
     def sample_valuation(self) -> Valuation:
         """Draw one valuation of all registered variables."""
@@ -37,6 +92,35 @@ class MonteCarloEngine:
             assignment[name] = self.random.choices(values, weights=weights)[0]
         return Valuation(assignment, self.db.semiring)
 
+    def _sample_index_columns(self, names, samples: int) -> dict:
+        """Batched draws as ``{name: (support_values, index_column)}``.
+
+        One vectorized categorical draw per variable via the numpy
+        ``Generator`` when available, else one ``choices(k=samples)``
+        call per variable — either way O(variables) RNG calls instead of
+        O(variables × samples).  Draws stay in *index* form so the batch
+        evaluator can turn them into presence vectors with one fancy
+        index per variable instead of a per-sample Python loop.
+        """
+        drawn: dict = {}
+        use_numpy = self._np_rng is not None and kernels.numpy_enabled()
+        for name in names:
+            values, weights = zip(*self.db.registry[name].items())
+            if use_numpy:
+                probabilities = _np.asarray(weights, dtype=float)
+                probabilities = probabilities / probabilities.sum()
+                indices = self._np_rng.choice(
+                    len(values), size=samples, p=probabilities
+                )
+            else:
+                indices = self.random.choices(
+                    range(len(values)), weights=weights, k=samples
+                )
+            drawn[name] = (values, indices)
+        return drawn
+
+    # -- estimation ----------------------------------------------------------
+
     def tuple_probabilities(
         self, query: Query, samples: int = 1000
     ) -> dict[tuple, float]:
@@ -45,16 +129,25 @@ class MonteCarloEngine:
             raise ValueError("need at least one sample")
         catalog = self.db.catalog()
         validate_query(query, catalog)
-        counts: dict[tuple, int] = {}
-        for _ in range(samples):
-            valuation = self.sample_valuation()
-            world = {
-                name: table.instantiate(valuation, self.db.semiring)
-                for name, table in self.db.tables.items()
-            }
-            result = evaluate_deterministic(query, world)
-            for values in result.support():
-                counts[values] = counts.get(values, 0) + 1
+
+        referenced = list(dict.fromkeys(query.base_relations()))
+        needed: set[str] = set()
+        for name in referenced:
+            needed |= self.db.tables[name].variables
+        drawn = self._sample_index_columns(sorted(needed), samples)
+
+        self.last_run_info = {"samples": samples, "batched": False}
+        if self._np_rng is not None and kernels.numpy_enabled():
+            try:
+                counts = self._batched_counts(query, drawn, samples)
+            except _Fallback:
+                counts = None
+            if counts is not None:
+                self.last_run_info["batched"] = True
+                return {
+                    values: count / samples for values, count in counts.items()
+                }
+        counts = self._per_world_counts(query, referenced, drawn, samples)
         return {values: count / samples for values, count in counts.items()}
 
     def estimate_probability(
@@ -63,3 +156,293 @@ class MonteCarloEngine:
         """Estimate the probability of one specific answer tuple."""
         estimates = self.tuple_probabilities(query, samples)
         return estimates.get(tuple(values), 0.0)
+
+    # -- generic per-world fallback -------------------------------------------
+
+    def _per_world_counts(
+        self, query: Query, referenced, drawn, samples: int
+    ) -> dict[tuple, int]:
+        """Evaluate sampled worlds one by one, memoising repeated worlds.
+
+        Only the relations referenced by the query are instantiated, and
+        only their variables enter the world key (in index form), so
+        databases with few effective variables collapse to a handful of
+        evaluations.
+        """
+        names = list(drawn)
+        supports = [drawn[name][0] for name in names]
+        index_columns = [drawn[name][1] for name in names]
+        semiring = self.db.semiring
+        tables = [(name, self.db.tables[name]) for name in referenced]
+        counts: dict[tuple, int] = {}
+        world_cache: dict[tuple, list] = {}
+        distinct = 0
+        for sample in range(samples):
+            key = tuple(int(column[sample]) for column in index_columns)
+            support = world_cache.get(key)
+            if support is None:
+                distinct += 1
+                valuation = Valuation(
+                    {
+                        name: values[i]
+                        for name, values, i in zip(names, supports, key)
+                    },
+                    semiring,
+                )
+                world = {
+                    name: table.instantiate(valuation, semiring)
+                    for name, table in tables
+                }
+                result = evaluate_deterministic(query, world)
+                support = list(result.support())
+                world_cache[key] = support
+            for values in support:
+                counts[values] = counts.get(values, 0) + 1
+        self.last_run_info["distinct_worlds"] = distinct
+        return counts
+
+    # -- vectorized batch evaluation ------------------------------------------
+
+    def _batched_counts(
+        self, query: Query, drawn, samples: int
+    ) -> dict[tuple, int] | None:
+        """Evaluate all sampled worlds at once from presence vectors.
+
+        Supports set semantics (Boolean semiring) over simple
+        tuple-independent tables — every row annotated ``1_K`` or with a
+        single Boolean variable and carrying constant values — for query
+        shapes built from selection, projection, attribute duplication
+        and one grouping/aggregation over SUM/COUNT/MIN/MAX.  Raises
+        :class:`_Fallback` for anything else.
+        """
+        if not self.db.semiring.is_boolean:
+            raise _Fallback
+        coerce = self.db.semiring.coerce
+        presence = {}
+        for name, (values, indices) in drawn.items():
+            # One bool per *support value*, then one fancy index — no
+            # per-sample Python loop.
+            coerced = _np.fromiter(
+                (bool(coerce(v)) for v in values), dtype=bool, count=len(values)
+            )
+            presence[name] = coerced[_np.asarray(indices)]
+        kind, attributes, payload = self._translate(query, presence, samples)
+        if kind == "rows":
+            merged: dict[tuple, object] = {}
+            for values, mask in payload:
+                existing = merged.get(values)
+                merged[values] = mask if existing is None else existing | mask
+            return {
+                values: int(mask.sum())
+                for values, mask in merged.items()
+                if mask.any()
+            }
+        counts, _ = payload
+        return {values: count for values, count in counts.items() if count}
+
+    def _translate(self, query: Query, presence, samples: int):
+        """Recursively lower a query to batched form.
+
+        Returns ``("rows", attributes, [(values, presence_mask), ...])``
+        for non-aggregated relations and
+        ``("counts", attributes, ({values: sample_count}, groupby))``
+        after a grouping operator — the grouping attributes ride along
+        because they decide which later projections stay exact.
+        """
+        if isinstance(query, BaseRelation):
+            return self._translate_base(query.name, presence, samples)
+        if isinstance(query, Select):
+            kind, attributes, payload = self._translate(
+                query.child, presence, samples
+            )
+            if kind == "rows":
+                kept = []
+                for values, mask in payload:
+                    verdict = query.predicate.evaluate(
+                        dict(zip(attributes, values))
+                    )
+                    if verdict is True:
+                        kept.append((values, mask))
+                    elif verdict is not False:
+                        raise _Fallback  # symbolic predicate result
+                return kind, attributes, kept
+            counts, groupby = payload
+            filtered = {}
+            for values, count in counts.items():
+                verdict = query.predicate.evaluate(dict(zip(attributes, values)))
+                if verdict is True:
+                    filtered[values] = count
+                elif verdict is not False:
+                    raise _Fallback
+            return kind, attributes, (filtered, groupby)
+        if isinstance(query, Project):
+            kind, attributes, payload = self._translate(
+                query.child, presence, samples
+            )
+            indexes = [attributes.index(a) for a in query.attributes]
+            if kind == "rows":
+                merged: dict[tuple, object] = {}
+                for values, mask in payload:
+                    projected = tuple(values[i] for i in indexes)
+                    existing = merged.get(projected)
+                    merged[projected] = (
+                        mask if existing is None else existing | mask
+                    )
+                return kind, list(query.attributes), list(merged.items())
+            # Counts have lost per-sample identity, but merging stays
+            # exact when the grouping attributes survive the projection:
+            # tuples from different groups remain distinct, and within a
+            # group each sample carries exactly one aggregate tuple, so
+            # buckets sharing a projection are disjoint sample sets.
+            counts, groupby = payload
+            if not set(groupby).issubset(query.attributes):
+                raise _Fallback
+            projected_counts: dict[tuple, int] = {}
+            for values, count in counts.items():
+                projected = tuple(values[i] for i in indexes)
+                projected_counts[projected] = (
+                    projected_counts.get(projected, 0) + count
+                )
+            return kind, list(query.attributes), (projected_counts, groupby)
+        if isinstance(query, Extend):
+            kind, attributes, payload = self._translate(
+                query.child, presence, samples
+            )
+            if kind != "rows":
+                raise _Fallback
+            index = attributes.index(query.source)
+            extended = [
+                (values + (values[index],), mask) for values, mask in payload
+            ]
+            return kind, attributes + [query.target], extended
+        if isinstance(query, GroupAgg):
+            kind, attributes, payload = self._translate(
+                query.child, presence, samples
+            )
+            if kind != "rows":
+                raise _Fallback
+            return self._translate_groupagg(query, attributes, payload, samples)
+        raise _Fallback  # Product, Union: generic path
+
+    def _translate_base(self, name: str, presence, samples: int):
+        table = self.db.tables[name]
+        if len(table) * samples > 50_000_000:
+            raise _Fallback  # presence matrix would not be worth the memory
+        ones = _np.ones(samples, dtype=bool)
+        merged: dict[tuple, object] = {}
+        for row in table.rows:
+            annotation = row.annotation
+            if isinstance(annotation, SConst) and annotation.value == 1:
+                mask = ones
+            elif isinstance(annotation, Var):
+                mask = presence[annotation.name]
+            else:
+                raise _Fallback  # correlated/complex annotation
+            if any(isinstance(v, ModuleExpr) for v in row.values):
+                raise _Fallback
+            # Set semantics: rows with identical values collapse to one
+            # tuple per world — present when any of their events fires.
+            existing = merged.get(row.values)
+            merged[row.values] = mask if existing is None else existing | mask
+        return "rows", list(table.schema.attributes), list(merged.items())
+
+    def _translate_groupagg(self, query: GroupAgg, attributes, rows, samples: int):
+        group_indexes = [attributes.index(a) for a in query.groupby]
+        spec_indexes = []
+        for spec in query.aggregations:
+            if spec.attribute is None:
+                spec_indexes.append(None)
+            else:
+                spec_indexes.append(attributes.index(spec.attribute))
+
+        groups: dict[tuple, list] = {}
+        for values, mask in rows:
+            key = tuple(values[i] for i in group_indexes)
+            groups.setdefault(key, []).append((values, mask))
+        if not query.groupby:
+            # $∅ always produces one tuple, holding the monoid-neutral
+            # aggregates in worlds where no input row is present.
+            groups.setdefault((), [])
+
+        counts: dict[tuple, int] = {}
+        for key, members in groups.items():
+            if members:
+                matrix = _np.vstack([mask for _, mask in members])
+            else:
+                matrix = _np.zeros((0, samples), dtype=bool)
+            if query.groupby:
+                present = matrix.any(axis=0)
+                if not present.any():
+                    continue
+            else:
+                present = _np.ones(matrix.shape[1], dtype=bool)
+            columns = []
+            for spec, index in zip(query.aggregations, spec_indexes):
+                columns.append(
+                    self._aggregate_column(spec, index, members, matrix)
+                )
+            selected = [column[present] for column in columns]
+            if len(selected) == 1:
+                unique, unique_counts = _np.unique(
+                    selected[0], return_counts=True
+                )
+                for value, count in zip(
+                    unique.tolist(), unique_counts.tolist()
+                ):
+                    counts[key + (_as_int(value),)] = count
+            else:
+                local: dict[tuple, int] = {}
+                for sample_values in zip(*(c.tolist() for c in selected)):
+                    row_key = key + tuple(_as_int(v) for v in sample_values)
+                    local[row_key] = local.get(row_key, 0) + 1
+                counts.update(local)
+        names = list(query.groupby) + [s.output for s in query.aggregations]
+        return "counts", names, (counts, query.groupby)
+
+    def _aggregate_column(self, spec, index, members, matrix):
+        """Per-sample aggregate values of one group as a numpy array."""
+        monoid = spec.monoid
+        if isinstance(monoid, CountMonoid):
+            return matrix.sum(axis=0)
+        values = [row_values[index] for row_values, _ in members]
+        if not all(isinstance(v, (int, float)) for v in values):
+            raise _Fallback
+        array = _np.asarray(values, dtype=float)
+        if isinstance(monoid, SumMonoid):
+            # Summation order differs from the per-world fold, so float
+            # inputs could produce answer keys differing in the last ulp
+            # from the exact engines'.  Integer sums within float64's
+            # exact range are order-independent; anything else falls back.
+            if not all(type(v) is int for v in values):
+                raise _Fallback
+            if sum(abs(v) for v in values) > 2**52:
+                raise _Fallback
+            totals = array @ matrix
+            if isinstance(monoid, CappedSumMonoid):
+                # A saturating fold over non-negative values equals the
+                # capped total; negative values would make the fold
+                # order-dependent, so they take the generic path.
+                if any(v < 0 for v in values):
+                    raise _Fallback
+                return _np.minimum(totals, monoid.cap)
+            return totals
+        if isinstance(monoid, (MinMonoid, MaxMonoid)):
+            # Selection never creates values, but the float64 cast does:
+            # ints beyond 2**53 would round and fabricate answer keys.
+            if any(type(v) is int and abs(v) > 2**53 for v in values):
+                raise _Fallback
+            if isinstance(monoid, MinMonoid):
+                filled = _np.where(matrix, array[:, None], math.inf)
+                return filled.min(axis=0, initial=math.inf)
+            filled = _np.where(matrix, array[:, None], -math.inf)
+            return filled.max(axis=0, initial=-math.inf)
+        raise _Fallback  # PROD and custom monoids: generic path
+
+
+def _as_int(value):
+    """Match the dict path's Python value types for aggregate results."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, _np.integer if _np is not None else int):
+        return int(value)
+    return value

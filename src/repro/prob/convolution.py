@@ -14,21 +14,35 @@ Eq. (7)               scalar action ``Φ ⊗ α``
 Eq. (8) / Eq. (9)     conditional expressions ``[· θ ·]``
 Eq. (10)              mutex partitioning (Shannon expansion)
 ====================  ==============================================
+
+Because each wrapper knows its semiring or monoid statically, it resolves
+the matching vectorized kernel (:mod:`repro.prob.kernels`) once per call
+instead of re-recognizing the op callable, and falls back to the generic
+dict loop for symbolic semirings or non-numeric supports.
+
+The ``*_many`` variants are the n-ary entry points used by d-tree nodes:
+they reduce their operands smallest-first (the convolution-tree
+optimization), which for SUM/COUNT aggregates avoids re-convolving the
+full running support at every step of a left-to-right fold.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.algebra.conditions import ComparisonOp
 from repro.algebra.monoid import Monoid
 from repro.algebra.semiring import Semiring
-from repro.prob.distribution import Distribution
+from repro.prob import kernels
+from repro.prob.distribution import TOLERANCE, Distribution
 
 __all__ = [
     "semiring_add",
     "semiring_mul",
     "monoid_add",
+    "semiring_add_many",
+    "semiring_mul_many",
+    "monoid_add_many",
     "scalar_action",
     "comparison",
     "mutex_mixture",
@@ -39,21 +53,65 @@ def semiring_add(
     dist_phi: Distribution, dist_psi: Distribution, semiring: Semiring
 ) -> Distribution:
     """Eq. (4): distribution of ``Φ + Ψ`` for independent ``Φ``, ``Ψ``."""
-    return dist_phi.convolve(dist_psi, semiring.add)
+    return dist_phi.convolve_with_spec(
+        dist_psi, semiring.add, kernels.semiring_add_op(semiring)
+    )
 
 
 def semiring_mul(
     dist_phi: Distribution, dist_psi: Distribution, semiring: Semiring
 ) -> Distribution:
     """Eq. (5): distribution of ``Φ · Ψ`` for independent ``Φ``, ``Ψ``."""
-    return dist_phi.convolve(dist_psi, semiring.mul)
+    return dist_phi.convolve_with_spec(
+        dist_psi, semiring.mul, kernels.semiring_mul_op(semiring)
+    )
 
 
 def monoid_add(
     dist_alpha: Distribution, dist_beta: Distribution, monoid: Monoid
 ) -> Distribution:
     """Eq. (6): distribution of ``α +_M β`` for independent ``α``, ``β``."""
-    return dist_alpha.convolve(dist_beta, monoid.add)
+    return dist_alpha.convolve_with_spec(
+        dist_beta, monoid.add, kernels.monoid_op(monoid)
+    )
+
+
+def semiring_add_many(
+    dists: Sequence[Distribution], semiring: Semiring
+) -> Distribution:
+    """n-ary Eq. (4), reduced smallest-supports-first."""
+    spec = kernels.semiring_add_op(semiring)
+    op = semiring.add
+    return kernels.convolve_many(
+        dists, lambda a, b: a.convolve_with_spec(b, op, spec)
+    )
+
+
+def semiring_mul_many(
+    dists: Sequence[Distribution], semiring: Semiring
+) -> Distribution:
+    """n-ary Eq. (5), reduced smallest-supports-first."""
+    spec = kernels.semiring_mul_op(semiring)
+    op = semiring.mul
+    return kernels.convolve_many(
+        dists, lambda a, b: a.convolve_with_spec(b, op, spec)
+    )
+
+
+def monoid_add_many(
+    dists: Sequence[Distribution], monoid: Monoid
+) -> Distribution:
+    """n-ary Eq. (6), reduced smallest-supports-first.
+
+    This is the classic convolution-tree order for SUM/COUNT aggregates:
+    convolving the two smallest operand distributions first keeps every
+    intermediate support as small as possible.
+    """
+    spec = kernels.monoid_op(monoid)
+    op = monoid.add
+    return kernels.convolve_many(
+        dists, lambda a, b: a.convolve_with_spec(b, op, spec)
+    )
 
 
 def scalar_action(
@@ -62,7 +120,27 @@ def scalar_action(
     monoid: Monoid,
     semiring: Semiring,
 ) -> Distribution:
-    """Eq. (7): distribution of ``Φ ⊗ α`` for independent ``Φ``, ``α``."""
+    """Eq. (7): distribution of ``Φ ⊗ α`` for independent ``Φ``, ``α``.
+
+    For the Boolean semiring the scalar side has at most two values, so
+    the result is the closed-form mixture
+    ``P[Φ=⊤] · clamp(α) + P[Φ=⊥] · δ(0_M)`` — no support-pair loop at all.
+    """
+    if semiring.is_boolean:
+        p_true = sum(p for s, p in dist_phi.items() if bool(s))
+        p_false = sum(p for s, p in dist_phi.items() if not bool(s))
+        accum: dict = {}
+        if p_true > TOLERANCE:
+            for value, p in dist_alpha.items():
+                image = monoid.clamp(value)
+                accum[image] = accum.get(image, 0.0) + p_true * p
+        if p_false > TOLERANCE:
+            # Each (⊥, m) support pair contributes p_false·p_m to 0_M, so
+            # sub-normalized α scales the false branch too (as in the
+            # generic convolution).
+            zero = monoid.zero
+            accum[zero] = accum.get(zero, 0.0) + p_false * dist_alpha.total()
+        return Distribution(accum)
     return dist_phi.convolve(
         dist_alpha, lambda s, m: monoid.act(s, m, semiring)
     )
@@ -79,6 +157,18 @@ def comparison(
     The result is a distribution over ``{0_S, 1_S}`` regardless of whether
     the operands are semiring or semimodule valued.
     """
+    mass = kernels.comparison_mass(
+        dist_left._probs, dist_right._probs, op.symbol
+    )
+    if mass is not None:
+        accum = {}
+        if mass > TOLERANCE:
+            accum[semiring.one] = mass
+        remainder = dist_left.total() * dist_right.total() - mass
+        if remainder > TOLERANCE:
+            accum[semiring.zero] = remainder
+        if accum:
+            return Distribution._from_clean(accum)
     return dist_left.convolve(
         dist_right, lambda a, b: semiring.from_condition(op(a, b))
     )

@@ -13,6 +13,7 @@ import math
 from typing import Callable, Hashable, Iterable, Iterator, Mapping
 
 from repro.errors import DistributionError
+from repro.prob import kernels
 
 __all__ = ["Distribution", "TOLERANCE"]
 
@@ -56,6 +57,20 @@ class Distribution:
     # -- constructors ------------------------------------------------------
 
     @classmethod
+    def _from_clean(cls, probs: dict) -> "Distribution":
+        """Wrap an already-validated ``{value: probability}`` dict.
+
+        Internal fast path for the vectorized kernels, which produce
+        accumulated dicts with sub-tolerance entries already dropped;
+        skips the per-item re-validation of ``__init__``.
+        """
+        if not probs:
+            raise DistributionError("distribution has empty support")
+        dist = cls.__new__(cls)
+        dist._probs = probs
+        return dist
+
+    @classmethod
     def point(cls, value) -> "Distribution":
         """The deterministic distribution concentrated on ``value``."""
         return cls({value: 1.0})
@@ -88,11 +103,18 @@ class Distribution:
     @classmethod
     def mixture(cls, weighted: Iterable[tuple[float, "Distribution"]]) -> "Distribution":
         """The convex mixture ``Σ wᵢ · Dᵢ`` (Equation 10's outer sum)."""
+        pairs = [
+            (weight, dist._probs) for weight, dist in weighted if weight > TOLERANCE
+        ]
+        fast = kernels.mixture_dicts(pairs, tolerance=TOLERANCE)
+        if fast is not None:
+            total = sum(fast.values())
+            if total > 1.0 + 1e-6:  # same guard as __init__
+                raise DistributionError(f"total probability {total} exceeds 1")
+            return cls._from_clean(fast)
         accum: dict = {}
-        for weight, dist in weighted:
-            if weight <= TOLERANCE:
-                continue
-            for value, p in dist.items():
+        for weight, probs in pairs:
+            for value, p in probs.items():
                 accum[value] = accum.get(value, 0.0) + weight * p
         return cls(accum)
 
@@ -127,10 +149,19 @@ class Distribution:
     # -- operations ---------------------------------------------------------
 
     def map(self, fn: Callable) -> "Distribution":
-        """Push-forward along ``fn``: the distribution of ``fn(X)``."""
+        """Push-forward along ``fn``: the distribution of ``fn(X)``.
+
+        ``fn`` is called exactly once per support value; for large
+        numeric image sets the collision accumulation is vectorized.
+        """
+        images = [fn(value) for value in self._probs]
+        fast = kernels.bin_images(
+            images, list(self._probs.values()), tolerance=TOLERANCE
+        )
+        if fast is not None:
+            return Distribution._from_clean(fast)
         accum: dict = {}
-        for value, p in self._probs.items():
-            image = fn(value)
+        for image, p in zip(images, self._probs.values()):
             accum[image] = accum.get(image, 0.0) + p
         return Distribution(accum)
 
@@ -140,8 +171,28 @@ class Distribution:
         For independent random variables ``x ~ self`` and ``y ~ other``,
         returns the distribution of ``op(x, y)``.  The sum ranges only
         over support pairs (Remark 1), so the cost is
-        ``O(|self| · |other|)``.
+        ``O(|self| · |other|)`` — evaluated by the vectorized kernels of
+        :mod:`repro.prob.kernels` when the supports are numeric and
+        ``op`` is a recognized arithmetic, and by the generic dict loop
+        otherwise.
         """
+        return self.convolve_with_spec(other, op, kernels.resolve_op(op))
+
+    def convolve_with_spec(
+        self, other: "Distribution", op: Callable, spec
+    ) -> "Distribution":
+        """Convolve with a pre-resolved kernel :class:`~repro.prob.kernels.OpSpec`.
+
+        Used by the Eq. (4)-(10) wrappers, which know the semiring/monoid
+        statically and skip per-call op recognition; ``spec=None`` selects
+        the generic dict loop outright.
+        """
+        if spec is not None:
+            fast = kernels.convolve_dicts(
+                self._probs, other._probs, op, spec=spec, tolerance=TOLERANCE
+            )
+            if fast is not None:
+                return Distribution._from_clean(fast)
         accum: dict = {}
         for a, pa in self._probs.items():
             for b, pb in other._probs.items():
@@ -151,6 +202,9 @@ class Distribution:
 
     def expectation(self) -> float:
         """Expected value, for numeric supports."""
+        fast = kernels.expectation(self._probs)
+        if fast is not None:
+            return fast
         return sum(value * p for value, p in self._probs.items())
 
     def variance(self) -> float:

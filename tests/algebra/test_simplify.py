@@ -63,12 +63,31 @@ class TestModuleRewrites:
         assert normalize(expr, BOOLEAN) == MConst(MIN, math.inf)
 
     def test_aggsum_constants_fold(self):
+        # The constants fold to min(7, 3) = 3, which then dominates the
+        # optional 9-valued term (min(3, x ? 9 : +∞) = 3 in every world),
+        # so the whole sum collapses to the certain constant.
         expr = aggsum(
             MIN,
             [tensor(Var("x"), MConst(MIN, 9)), MConst(MIN, 7), MConst(MIN, 3)],
         )
         result = normalize(expr, BOOLEAN)
-        assert MConst(MIN, 3) in result.children
+        assert result == MConst(MIN, 3)
+
+    def test_aggsum_dominated_terms_drop(self):
+        # A certain 5 keeps the optional 2 (it can lower the minimum) but
+        # drops the optional 9 (it never can).
+        expr = aggsum(
+            MIN,
+            [
+                tensor(Var("x"), MConst(MIN, 9)),
+                tensor(Var("y"), MConst(MIN, 2)),
+                MConst(MIN, 5),
+            ],
+        )
+        result = normalize(expr, BOOLEAN)
+        assert MConst(MIN, 5) in result.children
+        assert tensor(Var("y"), MConst(MIN, 2)) in result.children
+        assert len(result.children) == 2
 
     def test_comparison_folds_after_normalisation(self):
         # [2 ⊗ 5 <= 12] has no variables: folds to 0/1 via evaluation.

@@ -54,3 +54,156 @@ class TestEstimation:
         db = simple_db()
         valuation = MonteCarloEngine(db, seed=1).sample_valuation()
         assert "x" in valuation and "y" in valuation
+
+
+def two_table_db():
+    """A database with an extra table the queries never touch."""
+    db = simple_db()
+    s = db.create_table("S", ["b"])
+    for i in range(30):
+        db.registry.bernoulli(f"s{i}", 0.5)
+        s.add((i,), Var(f"s{i}"))
+    return db
+
+
+class TestBatchedSampler:
+    def test_batched_and_per_world_paths_agree_exactly(self):
+        """The vectorized batch evaluator is a pure optimisation: on the
+        same sampled columns it must produce identical counts."""
+        db = two_table_db()
+        engine = MonteCarloEngine(db, seed=13)
+        queries = [
+            relation("R"),
+            # global aggregates: $∅ must yield one tuple in every world,
+            # with neutral values in worlds where no row is present
+            GroupAgg(relation("R"), [], [AggSpec.of("t", "SUM", "v")]),
+            GroupAgg(relation("R"), [], [AggSpec.of("m", "MIN", "v")]),
+            GroupAgg(relation("R"), ["a"], [AggSpec.of("m", "MIN", "v")]),
+            GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "v"),
+                                            AggSpec.of("n", "COUNT", None)]),
+            Project(
+                Select(
+                    GroupAgg(relation("R"), ["a"], [AggSpec.of("m", "MAX", "v")]),
+                    cmp_("m", "<=", 15),
+                ),
+                ["a"],
+            ),
+        ]
+        for query in queries:
+            drawn = engine._sample_index_columns(
+                sorted(db.tables["R"].variables), 300
+            )
+            batched = engine._batched_counts(query, drawn, 300)
+            generic = engine._per_world_counts(query, ["R"], drawn, 300)
+            assert batched == generic
+
+    def test_seeded_determinism_of_batched_runs(self):
+        db = two_table_db()
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "v")])
+        first = MonteCarloEngine(db, seed=9).tuple_probabilities(query, 500)
+        second = MonteCarloEngine(db, seed=9).tuple_probabilities(query, 500)
+        assert first == second
+        third = MonteCarloEngine(db, seed=10).tuple_probabilities(query, 500)
+        assert first != third  # astronomically unlikely to collide
+
+    def test_only_referenced_relations_are_sampled(self):
+        """Sampling is restricted to the query's relations, so the
+        unrelated table's variables must not influence the estimate."""
+        db = two_table_db()
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("m", "MIN", "v")])
+        with_extra = MonteCarloEngine(db, seed=4).tuple_probabilities(query, 800)
+        without_extra = MonteCarloEngine(simple_db(), seed=4).tuple_probabilities(
+            query, 800
+        )
+        assert with_extra == without_extra
+
+    def test_batched_fast_path_engages_and_agrees_with_compiled(self):
+        db = two_table_db()
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "v")])
+        engine = MonteCarloEngine(db, seed=2)
+        estimate = engine.tuple_probabilities(query, 8000)
+        from repro.prob import kernels
+
+        if kernels.numpy_enabled():
+            assert engine.last_run_info["batched"] is True
+        # The oracle runs on the two-variable database: the extra table's
+        # 30 variables are irrelevant to the query but would make naive
+        # world enumeration intractable.
+        exact = NaiveEngine(simple_db()).tuple_probabilities(query)
+        for key, p in exact.items():
+            assert estimate.get(key, 0.0) == pytest.approx(p, abs=0.03)
+
+    def test_complex_annotations_fall_back(self):
+        """Rows with non-atomic annotations are outside the fast path's
+        simple-TI assumption; the generic path must handle them."""
+        db = simple_db()
+        r = db.tables["R"]
+        r.add((2, 30), Var("x") * Var("y"))  # conjunctive annotation
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("m", "MIN", "v")])
+        engine = MonteCarloEngine(db, seed=3)
+        estimate = engine.tuple_probabilities(query, 5000)
+        assert engine.last_run_info["batched"] is False
+        exact = NaiveEngine(db).tuple_probabilities(query)
+        for key, p in exact.items():
+            assert estimate.get(key, 0.0) == pytest.approx(p, abs=0.03)
+
+    def test_float_sum_takes_generic_path(self):
+        """Summation order differs between the matrix product and the
+        per-world fold, so float-valued SUM columns must not be batched —
+        otherwise answer keys could differ in the last ulp from the exact
+        engines'."""
+        db = PVCDatabase(registry=VariableRegistry(), semiring=BOOLEAN)
+        r = db.create_table("R", ["a", "v"])
+        for i in range(6):
+            db.registry.bernoulli(f"f{i}", 0.5)
+            r.add((0, 0.1 * (i + 1)), Var(f"f{i}"))
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "v")])
+        engine = MonteCarloEngine(db, seed=1)
+        estimate = engine.tuple_probabilities(query, 4000)
+        assert engine.last_run_info["batched"] is False
+        exact = NaiveEngine(db).tuple_probabilities(query)
+        for key, p in exact.items():
+            assert estimate.get(key, 0.0) == pytest.approx(p, abs=0.04)
+
+    def test_huge_int_min_takes_generic_path(self):
+        """Selection monoids cast values to float64 in the batched path;
+        ints beyond 2**53 would round into fabricated answer keys."""
+        db = PVCDatabase(registry=VariableRegistry(), semiring=BOOLEAN)
+        r = db.create_table("R", ["a", "v"])
+        db.registry.bernoulli("hx", 0.5)
+        db.registry.bernoulli("hy", 0.5)
+        r.add((1, 2**53 + 1), Var("hx"))
+        r.add((1, 2**53 + 2), Var("hy"))
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("m", "MIN", "v")])
+        engine = MonteCarloEngine(db, seed=1)
+        estimate = engine.tuple_probabilities(query, 500)
+        assert engine.last_run_info["batched"] is False
+        assert all(v in (2**53 + 1, 2**53 + 2) for (_, v) in estimate)
+
+    def test_repeated_worlds_are_memoised(self):
+        db = simple_db()  # two variables: only four distinct worlds
+        engine = MonteCarloEngine(db, seed=8)
+        engine._per_world_counts(
+            relation("R"),
+            ["R"],
+            engine._sample_index_columns(["x", "y"], 1000),
+            1000,
+        )
+        assert engine.last_run_info["distinct_worlds"] <= 4
+
+    def test_capped_sum_saturates_in_batched_path(self):
+        """CappedSumMonoid is a SumMonoid subclass: the batched matrix
+        product must saturate at the cap like the per-world fold does."""
+        from repro.algebra.monoid import CappedSumMonoid
+
+        db = two_table_db()
+        spec = AggSpec.of("s", CappedSumMonoid(12), "v")
+        query = GroupAgg(relation("R"), ["a"], [spec])
+        engine = MonteCarloEngine(db, seed=6)
+        drawn = engine._sample_index_columns(
+            sorted(db.tables["R"].variables), 400
+        )
+        batched = engine._batched_counts(query, drawn, 400)
+        generic = engine._per_world_counts(query, ["R"], drawn, 400)
+        assert batched == generic
+        assert all(values[-1] <= 12 for values in batched)
