@@ -137,12 +137,16 @@ from repro.query import (
     eq,
     equijoin,
     evaluate_query,
+    explain_plan,
     is_hierarchical,
     lit,
     max_,
     min_,
     optimize,
+    optimize_traced,
     parse_sql,
+    plan_query,
+    Rule,
     prod_,
     product_of,
     relation,
@@ -176,6 +180,7 @@ __all__ = [
     "Query", "Select", "Project", "Product", "Union", "GroupAgg", "AggSpec",
     "relation", "product_of", "equijoin", "attr", "lit", "eq", "cmp_",
     "conj", "evaluate_query", "validate_query", "parse_sql", "optimize",
+    "optimize_traced", "Rule", "plan_query", "explain_plan",
     "classify_query", "is_hierarchical", "tuple_independent_relations",
     # session facade
     "connect", "Session", "TableHandle",

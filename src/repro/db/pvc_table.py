@@ -14,11 +14,12 @@ expressions.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.algebra.conditions import compare
-from repro.algebra.expressions import ONE, SemiringExpr, Var
+from repro.algebra.expressions import ONE, SemiringExpr, Var, ssum
 from repro.algebra.semimodule import ModuleExpr
 from repro.algebra.semiring import BOOLEAN, Semiring
 from repro.algebra.valuation import Valuation
@@ -28,7 +29,49 @@ from repro.errors import DistributionError, SchemaError
 from repro.prob.distribution import Distribution
 from repro.prob.variables import VariableRegistry
 
-__all__ = ["PVCRow", "PVCTable", "PVCDatabase"]
+__all__ = ["PVCRow", "PVCTable", "PVCDatabase", "merge_annotated_rows", "tuple_getter"]
+
+
+def tuple_getter(indices):
+    """``values -> tuple(values[i] for i in indices)`` without a genexpr.
+
+    ``operator.itemgetter`` builds the tuple in C; the empty and
+    single-index cases (where itemgetter is unusable or returns a scalar)
+    are wrapped to stay tuples.  Shared by the physical executor's
+    project/join/group key paths and the table hash indexes.
+    """
+    if not indices:
+        return lambda values: ()  # π_∅ and $_∅ keys
+    if len(indices) == 1:
+        index = indices[0]
+        return lambda values: (values[index],)
+    return operator.itemgetter(*indices)
+
+
+def merge_annotated_rows(rows) -> list:
+    """Group identical value tuples, summing their annotations in ``K``.
+
+    ``rows`` is an iterable of ``(values, annotation)`` pairs; the result
+    is the merged set-of-tuples view (Definition 6) with zero-annotated
+    rows dropped, preserving first-occurrence order.  The single merge
+    implementation behind base-table scans and the executor's π/∪.
+    """
+    merged: dict[tuple, SemiringExpr] = {}
+    duplicates: dict[tuple, list] = {}
+    for values, annotation in rows:
+        if annotation.is_zero():
+            continue
+        if values not in merged:
+            merged[values] = annotation
+        else:
+            bucket = duplicates.get(values)
+            if bucket is None:
+                duplicates[values] = bucket = [merged[values]]
+            bucket.append(annotation)
+    if duplicates:
+        for values, annotations in duplicates.items():
+            merged[values] = ssum(annotations)
+    return list(merged.items())
 
 
 @dataclass(frozen=True)
@@ -60,11 +103,23 @@ class PVCTable:
     1
     """
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "rows", "_scan_cache", "_index_cache")
 
     def __init__(self, schema: Schema, rows: Iterable[PVCRow] = ()):
         self.schema = schema
         self.rows: list[PVCRow] = list(rows)
+        #: Caches for the physical executor, invalidated by row count:
+        #: the merged set-of-tuples scan and per-key-set hash indexes.
+        #: Mutate rows through :meth:`add`/:meth:`add_block` (append-only,
+        #: so the count always changes); code that replaces entries of the
+        #: ``rows`` list in place must call :meth:`invalidate_caches`.
+        self._scan_cache = None
+        self._index_cache: dict = {}
+
+    def invalidate_caches(self) -> None:
+        """Drop the cached scan/hash-index views after in-place edits."""
+        self._scan_cache = None
+        self._index_cache.clear()
 
     def add(self, values: Sequence, annotation: SemiringExpr = ONE):
         """Append a row; the default annotation ``1_K`` means "certain"."""
@@ -110,6 +165,46 @@ class PVCTable:
             if probability <= 0:
                 continue
             self.add(tuple(values), compare(Var(name), "=", i + 1))
+
+    def scan_rows(self) -> list:
+        """The merged set-of-tuples view as ``(values, annotation)`` pairs.
+
+        A pvc-table represents a *set* of tuples (Definition 6): rows
+        stored with identical values are alternatives for one tuple and
+        merge by annotation summation; zero-annotated rows are dropped.
+        The result is cached (keyed on the row count, which every mutator
+        changes) and shared — callers must not mutate it.
+        """
+        cached = self._scan_cache
+        if cached is not None and cached[0] == len(self.rows):
+            return cached[1]
+        scan = merge_annotated_rows(
+            (row.values, row.annotation) for row in self.rows
+        )
+        self._scan_cache = (len(self.rows), scan)
+        self._index_cache.clear()
+        return scan
+
+    def hash_index(self, key_indices: tuple) -> dict:
+        """Buckets of :meth:`scan_rows` keyed on the given value positions.
+
+        Built once per key set and cached alongside the scan; the physical
+        executor uses it so repeated hash joins against a base table never
+        rebuild the table's hash index.
+        """
+        cached = self._index_cache.get(key_indices)
+        if cached is not None and cached[0] == len(self.rows):
+            return cached[1]
+        key_of = tuple_getter(key_indices)
+        buckets: dict[tuple, list] = {}
+        for row in self.scan_rows():
+            key = key_of(row[0])
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = bucket = []
+            bucket.append(row)
+        self._index_cache[key_indices] = (len(self.rows), buckets)
+        return buckets
 
     def __iter__(self) -> Iterator[PVCRow]:
         return iter(self.rows)
@@ -215,6 +310,10 @@ class PVCDatabase:
     def catalog(self) -> dict[str, Schema]:
         """Mapping of table names to schemas (for validation/planning)."""
         return {name: table.schema for name, table in self.tables.items()}
+
+    def cardinalities(self) -> dict[str, int]:
+        """Row counts per table — the planner's base-table statistics."""
+        return {name: len(table) for name, table in self.tables.items()}
 
     def _coerce_values(self, table: PVCTable, values) -> tuple:
         """Accept positional tuples or attribute dictionaries."""

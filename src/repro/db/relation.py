@@ -60,6 +60,37 @@ class Relation:
         else:
             self._tuples[values] = combined
 
+    @classmethod
+    def from_mapping(
+        cls, schema: Schema, semiring: Semiring, tuples: dict
+    ) -> "Relation":
+        """Adopt an already-merged ``{values: multiplicity}`` mapping.
+
+        The fast constructor of the physical executor: callers guarantee
+        the mapping holds no zero multiplicities, so the per-tuple
+        :meth:`add` merging is skipped.
+        """
+        relation = cls(schema, semiring)
+        relation._tuples = tuples
+        return relation
+
+    def hash_index(self, attributes: Sequence[str]) -> dict:
+        """Buckets of ``(values, multiplicity)`` keyed on ``attributes``.
+
+        The build side of a hash equi-join over this relation.
+        """
+        from repro.db.pvc_table import tuple_getter
+
+        key_of = tuple_getter([self.schema.index(a) for a in attributes])
+        buckets: dict[tuple, list] = {}
+        for values, multiplicity in self._tuples.items():
+            key = key_of(values)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = bucket = []
+            bucket.append((values, multiplicity))
+        return buckets
+
     def multiplicity(self, values: Sequence):
         """The multiplicity of a tuple (``0_S`` if absent)."""
         return self._tuples.get(tuple(values), self.semiring.zero)

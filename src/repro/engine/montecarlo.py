@@ -44,8 +44,8 @@ from repro.algebra.monoid import (
 from repro.algebra.semimodule import ModuleExpr
 from repro.algebra.valuation import Valuation
 from repro.db.pvc_table import PVCDatabase
-from repro.engine.naive import evaluate_deterministic
 from repro.prob import kernels
+from repro.query.executor import execute_deterministic, prepare
 from repro.query.ast import (
     BaseRelation,
     Extend,
@@ -167,13 +167,17 @@ class MonteCarloEngine:
         Only the relations referenced by the query are instantiated, and
         only their variables enter the world key (in index form), so
         databases with few effective variables collapse to a handful of
-        evaluations.
+        evaluations.  The query is planned once through the shared
+        physical executor; every sampled world reuses the plan.
         """
         names = list(drawn)
         supports = [drawn[name][0] for name in names]
         index_columns = [drawn[name][1] for name in names]
         semiring = self.db.semiring
         tables = [(name, self.db.tables[name]) for name in referenced]
+        prepared = prepare(
+            query, self.db.catalog(), self.db.cardinalities(), optimize=False
+        )
         counts: dict[tuple, int] = {}
         world_cache: dict[tuple, list] = {}
         distinct = 0
@@ -193,7 +197,7 @@ class MonteCarloEngine:
                     name: table.instantiate(valuation, semiring)
                     for name, table in tables
                 }
-                result = evaluate_deterministic(query, world)
+                result = execute_deterministic(prepared, world, semiring)
                 support = list(result.support())
                 world_cache[key] = support
             for values in support:

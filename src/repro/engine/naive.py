@@ -6,29 +6,29 @@ aggregates the per-world results into exact tuple-level probabilities.
 Exponential in the number of variables, hence only usable on small
 databases — which is precisely its job: it is the independent ground truth
 the compiled engine is verified against in the test suite.
+
+Per-world evaluation runs through the **deterministic mode of the shared
+physical executor** (:mod:`repro.query.executor`): the query is planned
+once and the same plan is executed on every enumerated world.  To keep
+the oracle independent of the machinery it verifies, the plan is built
+*without* logical rewrites and *without* hash-join extraction — ``σ(×…)``
+is evaluated literally, as a filter over nested-loop products, the
+Figure-4 reading.  The oracle therefore shares only the trivially-
+structural lowering with the optimized engines, not the optimizer or the
+join planner.
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
-from repro.algebra.monoid import COUNT
 from repro.db.pvc_table import PVCDatabase
 from repro.db.relation import Relation
 from repro.db.worlds import enumerate_database_worlds
 from repro.errors import QueryValidationError
 from repro.prob.distribution import Distribution
-from repro.query.ast import (
-    BaseRelation,
-    Extend,
-    GroupAgg,
-    Product,
-    Project,
-    Query,
-    Select,
-    Union,
-)
-from repro.query.validate import validate_query
+from repro.query.ast import Query
+from repro.query.executor import PreparedQuery, execute_deterministic, prepare
 
 __all__ = ["NaiveEngine", "evaluate_deterministic"]
 
@@ -36,159 +36,19 @@ __all__ = ["NaiveEngine", "evaluate_deterministic"]
 def evaluate_deterministic(
     query: Query, world: Mapping[str, Relation]
 ) -> Relation:
-    """Evaluate a query on one deterministic world."""
-    if isinstance(query, BaseRelation):
-        try:
-            return world[query.name]
-        except KeyError:
-            raise QueryValidationError(
-                f"world has no relation named {query.name!r}"
-            ) from None
-    if isinstance(query, Extend):
-        return evaluate_deterministic(query.child, world).extend(
-            query.target, query.source
-        )
-    if isinstance(query, Select):
-        if isinstance(query.child, Product):
-            return _select_over_product(query, world)
-        child = evaluate_deterministic(query.child, world)
-        return child.select(lambda row: query.predicate.evaluate(row) is True)
-    if isinstance(query, Project):
-        return evaluate_deterministic(query.child, world).project(query.attributes)
-    if isinstance(query, Product):
-        return evaluate_deterministic(query.left, world).product(
-            evaluate_deterministic(query.right, world)
-        )
-    if isinstance(query, Union):
-        return evaluate_deterministic(query.left, world).union(
-            evaluate_deterministic(query.right, world)
-        )
-    if isinstance(query, GroupAgg):
-        child = evaluate_deterministic(query.child, world)
-        aggregations = [
-            (
-                spec.output,
-                spec.monoid,
-                None if spec.monoid == COUNT else spec.attribute,
-            )
-            for spec in query.aggregations
-        ]
-        return child.group_aggregate(query.groupby, aggregations)
-    raise QueryValidationError(f"cannot evaluate query node {query!r}")
+    """Evaluate a query on one deterministic world.
 
-
-def _select_over_product(query: Select, world: Mapping[str, Relation]) -> Relation:
-    """Evaluate ``σ(× ...)`` with hash equijoins (same plan as the
-    symbolic evaluator, so the Q0 baseline is an apples-to-apples cost)."""
-    from repro.query.predicates import AttrRef, conj
-
-    leaves: list[Relation] = []
-
-    def flatten(node: Query):
-        if isinstance(node, Product):
-            flatten(node.left)
-            flatten(node.right)
-        else:
-            leaves.append(evaluate_deterministic(node, world))
-
-    flatten(query.child)
-
-    local: list[list] = [[] for _ in leaves]
-    join_atoms: list = []
-    residual: list = []
-    for atom in query.predicate.atoms():
-        homes = [
-            i
-            for i, leaf in enumerate(leaves)
-            if atom.attributes() <= set(leaf.schema.attributes)
-        ]
-        if homes:
-            local[homes[0]].append(atom)
-        elif (
-            atom.op.symbol == "="
-            and isinstance(atom.left, AttrRef)
-            and isinstance(atom.right, AttrRef)
-        ):
-            join_atoms.append(atom)
-        else:
-            residual.append(atom)
-
-    tables = []
-    for leaf, atoms in zip(leaves, local):
-        if atoms:
-            predicate = conj(*atoms)
-            leaf = leaf.select(lambda row: predicate.evaluate(row) is True)
-        tables.append(leaf)
-
-    remaining = sorted(tables, key=len)
-    pending = list(join_atoms)
-    current = remaining.pop(0)
-    while remaining:
-        chosen_index, chosen_atoms = None, []
-        for index, candidate in enumerate(remaining):
-            atoms = [
-                atom
-                for atom in pending
-                if len(
-                    {atom.left.name, atom.right.name}
-                    & set(current.schema.attributes)
-                )
-                == 1
-                and len(
-                    {atom.left.name, atom.right.name}
-                    & set(candidate.schema.attributes)
-                )
-                == 1
-            ]
-            if atoms and (
-                chosen_index is None
-                or len(candidate) < len(remaining[chosen_index])
-            ):
-                chosen_index, chosen_atoms = index, atoms
-        if chosen_index is None:
-            chosen_index = min(
-                range(len(remaining)), key=lambda i: len(remaining[i])
-            )
-        candidate = remaining.pop(chosen_index)
-        current = _hash_join_relations(current, candidate, chosen_atoms)
-        for atom in chosen_atoms:
-            pending.remove(atom)
-    leftover = pending + residual
-    if leftover:
-        predicate = conj(*leftover)
-        current = current.select(lambda row: predicate.evaluate(row) is True)
-
-    # Restore the declared product attribute order.
-    declared: list[str] = []
-    for leaf in leaves:
-        declared.extend(leaf.schema.attributes)
-    if tuple(declared) != current.schema.attributes:
-        current = current.project(declared)
-    return current
-
-
-def _hash_join_relations(left: Relation, right: Relation, atoms: list) -> Relation:
-    result = Relation(left.schema.concat(right.schema), left.semiring)
-    if not atoms:
-        return left.product(right)
-    left_keys, right_keys = [], []
-    for atom in atoms:
-        if atom.left.name in left.schema:
-            left_keys.append(left.schema.index(atom.left.name))
-            right_keys.append(right.schema.index(atom.right.name))
-        else:
-            left_keys.append(left.schema.index(atom.right.name))
-            right_keys.append(right.schema.index(atom.left.name))
-    buckets: dict[tuple, list] = {}
-    for values, mult in right.tuples():
-        key = tuple(values[i] for i in right_keys)
-        buckets.setdefault(key, []).append((values, mult))
-    semiring = left.semiring
-    for values, mult in left.tuples():
-        key = tuple(values[i] for i in left_keys)
-        for right_values, right_mult in buckets.get(key, ()):
-            result.add(values + right_values, semiring.mul(mult, right_mult))
-    return result
+    Compatibility shim over the shared physical executor; callers that
+    evaluate many worlds should :func:`~repro.query.executor.prepare` once
+    and call :func:`~repro.query.executor.execute_deterministic` per world.
+    """
+    if not world:
+        raise QueryValidationError("cannot evaluate a query on an empty world")
+    catalog = {name: relation.schema for name, relation in world.items()}
+    cardinalities = {name: len(relation) for name, relation in world.items()}
+    semiring = next(iter(world.values())).semiring
+    prepared = prepare(query, catalog, cardinalities, optimize=False)
+    return execute_deterministic(prepared, world, semiring)
 
 
 class NaiveEngine:
@@ -197,6 +57,21 @@ class NaiveEngine:
     def __init__(self, db: PVCDatabase):
         self.db = db
 
+    def _prepare(self, query: Query) -> PreparedQuery:
+        """Validate and plan once; every enumerated world reuses the plan.
+
+        No logical rewrites, no hash-join extraction: the oracle
+        evaluates the query as written (validation happens inside
+        :func:`~repro.query.executor.prepare`).
+        """
+        return prepare(
+            query,
+            self.db.catalog(),
+            self.db.cardinalities(),
+            optimize=False,
+            extract_joins=False,
+        )
+
     def tuple_probabilities(self, query: Query) -> dict[tuple, float]:
         """``P[t ∈ answer]`` for every possible answer tuple ``t``.
 
@@ -204,22 +79,22 @@ class NaiveEngine:
         values, so e.g. ⟨'M&S', 15⟩ and ⟨'M&S', 50⟩ are distinct answers
         whose probabilities generally do not sum to 1.
         """
-        catalog = self.db.catalog()
-        validate_query(query, catalog)
+        prepared = self._prepare(query)
+        semiring = self.db.semiring
         probabilities: dict[tuple, float] = {}
         for world, probability in enumerate_database_worlds(self.db):
-            result = evaluate_deterministic(query, world)
+            result = execute_deterministic(prepared, world, semiring)
             for values in result.support():
                 probabilities[values] = probabilities.get(values, 0.0) + probability
         return probabilities
 
     def multiplicity_distribution(self, query: Query, values: tuple) -> Distribution:
         """Distribution of the multiplicity of one answer tuple."""
-        catalog = self.db.catalog()
-        validate_query(query, catalog)
+        prepared = self._prepare(query)
+        semiring = self.db.semiring
         accum: dict = {}
         for world, probability in enumerate_database_worlds(self.db):
-            result = evaluate_deterministic(query, world)
+            result = execute_deterministic(prepared, world, semiring)
             mult = result.multiplicity(values)
             accum[mult] = accum.get(mult, 0.0) + probability
         return Distribution(accum)
@@ -230,11 +105,11 @@ class NaiveEngine:
         The heaviest oracle: the exact distribution of the full query
         answer across worlds, used to validate joint behaviours.
         """
-        catalog = self.db.catalog()
-        validate_query(query, catalog)
+        prepared = self._prepare(query)
+        semiring = self.db.semiring
         accum: dict = {}
         for world, probability in enumerate_database_worlds(self.db):
-            result = evaluate_deterministic(query, world)
+            result = execute_deterministic(prepared, world, semiring)
             key = frozenset(result.support())
             accum[key] = accum.get(key, 0.0) + probability
         return Distribution(accum)

@@ -42,7 +42,21 @@ from repro.query.builder import (
     prod_,
     sum_,
 )
-from repro.query.plan import optimize
+from repro.query.optimizer import (
+    DEFAULT_RULES,
+    Rule,
+    RuleFiring,
+    optimize,
+    optimize_traced,
+)
+from repro.query.physical import explain_plan, plan_query
+from repro.query.executor import (
+    PreparedQuery,
+    evaluate,
+    execute_deterministic,
+    execute_symbolic,
+    prepare,
+)
 from repro.query.rewrite import evaluate_query
 from repro.query.sql import parse_sql
 from repro.query.tractability import (
@@ -79,6 +93,17 @@ __all__ = [
     "conj",
     "evaluate_query",
     "optimize",
+    "optimize_traced",
+    "Rule",
+    "RuleFiring",
+    "DEFAULT_RULES",
+    "plan_query",
+    "explain_plan",
+    "PreparedQuery",
+    "prepare",
+    "evaluate",
+    "execute_symbolic",
+    "execute_deterministic",
     "validate_query",
     "parse_sql",
     "QueryBuilder",

@@ -1,0 +1,564 @@
+"""The physical executor — stage 3 of the step-I pipeline.
+
+Executes the physical plans of :mod:`repro.query.physical` in two modes
+sharing one operator tree:
+
+* **symbolic** (:func:`execute_symbolic`) — the Figure-4 construction:
+  rows carry semiring *expressions*; joint use multiplies annotations,
+  alternative use sums them, symbolic comparisons multiply conditional
+  expressions ``[A θ B]`` into the annotation, and ``$`` builds
+  semimodule expressions.  Produces the pvc-table of step I, identical
+  (in annotation *values*) to the seed's tree-walking interpreter.
+* **deterministic** (:func:`execute_deterministic`) — the same plan over
+  one possible world: rows carry concrete semiring multiplicities.  This
+  is the per-world path of the brute-force oracle and the Monte-Carlo
+  fallback, so all three engines execute step I through this module.
+
+:func:`prepare` bundles validation, the rule-based logical optimizer and
+the physical planner into a reusable :class:`PreparedQuery`, so engines
+that evaluate many worlds plan once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.algebra.conditions import compare
+from repro.algebra.expressions import ONE, ZERO, SemiringExpr, sprod, ssum
+from repro.algebra.monoid import COUNT, SUM, CountMonoid
+from repro.algebra.semimodule import MConst, ModuleExpr, aggsum, tensor
+from repro.db.pvc_table import (
+    PVCDatabase,
+    PVCRow,
+    PVCTable,
+    merge_annotated_rows as _merge_rows,
+    tuple_getter as _tuple_getter,
+)
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.errors import QueryValidationError
+from repro.query.ast import Query
+from repro.query.optimizer import RuleFiring, optimize_traced
+from repro.query.physical import (
+    EmptyResult,
+    ExtendOp,
+    Filter,
+    GroupAggOp,
+    HashJoin,
+    NestedLoopProduct,
+    PhysicalOp,
+    PhysicalOp as _Op,
+    ProjectOp,
+    ReorderOp,
+    Scan,
+    UnionOp,
+    plan_query,
+)
+from repro.query.predicates import AttrRef, Predicate
+from repro.query.validate import validate_query
+
+__all__ = [
+    "PreparedQuery",
+    "prepare",
+    "evaluate",
+    "execute_symbolic",
+    "execute_deterministic",
+]
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A query carried through the whole step-I pipeline, reusable across
+    executions (and, for the per-world engines, across worlds)."""
+
+    query: Query
+    optimized: Query
+    plan: PhysicalOp
+    trace: tuple[RuleFiring, ...]
+    schema: Schema
+    #: Per-operator compile cache (predicate accessors, key getters),
+    #: keyed on operator identity.  Shared by every execution of this
+    #: prepared plan, so the per-world engines compile each operator once.
+    op_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+
+def prepare(
+    query: Query,
+    catalog: Mapping[str, Schema],
+    cardinalities: Mapping[str, int] | None = None,
+    *,
+    optimize: bool = True,
+    extract_joins: bool = True,
+) -> PreparedQuery:
+    """Validate, logically optimize and physically plan ``query``."""
+    schema = validate_query(query, catalog)
+    if optimize:
+        optimized, trace = optimize_traced(query, catalog)
+    else:
+        optimized, trace = query, ()
+    plan = plan_query(
+        optimized, catalog, cardinalities, extract_joins=extract_joins
+    )
+    return PreparedQuery(query, optimized, plan, trace, schema)
+
+
+def evaluate(query: Query, db: PVCDatabase, *, optimize: bool = True) -> PVCTable:
+    """Step I end to end: the pvc-table of symbolic result tuples."""
+    prepared = prepare(
+        query, db.catalog(), db.cardinalities(), optimize=optimize
+    )
+    return execute_symbolic(prepared, db)
+
+
+def execute_symbolic(prepared: PreparedQuery, db: PVCDatabase) -> PVCTable:
+    """Execute the plan symbolically, constructing annotations in ``K``."""
+    rows = _SymbolicExecutor(db, prepared.op_cache).rows(prepared.plan)
+    return PVCTable(
+        prepared.plan.schema,
+        (PVCRow(values, annotation) for values, annotation in rows),
+    )
+
+
+def execute_deterministic(
+    prepared: PreparedQuery, world: Mapping[str, Relation], semiring
+) -> Relation:
+    """Execute the plan on one deterministic world (concrete multiplicities)."""
+    executor = _DeterministicExecutor(world, semiring, prepared.op_cache)
+    return Relation.from_mapping(
+        prepared.plan.schema, semiring, executor.tuples(prepared.plan)
+    )
+
+
+# -- predicate compilation ----------------------------------------------------
+
+
+def _compile_atoms(predicate: Predicate, schema: Schema) -> list:
+    """Lower a conjunction to ``(left_index, left_const, op, right_index,
+    right_const)`` tuples resolving operands positionally — no per-row
+    attribute dictionaries on the hot filter path."""
+    compiled = []
+    for atom in predicate.atoms():
+        left, right = atom.left, atom.right
+        if isinstance(left, AttrRef):
+            left_index, left_const = schema.index(left.name), None
+        else:
+            left_index, left_const = None, left.value
+        if isinstance(right, AttrRef):
+            right_index, right_const = schema.index(right.name), None
+        else:
+            right_index, right_const = None, right.value
+        compiled.append((left_index, left_const, atom.op, right_index, right_const))
+    return compiled
+
+
+def _mul(a: SemiringExpr, b: SemiringExpr) -> SemiringExpr:
+    """``a ·_K b`` with fast identity paths for the hot join loops."""
+    if a is ONE or a.is_one():
+        return b
+    if b is ONE or b.is_one():
+        return a
+    return sprod((a, b))
+
+
+# -- symbolic execution -------------------------------------------------------
+
+
+class _OpCompileCache:
+    """Per-plan memo of compiled per-operator accessors.
+
+    Keyed on operator identity (the :class:`PreparedQuery` keeps the plan
+    alive); shared across executions and across the symbolic and
+    deterministic modes, so per-world engines compile each operator once.
+    """
+
+    def __init__(self, cache: dict):
+        self.cache = cache
+
+    def _cached(self, op: _Op, factory):
+        key = id(op)
+        entry = self.cache.get(key)
+        if entry is None:
+            entry = self.cache[key] = factory(op)
+        return entry
+
+    def _filter_atoms(self, op: Filter) -> list:
+        return self._cached(
+            op, lambda op: _compile_atoms(op.predicate, op.child.schema)
+        )
+
+    def _join_keys(self, op: HashJoin) -> tuple:
+        def compile_keys(op):
+            left_schema, right_schema = op.left.schema, op.right.schema
+            right_indices = tuple(
+                right_schema.index(a) for a in op.right_keys
+            )
+            left_getter = _tuple_getter(
+                [left_schema.index(a) for a in op.left_keys]
+            )
+            return left_getter, right_indices, _tuple_getter(right_indices)
+
+        return self._cached(op, compile_keys)
+
+    def _attribute_getter(self, op) -> object:
+        return self._cached(
+            op,
+            lambda op: _tuple_getter(
+                [op.child.schema.index(a) for a in op.attributes]
+            ),
+        )
+
+    def _group_accessors(self, op: GroupAggOp) -> tuple:
+        def compile_group(op):
+            child_schema = op.child.schema
+            group_indices = [child_schema.index(a) for a in op.groupby]
+            agg_indices = tuple(
+                None
+                if spec.attribute is None
+                else child_schema.index(spec.attribute)
+                for spec in op.aggregations
+            )
+            return _tuple_getter(group_indices), agg_indices
+
+        return self._cached(op, compile_group)
+
+
+class _SymbolicExecutor(_OpCompileCache):
+    """Evaluates plans to lists of ``(values, annotation)`` pairs."""
+
+    def __init__(self, db: PVCDatabase, cache: dict):
+        super().__init__(cache)
+        self.db = db
+
+    def rows(self, op: _Op) -> list:
+        method = self._DISPATCH[type(op)]
+        return method(self, op)
+
+    def _scan(self, op: Scan) -> list:
+        return self.db[op.name].scan_rows()
+
+    def _empty(self, op: EmptyResult) -> list:
+        return []
+
+    def _filter(self, op: Filter) -> list:
+        child_rows = self.rows(op.child)
+        atoms = self._filter_atoms(op)
+        result = []
+        for values, annotation in child_rows:
+            keep = True
+            symbolic = None
+            for left_index, left_const, cmp_op, right_index, right_const in atoms:
+                left = values[left_index] if left_index is not None else left_const
+                right = values[right_index] if right_index is not None else right_const
+                if isinstance(left, ModuleExpr) or isinstance(right, ModuleExpr):
+                    # Symbolic condition: Φ ·_K [A θ B] (Figure 4, σ rule).
+                    condition = compare(left, cmp_op, right)
+                    symbolic = (
+                        condition if symbolic is None else _mul(symbolic, condition)
+                    )
+                elif not cmp_op(left, right):
+                    keep = False
+                    break
+            if not keep:
+                continue
+            if symbolic is not None:
+                annotation = _mul(annotation, symbolic)
+            result.append((values, annotation))
+        return result
+
+    def _hash_join(self, op: HashJoin) -> list:
+        left_key, right_indices, right_key = self._join_keys(op)
+        if isinstance(op.right, Scan):
+            # Base-table build side: reuse the table's cached hash index.
+            buckets = self.db[op.right.name].hash_index(right_indices)
+        else:
+            buckets = {}
+            for values, annotation in self.rows(op.right):
+                key = right_key(values)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = bucket = []
+                bucket.append((values, annotation))
+        result = []
+        empty = ()
+        for values, annotation in self.rows(op.left):
+            for right_values, right_annotation in buckets.get(
+                left_key(values), empty
+            ):
+                result.append(
+                    (values + right_values, _mul(annotation, right_annotation))
+                )
+        return result
+
+    def _product(self, op: NestedLoopProduct) -> list:
+        right_rows = self.rows(op.right)
+        result = []
+        for values, annotation in self.rows(op.left):
+            if annotation.is_zero():
+                continue
+            for right_values, right_annotation in right_rows:
+                result.append(
+                    (values + right_values, _mul(annotation, right_annotation))
+                )
+        return result
+
+    def _project(self, op: ProjectOp) -> list:
+        getter = self._attribute_getter(op)
+        return _merge_rows(
+            (getter(values), annotation)
+            for values, annotation in self.rows(op.child)
+        )
+
+    def _reorder(self, op: ReorderOp) -> list:
+        getter = self._attribute_getter(op)
+        return [
+            (getter(values), annotation)
+            for values, annotation in self.rows(op.child)
+        ]
+
+    def _extend(self, op: ExtendOp) -> list:
+        index = self._cached(op, lambda op: op.child.schema.index(op.source))
+        return [
+            (values + (values[index],), annotation)
+            for values, annotation in self.rows(op.child)
+        ]
+
+    def _union(self, op: UnionOp) -> list:
+        left = self.rows(op.left)
+        right = self.rows(op.right)
+        return _merge_rows(left + right)
+
+    def _group_agg(self, op: GroupAggOp) -> list:
+        group_key, agg_indices = self._group_accessors(op)
+        groups: dict[tuple, list] = {}
+        for values, annotation in self.rows(op.child):
+            if annotation.is_zero():
+                continue
+            key = group_key(values)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = []
+            group.append((values, annotation))
+        if not op.groupby and not groups:
+            groups[()] = []  # $∅ always yields one tuple (Figure 4).
+
+        result = []
+        for key, members in groups.items():
+            values = list(key)
+            for spec, index in zip(op.aggregations, agg_indices):
+                values.append(_gamma(spec, index, members))
+            if op.groupby:
+                # Non-emptiness guard [Σ_K Φ ≠ 0_K].
+                annotation = compare(
+                    ssum(annotation for _, annotation in members), "!=", ZERO
+                )
+            else:
+                annotation = ONE
+            result.append((tuple(values), annotation))
+        return result
+
+    _DISPATCH = {
+        Scan: _scan,
+        EmptyResult: _empty,
+        Filter: _filter,
+        HashJoin: _hash_join,
+        NestedLoopProduct: _product,
+        ProjectOp: _project,
+        ReorderOp: _reorder,
+        ExtendOp: _extend,
+        UnionOp: _union,
+        GroupAggOp: _group_agg,
+    }
+
+
+def _gamma(spec, index, members) -> ModuleExpr:
+    """``Γ = Σ_AGG (Φ ⊗ B)``, resp. ``Σ_SUM (Φ ⊗ 1)`` for COUNT."""
+    monoid = SUM if spec.monoid == COUNT else spec.monoid
+    terms = []
+    for values, annotation in members:
+        if index is None or spec.monoid == COUNT:
+            value = 1
+        else:
+            value = values[index]
+            if isinstance(value, ModuleExpr):
+                raise QueryValidationError(
+                    f"cannot aggregate over semimodule values in "
+                    f"attribute {spec.attribute!r}"
+                )
+        terms.append(tensor(annotation, MConst(monoid, value)))
+    return aggsum(monoid, terms)
+
+
+# -- deterministic execution --------------------------------------------------
+
+
+class _DeterministicExecutor(_OpCompileCache):
+    """Evaluates plans to ``{values: multiplicity}`` mappings over one
+    possible world — the same operator tree as the symbolic mode, with
+    annotations replaced by concrete semiring multiplicities.
+
+    A fresh executor runs per world, but the compile cache is the
+    prepared query's, so predicates and key getters compile once across
+    all enumerated/sampled worlds."""
+
+    def __init__(self, world: Mapping[str, Relation], semiring, cache: dict):
+        super().__init__(cache)
+        self.world = world
+        self.semiring = semiring
+
+    def tuples(self, op: _Op) -> dict:
+        method = self._DISPATCH[type(op)]
+        return method(self, op)
+
+    def _relation(self, name: str) -> Relation:
+        try:
+            return self.world[name]
+        except KeyError:
+            raise QueryValidationError(
+                f"world has no relation named {name!r}"
+            ) from None
+
+    def _scan(self, op: Scan) -> dict:
+        return dict(self._relation(op.name).tuples())
+
+    def _empty(self, op: EmptyResult) -> dict:
+        return {}
+
+    def _filter(self, op: Filter) -> dict:
+        atoms = self._filter_atoms(op)
+        result = {}
+        for values, multiplicity in self.tuples(op.child).items():
+            keep = True
+            for left_index, left_const, cmp_op, right_index, right_const in atoms:
+                left = values[left_index] if left_index is not None else left_const
+                right = values[right_index] if right_index is not None else right_const
+                if isinstance(left, ModuleExpr) or isinstance(right, ModuleExpr):
+                    keep = False  # mirrors `evaluate(row) is True` exactly
+                    break
+                if not cmp_op(left, right):
+                    keep = False
+                    break
+            if keep:
+                result[values] = multiplicity
+        return result
+
+    def _hash_join(self, op: HashJoin) -> dict:
+        left_key, _, right_key = self._join_keys(op)
+        if isinstance(op.right, Scan):
+            # Base-relation build side: the world relation's hash index.
+            buckets = self._relation(op.right.name).hash_index(op.right_keys)
+        else:
+            buckets = {}
+            for values, multiplicity in self.tuples(op.right).items():
+                key = right_key(values)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = bucket = []
+                bucket.append((values, multiplicity))
+        mul = self.semiring.mul
+        result: dict = {}
+        empty = ()
+        for values, multiplicity in self.tuples(op.left).items():
+            for right_values, right_multiplicity in buckets.get(
+                left_key(values), empty
+            ):
+                result[values + right_values] = mul(
+                    multiplicity, right_multiplicity
+                )
+        return result
+
+    def _product(self, op: NestedLoopProduct) -> dict:
+        right_tuples = self.tuples(op.right)
+        mul = self.semiring.mul
+        result: dict = {}
+        for values, multiplicity in self.tuples(op.left).items():
+            for right_values, right_multiplicity in right_tuples.items():
+                result[values + right_values] = mul(
+                    multiplicity, right_multiplicity
+                )
+        return result
+
+    def _merge_into(self, result: dict, values: tuple, multiplicity) -> None:
+        semiring = self.semiring
+        current = result.get(values)
+        if current is None:
+            result[values] = multiplicity
+            return
+        combined = semiring.add(current, multiplicity)
+        if combined == semiring.zero:
+            del result[values]
+        else:
+            result[values] = combined
+
+    def _project(self, op: ProjectOp) -> dict:
+        getter = self._attribute_getter(op)
+        result: dict = {}
+        for values, multiplicity in self.tuples(op.child).items():
+            self._merge_into(result, getter(values), multiplicity)
+        return result
+
+    def _reorder(self, op: ReorderOp) -> dict:
+        getter = self._attribute_getter(op)
+        return {
+            getter(values): multiplicity
+            for values, multiplicity in self.tuples(op.child).items()
+        }
+
+    def _extend(self, op: ExtendOp) -> dict:
+        index = self._cached(op, lambda op: op.child.schema.index(op.source))
+        return {
+            values + (values[index],): multiplicity
+            for values, multiplicity in self.tuples(op.child).items()
+        }
+
+    def _union(self, op: UnionOp) -> dict:
+        result = dict(self.tuples(op.left))
+        for values, multiplicity in self.tuples(op.right).items():
+            self._merge_into(result, values, multiplicity)
+        return result
+
+    def _group_agg(self, op: GroupAggOp) -> dict:
+        group_key, agg_indices = self._group_accessors(op)
+        groups: dict[tuple, list] = {}
+        for values, multiplicity in self.tuples(op.child).items():
+            key = group_key(values)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = []
+            group.append((values, multiplicity))
+        if not op.groupby and not groups:
+            groups[()] = []  # $∅ always produces one tuple.
+        semiring = self.semiring
+        result: dict = {}
+        for key, members in groups.items():
+            aggregated = []
+            for spec, index in zip(op.aggregations, agg_indices):
+                monoid = spec.monoid
+                acc = monoid.zero
+                for values, multiplicity in members:
+                    contribution = (
+                        1
+                        if index is None or isinstance(monoid, CountMonoid)
+                        else values[index]
+                    )
+                    acc = monoid.add(
+                        acc, monoid.act(multiplicity, contribution, semiring)
+                    )
+                aggregated.append(acc)
+            result[key + tuple(aggregated)] = semiring.one
+        return result
+
+    _DISPATCH = {
+        Scan: _scan,
+        EmptyResult: _empty,
+        Filter: _filter,
+        HashJoin: _hash_join,
+        NestedLoopProduct: _product,
+        ProjectOp: _project,
+        ReorderOp: _reorder,
+        ExtendOp: _extend,
+        UnionOp: _union,
+        GroupAggOp: _group_agg,
+    }

@@ -1,152 +1,25 @@
-"""Logical query optimisation: selection merging and projection pushdown.
+"""Compatibility shim: the logical rewrites moved to
+:mod:`repro.query.optimizer`, which organises them as a rule registry
+applied to a fixpoint (with an inspectable trace, see ``Session.explain``).
 
-The Figure-4 construction is purely compositional, so classical algebraic
-rewrites apply — and because annotations live in a commutative semiring,
-the standard bag-semantics equivalences (which hold in *every* commutative
-semiring, Green et al. [7]) preserve not just the answer tuples but their
-annotation *values*, hence all probabilities.  This module implements the
-rewrites with the highest payoff for the interpreter:
-
-* **selection merging** — ``σ_φ(σ_ψ(Q)) → σ_{φ∧ψ}(Q)``, which also feeds
-  the executor's hash-join planner a single conjunction;
-* **projection collapsing** — ``π_A(π_B(Q)) → π_A(Q)``;
-* **projection pushdown** — attributes that no ancestor operator needs
-  are projected away directly above the base relations, shrinking every
-  intermediate result.
-
-Pushdown is careful to keep attributes needed by selection predicates,
-join conditions, grouping and aggregation inputs, and never projects onto
-aggregation attributes (Definition 5's constraint).
+This module re-exports the historical names so existing imports keep
+working; new code should import from :mod:`repro.query.optimizer`.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
-
-from repro.db.schema import Schema
-from repro.query.ast import (
-    BaseRelation,
-    Extend,
-    GroupAgg,
-    Product,
-    Project,
-    Query,
-    Select,
-    Union,
+from repro.query.optimizer import (
+    collapse_projections,
+    merge_selections,
+    optimize,
+    pushdown_projections,
+    pushdown_selections,
 )
-from repro.query.predicates import conj
 
-__all__ = ["optimize", "merge_selections", "collapse_projections", "pushdown_projections"]
-
-
-def optimize(query: Query, catalog: Mapping[str, Schema]) -> Query:
-    """Apply all rewrites; the result is equivalent to ``query``."""
-    query = merge_selections(query)
-    query = collapse_projections(query)
-    query = pushdown_projections(query, catalog)
-    query = merge_selections(query)
-    return query
-
-
-def merge_selections(query: Query) -> Query:
-    """Fuse cascading selections into single conjunctions."""
-    if isinstance(query, Select):
-        child = merge_selections(query.child)
-        atoms = list(query.predicate.atoms())
-        while isinstance(child, Select):
-            atoms.extend(child.predicate.atoms())
-            child = child.child
-        return Select(child, conj(*atoms))
-    return _rebuild(query, merge_selections)
-
-
-def collapse_projections(query: Query) -> Query:
-    """Drop inner projections that an outer projection overrides."""
-    if isinstance(query, Project):
-        child = collapse_projections(query.child)
-        while isinstance(child, Project):
-            child = child.child
-        return Project(child, query.attributes)
-    return _rebuild(query, collapse_projections)
-
-
-def pushdown_projections(query: Query, catalog: Mapping[str, Schema]) -> Query:
-    """Insert narrowing projections directly above base relations."""
-    required = set(query.schema(catalog).attributes)
-    return _pushdown(query, required, catalog)
-
-
-def _pushdown(query: Query, required: set, catalog) -> Query:
-    if isinstance(query, BaseRelation):
-        schema = query.schema(catalog)
-        keep = [a for a in schema.attributes if a in required]
-        if len(keep) < len(schema.attributes) and keep:
-            return Project(query, keep)
-        return query
-    if isinstance(query, Select):
-        needed = required | query.predicate.attributes()
-        return Select(_pushdown(query.child, needed, catalog), query.predicate)
-    if isinstance(query, Project):
-        # The projection itself defines what is needed below.
-        needed = set(query.attributes)
-        return Project(_pushdown(query.child, needed, catalog), query.attributes)
-    if isinstance(query, Product):
-        left_attrs = set(query.left.schema(catalog).attributes)
-        right_attrs = set(query.right.schema(catalog).attributes)
-        return Product(
-            _pushdown(query.left, required & left_attrs, catalog),
-            _pushdown(query.right, required & right_attrs, catalog),
-        )
-    if isinstance(query, Union):
-        # Union operands share the full schema; narrowing them would
-        # change which tuples merge, so push nothing (projections above
-        # the union already handle narrowing).
-        return Union(
-            _pushdown(query.left, set(query.left.schema(catalog).attributes), catalog),
-            _pushdown(query.right, set(query.right.schema(catalog).attributes), catalog),
-        )
-    if isinstance(query, GroupAgg):
-        idempotent = all(
-            spec.monoid.name in ("MIN", "MAX") for spec in query.aggregations
-        )
-        if idempotent:
-            # New merging projections are sound below MIN/MAX: the
-            # monoids are idempotent, so (Φ₁+Φ₂)⊗m = Φ₁⊗m + Φ₂⊗m.
-            needed = set(query.groupby)
-            for spec in query.aggregations:
-                if spec.attribute is not None:
-                    needed.add(spec.attribute)
-        else:
-            # SUM/COUNT/PROD count *tuples*; inserting a projection that
-            # merges distinct tuples would change multiplicities under
-            # set semantics, so require the full child schema (existing
-            # user projections below are untouched and remain sound).
-            needed = set(query.child.schema(catalog).attributes)
-        return GroupAgg(
-            _pushdown(query.child, needed, catalog),
-            query.groupby,
-            query.aggregations,
-        )
-    if isinstance(query, Extend):
-        needed = (required - {query.target}) | {query.source}
-        return Extend(_pushdown(query.child, needed, catalog), query.target, query.source)
-    return query
-
-
-def _rebuild(query: Query, recurse) -> Query:
-    """Apply ``recurse`` to the children of a node, preserving its shape."""
-    if isinstance(query, BaseRelation):
-        return query
-    if isinstance(query, Select):
-        return Select(recurse(query.child), query.predicate)
-    if isinstance(query, Project):
-        return Project(recurse(query.child), query.attributes)
-    if isinstance(query, Product):
-        return Product(recurse(query.left), recurse(query.right))
-    if isinstance(query, Union):
-        return Union(recurse(query.left), recurse(query.right))
-    if isinstance(query, GroupAgg):
-        return GroupAgg(recurse(query.child), query.groupby, query.aggregations)
-    if isinstance(query, Extend):
-        return Extend(recurse(query.child), query.target, query.source)
-    return query
+__all__ = [
+    "optimize",
+    "merge_selections",
+    "collapse_projections",
+    "pushdown_projections",
+    "pushdown_selections",
+]

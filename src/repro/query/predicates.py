@@ -124,6 +124,12 @@ class TruePredicate(Predicate):
     def __repr__(self):
         return "true"
 
+    def __eq__(self, other):
+        return isinstance(other, TruePredicate)
+
+    def __hash__(self):
+        return hash("TruePredicate")
+
 
 class Comparison(Predicate):
     """An atomic comparison ``left θ right``."""
@@ -167,6 +173,17 @@ class Comparison(Predicate):
     def __repr__(self):
         return f"{self.left!r} {self.op.symbol} {self.right!r}"
 
+    def __eq__(self, other):
+        return (
+            isinstance(other, Comparison)
+            and self.op.symbol == other.op.symbol
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash(("Comparison", self.left, self.op.symbol, self.right))
+
 
 class Conjunction(Predicate):
     """A conjunction of atomic comparisons."""
@@ -205,6 +222,12 @@ class Conjunction(Predicate):
         if not self.parts:
             return "true"
         return " ∧ ".join(map(repr, self.parts))
+
+    def __eq__(self, other):
+        return isinstance(other, Conjunction) and self.parts == other.parts
+
+    def __hash__(self):
+        return hash(("Conjunction", self.parts))
 
 
 def attr(name: str) -> AttrRef:

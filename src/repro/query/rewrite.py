@@ -14,35 +14,21 @@ annotations and semimodule values are *constructed symbolically*:
   annotates grouped tuples with the non-emptiness guard ``[Σ Φ ≠ 0_K]``
   (grouped case) or ``1_K`` (aggregation without grouping).
 
-The paper phrases this step as a rewriting ``⟦·⟧`` into SQL with custom
-aggregate operators; this module implements the same construction as a
-direct interpreter over :class:`~repro.db.pvc_table.PVCTable`.  Both read
-the same rules off Figure 4; the interpreter form avoids dragging a SQL
-engine into the library while constructing identical expressions.
+The construction itself now lives in the three-stage pipeline — logical
+optimizer (:mod:`repro.query.optimizer`) → physical planner
+(:mod:`repro.query.physical`) → physical executor
+(:mod:`repro.query.executor`).  This module is the historical entry point,
+kept as a compatibility shim: :func:`evaluate_query` lowers the query
+*without* logical rewrites, so the constructed expressions match the
+seed's tree-walking interpreter structurally, not just semantically.
+Engines go through :func:`repro.query.executor.evaluate` (optimizer on).
 """
 
 from __future__ import annotations
 
-from typing import Mapping
-
-from repro.algebra.conditions import compare
-from repro.algebra.expressions import ONE, ZERO, SemiringExpr, sprod, ssum
-from repro.algebra.monoid import COUNT, SUM
-from repro.algebra.semimodule import MConst, ModuleExpr, aggsum, tensor
-from repro.db.pvc_table import PVCDatabase, PVCRow, PVCTable
-from repro.db.schema import Schema
-from repro.errors import QueryValidationError
-from repro.query.ast import (
-    BaseRelation,
-    Extend,
-    GroupAgg,
-    Product,
-    Project,
-    Query,
-    Select,
-    Union,
-)
-from repro.query.validate import validate_query
+from repro.db.pvc_table import PVCDatabase, PVCTable
+from repro.query.ast import Query
+from repro.query.executor import evaluate
 
 __all__ = ["evaluate_query"]
 
@@ -53,321 +39,4 @@ def evaluate_query(query: Query, db: PVCDatabase) -> PVCTable:
     The query is validated against Definition 5 first.  The result is a
     pvc-table of size polynomial in the database size (Theorem 1.2).
     """
-    catalog = {name: table.schema for name, table in db.tables.items()}
-    validate_query(query, catalog)
-    return _Evaluator(db, catalog).evaluate(query)
-
-
-class _Evaluator:
-    def __init__(self, db: PVCDatabase, catalog: Mapping[str, Schema]):
-        self.db = db
-        self.catalog = catalog
-
-    def evaluate(self, query: Query) -> PVCTable:
-        if isinstance(query, BaseRelation):
-            return self._base(query)
-        if isinstance(query, Extend):
-            return self._extend(query)
-        if isinstance(query, Select):
-            return self._select(query)
-        if isinstance(query, Project):
-            return self._project(query)
-        if isinstance(query, Product):
-            return self._product(query)
-        if isinstance(query, Union):
-            return self._union(query)
-        if isinstance(query, GroupAgg):
-            return self._group_agg(query)
-        raise QueryValidationError(f"cannot evaluate query node {query!r}")
-
-    def _base(self, query: BaseRelation) -> PVCTable:
-        # A pvc-table represents a *set* of tuples (Definition 6); rows
-        # stored with identical values are alternatives for one tuple and
-        # merge by annotation summation, exactly as under projection.
-        stored = self.db[query.name]
-        return _merge_duplicates(
-            stored.schema, ((row.values, row.annotation) for row in stored)
-        )
-
-    def _extend(self, query: Extend) -> PVCTable:
-        child = self.evaluate(query.child)
-        index = child.schema.index(query.source)
-        schema = child.schema.extend(
-            query.target, aggregation=child.schema.is_aggregation(query.source)
-        )
-        result = PVCTable(schema)
-        for row in child:
-            result.add(row.values + (row.values[index],), row.annotation)
-        return result
-
-    def _select(self, query: Select) -> PVCTable:
-        if isinstance(query.child, Product):
-            # Selections over products are evaluated as hash equijoins —
-            # the physical plan a relational engine (the paper's
-            # PostgreSQL substrate) would pick.  Annotation construction
-            # is unchanged: joint use still multiplies in the semiring.
-            return self._select_over_product(query)
-        child = self.evaluate(query.child)
-        return self._filter(child, query.predicate)
-
-    def _filter(self, child: PVCTable, predicate) -> PVCTable:
-        result = PVCTable(child.schema)
-        for row in child:
-            outcome = predicate.evaluate(row.value_dict(child.schema))
-            if outcome is False:
-                continue
-            if outcome is True:
-                result.add(row.values, row.annotation)
-            else:
-                # Symbolic condition: Φ ·_K [A θ B] (Figure 4, σ rule).
-                result.add(row.values, sprod([row.annotation, outcome]))
-        return result
-
-    def _select_over_product(self, query: Select) -> PVCTable:
-        from repro.query.predicates import AttrRef, Comparison, conj
-
-        leaves: list[PVCTable] = []
-
-        def flatten(node: Query):
-            if isinstance(node, Product):
-                flatten(node.left)
-                flatten(node.right)
-            else:
-                leaves.append(self.evaluate(node))
-
-        flatten(query.child)
-
-        # Partition the conjunction: per-leaf atoms apply locally, concrete
-        # attribute equalities across leaves drive hash joins, the rest is
-        # evaluated on the joined rows.
-        local: list[list] = [[] for _ in leaves]
-        join_atoms: list[Comparison] = []
-        residual: list[Comparison] = []
-        for atom in query.predicate.atoms():
-            homes = [
-                i
-                for i, leaf in enumerate(leaves)
-                if atom.attributes() <= set(leaf.schema.attributes)
-            ]
-            if homes:
-                local[homes[0]].append(atom)
-            elif _is_hash_joinable(atom, leaves):
-                join_atoms.append(atom)
-            else:
-                residual.append(atom)
-
-        tables = [
-            self._filter(leaf, conj(*atoms)) if atoms else leaf
-            for leaf, atoms in zip(leaves, local)
-        ]
-        joined = _greedy_hash_join(tables, join_atoms)
-        if residual:
-            joined = self._filter(joined, conj(*residual))
-        return _reorder_columns(joined, query.child.schema(self.catalog))
-
-    def _project(self, query: Project) -> PVCTable:
-        child = self.evaluate(query.child)
-        indices = [child.schema.index(a) for a in query.attributes]
-        schema = child.schema.project(query.attributes)
-        return _merge_duplicates(
-            schema,
-            ((tuple(row.values[i] for i in indices), row.annotation) for row in child),
-        )
-
-    def _product(self, query: Product) -> PVCTable:
-        left = self.evaluate(query.left)
-        right = self.evaluate(query.right)
-        schema = left.schema.concat(right.schema)
-        result = PVCTable(schema)
-        for left_row in left:
-            if left_row.annotation.is_zero():
-                continue
-            for right_row in right:
-                result.add(
-                    left_row.values + right_row.values,
-                    sprod([left_row.annotation, right_row.annotation]),
-                )
-        return result
-
-    def _union(self, query: Union) -> PVCTable:
-        left = self.evaluate(query.left)
-        right = self.evaluate(query.right)
-        schema = query.schema(self.catalog)
-        rows = [(row.values, row.annotation) for row in left]
-        rows += [(row.values, row.annotation) for row in right]
-        return _merge_duplicates(schema, rows)
-
-    def _group_agg(self, query: GroupAgg) -> PVCTable:
-        child = self.evaluate(query.child)
-        group_indices = [child.schema.index(a) for a in query.groupby]
-        agg_indices = [
-            None if spec.attribute is None else child.schema.index(spec.attribute)
-            for spec in query.aggregations
-        ]
-        schema = query.schema(self.catalog)
-
-        groups: dict[tuple, list[PVCRow]] = {}
-        for row in child:
-            if row.annotation.is_zero():
-                continue
-            key = tuple(row.values[i] for i in group_indices)
-            groups.setdefault(key, []).append(row)
-        if not query.groupby and not groups:
-            groups[()] = []  # $∅ always yields one tuple (Figure 4).
-
-        result = PVCTable(schema)
-        for key, rows in groups.items():
-            values = list(key)
-            for spec, index in zip(query.aggregations, agg_indices):
-                values.append(self._gamma(spec, index, rows))
-            if query.groupby:
-                # Non-emptiness guard [Σ_K Φ ≠ 0_K].
-                annotation = compare(
-                    ssum(row.annotation for row in rows), "!=", ZERO
-                )
-            else:
-                annotation = ONE
-            result.add(tuple(values), annotation)
-        return result
-
-    def _gamma(self, spec, index, rows) -> ModuleExpr:
-        """``Γ = Σ_AGG (Φ ⊗ B)``, resp. ``Σ_SUM (Φ ⊗ 1)`` for COUNT."""
-        monoid = SUM if spec.monoid == COUNT else spec.monoid
-        terms = []
-        for row in rows:
-            if index is None or spec.monoid == COUNT:
-                value = 1
-            else:
-                value = row.values[index]
-                if isinstance(value, ModuleExpr):
-                    raise QueryValidationError(
-                        f"cannot aggregate over semimodule values in "
-                        f"attribute {spec.attribute!r}"
-                    )
-            terms.append(tensor(row.annotation, MConst(monoid, value)))
-        return aggsum(monoid, terms)
-
-
-def _reorder_columns(table: PVCTable, schema: Schema) -> PVCTable:
-    """Restore the declared attribute order after a greedy join."""
-    if table.schema.attributes == schema.attributes:
-        return table
-    indices = [table.schema.index(a) for a in schema.attributes]
-    result = PVCTable(schema)
-    for row in table:
-        result.add(tuple(row.values[i] for i in indices), row.annotation)
-    return result
-
-
-def _is_hash_joinable(atom, leaves) -> bool:
-    """Equality between concrete (non-aggregation) attributes of two leaves."""
-    from repro.query.predicates import AttrRef
-
-    if atom.op.symbol != "=":
-        return False
-    if not (isinstance(atom.left, AttrRef) and isinstance(atom.right, AttrRef)):
-        return False
-    for name in (atom.left.name, atom.right.name):
-        for leaf in leaves:
-            if name in leaf.schema and leaf.schema.is_aggregation(name):
-                return False
-    return True
-
-
-def _greedy_hash_join(tables: list[PVCTable], join_atoms: list) -> PVCTable:
-    """Join the tables, preferring hash joins over connecting equalities.
-
-    Greedily picks the smallest table, then repeatedly hash-joins it with a
-    table connected by at least one pending equality atom; disconnected
-    tables fall back to cartesian products (smallest first).
-    """
-    remaining = list(tables)
-    pending = list(join_atoms)
-    remaining.sort(key=len)
-    current = remaining.pop(0)
-
-    def applicable(candidate: PVCTable):
-        atoms = []
-        for atom in pending:
-            names = {atom.left.name, atom.right.name}
-            here = set(current.schema.attributes)
-            there = set(candidate.schema.attributes)
-            if len(names & here) == 1 and len(names & there) == 1:
-                atoms.append(atom)
-        return atoms
-
-    while remaining:
-        best_index, best_atoms = None, []
-        for index, candidate in enumerate(remaining):
-            atoms = applicable(candidate)
-            if atoms and (best_index is None or len(candidate) < len(remaining[best_index])):
-                best_index, best_atoms = index, atoms
-        if best_index is None:
-            best_index = min(range(len(remaining)), key=lambda i: len(remaining[i]))
-        candidate = remaining.pop(best_index)
-        current = _hash_join(current, candidate, best_atoms)
-        for atom in best_atoms:
-            pending.remove(atom)
-    if pending:
-        # Equalities whose sides ended up in the same table (e.g. via a
-        # chain of joins): apply as an ordinary filter.
-        from repro.query.predicates import conj
-
-        filtered = PVCTable(current.schema)
-        predicate = conj(*pending)
-        for row in current:
-            if predicate.evaluate(row.value_dict(current.schema)) is True:
-                filtered.add(row.values, row.annotation)
-        current = filtered
-    return current
-
-
-def _hash_join(left: PVCTable, right: PVCTable, atoms: list) -> PVCTable:
-    """Hash join on equality atoms; cartesian product when none apply."""
-    schema = left.schema.concat(right.schema)
-    result = PVCTable(schema)
-    if not atoms:
-        for left_row in left:
-            for right_row in right:
-                result.add(
-                    left_row.values + right_row.values,
-                    sprod([left_row.annotation, right_row.annotation]),
-                )
-        return result
-    left_keys, right_keys = [], []
-    for atom in atoms:
-        if atom.left.name in left.schema:
-            left_keys.append(left.schema.index(atom.left.name))
-            right_keys.append(right.schema.index(atom.right.name))
-        else:
-            left_keys.append(left.schema.index(atom.right.name))
-            right_keys.append(right.schema.index(atom.left.name))
-    buckets: dict[tuple, list] = {}
-    for row in right:
-        key = tuple(row.values[i] for i in right_keys)
-        buckets.setdefault(key, []).append(row)
-    for left_row in left:
-        key = tuple(left_row.values[i] for i in left_keys)
-        for right_row in buckets.get(key, ()):
-            result.add(
-                left_row.values + right_row.values,
-                sprod([left_row.annotation, right_row.annotation]),
-            )
-    return result
-
-
-def _merge_duplicates(schema: Schema, rows) -> PVCTable:
-    """Group identical value tuples, summing their annotations in ``K``."""
-    merged: dict[tuple, list[SemiringExpr]] = {}
-    order: list[tuple] = []
-    for values, annotation in rows:
-        if annotation.is_zero():
-            continue
-        if values not in merged:
-            order.append(values)
-            merged[values] = []
-        merged[values].append(annotation)
-    result = PVCTable(schema)
-    for values in order:
-        result.add(values, ssum(merged[values]))
-    return result
+    return evaluate(query, db, optimize=False)

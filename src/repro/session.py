@@ -46,7 +46,8 @@ from repro.errors import QueryValidationError, SchemaError
 from repro.prob.variables import VariableRegistry
 from repro.query.ast import Query, relation
 from repro.query.builder import QueryBuilder
-from repro.query.rewrite import evaluate_query
+from repro.query.executor import evaluate, prepare
+from repro.query.physical import explain_plan
 from repro.query.sql import parse_sql
 from repro.query.tractability import (
     Classification,
@@ -285,7 +286,43 @@ class Session:
 
     def rewrite(self, query):
         """Step I only: the pvc-table of symbolic result tuples (⟦·⟧)."""
-        return evaluate_query(self._lower(query), self.db)
+        return evaluate(self._lower(query), self.db)
+
+    def explain(self, query, *, optimize: bool = True) -> str:
+        """The step-I pipeline for ``query``, as a human-readable report.
+
+        Shows the logical plan before and after the rule-based optimizer
+        (with the names of the rules that fired, per fixpoint pass) and
+        the physical operator tree — hash joins, their greedy order and
+        cardinality estimates — that the shared executor would run.
+
+        >>> s = connect()
+        >>> _ = s.table("items", ["name", "price"]).insert(("inkjet", 99))
+        >>> print(s.explain("SELECT name FROM items"))  # doctest: +ELLIPSIS
+        == logical plan ==
+        ...
+        """
+        lowered = self._lower(query)
+        prepared = prepare(  # validates against Definition 5 first
+            lowered,
+            self.db.catalog(),
+            self.db.cardinalities(),
+            optimize=optimize,
+        )
+        lines = ["== logical plan ==", f"input:     {prepared.query!r}"]
+        if prepared.trace:
+            lines.append(f"optimized: {prepared.optimized!r}")
+            fired = ", ".join(
+                f"{firing.name} (pass {firing.pass_no})"
+                for firing in prepared.trace
+            )
+            lines.append(f"rules fired: {fired}")
+        else:
+            lines.append("rules fired: (none)")
+        lines.append("")
+        lines.append("== physical plan ==")
+        lines.append(explain_plan(prepared.plan))
+        return "\n".join(lines)
 
     def deterministic_baseline(self, query):
         """The paper's Q0 timing baseline; see

@@ -1,0 +1,230 @@
+"""Tests for the rule-registry logical optimizer (stage 1 of step I)."""
+
+import pytest
+
+from repro.algebra import BOOLEAN, Var
+from repro.db import PVCDatabase, Schema
+from repro.engine import NaiveEngine, SproutEngine
+from repro.prob import VariableRegistry
+from repro.query import (
+    AggSpec,
+    BaseRelation,
+    Extend,
+    GroupAgg,
+    Product,
+    Project,
+    Select,
+    Union,
+    cmp_,
+    conj,
+    eq,
+    lit,
+    relation,
+)
+from repro.query.optimizer import (
+    DEFAULT_RULES,
+    MAX_PASSES,
+    fold_constant_predicates,
+    merge_selections,
+    optimize,
+    optimize_traced,
+    pushdown_selections,
+)
+
+CATALOG = {
+    "R": Schema(["a", "b", "c"]),
+    "S": Schema(["d", "e"]),
+}
+
+
+def count_nodes(query, kind):
+    return sum(1 for node in query.walk() if isinstance(node, kind))
+
+
+class TestMergeSelectionDedup:
+    """Regression: σ_φ(σ_φ(Q)) must not duplicate atoms (→ σ_φ(Q))."""
+
+    def test_identical_cascaded_selections_dedupe(self):
+        phi = eq("a", 1)
+        query = Select(Select(relation("R"), phi), phi)
+        merged = merge_selections(query)
+        assert isinstance(merged, Select)
+        assert not isinstance(merged.child, Select)
+        assert len(merged.predicate.atoms()) == 1
+
+    def test_partial_overlap_dedupes_shared_atoms(self):
+        inner = conj(eq("a", 1), cmp_("b", "<", 3))
+        outer = conj(eq("a", 1), cmp_("c", ">=", 2))
+        merged = merge_selections(Select(Select(relation("R"), inner), outer))
+        atoms = merged.predicate.atoms()
+        assert len(atoms) == 3
+        assert len(set(atoms)) == 3
+
+    def test_structural_equality_of_atoms(self):
+        # Distinct-but-equal Comparison objects count as duplicates.
+        query = Select(Select(relation("R"), eq("a", 1)), eq("a", 1))
+        merged = merge_selections(query)
+        assert len(merged.predicate.atoms()) == 1
+
+    def test_no_change_preserves_identity(self):
+        query = Select(relation("R"), eq("a", 1))
+        assert merge_selections(query) is query
+
+
+class TestConstantFolding:
+    def test_true_literal_atoms_dropped(self):
+        query = Select(relation("R"), conj(cmp_(lit(1), "<", lit(2)), eq("a", 1)))
+        folded = fold_constant_predicates(query, CATALOG)
+        assert len(folded.predicate.atoms()) == 1
+
+    def test_all_true_atoms_remove_selection(self):
+        query = Select(relation("R"), cmp_(lit(1), "<", lit(2)))
+        folded = fold_constant_predicates(query, CATALOG)
+        assert isinstance(folded, BaseRelation)
+
+    def test_false_atom_collapses_predicate(self):
+        query = Select(
+            relation("R"), conj(eq("a", 1), cmp_(lit(2), "<", lit(1)))
+        )
+        folded = fold_constant_predicates(query, CATALOG)
+        assert len(folded.predicate.atoms()) == 1
+        atom = folded.predicate.atoms()[0]
+        assert not atom.op(atom.left.value, atom.right.value)
+
+    def test_reflexive_equality_kept(self):
+        # A = A is NOT statically true: NaN values break reflexivity at
+        # runtime, so the atom must survive folding.
+        query = Select(relation("R"), conj(eq("a", "a"), eq("b", 2)))
+        folded = fold_constant_predicates(query, CATALOG)
+        assert len(folded.predicate.atoms()) == 2
+
+
+class TestSelectionPushdown:
+    def test_through_product(self):
+        query = Select(
+            Product(relation("R"), relation("S")),
+            conj(eq("a", 1), eq("d", 2), eq("a", "d")),
+        )
+        pushed = pushdown_selections(query, CATALOG)
+        # The join atom stays above, the per-side atoms move below.
+        assert isinstance(pushed, Select)
+        assert len(pushed.predicate.atoms()) == 1
+        product = pushed.child
+        assert isinstance(product, Product)
+        assert isinstance(product.left, Select)
+        assert isinstance(product.right, Select)
+
+    def test_through_union(self):
+        query = Select(Union(relation("R"), relation("R")), eq("a", 1))
+        pushed = pushdown_selections(query, CATALOG)
+        assert isinstance(pushed, Union)
+        assert isinstance(pushed.left, Select)
+        assert isinstance(pushed.right, Select)
+
+    def test_through_extend_rewrites_target(self):
+        query = Select(Extend(relation("R"), "a2", "a"), eq("a2", 1))
+        pushed = pushdown_selections(query, CATALOG)
+        assert isinstance(pushed, Extend)
+        atom = pushed.child.predicate.atoms()[0]
+        assert atom.left.name == "a"
+
+    def test_through_projection(self):
+        query = Select(Project(relation("R"), ["a", "b"]), eq("a", 1))
+        pushed = pushdown_selections(query, CATALOG)
+        assert isinstance(pushed, Project)
+        assert isinstance(pushed.child, Select)
+
+    def test_through_groupagg_on_keys_only(self):
+        agg = GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "b")])
+        query = Select(agg, conj(eq("a", 1), cmp_("t", ">=", 5)))
+        pushed = pushdown_selections(query, CATALOG)
+        # a=1 moves below the $, t>=5 (an aggregation attribute) stays above.
+        assert isinstance(pushed, Select)
+        assert [a.left.name for a in pushed.predicate.atoms()] == ["t"]
+        assert isinstance(pushed.child, GroupAgg)
+        assert isinstance(pushed.child.child, Select)
+
+
+class TestFixpoint:
+    def test_trace_reports_fired_rules(self):
+        query = Select(
+            Select(
+                Product(relation("R"), relation("S")),
+                conj(eq("a", "d"), eq("a", 1)),
+            ),
+            eq("a", 1),
+        )
+        optimized, trace = optimize_traced(query, CATALOG)
+        names = {firing.name for firing in trace}
+        assert "merge-selections" in names
+        assert "pushdown-selections" in names
+        assert all(firing.pass_no <= MAX_PASSES for firing in trace)
+
+    def test_converges_well_before_pass_limit(self):
+        query = Project(
+            Select(
+                Product(relation("R"), Extend(relation("S"), "d2", "d")),
+                conj(eq("a", "d"), eq("d2", 2), cmp_(lit(1), "<", lit(2))),
+            ),
+            ["b"],
+        )
+        _, trace = optimize_traced(query, CATALOG)
+        assert max((f.pass_no for f in trace), default=0) < MAX_PASSES - 1
+
+    def test_noop_query_has_empty_trace(self):
+        optimized, trace = optimize_traced(relation("R"), CATALOG)
+        assert optimized == relation("R")
+        assert trace == ()
+
+    def test_registry_is_named(self):
+        names = [rule.name for rule in DEFAULT_RULES]
+        assert names == [
+            "fold-constants",
+            "merge-selections",
+            "pushdown-selections",
+            "collapse-projections",
+            "pushdown-projections",
+        ]
+
+
+class TestOptimizedEquivalence:
+    """Optimizer output evaluates to the same probabilities as the input."""
+
+    def db(self):
+        reg = VariableRegistry()
+        db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+        r = db.create_table("R", ["a", "b", "c"])
+        for i, row in enumerate([(1, 1, 5), (1, 2, 7), (2, 2, 3)]):
+            reg.bernoulli(f"r{i}", 0.4 + 0.1 * i)
+            r.add(row, Var(f"r{i}"))
+        s = db.create_table("S", ["d", "e"])
+        for i, row in enumerate([(1, 9), (2, 8)]):
+            reg.bernoulli(f"s{i}", 0.5)
+            s.add(row, Var(f"s{i}"))
+        return db
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            Select(Select(relation("R"), eq("a", 1)), eq("a", 1)),
+            Select(
+                Product(relation("R"), relation("S")),
+                conj(eq("a", "d"), eq("b", 2), cmp_(lit(1), "<=", lit(1))),
+            ),
+            Select(Extend(relation("R"), "a2", "a"), eq("a2", 1)),
+            Select(Union(relation("R"), relation("R")), cmp_("b", "<=", 1)),
+            Select(
+                GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "c")]),
+                conj(eq("a", 1), cmp_("t", ">=", 5)),
+            ),
+        ],
+        ids=["dup-select", "join-mixed", "extend", "union", "groupagg"],
+    )
+    def test_probabilities_preserved(self, query):
+        db = self.db()
+        optimized = optimize(query, db.catalog())
+        exact = NaiveEngine(db).tuple_probabilities(query)
+        fast = SproutEngine(db).run(optimized).tuple_probabilities()
+        assert set(exact) == set(fast)
+        for key in exact:
+            assert fast[key] == pytest.approx(exact[key], abs=1e-9)

@@ -1,0 +1,169 @@
+"""Tests for the physical planner (stage 2 of step I)."""
+
+import pytest
+
+from repro.algebra import BOOLEAN, Var
+from repro.db import PVCDatabase, Schema
+from repro.prob import VariableRegistry
+from repro.query import (
+    AggSpec,
+    GroupAgg,
+    Product,
+    Project,
+    Select,
+    Union,
+    cmp_,
+    conj,
+    eq,
+    lit,
+    product_of,
+    relation,
+)
+from repro.query.executor import evaluate, prepare
+from repro.query.physical import (
+    EmptyResult,
+    Filter,
+    HashJoin,
+    NestedLoopProduct,
+    ReorderOp,
+    Scan,
+    explain_plan,
+    plan_query,
+)
+
+CATALOG = {
+    "R": Schema(["a", "v"]),
+    "S": Schema(["b", "w"]),
+    "T": Schema(["c"]),
+}
+CARDS = {"R": 1000, "S": 10, "T": 100}
+
+
+def ops(plan, kind):
+    return [op for op in plan.walk() if isinstance(op, kind)]
+
+
+class TestJoinExtraction:
+    def test_equijoin_becomes_hash_join(self):
+        query = Select(Product(relation("R"), relation("S")), eq("a", "b"))
+        plan = plan_query(query, CATALOG, CARDS)
+        joins = ops(plan, HashJoin)
+        assert len(joins) == 1
+        assert not ops(plan, NestedLoopProduct)
+
+    def test_smallest_relation_first(self):
+        query = Select(
+            product_of(relation("R"), relation("S"), relation("T")),
+            conj(eq("a", "b"), eq("a", "c")),
+        )
+        plan = plan_query(query, CATALOG, CARDS)
+        # S (10 rows) starts; R and T hash-join onto it; build sides are
+        # the incoming relations.
+        scans = [op.name for op in ops(plan, Scan)]
+        joins = ops(plan, HashJoin)
+        assert len(joins) == 2
+        deepest = joins[-1]
+        assert isinstance(deepest.left, Scan) and deepest.left.name == "S"
+
+    def test_local_atoms_become_leaf_filters(self):
+        query = Select(
+            Product(relation("R"), relation("S")),
+            conj(eq("a", "b"), eq("w", 7)),
+        )
+        plan = plan_query(query, CATALOG, CARDS)
+        filters = ops(plan, Filter)
+        assert any(
+            isinstance(f.child, Scan) and f.child.name == "S" for f in filters
+        )
+
+    def test_theta_atoms_become_residual_filter(self):
+        query = Select(
+            Product(relation("R"), relation("S")),
+            conj(eq("a", "b"), cmp_("v", "<", "w")),
+        )
+        plan = plan_query(query, CATALOG, CARDS)
+        assert isinstance(plan, (Filter, ReorderOp))
+        assert ops(plan, HashJoin)
+
+    def test_disconnected_leaves_fall_back_to_product(self):
+        query = Select(Product(relation("R"), relation("T")), cmp_("v", "<", "c"))
+        plan = plan_query(query, CATALOG, CARDS)
+        assert ops(plan, NestedLoopProduct)
+        assert not ops(plan, HashJoin)
+
+    def test_constant_false_predicate_plans_empty(self):
+        query = Select(
+            Product(relation("R"), relation("S")),
+            conj(eq("a", "b"), cmp_(lit(2), "<", lit(1))),
+        )
+        plan = plan_query(query, CATALOG, CARDS)
+        assert isinstance(plan, EmptyResult)
+
+    def test_root_restores_declared_column_order(self):
+        query = Select(
+            product_of(relation("R"), relation("S"), relation("T")),
+            conj(eq("a", "b"), eq("a", "c")),
+        )
+        plan = plan_query(query, CATALOG, CARDS)
+        assert plan.schema.attributes == query.schema(CATALOG).attributes
+
+    def test_aggregation_attributes_never_hash_join(self):
+        agg = GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "v")])
+        query = Select(Product(relation("S"), agg), eq("w", "t"))
+        plan = plan_query(query, CATALOG, CARDS)
+        assert not ops(plan, HashJoin)  # t is symbolic: θ-filter instead
+
+
+class TestExplain:
+    def test_explain_renders_tree(self):
+        query = Project(
+            Select(Product(relation("R"), relation("S")), eq("a", "b")), ["v"]
+        )
+        text = explain_plan(plan_query(query, CATALOG, CARDS))
+        assert "HashJoin" in text
+        assert "Scan[R]" in text and "Scan[S]" in text
+        assert text.splitlines()[0].startswith("Project")
+
+
+class TestExecutedPlans:
+    """Planned-and-executed results match the naive relational semantics."""
+
+    def db(self):
+        reg = VariableRegistry()
+        db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+        r = db.create_table("R", ["a", "v"])
+        for i, row in enumerate([(1, 10), (1, 20), (2, 30)]):
+            reg.bernoulli(f"r{i}", 0.5)
+            r.add(row, Var(f"r{i}"))
+        s = db.create_table("S", ["b", "w"])
+        for i, row in enumerate([(1, 100), (3, 300)]):
+            reg.bernoulli(f"s{i}", 0.5)
+            s.add(row, Var(f"s{i}"))
+        return db
+
+    def test_hash_join_values(self):
+        db = self.db()
+        query = Select(Product(relation("R"), relation("S")), eq("a", "b"))
+        table = evaluate(query, db)
+        assert {row.values for row in table} == {
+            (1, 10, 1, 100),
+            (1, 20, 1, 100),
+        }
+
+    def test_empty_plan_yields_no_rows(self):
+        db = self.db()
+        query = Select(relation("R"), cmp_(lit(1), ">", lit(2)))
+        assert len(evaluate(query, db)) == 0
+
+    def test_prepared_plan_is_reusable(self):
+        db = self.db()
+        query = Project(
+            Select(Product(relation("R"), relation("S")), eq("a", "b")), ["v"]
+        )
+        prepared = prepare(query, db.catalog(), db.cardinalities())
+        from repro.query.executor import execute_symbolic
+
+        first = execute_symbolic(prepared, db)
+        second = execute_symbolic(prepared, db)
+        assert [r.values for r in first] == [r.values for r in second]
+        assert [r.annotation for r in first] == [r.annotation for r in second]
