@@ -97,12 +97,15 @@ from repro.db import (
     tuple_independent_table,
 )
 from repro.engine import (
+    ApproxAdapter,
     CompilationCache,
     Engine,
+    EvalSpec,
     MonteCarloAdapter,
     MonteCarloEngine,
     NaiveAdapter,
     NaiveEngine,
+    ProbInterval,
     QueryResult,
     ResultRow,
     SproutAdapter,
@@ -187,9 +190,9 @@ __all__ = [
     "QueryBuilder", "AggTerm", "sum_", "count_", "min_", "max_", "prod_",
     # engines
     "SproutEngine", "NaiveEngine", "MonteCarloEngine",
-    "QueryResult", "ResultRow",
-    "Engine", "SproutAdapter", "NaiveAdapter", "MonteCarloAdapter",
-    "create_engine", "CompilationCache",
+    "QueryResult", "ResultRow", "EvalSpec", "ProbInterval",
+    "Engine", "SproutAdapter", "ApproxAdapter", "NaiveAdapter",
+    "MonteCarloAdapter", "create_engine", "CompilationCache",
     # errors
     "ReproError", "AlgebraError", "ParseError", "DistributionError",
     "CompilationError", "SchemaError", "QueryValidationError",

@@ -44,6 +44,11 @@ def value_bounds(expr: Expr, boolean_scalars: bool) -> tuple[float, float]:
     ``boolean_scalars`` states that all annotation scalars evaluate to
     0/1 (set semantics, or Proposition 3's restricted variables); without
     it, SUM-like bounds widen to infinity.  Always sound, possibly loose.
+
+    Non-canonical summands — tensors whose right side is itself a
+    semimodule expression, as produced by partially restricted nested
+    aggregates — are bounded recursively: a term ``Φ ⊗ α`` contributes
+    either nothing or a value within ``value_bounds(α)``.
     """
     if not isinstance(expr, ModuleExpr):
         return _UNBOUNDED
@@ -51,33 +56,50 @@ def value_bounds(expr: Expr, boolean_scalars: bool) -> tuple[float, float]:
     if isinstance(monoid, ProdMonoid):
         return _UNBOUNDED
 
-    certain: list[float] = []
-    optional: list[float] = []
+    #: Intervals of contributions that happen in *every* world / only in
+    #: some worlds.  ``(v, v)`` is the exact single-value case.
+    certain: list[tuple[float, float]] = []
+    optional: list[tuple[float, float]] = []
     for term in _terms(expr):
         if isinstance(term, MConst):
-            certain.append(term.value)
-        elif isinstance(term, Tensor) and isinstance(term.arg, MConst):
-            optional.append(term.arg.value)
+            certain.append((term.value, term.value))
+        elif isinstance(term, Tensor):
+            if isinstance(term.arg, MConst):
+                inner = (term.arg.value, term.arg.value)
+            else:
+                inner = value_bounds(term.arg, boolean_scalars)
+                if inner == _UNBOUNDED:
+                    return _UNBOUNDED
+            optional.append(inner)
+        elif isinstance(term, ModuleExpr):
+            inner = value_bounds(term, boolean_scalars)
+            if inner == _UNBOUNDED:
+                return _UNBOUNDED
+            certain.append(inner)
         else:
-            return _UNBOUNDED  # non-canonical summand: give up
+            return _UNBOUNDED  # non-module summand: give up
 
     if isinstance(monoid, MinMonoid):
-        high = min(certain) if certain else math.inf
-        low = min(certain + optional) if (certain or optional) else math.inf
+        high = min((hi for _, hi in certain), default=math.inf)
+        lows = [lo for lo, _ in certain] + [lo for lo, _ in optional]
+        low = min(lows) if lows else math.inf
         return (low, high)
     if isinstance(monoid, MaxMonoid):
-        low = max(certain) if certain else -math.inf
-        high = max(certain + optional) if (certain or optional) else -math.inf
+        low = max((lo for lo, _ in certain), default=-math.inf)
+        highs = [hi for _, hi in certain] + [hi for _, hi in optional]
+        high = max(highs) if highs else -math.inf
         return (low, high)
     if isinstance(monoid, SumMonoid):
-        base = sum(certain)
+        base_low = sum(lo for lo, _ in certain)
+        base_high = sum(hi for _, hi in certain)
         if boolean_scalars:
-            low = base + sum(v for v in optional if v < 0)
-            high = base + sum(v for v in optional if v > 0)
+            # Each optional term contributes once or not at all.
+            low = base_low + sum(min(0.0, lo) for lo, _ in optional)
+            high = base_high + sum(max(0.0, hi) for _, hi in optional)
             return (monoid.clamp(low), monoid.clamp(high))
         # Bag semantics: non-negative multiplicities, unbounded above.
-        low = -math.inf if any(v < 0 for v in optional) else base
-        high = math.inf if any(v > 0 for v in optional) else base
+        low = -math.inf if any(lo < 0 for lo, _ in optional) else base_low
+        high = math.inf if any(hi > 0 for _, hi in optional) else base_high
         return (low, high)
     return _UNBOUNDED
 

@@ -3,17 +3,25 @@
 The paper notes (Section 1) that "besides exact computation, decomposition
 trees also allow for approximate probability computation [18]": compiling
 an expression only partially and propagating *bounds* for the unexpanded
-residual expressions.  This module reproduces that scheme for Boolean-
-semiring expressions:
+residual expressions.  This module reproduces that scheme for the
+presence probability ``P[Φ ≠ 0_S]`` of tuple annotations:
 
 * the expression is compiled with a budget on the number of Shannon (⊔)
   expansions;
 * when the budget runs out, the remaining expression becomes an *unknown*
-  leaf whose probability of being true lies in ``[0, 1]`` (sharpened by
-  the trivial model/refutation bounds below);
+  leaf whose probability of being non-zero lies in ``[0, 1]``;
 * bounds propagate upward through the independence rules because
   ``P(Φ ∨ Ψ) = 1-(1-p)(1-q)`` and ``P(Φ ∧ Ψ) = p·q`` are monotone in both
   arguments, and through mutex nodes because mixtures are monotone too.
+  (For positive semirings without zero divisors — Boolean and ℕ — the
+  non-zero events of independent sums/products combine by exactly these
+  formulas, so the same propagation covers bag semantics.)
+* conditional sub-expressions ``[α θ β]`` over aggregation semimodules are
+  decided outright by the value intervals of
+  :func:`repro.algebra.bounds.value_bounds` when the two sides separate
+  (the Experiment-E effect); undecided comparisons are Shannon-expanded
+  within the same budget, each substitution re-tightening the value
+  intervals until the comparison folds.
 
 Increasing the budget refines the interval monotonically; with an
 unbounded budget the interval collapses to the exact probability.
@@ -23,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.algebra.bounds import fold_comparison_by_bounds
 from repro.algebra.conditions import Compare
 from repro.algebra.expressions import (
     Expr,
@@ -35,7 +44,7 @@ from repro.algebra.expressions import (
     sprod,
 )
 from repro.algebra.simplify import Normalizer
-from repro.algebra.semiring import BOOLEAN
+from repro.algebra.semiring import BOOLEAN, Semiring
 from repro.core import decompose
 from repro.core.compile import Compiler
 from repro.errors import CompilationError
@@ -94,20 +103,56 @@ class ProbabilityBounds:
 class ApproximateCompiler:
     """Budgeted compilation producing probability bounds.
 
-    Only Boolean-semiring expressions built from variables, sums and
-    products are supported (the positive-relational-algebra annotations of
-    [18]); conditional or semimodule sub-expressions are treated as
-    unknown leaves when reached.
+    Bounds ``P[Φ ≠ 0_S]`` — the presence probability of an annotation —
+    for expressions built from variables, sums, products and conditional
+    (semimodule comparison) sub-expressions.  ``semiring`` selects bag
+    vs set semantics: it drives normalisation and decides whether the
+    value-interval analysis of aggregation comparisons may assume 0/1
+    scalars.  Semimodule expressions may appear only *inside* comparisons
+    (as they do in Figure-4 annotations); a bare semimodule expression is
+    rejected.
     """
 
-    def __init__(self, registry: VariableRegistry, budget: int):
+    def __init__(
+        self,
+        registry: VariableRegistry,
+        budget: int,
+        semiring: Semiring = BOOLEAN,
+        normalizer: Normalizer | None = None,
+        seed_bounds: dict | None = None,
+    ):
         self.registry = registry
         self.budget = budget
-        self._normalizer = Normalizer(BOOLEAN)
+        self.semiring = semiring
+        #: Shannon expansions actually performed (for diagnostics; the
+        #: remaining allowance is ``budget``).
+        self.expansions = 0
+        #: ``normalizer`` may be shared across refinement rounds (and
+        #: across the rows of one query): normalisation and restriction
+        #: are pure, so the fused restrict cache carries over soundly.
+        self._normalizer = normalizer if normalizer is not None else Normalizer(semiring)
         self._memo: dict[Expr, ProbabilityBounds] = {}
+        if seed_bounds:
+            # Zero-width entries of an earlier (smaller-budget) round are
+            # *exact* regardless of that round's unexpanded leaves — an
+            # unknown [0, 1] factor can only surface as positive width —
+            # so iterative deepening reuses them instead of re-deriving.
+            self._memo.update(
+                (expr, bounds)
+                for expr, bounds in seed_bounds.items()
+                if bounds.width == 0.0
+            )
+
+    def exact_bounds(self) -> dict:
+        """The memo entries proven exact, for seeding the next round."""
+        return {
+            expr: bounds
+            for expr, bounds in self._memo.items()
+            if bounds.width == 0.0
+        }
 
     def bounds(self, expr: Expr) -> ProbabilityBounds:
-        """Bounds on ``P[expr = ⊤]`` within the expansion budget."""
+        """Bounds on ``P[expr ≠ 0_S]`` within the expansion budget."""
         return self._bounds(self._normalizer(expr))
 
     def _bounds(self, expr: Expr) -> ProbabilityBounds:
@@ -119,18 +164,34 @@ class ApproximateCompiler:
 
     def _bounds_uncached(self, expr: Expr) -> ProbabilityBounds:
         if isinstance(expr, SConst):
-            return ProbabilityBounds.exact(float(BOOLEAN.coerce(expr.value)))
+            nonzero = self.semiring.coerce(expr.value) != self.semiring.zero
+            return ProbabilityBounds.exact(float(nonzero))
         if isinstance(expr, Var):
-            return ProbabilityBounds.exact(self.registry[expr.name][True])
+            return ProbabilityBounds.exact(self._var_nonzero(expr.name))
         if isinstance(expr, Sum):
             return self._combine(expr.children, ssum, "disjunction")
         if isinstance(expr, Prod):
             return self._combine(expr.children, sprod, "conjunction")
         if isinstance(expr, Compare):
+            decided = fold_comparison_by_bounds(
+                expr.left, expr.op.symbol, expr.right, self.semiring.is_boolean
+            )
+            if decided is not None:
+                return ProbabilityBounds.exact(float(decided))
+            if expr.variables:
+                return self._shannon(expr)
             return ProbabilityBounds.unknown()
         raise CompilationError(
-            f"approximation supports Boolean semiring expressions only, "
-            f"got {type(expr).__name__}"
+            f"approximation supports semiring expressions (with semimodule "
+            f"comparisons) only, got {type(expr).__name__}"
+        )
+
+    def _var_nonzero(self, name: str) -> float:
+        zero = self.semiring.zero
+        return sum(
+            prob
+            for value, prob in self.registry[name].items()
+            if self.semiring.coerce(value) != zero
         )
 
     def _combine(self, children, rebuild, combiner: str) -> ProbabilityBounds:
@@ -157,12 +218,15 @@ class ApproximateCompiler:
         if self.budget <= 0:
             return ProbabilityBounds.unknown()
         self.budget -= 1
+        self.expansions += 1
         counts = count_occurrences(expr)
         name = max(expr.variables, key=lambda n: (counts.get(n, 0), n))
         low = high = 0.0
         for value, prob in self.registry[name].items():
-            restricted = self._normalizer(
-                expr.substitute({name: SConst(int(value))})
+            # The fused memoised restrict-and-normalise pass of the exact
+            # compiler; sibling Shannon branches share their subterms.
+            restricted = self._normalizer.restrict(
+                expr, name, SConst(int(value))
             )
             child = self._bounds(restricted)
             low += prob * child.low
@@ -176,8 +240,9 @@ def approximate_probability(
     epsilon: float = 0.01,
     initial_budget: int = 8,
     max_budget: int = 1 << 20,
+    semiring: Semiring = BOOLEAN,
 ) -> ProbabilityBounds:
-    """Refine bounds on ``P[expr = ⊤]`` until the interval width ≤ ε.
+    """Refine bounds on ``P[expr ≠ 0_S]`` until the interval width ≤ ε.
 
     Doubles the Shannon budget until the requested precision is reached;
     falls back to the exact compiler once the budget would exceed
@@ -185,10 +250,17 @@ def approximate_probability(
     than further refinement).
     """
     budget = initial_budget
+    normalizer = Normalizer(semiring)
+    seed: dict | None = None
     while budget <= max_budget:
-        bounds = ApproximateCompiler(registry, budget).bounds(expr)
+        approximator = ApproximateCompiler(
+            registry, budget, semiring, normalizer=normalizer, seed_bounds=seed
+        )
+        bounds = approximator.bounds(expr)
         if bounds.width <= epsilon:
             return bounds
+        seed = approximator.exact_bounds()
         budget *= 2
-    exact = Compiler(registry, BOOLEAN).probability(expr)
+    compiler = Compiler(registry, semiring)
+    exact = 1.0 - compiler.distribution(expr)[semiring.zero]
     return ProbabilityBounds.exact(exact)

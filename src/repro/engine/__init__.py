@@ -1,19 +1,25 @@
-"""Query engines: compiled (SPROUT-style), brute-force, and Monte-Carlo.
+"""Query engines: compiled (SPROUT-style), approximate, brute-force, Monte-Carlo.
 
 * :class:`~repro.engine.sprout.SproutEngine` — the paper's architecture:
   Figure-4 rewriting followed by d-tree compilation (exact, efficient on
   tractable queries).
+* :class:`~repro.engine.approximate.ApproxAdapter` — budgeted partial
+  compilation with deterministic probability bounds, refined until every
+  interval width ≤ ε (the paper's anytime approximation scheme).
 * :class:`~repro.engine.naive.NaiveEngine` — explicit possible-world
   enumeration (exact, exponential; the test oracle).
 * :class:`~repro.engine.montecarlo.MonteCarloEngine` — sampling baseline
-  in the spirit of MCDB.
+  in the spirit of MCDB, with a sequential-stopping (ε, δ) mode.
 
-All three are also available behind the uniform
-:class:`~repro.engine.base.Engine` protocol (adapters returning the same
-:class:`~repro.engine.sprout.QueryResult` type), which is what the
-:class:`~repro.session.Session` facade dispatches on.
+All are available behind the uniform :class:`~repro.engine.base.Engine`
+protocol (adapters returning the same
+:class:`~repro.engine.sprout.QueryResult` type, every probability a
+:class:`~repro.engine.spec.ProbInterval`), which is what the
+:class:`~repro.session.Session` facade dispatches on — *how* to evaluate
+travels as one :class:`~repro.engine.spec.EvalSpec`.
 """
 
+from repro.engine.approximate import ApproxAdapter
 from repro.engine.base import (
     ENGINE_NAMES,
     CompilationCache,
@@ -26,6 +32,7 @@ from repro.engine.base import (
 )
 from repro.engine.montecarlo import MonteCarloEngine
 from repro.engine.naive import NaiveEngine, evaluate_deterministic
+from repro.engine.spec import EVAL_MODES, EvalSpec, ProbInterval
 from repro.engine.sprout import QueryResult, ResultRow, SproutEngine
 
 __all__ = [
@@ -37,8 +44,12 @@ __all__ = [
     "MonteCarloEngine",
     "Engine",
     "ENGINE_NAMES",
+    "EVAL_MODES",
+    "EvalSpec",
+    "ProbInterval",
     "CompilationCache",
     "SproutAdapter",
+    "ApproxAdapter",
     "NaiveAdapter",
     "MonteCarloAdapter",
     "create_engine",

@@ -1,0 +1,206 @@
+"""The approximate engine: anytime answers with deterministic bounds.
+
+Drives :class:`repro.core.approx.ApproximateCompiler` in an
+iterative-deepening loop over the rows of the step-I symbolic result:
+every row's presence probability is bracketed by a
+:class:`~repro.engine.spec.ProbInterval` that *certainly* contains the
+true value (unlike Monte-Carlo confidence intervals, these bounds are
+deterministic), and the Shannon budget doubles per round until
+
+* every interval width is ≤ ``spec.epsilon`` (converged),
+* the total expansion ``spec.budget`` is exhausted,
+* the ``spec.time_limit`` trips, or
+* refinement would cost more than exact compilation, at which point the
+  remaining rows are compiled exactly (only when neither a budget nor a
+  time limit was requested — a capped run never silently exceeds its cap).
+
+Intervals nest monotonically across rounds (each refinement is
+intersected with the previous bracket), which is what makes
+:meth:`ApproxAdapter.run_iter` a true anytime iterator: consumers can
+stop at any snapshot and still hold sound, ever-tighter answers — e.g.
+stop as soon as ``QueryResult.top_k(k).stats["top_k_decided"]`` flips.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algebra.simplify import Normalizer
+from repro.core.approx import ApproximateCompiler
+from repro.core.compile import Compiler
+from repro.db.pvc_table import PVCDatabase
+from repro.engine.spec import EvalSpec, ProbInterval
+from repro.engine.sprout import QueryResult, ResultRow, SproutEngine
+from repro.errors import QueryValidationError
+from repro.query.ast import Query
+
+__all__ = ["ApproxAdapter"]
+
+#: Past this per-row Shannon allowance exact compilation is typically
+#: cheaper than further refinement (matches ``approximate_probability``).
+_MAX_ROW_BUDGET = 1 << 20
+
+#: First-round per-row Shannon allowance.
+_INITIAL_ROW_BUDGET = 8
+
+
+class ApproxAdapter:
+    """Budgeted d-tree approximation behind the ``Engine`` protocol."""
+
+    name = "approx"
+
+    def __init__(self, db: PVCDatabase, distribution_source=None, **compiler_options):
+        self.db = db
+        #: Step I (symbolic rewriting) is shared with the exact engine —
+        #: including its prepared-plan cache.
+        self.engine = SproutEngine(
+            db, distribution_source=distribution_source, **compiler_options
+        )
+        self.distribution_source = distribution_source
+        self.compiler_options = compiler_options
+
+    def _row_compiler(self):
+        """Distribution source for the result rows' exact accessors."""
+        if self.distribution_source is not None:
+            return self.distribution_source
+        return Compiler(
+            self.db.registry, self.db.semiring, **self.compiler_options
+        )
+
+    def run(self, query: Query, spec: EvalSpec | None = None, **options) -> QueryResult:
+        """Refine until the spec is satisfied; return the final snapshot."""
+        result = None
+        for result in self.run_iter(query, spec=spec, **options):
+            pass
+        return result
+
+    def run_iter(self, query: Query, spec: EvalSpec | None = None, **options):
+        """Yield progressively refined :class:`QueryResult` snapshots.
+
+        Every snapshot is a fully usable result (sound intervals on every
+        row); the final one carries ``stats["converged"]``.  Snapshots
+        hold their own row objects, so earlier snapshots are not mutated
+        by later refinement.
+        """
+        if options:
+            raise QueryValidationError(
+                f"approx engine takes no run options beyond spec, got "
+                f"{sorted(options)}"
+            )
+        spec = EvalSpec.make(spec)
+        if spec.mode == "sample":
+            raise QueryValidationError(
+                "spec mode 'sample' is Monte-Carlo; use engine='montecarlo'"
+            )
+        # mode "exact" refines all the way down (ε = 0 ends in the exact
+        # fallback); mode "approx" stops at the requested width.
+        epsilon = spec.epsilon if spec.mode == "approx" else 0.0
+
+        start = time.perf_counter()
+        table = self.engine.rewrite(query)
+        rewrite_seconds = time.perf_counter() - start
+
+        registry = self.db.registry
+        semiring = self.db.semiring
+        row_compiler = self._row_compiler()
+        annotations = [row.annotation for row in table]
+        intervals: list[ProbInterval | None] = [None] * len(annotations)
+        pending = set(range(len(annotations)))
+        #: Shared across rows *and* rounds: the fused restrict cache (pure)
+        #: and, per row, the sub-bounds an earlier round proved exact.
+        normalizer = Normalizer(semiring)
+        seeds: list[dict | None] = [None] * len(annotations)
+
+        row_budget = _INITIAL_ROW_BUDGET
+        expansions = 0
+        rounds = 0
+        exhausted = False
+
+        def snapshot(converged: bool) -> QueryResult:
+            rows = [
+                ResultRow(
+                    table.schema,
+                    pvc_row.values,
+                    pvc_row.annotation,
+                    row_compiler,
+                    _probability=(
+                        intervals[i]
+                        if intervals[i] is not None
+                        else ProbInterval.unknown()
+                    ),
+                )
+                for i, pvc_row in enumerate(table)
+            ]
+            wall = time.perf_counter() - start
+            widths = [
+                interval.width if interval is not None else 1.0
+                for interval in intervals
+            ]
+            timings = {
+                "rewrite_seconds": rewrite_seconds,
+                "probability_seconds": wall - rewrite_seconds,
+            }
+            stats = {
+                "wall_seconds": wall,
+                "rows": len(rows),
+                "rounds": rounds,
+                "expansions": expansions,
+                "converged": converged,
+                "max_width": max(widths, default=0.0),
+                "epsilon": epsilon,
+            }
+            return QueryResult(
+                table.schema, rows, timings, engine=self.name, stats=stats
+            )
+
+        def out_of_time() -> bool:
+            return (
+                spec.time_limit is not None
+                and time.perf_counter() - start >= spec.time_limit
+            )
+
+        while pending and not exhausted:
+            rounds += 1
+            for index in sorted(pending):
+                if spec.budget is not None and expansions >= spec.budget:
+                    exhausted = True
+                    break
+                if out_of_time():
+                    exhausted = True
+                    break
+                allowance = row_budget
+                if spec.budget is not None:
+                    allowance = min(allowance, spec.budget - expansions)
+                approximator = ApproximateCompiler(
+                    registry,
+                    allowance,
+                    semiring,
+                    normalizer=normalizer,
+                    seed_bounds=seeds[index],
+                )
+                bounds = approximator.bounds(annotations[index])
+                seeds[index] = approximator.exact_bounds()
+                expansions += approximator.expansions
+                refined = ProbInterval(bounds.low, bounds.high)
+                previous = intervals[index]
+                if previous is not None:
+                    refined = previous.intersect(refined)
+                intervals[index] = refined
+                if refined.width <= epsilon:
+                    pending.discard(index)
+            if not pending or exhausted:
+                break
+            yield snapshot(converged=False)
+            row_budget *= 2
+            if row_budget > _MAX_ROW_BUDGET:
+                if spec.budget is None and spec.time_limit is None:
+                    # Unbounded spec: finish the stragglers exactly.
+                    for index in sorted(pending):
+                        exact = 1.0 - row_compiler.distribution(
+                            annotations[index]
+                        )[semiring.zero]
+                        intervals[index] = ProbInterval.point(exact)
+                    pending.clear()
+                exhausted = True
+
+        yield snapshot(converged=not pending)

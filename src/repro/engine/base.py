@@ -1,19 +1,26 @@
 """The pluggable ``Engine`` protocol and its adapters.
 
 Every engine in the library answers the same question — ``P[t ∈ answer]``
-for a ``Q``-algebra query over a pvc-database — but the seed grew three
-incompatible surfaces: the compiled engine returned a rich
-:class:`~repro.engine.sprout.QueryResult` while the brute-force and
-Monte-Carlo baselines returned raw probability dicts.  This module gives
-all three one front door:
+for a ``Q``-algebra query over a pvc-database — behind one front door:
 
-* :class:`Engine` — the protocol (``name`` + ``run(query) -> QueryResult``);
-* :class:`SproutAdapter` / :class:`NaiveAdapter` / :class:`MonteCarloAdapter`
-  — adapters returning the **same** :class:`QueryResult` type;
+* :class:`Engine` — the protocol (``name`` + ``run(query, spec=None) ->
+  QueryResult``); engines that can refine answers incrementally also
+  expose ``run_iter`` (see :meth:`repro.session.Session.run_iter`);
+* :class:`SproutAdapter` / :class:`ApproxAdapter` / :class:`NaiveAdapter`
+  / :class:`MonteCarloAdapter` — adapters returning the **same**
+  :class:`QueryResult` type, with probabilities as
+  :class:`~repro.engine.spec.ProbInterval` values (zero-width when exact)
+  and uniform per-run diagnostics in ``QueryResult.stats``;
+* :class:`~repro.engine.spec.EvalSpec` — *how* to answer (``exact``,
+  ``approx`` with deterministic ε-bounds, or ``sample`` with (ε, δ)
+  confidence intervals), threaded from the session through every adapter;
 * :func:`create_engine` — the factory keyed on engine names;
 * :func:`select_engine_name` — the ``engine="auto"`` policy: exact
-  compilation for queries the Section-6 analysis proves tractable,
-  Monte-Carlo fallback (with a warning and a sample budget) otherwise;
+  compilation for queries the Section-6 analysis proves tractable;
+  queries outside the tractable classes degrade to a *guaranteed*
+  approximation per the spec (budgeted d-tree bounds by default,
+  sequential Monte-Carlo when the spec asks to sample) instead of an
+  unqualified estimate;
 * :class:`CompilationCache` — a shared distribution cache keyed on
   normalized annotations, so repeated and overlapping rows across runs
   never recompile the same d-tree.
@@ -22,14 +29,15 @@ all three one front door:
 from __future__ import annotations
 
 import time
-import warnings
 from typing import Protocol, runtime_checkable
 
 from repro.algebra.expressions import ONE, Expr
 from repro.core.compile import Compiler
 from repro.db.pvc_table import PVCDatabase
+from repro.engine.approximate import ApproxAdapter
 from repro.engine.montecarlo import MonteCarloEngine
 from repro.engine.naive import NaiveEngine
+from repro.engine.spec import EvalSpec
 from repro.engine.sprout import QueryResult, ResultRow, SproutEngine
 from repro.errors import QueryValidationError
 from repro.prob.distribution import Distribution
@@ -45,6 +53,7 @@ __all__ = [
     "ENGINE_NAMES",
     "CompilationCache",
     "SproutAdapter",
+    "ApproxAdapter",
     "NaiveAdapter",
     "MonteCarloAdapter",
     "create_engine",
@@ -52,7 +61,7 @@ __all__ = [
 ]
 
 #: The registered engine names, in preference order.
-ENGINE_NAMES = ("sprout", "naive", "montecarlo")
+ENGINE_NAMES = ("sprout", "approx", "naive", "montecarlo")
 
 
 @runtime_checkable
@@ -61,9 +70,22 @@ class Engine(Protocol):
 
     name: str
 
-    def run(self, query: Query, **options) -> QueryResult:
-        """Evaluate ``query`` and return rows with probabilities."""
+    def run(
+        self, query: Query, spec: EvalSpec | None = None, **options
+    ) -> QueryResult:
+        """Evaluate ``query`` under ``spec``; rows carry ProbIntervals."""
         ...
+
+
+def _reject_non_exact(name: str, spec: EvalSpec | None) -> None:
+    """Exact engines only accept exact (or absent) specs."""
+    if spec is not None and not spec.is_exact:
+        raise QueryValidationError(
+            f"engine {name!r} computes exact answers only; use "
+            f"engine='approx' for spec mode 'approx' and "
+            f"engine='montecarlo' for spec mode 'sample' "
+            f"(or engine='auto' to dispatch on the spec)"
+        )
 
 
 class CompilationCache:
@@ -108,6 +130,21 @@ class CompilationCache:
     def compile(self, expr: Expr):
         return self.compiler.compile(expr)
 
+    def clear(self) -> None:
+        """Drop every cached distribution and the compiler's d-tree memo.
+
+        Used by ``Session.close()``; the cache remains usable afterwards
+        (a closed-and-reused session simply recompiles on demand).
+        """
+        self._distributions.clear()
+        self.compiler = Compiler(
+            self.compiler.registry,
+            self.compiler.semiring,
+            heuristic=self.compiler.choose_variable,
+            pruning=self.compiler.pruning,
+            max_mutex_nodes=self.compiler.max_mutex_nodes,
+        )
+
     def __len__(self) -> int:
         return len(self._distributions)
 
@@ -128,7 +165,10 @@ class SproutAdapter:
             db, distribution_source=distribution_source, **compiler_options
         )
 
-    def run(self, query: Query, **options) -> QueryResult:
+    def run(
+        self, query: Query, spec: EvalSpec | None = None, **options
+    ) -> QueryResult:
+        _reject_non_exact(self.name, spec)
         result = self.engine.run(query, **options)
         result.engine = self.name
         return result
@@ -157,23 +197,39 @@ class NaiveAdapter:
     def __init__(self, db: PVCDatabase):
         self.engine = NaiveEngine(db)
 
-    def run(self, query: Query, **options) -> QueryResult:
+    def run(
+        self, query: Query, spec: EvalSpec | None = None, **options
+    ) -> QueryResult:
         if options:
             raise QueryValidationError(
                 f"naive engine takes no run options, got {sorted(options)}"
             )
+        _reject_non_exact(self.name, spec)
         start = time.perf_counter()
         probabilities = self.engine.tuple_probabilities(query)
         elapsed = time.perf_counter() - start
         schema = query.schema(self.engine.db.catalog())
         rows = _concrete_rows(schema, probabilities)
+        stats = {"wall_seconds": elapsed, "rows": len(rows)}
         return QueryResult(
-            schema, rows, {"enumeration_seconds": elapsed}, engine=self.name
+            schema,
+            rows,
+            {"enumeration_seconds": elapsed},
+            engine=self.name,
+            stats=stats,
         )
 
 
 class MonteCarloAdapter:
-    """MCDB-style sampling behind the :class:`Engine` protocol."""
+    """MCDB-style sampling behind the :class:`Engine` protocol.
+
+    Without a spec (or with ``samples=``) it reports plain empirical
+    frequencies from a fixed budget, as before.  With ``spec`` mode
+    ``"sample"`` it runs the sequential-stopping estimator: worlds are
+    drawn in doubling rounds until every answer tuple's (ε, δ) confidence
+    interval is narrower than ``spec.epsilon`` (or the budget/time limit
+    trips), and rows carry those intervals.
+    """
 
     name = "montecarlo"
 
@@ -181,11 +237,55 @@ class MonteCarloAdapter:
         self.engine = MonteCarloEngine(db, seed=seed)
         self.samples = samples
 
-    def run(self, query: Query, samples: int | None = None, **options) -> QueryResult:
+    def _interval_result(self, query: Query, intervals, info) -> QueryResult:
+        schema = query.schema(self.engine.db.catalog())
+        rows = _concrete_rows(schema, intervals)
+        stats = dict(info)
+        stats["rows"] = len(rows)
+        return QueryResult(
+            schema,
+            rows,
+            {"sampling_seconds": info.get("wall_seconds", 0.0)},
+            engine=self.name,
+            stats=stats,
+        )
+
+    def run(
+        self,
+        query: Query,
+        spec: EvalSpec | None = None,
+        samples: int | None = None,
+        **options,
+    ) -> QueryResult:
         if options:
             raise QueryValidationError(
-                f"montecarlo engine takes only a 'samples' run option, got "
-                f"{sorted(options)}"
+                f"montecarlo engine takes only 'spec' and 'samples' run "
+                f"options, got {sorted(options)}"
+            )
+        if spec is not None and spec.mode == "approx":
+            raise QueryValidationError(
+                "spec mode 'approx' means deterministic d-tree bounds; "
+                "use engine='approx' (Monte-Carlo provides (ε, δ) "
+                "confidence intervals via spec mode 'sample')"
+            )
+        if spec is not None and spec.mode == "sample":
+            if samples is not None:
+                raise QueryValidationError(
+                    "pass the sample budget as spec.budget, not samples=, "
+                    "when running under an EvalSpec"
+                )
+            intervals, info = self.engine.estimate_intervals(
+                query,
+                epsilon=spec.epsilon,
+                delta=spec.delta,
+                max_samples=spec.budget,
+                time_limit=spec.time_limit,
+            )
+            return self._interval_result(query, intervals, info)
+        if spec is not None:  # remaining mode is "exact"
+            raise QueryValidationError(
+                "montecarlo engine cannot guarantee exact answers; use "
+                "engine='sprout' or 'naive', or spec mode 'sample'"
             )
         budget = self.samples if samples is None else samples
         start = time.perf_counter()
@@ -193,9 +293,36 @@ class MonteCarloAdapter:
         elapsed = time.perf_counter() - start
         schema = query.schema(self.engine.db.catalog())
         rows = _concrete_rows(schema, probabilities)
+        stats = {"wall_seconds": elapsed, "rows": len(rows)}
+        stats.update(self.engine.last_run_info)
         return QueryResult(
-            schema, rows, {"sampling_seconds": elapsed}, engine=self.name
+            schema,
+            rows,
+            {"sampling_seconds": elapsed},
+            engine=self.name,
+            stats=stats,
         )
+
+    def run_iter(self, query: Query, spec: EvalSpec | None = None, **options):
+        """Yield a refined :class:`QueryResult` after every sampling round."""
+        if options:
+            raise QueryValidationError(
+                f"montecarlo engine takes only a 'spec' run_iter option, "
+                f"got {sorted(options)}"
+            )
+        spec = EvalSpec.make(spec)
+        if spec.mode != "sample":
+            raise QueryValidationError(
+                "anytime Monte-Carlo needs spec mode 'sample'"
+            )
+        for intervals, info in self.engine.estimate_intervals_iter(
+            query,
+            epsilon=spec.epsilon,
+            delta=spec.delta,
+            max_samples=spec.budget,
+            time_limit=spec.time_limit,
+        ):
+            yield self._interval_result(query, intervals, info)
 
 
 def create_engine(
@@ -212,6 +339,10 @@ def create_engine(
         return SproutAdapter(
             db, distribution_source=distribution_source, **compiler_options
         )
+    if name == "approx":
+        return ApproxAdapter(
+            db, distribution_source=distribution_source, **compiler_options
+        )
     if name == "naive":
         return NaiveAdapter(db)
     if name == "montecarlo":
@@ -224,28 +355,33 @@ def create_engine(
 def select_engine_name(
     db: PVCDatabase,
     query: Query,
-    samples: int = 1000,
+    *,
+    spec: EvalSpec | None = None,
     tuple_independent: set[str] | None = None,
 ) -> tuple[str, Classification]:
     """The ``engine="auto"`` policy (Theorem 3 as a dispatcher).
 
-    Queries the static analysis proves inside ``Q_ind``/``Q_hie`` go to
-    exact compilation; everything else falls back to Monte-Carlo sampling
-    with a warning — generic compilation may be exponential there.
+    * spec mode ``"sample"`` always goes to the sequential Monte-Carlo
+      estimator — the caller asked for sampled confidence intervals;
+    * spec mode ``"approx"`` always goes to the budgeted-bounds engine;
+    * otherwise (exact intent), queries the static analysis proves inside
+      ``Q_ind``/``Q_hie`` compile exactly, and everything else *degrades
+      to guaranteed approximation*: the approx engine reports
+      deterministic intervals of width ≤ ε instead of the unqualified
+      point estimate the old fallback produced.  Generic exact
+      compilation may be exponential there; pass ``engine='sprout'`` to
+      force it anyway.
+
     ``tuple_independent`` lets callers (the session) pass a cached scan
     instead of re-walking every table row per query.
     """
     if tuple_independent is None:
         tuple_independent = tuple_independent_relations(db)
     classification = classify_query(query, db.catalog(), tuple_independent)
+    if spec is not None and spec.mode == "sample":
+        return "montecarlo", classification
+    if spec is not None and spec.mode == "approx":
+        return "approx", classification
     if classification.tractable:
         return "sprout", classification
-    warnings.warn(
-        f"query is not known to be tractable "
-        f"({'; '.join(classification.reasons)}); falling back to Monte-Carlo "
-        f"estimation with {samples} samples — pass engine='sprout' to force "
-        f"exact compilation",
-        UserWarning,
-        stacklevel=3,
-    )
-    return "montecarlo", classification
+    return "approx", classification

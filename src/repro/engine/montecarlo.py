@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import math
 import random
+import time
+from statistics import NormalDist
 
 from repro.algebra.expressions import SConst, Var
 from repro.algebra.monoid import (
@@ -44,6 +46,7 @@ from repro.algebra.monoid import (
 from repro.algebra.semimodule import ModuleExpr
 from repro.algebra.valuation import Valuation
 from repro.db.pvc_table import PVCDatabase
+from repro.engine.spec import ProbInterval
 from repro.prob import kernels
 from repro.query.executor import execute_deterministic, prepare
 from repro.query.ast import (
@@ -79,7 +82,9 @@ class MonteCarloEngine:
         )
         #: Diagnostics of the most recent run: sample budget, whether the
         #: vectorized batch evaluator handled the query, and how many
-        #: distinct worlds the fallback actually evaluated.
+        #: distinct worlds the fallback actually evaluated.  Internal —
+        #: the engine adapters surface these uniformly as
+        #: ``QueryResult.stats``; read that instead.
         self.last_run_info: dict = {}
 
     # -- sampling ------------------------------------------------------------
@@ -127,28 +132,176 @@ class MonteCarloEngine:
         """Empirical estimate of ``P[t ∈ answer]`` from ``samples`` worlds."""
         if samples <= 0:
             raise ValueError("need at least one sample")
-        catalog = self.db.catalog()
-        validate_query(query, catalog)
-
+        validate_query(query, self.db.catalog())
         referenced = list(dict.fromkeys(query.base_relations()))
+        self.last_run_info = {"samples": samples, "batched": False}
+        counts, batched = self._sampled_counts(query, referenced, samples)
+        self.last_run_info["batched"] = batched
+        return {values: count / samples for values, count in counts.items()}
+
+    def _referenced_variables(self, referenced) -> list[str]:
         needed: set[str] = set()
         for name in referenced:
             needed |= self.db.tables[name].variables
-        drawn = self._sample_index_columns(sorted(needed), samples)
+        return sorted(needed)
 
-        self.last_run_info = {"samples": samples, "batched": False}
+    def _sampled_counts(
+        self, query: Query, referenced, samples: int
+    ) -> tuple[dict[tuple, int], bool]:
+        """Draw ``samples`` worlds and count answer-tuple occurrences.
+
+        Tries the vectorized whole-batch evaluator first; returns the
+        counts and whether the batched path handled the query.
+        """
+        drawn = self._sample_index_columns(
+            self._referenced_variables(referenced), samples
+        )
         if self._np_rng is not None and kernels.numpy_enabled():
             try:
                 counts = self._batched_counts(query, drawn, samples)
             except _Fallback:
                 counts = None
             if counts is not None:
-                self.last_run_info["batched"] = True
-                return {
-                    values: count / samples for values, count in counts.items()
-                }
-        counts = self._per_world_counts(query, referenced, drawn, samples)
-        return {values: count / samples for values, count in counts.items()}
+                return counts, True
+        return self._per_world_counts(query, referenced, drawn, samples), False
+
+    def estimate_intervals(
+        self,
+        query: Query,
+        epsilon: float = 0.05,
+        delta: float = 0.05,
+        max_samples: int | None = None,
+        time_limit: float | None = None,
+        initial_batch: int = 256,
+    ) -> tuple[dict[tuple, ProbInterval], dict]:
+        """Sequential-stopping (ε, δ) estimation of ``P[t ∈ answer]``.
+
+        Drives :meth:`estimate_intervals_iter` to completion and returns
+        the final ``(intervals, info)`` snapshot.
+        """
+        intervals: dict = {}
+        info: dict = {}
+        for intervals, info in self.estimate_intervals_iter(
+            query,
+            epsilon=epsilon,
+            delta=delta,
+            max_samples=max_samples,
+            time_limit=time_limit,
+            initial_batch=initial_batch,
+        ):
+            pass
+        return intervals, info
+
+    def estimate_intervals_iter(
+        self,
+        query: Query,
+        epsilon: float = 0.05,
+        delta: float = 0.05,
+        max_samples: int | None = None,
+        time_limit: float | None = None,
+        initial_batch: int = 256,
+    ):
+        """Yield ``(intervals, info)`` snapshots of an (ε, δ) estimation.
+
+        Worlds are drawn in doubling rounds; after round ``k`` every
+        observed tuple gets a confidence interval — the intersection of
+        the Hoeffding and Wilson intervals, each at level ``δ_k/2`` with
+        ``δ_k = δ/(k(k+1))`` so the levels across all rounds sum to δ.
+        By the union bound the interval reported at the (data-dependent)
+        stopping round covers the true probability with probability
+        ≥ 1 − δ, per tuple.  Sampling stops as soon as every interval
+        width is ≤ ε, or the sample budget / time limit trips; the last
+        snapshot's ``info["converged"]`` records which.
+
+        Tuples never observed in any sampled world are not reported
+        (matching :meth:`tuple_probabilities`); their true probability
+        may still be positive but is at most the resolution of the draw.
+        """
+        if epsilon <= 0.0:
+            raise ValueError("sequential stopping needs epsilon > 0")
+        if not (0.0 < delta < 1.0):
+            raise ValueError("delta must be in (0, 1)")
+        validate_query(query, self.db.catalog())
+        referenced = list(dict.fromkeys(query.base_relations()))
+        if max_samples is None:
+            # Past this Hoeffding alone pushes every width under ε even
+            # with the round-wise δ split (k ≤ 64 covers any feasible n).
+            max_samples = math.ceil(
+                2.0 * (math.log(4.0 / delta) + 13.0) / (epsilon * epsilon)
+            )
+        start = time.perf_counter()
+        totals: dict[tuple, int] = {}
+        drawn_total = 0
+        round_no = 0
+        batched = True
+        self.last_run_info = {"samples": 0, "batched": True}
+        while True:
+            round_no += 1
+            batch = initial_batch if drawn_total == 0 else drawn_total
+            batch = min(batch, max_samples - drawn_total)
+            counts, round_batched = self._sampled_counts(
+                query, referenced, batch
+            )
+            batched = batched and round_batched
+            drawn_total += batch
+            for values, count in counts.items():
+                totals[values] = totals.get(values, 0) + count
+            level = delta / (round_no * (round_no + 1))
+            intervals = {
+                values: self._confidence_interval(
+                    count, drawn_total, level / 2.0
+                )
+                for values, count in totals.items()
+            }
+            max_width = max(
+                (interval.width for interval in intervals.values()),
+                default=0.0,
+            )
+            converged = max_width <= epsilon
+            elapsed = time.perf_counter() - start
+            out_of_time = time_limit is not None and elapsed >= time_limit
+            done = converged or drawn_total >= max_samples or out_of_time
+            info = {
+                "samples": drawn_total,
+                "rounds": round_no,
+                "batched": batched,
+                "converged": converged,
+                "max_width": max_width,
+                "wall_seconds": elapsed,
+            }
+            self.last_run_info = dict(info)
+            yield intervals, info
+            if done:
+                return
+
+    @staticmethod
+    def _confidence_interval(
+        count: int, n: int, alpha: float
+    ) -> ProbInterval:
+        """A two-sided confidence interval missing with probability ≤ 2α.
+
+        Intersects the finite-sample Hoeffding interval with the Wilson
+        score interval (tighter near 0 and 1), each at significance
+        ``alpha``; by the union bound the intersection misses the true
+        probability with probability at most ``2·alpha``.
+        """
+        p_hat = count / n
+        hoeffding = math.sqrt(math.log(2.0 / alpha) / (2.0 * n))
+        low = p_hat - hoeffding
+        high = p_hat + hoeffding
+        z = NormalDist().inv_cdf(1.0 - alpha / 2.0)
+        z2 = z * z
+        denom = 1.0 + z2 / n
+        center = (p_hat + z2 / (2.0 * n)) / denom
+        half = (z / denom) * math.sqrt(
+            p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)
+        )
+        low = max(low, center - half, 0.0)
+        high = min(high, center + half, 1.0)
+        if low > high:  # numerically inconsistent: fall back to Hoeffding
+            low = max(p_hat - hoeffding, 0.0)
+            high = min(p_hat + hoeffding, 1.0)
+        return ProbInterval(low, high)
 
     def estimate_probability(
         self, query: Query, values: tuple, samples: int = 1000

@@ -1,0 +1,217 @@
+"""The unified answer surface: evaluation specs and interval-valued results.
+
+Two small types shared by every engine:
+
+* :class:`EvalSpec` — *how* a query should be answered: exactly, by
+  budgeted d-tree approximation with deterministic bounds (``approx``),
+  or by sequential-stopping Monte-Carlo with an (ε, δ) guarantee
+  (``sample``).  One spec object travels ``Session.run/sql`` → the
+  :class:`~repro.engine.base.Engine` protocol → the adapters, so every
+  engine interprets ``epsilon``/``delta``/``budget``/``time_limit`` the
+  same way.
+* :class:`ProbInterval` — *what* comes back: every probability in a
+  :class:`~repro.engine.sprout.QueryResult` is an interval ``[low, high]``
+  guaranteed to contain the true probability.  Exact answers are
+  zero-width intervals.  The class subclasses :class:`float` (its value
+  is the midpoint), so existing call sites — arithmetic, comparisons,
+  formatting, JSON — keep working unchanged while new code can inspect
+  ``.low``/``.high``/``.width`` and ``.point``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import QueryValidationError
+
+__all__ = ["EvalSpec", "ProbInterval", "EVAL_MODES"]
+
+#: The recognised evaluation modes, in guarantee order.
+EVAL_MODES = ("exact", "approx", "sample")
+
+_POINT_TOL = 1e-12
+
+
+class ProbInterval(float):
+    """An interval ``[low, high]`` bracketing a probability.
+
+    The float value of the instance is the midpoint, so interval-valued
+    results drop into existing float call sites; ``width == 0``
+    identifies exact results.  Instances are immutable.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __new__(cls, low: float, high: float) -> "ProbInterval":
+        if not (low == low and high == high):  # NaN guard
+            raise QueryValidationError(
+                f"invalid probability interval [{low}, {high}]"
+            )
+        if low > high + 1e-9 or low < -1e-9 or high > 1.0 + 1e-9:
+            raise QueryValidationError(
+                f"invalid probability interval [{low}, {high}]"
+            )
+        low = min(max(low, 0.0), 1.0)
+        high = min(max(high, low), 1.0)
+        self = super().__new__(cls, (low + high) / 2.0)
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+        return self
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"ProbInterval is immutable; cannot set {name!r}")
+
+    def __reduce__(self):
+        # float's default reduce reconstructs from the single float value
+        # and then re-sets the slots, which immutability forbids; rebuild
+        # from the real constructor arguments instead (pickle + deepcopy).
+        return (ProbInterval, (self.low, self.high))
+
+    @classmethod
+    def point(cls, p: float) -> "ProbInterval":
+        """The zero-width interval of an exactly known probability."""
+        return cls(p, p)
+
+    @classmethod
+    def unknown(cls) -> "ProbInterval":
+        """The vacuous interval ``[0, 1]``."""
+        return cls(0.0, 1.0)
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    @property
+    def is_point(self) -> bool:
+        """True when the interval has (numerically) collapsed."""
+        return self.high - self.low <= _POINT_TOL
+
+    @property
+    def value(self) -> float:
+        """The exact probability of a collapsed interval.
+
+        Raises :class:`~repro.errors.QueryValidationError` when the
+        interval still has width — callers that can consume intervals
+        should read ``low``/``high`` (or the midpoint, ``float(self)``)
+        instead.
+        """
+        if not self.is_point:
+            raise QueryValidationError(
+                f"interval {self!r} has width {self.width:.3g}; "
+                f"no exact point value is known"
+            )
+        return float(self)
+
+    def contains(self, p: float, tol: float = 1e-9) -> bool:
+        return self.low - tol <= p <= self.high + tol
+
+    def definitely_above(self, other: "ProbInterval") -> bool:
+        """True when every probability in ``self`` ≥ every one in ``other``."""
+        return self.low >= other.high
+
+    def intersect(self, other: "ProbInterval") -> "ProbInterval":
+        """The intersection of two sound intervals (still sound)."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:  # numerically inconsistent: keep the tighter one
+            return self if self.width <= other.width else other
+        return ProbInterval(low, high)
+
+    def __repr__(self):
+        if self.is_point:
+            return f"ProbInterval({float(self):.6g})"
+        return f"ProbInterval({self.low:.6g}, {self.high:.6g})"
+
+
+@dataclass(frozen=True)
+class EvalSpec:
+    """How a query should be evaluated, uniformly across engines.
+
+    ``mode``:
+        * ``"exact"`` — point answers (zero-width intervals); the default.
+        * ``"approx"`` — budgeted d-tree compilation with deterministic
+          bounds: every reported interval *certainly* contains the true
+          probability, refined until all widths ≤ ``epsilon``.
+        * ``"sample"`` — sequential-stopping Monte-Carlo: intervals are
+          (ε, δ) confidence intervals, each covering its true probability
+          with probability ≥ 1 − ``delta``.
+    ``epsilon``:
+        Target interval width (both modes stop once all widths ≤ ε).
+    ``delta``:
+        Per-interval failure probability of the ``sample`` mode.
+    ``budget``:
+        Hard work cap: Shannon expansions for ``approx``, drawn worlds
+        for ``sample``.  ``None`` means engine defaults (approx falls
+        back to exact compilation rather than give up; sample caps at
+        the Hoeffding sample size for (ε, δ)).
+    ``time_limit``:
+        Wall-clock cap in seconds; refinement stops at the last completed
+        round, reporting the (still sound) wider intervals.
+    """
+
+    mode: str = "exact"
+    epsilon: float = 0.05
+    delta: float = 0.05
+    budget: int | None = None
+    time_limit: float | None = None
+
+    def __post_init__(self):
+        if self.mode not in EVAL_MODES:
+            raise QueryValidationError(
+                f"unknown evaluation mode {self.mode!r}; "
+                f"expected one of {list(EVAL_MODES)}"
+            )
+        if not (self.epsilon >= 0.0):
+            raise QueryValidationError(
+                f"epsilon must be >= 0, got {self.epsilon!r}"
+            )
+        if not (0.0 < self.delta < 1.0):
+            raise QueryValidationError(
+                f"delta must be in (0, 1), got {self.delta!r}"
+            )
+        if self.budget is not None and self.budget <= 0:
+            raise QueryValidationError(
+                f"budget must be a positive integer, got {self.budget!r}"
+            )
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise QueryValidationError(
+                f"time_limit must be positive, got {self.time_limit!r}"
+            )
+
+    @classmethod
+    def make(cls, spec=None, **overrides) -> "EvalSpec":
+        """Coerce ``spec`` (None, a mode string, or an EvalSpec) and apply
+        keyword overrides (``mode=``, ``epsilon=``, ... with ``None``
+        meaning "keep").  This is the single entry point the session uses
+        to build the spec it threads through the engine protocol."""
+        if spec is None:
+            spec = cls()
+        elif isinstance(spec, str):
+            spec = cls(mode=spec)
+        elif not isinstance(spec, EvalSpec):
+            raise QueryValidationError(
+                f"cannot use {spec!r} as an evaluation spec; expected an "
+                f"EvalSpec, a mode string, or None"
+            )
+        supplied = {k: v for k, v in overrides.items() if v is not None}
+        if supplied:
+            unknown = set(supplied) - {
+                "mode", "epsilon", "delta", "budget", "time_limit"
+            }
+            if unknown:
+                raise QueryValidationError(
+                    f"unknown EvalSpec fields {sorted(unknown)}"
+                )
+            # An epsilon/delta/budget override alone implies a non-exact
+            # intent only when the caller also picks the mode; leave the
+            # mode untouched here and let the session's auto policy decide.
+            spec = replace(spec, **supplied)
+        return spec
+
+    @property
+    def is_exact(self) -> bool:
+        return self.mode == "exact"

@@ -26,6 +26,7 @@ from repro.core.joint import JointCompiler
 from repro.db.pvc_table import PVCDatabase, PVCTable
 from repro.db.relation import Relation
 from repro.db.schema import Schema
+from repro.engine.spec import ProbInterval
 from repro.errors import CompilationError
 from repro.prob.distribution import Distribution
 from repro.query.ast import Query
@@ -57,6 +58,13 @@ class ResultRow:
     compilation cache.  Rows produced by engines without symbolic
     annotations (brute-force, Monte-Carlo) carry ``_compiler=None`` and a
     precomputed probability instead.
+
+    Probabilities are interval-valued
+    (:class:`~repro.engine.spec.ProbInterval`): exact engines report
+    zero-width intervals, the approximate engines report the bracket they
+    actually established.  Since intervals subclass :class:`float`
+    (midpoint-valued), code written against point probabilities keeps
+    working unchanged.
     """
 
     schema: Schema
@@ -68,17 +76,25 @@ class ResultRow:
         repr=False, compare=False, default=None
     )
 
-    def probability(self) -> float:
+    def probability(self) -> ProbInterval:
         """``P[t ∈ answer]`` — the annotation is non-zero (present).
 
         Memoized: repeated calls (and :meth:`QueryResult.pretty`,
         :meth:`QueryResult.to_dicts`, ...) never recompile the d-tree.
+        Returns a :class:`~repro.engine.spec.ProbInterval` — zero-width
+        when the probability is exactly known.
         """
         if self._probability is None:
             dist = self.annotation_distribution()
             zero = self._compiler.semiring.zero
-            self._probability = 1.0 - dist[zero]
+            self._probability = ProbInterval.point(1.0 - dist[zero])
+        elif not isinstance(self._probability, ProbInterval):
+            self._probability = ProbInterval.point(self._probability)
         return self._probability
+
+    def probability_interval(self) -> ProbInterval:
+        """Alias of :meth:`probability`, named for interval consumers."""
+        return self.probability()
 
     def annotation_distribution(self) -> Distribution:
         """Distribution of the annotation value (multiplicity under N)."""
@@ -170,16 +186,20 @@ class ResultRow:
 
 @dataclass
 class QueryResult:
-    """Answer pvc-table plus probabilities and the timing breakdown.
+    """Answer pvc-table plus probabilities and per-run diagnostics.
 
-    The common result type of *all* engines (sprout, naive, montecarlo);
-    ``engine`` names the engine that produced it.
+    The common result type of *all* engines (sprout, approx, naive,
+    montecarlo); ``engine`` names the engine that produced it.
+    ``timings`` keeps the paper's step breakdown; ``stats`` is the
+    uniform diagnostics surface — wall time plus engine-specific counters
+    (samples drawn, Shannon expansions spent, cache hits, convergence).
     """
 
     schema: Schema
     rows: list[ResultRow]
     timings: dict[str, float]
     engine: str = "sprout"
+    stats: dict = field(default_factory=dict)
 
     def __iter__(self) -> Iterator[ResultRow]:
         return iter(self.rows)
@@ -206,17 +226,48 @@ class QueryResult:
 
         ``by`` is ``"probability"`` (default) or the name of an attribute
         holding concrete (non-symbolic) values.
-        """
-        if by == "probability":
-            def key(row):
-                return row.probability()
-        else:
-            index = self.schema.index(by)
 
-            def key(row):
-                return row.values[index]
-        rows = sorted(self.rows, key=key, reverse=True)[:k]
-        return QueryResult(self.schema, rows, dict(self.timings), self.engine)
+        Probability ranking is interval-aware: rows sort by interval
+        midpoint, and the result's ``stats["top_k_decided"]`` reports
+        whether the interval separation already *proves* the selected
+        set — every selected row's lower bound at or above every excluded
+        row's upper bound.  Anytime consumers
+        (:meth:`repro.session.Session.run_iter`) use this as their early
+        termination signal: once the membership is decided there is no
+        point refining further.
+
+        The flag is exactly as strong as the intervals: exact engines and
+        the bounds/(ε, δ) modes back it with their guarantee, while
+        legacy fixed-budget Monte-Carlo estimates (plain ``samples=``,
+        no spec) are zero-width point estimates *without* one, so their
+        "decided" ranking is only as good as the sample.
+        """
+        stats = dict(self.stats)
+        if by == "probability":
+            intervals = [row.probability() for row in self.rows]
+            order = sorted(
+                range(len(self.rows)),
+                key=lambda i: (intervals[i].midpoint, intervals[i].high),
+                reverse=True,
+            )
+            selected, excluded = order[:k], order[k:]
+            decided = not excluded or not selected or (
+                min(intervals[i].low for i in selected)
+                >= max(intervals[i].high for i in excluded)
+            )
+            stats["top_k_decided"] = decided
+            rows = [self.rows[i] for i in selected]
+        else:
+            # Interval separation says nothing about a value ranking; do
+            # not carry a verdict over from an earlier probability top-k.
+            stats.pop("top_k_decided", None)
+            index = self.schema.index(by)
+            rows = sorted(
+                self.rows, key=lambda row: row.values[index], reverse=True
+            )[:k]
+        return QueryResult(
+            self.schema, rows, dict(self.timings), self.engine, stats
+        )
 
     def tuple_probabilities(self) -> dict[tuple, float]:
         """``P[t ∈ answer]`` over all rows, on fully concrete tuples.
@@ -302,6 +353,8 @@ class SproutEngine:
             compiler = Compiler(
                 self.db.registry, self.db.semiring, **self.compiler_options
             )
+        hits_before = getattr(compiler, "hits", None)
+        misses_before = getattr(compiler, "misses", None)
         rows = [
             ResultRow(table.schema, row.values, row.annotation, compiler)
             for row in table
@@ -316,7 +369,14 @@ class SproutEngine:
             "rewrite_seconds": rewrite_seconds,
             "probability_seconds": probability_seconds,
         }
-        return QueryResult(table.schema, rows, timings)
+        stats = {
+            "wall_seconds": rewrite_seconds + probability_seconds,
+            "rows": len(rows),
+        }
+        if hits_before is not None:
+            stats["cache_hits"] = compiler.hits - hits_before
+            stats["cache_misses"] = compiler.misses - misses_before
+        return QueryResult(table.schema, rows, timings, stats=stats)
 
     def deterministic_baseline(self, query: Query) -> tuple[Relation, float]:
         """The paper's Q0: run the query with every tuple certainly present.

@@ -1,20 +1,19 @@
-"""Compatibility shim: the logical rewrites moved to
+"""Deprecated compatibility shim: the logical rewrites moved to
 :mod:`repro.query.optimizer`, which organises them as a rule registry
-applied to a fixpoint (with an inspectable trace, see ``Session.explain``).
+applied to a fixpoint (with an inspectable trace, see ``Session.explain``),
+and the physical planning layer lives in :mod:`repro.query.physical`.
 
-This module re-exports the historical names so existing imports keep
-working; new code should import from :mod:`repro.query.optimizer`.
+This module re-exports the historical names but emits a
+:class:`DeprecationWarning` on first access of each; import from
+:mod:`repro.query.optimizer` (rules) / :mod:`repro.query.physical`
+(plans) instead.
 """
 
 from __future__ import annotations
 
-from repro.query.optimizer import (
-    collapse_projections,
-    merge_selections,
-    optimize,
-    pushdown_projections,
-    pushdown_selections,
-)
+import warnings
+
+from repro.query import optimizer as _optimizer
 
 __all__ = [
     "optimize",
@@ -23,3 +22,20 @@ __all__ = [
     "pushdown_projections",
     "pushdown_selections",
 ]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            f"repro.query.plan.{name} is deprecated; import it from "
+            f"repro.query.optimizer (physical planning now lives in "
+            f"repro.query.physical)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_optimizer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

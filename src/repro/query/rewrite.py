@@ -18,13 +18,15 @@ The construction itself now lives in the three-stage pipeline — logical
 optimizer (:mod:`repro.query.optimizer`) → physical planner
 (:mod:`repro.query.physical`) → physical executor
 (:mod:`repro.query.executor`).  This module is the historical entry point,
-kept as a compatibility shim: :func:`evaluate_query` lowers the query
-*without* logical rewrites, so the constructed expressions match the
-seed's tree-walking interpreter structurally, not just semantically.
+kept as a **deprecated** compatibility shim: :func:`evaluate_query` lowers
+the query *without* logical rewrites, so the constructed expressions match
+the seed's tree-walking interpreter structurally, not just semantically.
 Engines go through :func:`repro.query.executor.evaluate` (optimizer on).
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.db.pvc_table import PVCDatabase, PVCTable
 from repro.query.ast import Query
@@ -38,5 +40,19 @@ def evaluate_query(query: Query, db: PVCDatabase) -> PVCTable:
 
     The query is validated against Definition 5 first.  The result is a
     pvc-table of size polynomial in the database size (Theorem 1.2).
+
+    .. deprecated::
+        Use :func:`repro.query.executor.evaluate` (which applies the
+        rule-based optimizer of :mod:`repro.query.optimizer` and executes
+        the physical plans of :mod:`repro.query.physical`); pass
+        ``optimize=False`` there for this function's unoptimized lowering.
     """
+    warnings.warn(
+        "repro.query.rewrite.evaluate_query is deprecated; use "
+        "repro.query.executor.evaluate (the repro.query.optimizer → "
+        "repro.query.physical pipeline), with optimize=False for the "
+        "unoptimized lowering",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return evaluate(query, db, optimize=False)

@@ -22,13 +22,19 @@ owns the pieces every caller previously hand-assembled — the
 * a SQL front door: ``s.sql("SELECT SUM(price) AS t FROM items")``;
 * pluggable engines behind one :class:`~repro.engine.base.Engine`
   protocol, with ``engine="auto"`` dispatching on the Section-6
-  tractability analysis (exact compilation when provably tractable,
-  Monte-Carlo fallback with a warning otherwise);
+  tractability analysis *and* the evaluation spec (exact compilation
+  when provably tractable, guaranteed approximation — deterministic
+  ε-bounds or sequential (ε, δ) Monte-Carlo — otherwise);
+* anytime answers: ``run_iter()`` yields progressively refined
+  interval-valued results, and ``with connect() as s:`` scopes the
+  session's caches;
 * reproducibility: ``connect(seed=N)`` seeds the Monte-Carlo engine and
   the Eq.-11 workload generator.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace as _replace
 
 from repro.algebra.semiring import BOOLEAN, Semiring
 from repro.core.compile import Compiler
@@ -41,6 +47,7 @@ from repro.engine.base import (
     create_engine,
     select_engine_name,
 )
+from repro.engine.spec import EvalSpec
 from repro.engine.sprout import QueryResult
 from repro.errors import QueryValidationError, SchemaError
 from repro.prob.variables import VariableRegistry
@@ -209,36 +216,62 @@ class Session:
             f"cannot run {query!r}; expected a Query, QueryBuilder, or SQL"
         )
 
-    def run(
-        self,
-        query,
-        engine: str | None = None,
-        samples: int | None = None,
-        **options,
-    ) -> QueryResult:
-        """Evaluate ``query`` and return a :class:`QueryResult`.
+    def _build_spec(
+        self, engine_name, spec, mode, epsilon, delta, budget, time_limit
+    ) -> EvalSpec | None:
+        """The :class:`EvalSpec` the caller asked for, or ``None``.
 
-        ``engine`` overrides the session default; ``engine="auto"``
-        dispatches on the tractability classification.  ``samples`` is the
-        sampling budget: it reaches the Monte-Carlo engine whether chosen
-        explicitly or as the auto fallback, and is simply unused when auto
-        resolves to an exact engine.  Extra ``options`` are forwarded to
-        the engine (e.g. ``compute_probabilities=`` for sprout).
+        ``None`` (nothing requested) preserves the legacy point-answer
+        behavior of every engine.  When spec fields are given without a
+        mode, the chosen engine (explicit or the session default) implies
+        one — ``approx`` ↦ deterministic bounds, ``montecarlo`` ↦
+        sampled (ε, δ) intervals.
+        """
+        if spec is None and all(
+            value is None for value in (mode, epsilon, delta, budget, time_limit)
+        ):
+            return None
+        if spec is None and mode is None:
+            mode = {"approx": "approx", "montecarlo": "sample"}.get(engine_name)
+        return EvalSpec.make(
+            spec,
+            mode=mode,
+            epsilon=epsilon,
+            delta=delta,
+            budget=budget,
+            time_limit=time_limit,
+        )
+
+    def _resolve(self, query, engine, samples, spec, options):
+        """Common dispatch of :meth:`run` and :meth:`run_iter`.
+
+        Lowers and validates the query, resolves ``engine="auto"`` on the
+        tractability classification *and* the spec, and returns
+        ``(query, engine_name, spec)`` with ``options`` updated in place.
         """
         query = self._lower(query)
         # Validate up front so schema errors surface before engine
-        # selection (and before any auto-fallback warning fires).
+        # selection.
         validate_query(query, self.db.catalog())
-        name = self.default_engine if engine is None else engine
+        name = engine
         auto = name == "auto"
         if auto:
-            budget = self.samples if samples is None else samples
             name, _ = select_engine_name(
                 self.db,
                 query,
-                samples=budget,
+                spec=spec,
                 tuple_independent=self.tuple_independent_relations(),
             )
+            if name == "approx" and (spec is None or spec.is_exact):
+                # Hard query under exact intent: degrade to *guaranteed*
+                # approximation — deterministic ε-bounds — rather than an
+                # unqualified estimate.  engine='sprout' forces exact
+                # compilation; a 'sample' spec selects Monte-Carlo.
+                spec = (
+                    EvalSpec(mode="approx")
+                    if spec is None
+                    else _replace(spec, mode="approx")
+                )
         if samples is not None:
             if name == "montecarlo":
                 options["samples"] = samples
@@ -246,10 +279,95 @@ class Session:
                 raise QueryValidationError(
                     f"engine {name!r} does not take a sample budget"
                 )
-        return self.engine(name).run(query, **options)
+        return query, name, spec
+
+    def run(
+        self,
+        query,
+        engine: str | None = None,
+        samples: int | None = None,
+        spec: EvalSpec | str | None = None,
+        mode: str | None = None,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        budget: int | None = None,
+        time_limit: float | None = None,
+        **options,
+    ) -> QueryResult:
+        """Evaluate ``query`` and return a :class:`QueryResult`.
+
+        ``engine`` overrides the session default; ``engine="auto"``
+        dispatches on the tractability classification and the spec: exact
+        compilation when provably tractable, otherwise a *guaranteed*
+        approximation (deterministic ε-bounds, or sequential Monte-Carlo
+        when the spec mode is ``"sample"``).
+
+        *How* to answer is an :class:`EvalSpec` — pass one via ``spec=``
+        or assemble it inline with ``mode=``/``epsilon=``/``delta=``/
+        ``budget=``/``time_limit=``::
+
+            s.run(q, mode="approx", epsilon=0.01)      # widths ≤ 0.01
+            s.run(q, mode="sample", epsilon=0.05, delta=0.01)
+
+        Every row's probability is a
+        :class:`~repro.engine.spec.ProbInterval` (zero-width when exact),
+        and ``result.stats`` carries the per-run diagnostics uniformly
+        across engines.  ``samples`` remains the legacy fixed budget of
+        the Monte-Carlo engine.  Extra ``options`` are forwarded to the
+        engine (e.g. ``compute_probabilities=`` for sprout).
+        """
+        engine = self.default_engine if engine is None else engine
+        spec = self._build_spec(
+            engine, spec, mode, epsilon, delta, budget, time_limit
+        )
+        query, name, spec = self._resolve(query, engine, samples, spec, options)
+        return self.engine(name).run(query, spec=spec, **options)
+
+    def run_iter(
+        self,
+        query,
+        engine: str | None = None,
+        spec: EvalSpec | str | None = None,
+        mode: str | None = None,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        budget: int | None = None,
+        time_limit: float | None = None,
+        **options,
+    ):
+        """Anytime evaluation: yield progressively refined results.
+
+        Engines that refine incrementally (``approx``, ``montecarlo``
+        under a ``"sample"`` spec) yield a :class:`QueryResult` snapshot
+        after every refinement round — each snapshot's intervals are
+        sound, and they tighten monotonically.  One-shot engines yield
+        their single exact result.  Consumers stop whenever the answer is
+        good enough::
+
+            for snapshot in s.run_iter(q, mode="approx", epsilon=0.001):
+                top = snapshot.top_k(3)
+                if top.stats["top_k_decided"]:
+                    break
+        """
+        engine = self.default_engine if engine is None else engine
+        spec = self._build_spec(
+            engine, spec, mode, epsilon, delta, budget, time_limit
+        )
+        if spec is None and engine in ("approx", "montecarlo"):
+            # Anytime iteration over a refining engine needs a target;
+            # give it the default spec in the engine's native mode.
+            spec = EvalSpec(mode="approx" if engine == "approx" else "sample")
+        query, name, spec = self._resolve(query, engine, None, spec, options)
+        adapter = self.engine(name)
+        run_iter = getattr(adapter, "run_iter", None)
+        if run_iter is not None and spec is not None and not spec.is_exact:
+            yield from run_iter(query, spec=spec, **options)
+        else:
+            yield adapter.run(query, spec=spec, **options)
 
     def sql(self, text: str, engine: str | None = None, **options) -> QueryResult:
-        """Parse SQL and evaluate it through :meth:`run`."""
+        """Parse SQL and evaluate it through :meth:`run` (same keywords,
+        including ``spec=``/``mode=``/``epsilon=``...)."""
         return self.run(parse_sql(text), engine=engine, **options)
 
     # -- analysis and lower-level access --------------------------------------
@@ -353,6 +471,28 @@ class Session:
 
         return generate_condition(params, seed=self.seed if seed is None else seed)
 
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the session's caches.
+
+        Clears the :class:`CompilationCache` (including the persistent
+        compiler's d-tree memo), drops the cached engine adapters and the
+        tuple-independence scan.  The session stays usable afterwards —
+        data and registry are untouched; later runs simply recompile.
+        """
+        self.cache.clear()
+        self.compiler = self.cache.compiler
+        self._engines.clear()
+        self._tuple_independent = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     def __repr__(self):
         inner = ", ".join(
             f"{name}({len(table)})" for name, table in sorted(self.tables.items())
@@ -380,10 +520,12 @@ def connect(
     1
 
     ``engine`` may be ``"auto"`` (default: exact compilation for provably
-    tractable queries, Monte-Carlo fallback otherwise), ``"sprout"``,
-    ``"naive"``, or ``"montecarlo"``.  ``seed`` makes Monte-Carlo runs and
-    generated workloads reproducible.  An existing :class:`PVCDatabase`
-    can be adopted via ``database=``.
+    tractable queries, guaranteed ε-approximation otherwise),
+    ``"sprout"``, ``"approx"``, ``"naive"``, or ``"montecarlo"``.
+    ``seed`` makes Monte-Carlo runs and generated workloads
+    reproducible.  An existing :class:`PVCDatabase` can be adopted via
+    ``database=``.  Sessions are context managers —
+    ``with connect() as s: ...`` clears the compilation caches on exit.
     """
     return Session(
         semiring=semiring,

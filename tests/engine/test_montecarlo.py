@@ -207,3 +207,61 @@ class TestBatchedSampler:
         generic = engine._per_world_counts(query, ["R"], drawn, 400)
         assert batched == generic
         assert all(values[-1] <= 12 for values in batched)
+
+
+class TestSequentialStopping:
+    """The (ε, δ) sequential estimator behind spec mode 'sample'."""
+
+    def test_intervals_cover_and_converge(self):
+        db = simple_db()
+        query = relation("R")
+        exact = NaiveEngine(db).tuple_probabilities(query)
+        intervals, info = MonteCarloEngine(db, seed=5).estimate_intervals(
+            query, epsilon=0.08, delta=0.05
+        )
+        assert info["converged"]
+        assert set(intervals) == set(exact)
+        for key, interval in intervals.items():
+            assert interval.width <= 0.08 + 1e-9
+            assert interval.contains(exact[key])
+
+    def test_budget_cap_stops_early(self):
+        db = simple_db()
+        intervals, info = MonteCarloEngine(db, seed=5).estimate_intervals(
+            relation("R"), epsilon=1e-6, delta=0.05, max_samples=300
+        )
+        assert info["samples"] <= 300
+        assert not info["converged"]
+        assert all(i.width > 1e-6 for i in intervals.values())
+
+    def test_rounds_double_and_snapshots_report_sample_counts(self):
+        db = simple_db()
+        engine = MonteCarloEngine(db, seed=9)
+        samples_seen = [
+            info["samples"]
+            for _, info in engine.estimate_intervals_iter(
+                relation("R"), epsilon=0.05, delta=0.1, initial_batch=64
+            )
+        ]
+        assert samples_seen == sorted(samples_seen)
+        assert samples_seen[0] == 64
+        if len(samples_seen) > 1:
+            assert samples_seen[1] == 128  # doubling schedule
+
+    def test_seeded_sequential_runs_are_reproducible(self):
+        db = simple_db()
+        first = MonteCarloEngine(db, seed=21).estimate_intervals(
+            relation("R"), epsilon=0.1, delta=0.1
+        )
+        second = MonteCarloEngine(db, seed=21).estimate_intervals(
+            relation("R"), epsilon=0.1, delta=0.1
+        )
+        assert first[0] == second[0]
+        assert first[1]["samples"] == second[1]["samples"]
+
+    def test_invalid_parameters_rejected(self):
+        engine = MonteCarloEngine(simple_db())
+        with pytest.raises(ValueError):
+            engine.estimate_intervals(relation("R"), epsilon=0.0)
+        with pytest.raises(ValueError):
+            engine.estimate_intervals(relation("R"), delta=1.5)

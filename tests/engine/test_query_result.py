@@ -85,3 +85,43 @@ class TestConveniences:
 
     def test_repr_shows_engine_and_rows(self, result):
         assert repr(result) == "QueryResult(engine='sprout', rows=3)"
+
+
+class TestTopKSeparation:
+    """Interval-aware top-k: separation decides the ranking early."""
+
+    def interval_result(self, intervals):
+        from repro.engine.spec import ProbInterval
+
+        schema = Schema(["name"])
+        rows = [
+            ResultRow(schema, (chr(ord("a") + i),), Var("x"), None,
+                      _probability=ProbInterval(low, high))
+            for i, (low, high) in enumerate(intervals)
+        ]
+        return QueryResult(schema, rows, {}, engine="approx")
+
+    def test_separated_intervals_decide_membership(self):
+        result = self.interval_result([(0.7, 0.9), (0.1, 0.3), (0.4, 0.6)])
+        top = result.top_k(1)
+        assert top.rows[0].values == ("a",)
+        assert top.stats["top_k_decided"] is True
+
+    def test_overlapping_intervals_stay_undecided(self):
+        result = self.interval_result([(0.4, 0.9), (0.1, 0.6), (0.0, 0.2)])
+        top = result.top_k(1)
+        assert top.stats["top_k_decided"] is False
+        assert len(top) == 1  # a best-effort selection is still returned
+
+    def test_exact_rows_are_always_decided(self):
+        result = self.interval_result([(0.9, 0.9), (0.5, 0.5), (0.1, 0.1)])
+        assert result.top_k(2).stats["top_k_decided"] is True
+
+    def test_k_covering_all_rows_is_decided(self):
+        result = self.interval_result([(0.0, 1.0), (0.0, 1.0)])
+        assert result.top_k(5).stats["top_k_decided"] is True
+
+    def test_attribute_ranking_drops_the_probability_verdict(self):
+        result = self.interval_result([(0.7, 0.9), (0.1, 0.3)])
+        schema_sorted = result.top_k(1).top_k(1, by="name")
+        assert "top_k_decided" not in schema_sorted.stats

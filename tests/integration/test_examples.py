@@ -50,6 +50,13 @@ class TestExamples:
         assert "Q_hie" in out
         assert "P(supplier offers the minimum cost)" in out
 
+    def test_anytime_topk(self, capsys):
+        out = run_example("anytime_topk.py", [], capsys)
+        assert "engine=auto -> approx" in out
+        assert "mode=sample" in out
+        assert "decided=True" in out
+        assert "Top-2 incidents:" in out
+
     def test_risk_analysis(self, capsys):
         out = run_example("risk_analysis.py", [], capsys)
         assert "Total-penalty distribution" in out

@@ -1,0 +1,55 @@
+"""The compatibility shims still work — and say where to go instead."""
+
+import pytest
+
+from repro.algebra.expressions import Var
+from repro.algebra.semiring import BOOLEAN
+from repro.db.pvc_table import PVCDatabase
+from repro.prob.variables import VariableRegistry
+from repro.query.ast import relation
+from repro.query.executor import evaluate
+
+
+def tiny_db():
+    reg = VariableRegistry()
+    db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+    table = db.create_table("R", ["a"])
+    reg.bernoulli("x", 0.5)
+    table.add((1,), Var("x"))
+    return db
+
+
+class TestRewriteShim:
+    def test_evaluate_query_warns_and_delegates(self):
+        from repro.query.rewrite import evaluate_query
+
+        db = tiny_db()
+        with pytest.warns(DeprecationWarning, match="repro.query.optimizer"):
+            shimmed = evaluate_query(relation("R"), db)
+        direct = evaluate(relation("R"), db, optimize=False)
+        assert [row.values for row in shimmed] == [row.values for row in direct]
+        assert [row.annotation for row in shimmed] == [
+            row.annotation for row in direct
+        ]
+
+
+class TestPlanShim:
+    def test_attribute_access_warns(self):
+        from repro.query import optimizer, plan
+
+        with pytest.warns(DeprecationWarning, match="repro.query.optimizer"):
+            shimmed = plan.optimize
+        assert shimmed is optimizer.optimize
+
+    def test_every_reexport_resolves(self):
+        from repro.query import optimizer, plan
+
+        for name in plan.__all__:
+            with pytest.warns(DeprecationWarning):
+                assert getattr(plan, name) is getattr(optimizer, name)
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.query import plan
+
+        with pytest.raises(AttributeError):
+            plan.does_not_exist

@@ -112,12 +112,28 @@ class TestAutoSelection:
         assert name == "sprout"
         assert classification.tractable
 
-    def test_hard_query_selects_montecarlo(self, session):
-        # Repeating a base relation leaves Q_ind/Q_hie (Section 6).
+    def test_hard_query_degrades_to_guaranteed_approximation(self, session):
+        # Repeating a base relation leaves Q_ind/Q_hie (Section 6); the
+        # redesigned auto policy degrades to deterministic ε-bounds
+        # instead of warning and sampling without a guarantee.
+        import warnings
+
         from repro.query.ast import Product, Project, relation
 
         repeated = Project(Product(relation("R"), relation("R")), ["kind"])
-        with pytest.warns(UserWarning, match="Monte-Carlo"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             name, classification = select_engine_name(session.db, repeated)
+        assert name == "approx"
+        assert not classification.tractable
+
+    def test_hard_query_with_sample_spec_selects_montecarlo(self, session):
+        from repro.engine.spec import EvalSpec
+        from repro.query.ast import Product, Project, relation
+
+        repeated = Project(Product(relation("R"), relation("R")), ["kind"])
+        name, classification = select_engine_name(
+            session.db, repeated, spec=EvalSpec(mode="sample")
+        )
         assert name == "montecarlo"
         assert not classification.tractable

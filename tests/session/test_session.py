@@ -153,21 +153,40 @@ class TestRun:
         result = s.table("t").select("a").run(engine="auto")
         assert result.engine == "sprout"
 
-    def test_auto_falls_back_to_montecarlo_with_warning(self, shop_session):
+    def test_auto_degrades_to_guaranteed_approximation(self, shop_session):
+        # Hard queries no longer warn and fall back to an unqualified
+        # sample estimate: auto answers them with deterministic interval
+        # bounds whose widths meet the (default) ε.
+        import warnings
+
         sql = "SELECT name FROM items WHERE price <= (SELECT MIN(price) FROM items)"
-        with pytest.warns(UserWarning, match="Monte-Carlo"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             result = shop_session.sql(sql)
+        assert result.engine == "approx"
+        assert result.stats["converged"]
+        exact = shop_session.sql(sql, engine="naive").tuple_probabilities()
+        for row in result:
+            interval = row.probability()
+            assert interval.width <= 0.05 + 1e-9
+            assert interval.contains(exact.get(row.values, 0.0))
+
+    def test_auto_sample_spec_selects_montecarlo(self, shop_session):
+        sql = "SELECT name FROM items WHERE price <= (SELECT MIN(price) FROM items)"
+        result = shop_session.sql(sql, mode="sample", epsilon=0.2, delta=0.2)
         assert result.engine == "montecarlo"
+        assert result.stats["converged"]
+        assert all(row.probability().width <= 0.2 for row in result)
 
     def test_samples_budget_under_auto(self, shop_session):
-        # The budget reaches the Monte-Carlo fallback but is harmlessly
-        # unused when auto resolves to an exact engine.
+        # The legacy fixed budget is harmlessly unused when auto resolves
+        # to an exact or bounds-based engine, and rejected only when an
+        # exact engine is chosen explicitly.
         easy = affordable(shop_session).run(engine="auto", samples=50)
         assert easy.engine == "sprout"
         sql = "SELECT name FROM items WHERE price <= (SELECT MIN(price) FROM items)"
-        with pytest.warns(UserWarning, match="50 samples"):
-            hard = shop_session.sql(sql, samples=50)
-        assert hard.engine == "montecarlo"
+        hard = shop_session.sql(sql, samples=50)
+        assert hard.engine == "approx"
         with pytest.raises(QueryValidationError, match="sample budget"):
             affordable(shop_session).run(engine="sprout", samples=50)
 
@@ -249,3 +268,89 @@ class TestSeedDeterminism:
             n: reg_b[n][True] for n in reg_b.names()
         }
         assert repr(expr_a) != repr(expr_c)
+
+
+class TestContextManager:
+    def test_with_statement_returns_the_session(self):
+        with connect() as s:
+            t = s.table("items", ["name"])
+            t.insert(("inkjet",), p=0.5)
+            result = s.run("SELECT name FROM items")
+            assert result.rows[0].probability() == pytest.approx(0.5)
+        # Still usable afterwards; the caches were simply cleared.
+        assert len(s.cache) == 0
+        assert s.run("SELECT name FROM items").rows[0].probability() == (
+            pytest.approx(0.5)
+        )
+
+    def test_close_clears_compilation_cache_and_adapters(self, shop_session):
+        s = shop_session
+        affordable(s).run(engine="sprout")
+        assert len(s.cache) > 0
+        adapter = s.engine("sprout")
+        s.close()
+        assert len(s.cache) == 0
+        assert s.engine("sprout") is not adapter
+        assert s.compiler is s.cache.compiler
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with connect() as s:
+                raise RuntimeError("boom")
+
+
+class TestRunIterAndStats:
+    def test_stats_unified_across_engines(self, shop_session):
+        query = affordable(shop_session)
+        for engine in ("sprout", "naive", "montecarlo"):
+            stats = query.run(engine=engine).stats
+            assert stats["wall_seconds"] >= 0
+            assert stats["rows"] == len(query.run(engine=engine).rows)
+        mc = query.run(engine="montecarlo").stats
+        assert "samples" in mc and "batched" in mc
+        sprout = query.run(engine="sprout").stats
+        assert "cache_hits" in sprout and "cache_misses" in sprout
+
+    def test_run_iter_exact_engine_yields_once(self, shop_session):
+        snapshots = list(shop_session.run_iter(affordable(shop_session)))
+        assert len(snapshots) == 1
+        assert snapshots[0].engine == "sprout"
+
+    def test_run_iter_default_spec_for_refining_engines(self, shop_session):
+        sql = "SELECT name FROM items WHERE price <= (SELECT MIN(price) FROM items)"
+        snapshots = list(shop_session.run_iter(sql, engine="montecarlo"))
+        assert snapshots[-1].engine == "montecarlo"
+        assert snapshots[-1].stats["converged"]
+        widths = [
+            max((row.probability().width for row in snap), default=0.0)
+            for snap in snapshots
+        ]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_spec_travels_through_sql(self, shop_session):
+        sql = "SELECT name FROM items WHERE price <= (SELECT MIN(price) FROM items)"
+        result = shop_session.sql(sql, mode="approx", epsilon=0.2)
+        assert result.engine == "approx"
+        assert result.stats["epsilon"] == 0.2
+
+    def test_exact_engines_reject_non_exact_specs(self, shop_session):
+        with pytest.raises(QueryValidationError, match="exact"):
+            affordable(shop_session).run(engine="sprout", mode="approx")
+        with pytest.raises(QueryValidationError, match="exact"):
+            affordable(shop_session).run(engine="naive", mode="sample")
+
+    def test_spec_fields_respect_the_session_default_engine(self):
+        # epsilon= without mode= must imply the mode of the *resolved*
+        # engine, not just an explicitly passed engine= argument.
+        def shop(engine):
+            s = connect(seed=4, engine=engine)
+            t = s.table("items", ["name"])
+            t.insert(("inkjet",), p=0.5).insert(("laser",), p=0.4)
+            return s
+
+        approx = shop("approx").run("SELECT name FROM items", epsilon=0.25)
+        assert approx.engine == "approx"
+        assert approx.stats["epsilon"] == 0.25
+        sampled = shop("montecarlo").run("SELECT name FROM items", epsilon=0.25)
+        assert sampled.engine == "montecarlo"
+        assert sampled.stats["converged"]
