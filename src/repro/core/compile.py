@@ -59,7 +59,12 @@ from repro.errors import CompilationError
 from repro.prob.distribution import Distribution
 from repro.prob.variables import VariableRegistry
 
-__all__ = ["Compiler", "compile_expression", "HEURISTICS"]
+__all__ = [
+    "Compiler",
+    "compile_expression",
+    "distribution_task",
+    "HEURISTICS",
+]
 
 
 def _most_occurrences(expr: Expr, candidates: frozenset, counts=None) -> str:
@@ -410,3 +415,26 @@ def compile_expression(
 ) -> DTree:
     """One-shot convenience wrapper around :class:`Compiler`."""
     return Compiler(registry, semiring, **kwargs).compile(expr)
+
+
+def distribution_task(context, annotations):
+    """Process-pool task: compile a chunk of annotations to distributions.
+
+    The parallel seam of the exact engines (see
+    :meth:`repro.engine.sprout.SproutEngine.run`): independent result-row
+    annotations — per-group aggregates, multi-tuple answers — compile
+    concurrently, one chunk per task.  ``context`` is the shared
+    ``(registry, semiring, compiler_options)`` triple; the chunk shares
+    one :class:`Compiler`, so overlapping annotations *within* a chunk
+    still share d-tree memo entries.  Compilation is deterministic, so
+    any chunking (and any worker count) yields identical distributions.
+
+    Returns ``(distributions, stats_delta)``; the caller merges the
+    distributions into the session's
+    :class:`~repro.engine.base.CompilationCache` and the stats delta into
+    the run diagnostics.
+    """
+    registry, semiring, options = context
+    compiler = Compiler(registry, semiring, **options)
+    distributions = [compiler.distribution(expr) for expr in annotations]
+    return distributions, {"mutex_nodes": compiler.mutex_nodes_created}

@@ -26,12 +26,14 @@ from __future__ import annotations
 import time
 
 from repro.algebra.simplify import Normalizer
-from repro.core.approx import ApproximateCompiler
+from repro.core.approx import ApproximateCompiler, bounds_task
 from repro.core.compile import Compiler
 from repro.db.pvc_table import PVCDatabase
 from repro.engine.spec import EvalSpec, ProbInterval
 from repro.engine.sprout import QueryResult, ResultRow, SproutEngine
 from repro.errors import QueryValidationError
+from repro.parallel import pool as parallel_pool
+from repro.parallel.shards import resolve_workers
 from repro.query.ast import Query
 
 __all__ = ["ApproxAdapter"]
@@ -115,6 +117,29 @@ class ApproxAdapter:
         expansions = 0
         rounds = 0
         exhausted = False
+        #: Per-row refinement is independent within a round, so rounds
+        #: fan out across a process pool — except under a global
+        #: expansion budget, where each row's allowance depends on what
+        #: earlier rows actually spent and the accounting must stay
+        #: sequential to remain deterministic.
+        effective_workers = resolve_workers(spec.workers)
+        fan_out = (
+            effective_workers is not None
+            and effective_workers > 1
+            and spec.budget is None
+        )
+        #: One pool for all refinement rounds (forked lazily on the
+        #: first round that dispatches more than one task).
+        shared = (
+            parallel_pool.SharedPool(
+                bounds_task,
+                (registry, semiring, tuple(annotations)),
+                effective_workers,
+            )
+            if fan_out
+            else None
+        )
+        parallel_stats: dict = {}
 
         def snapshot(converged: bool) -> QueryResult:
             rows = [
@@ -149,6 +174,7 @@ class ApproxAdapter:
                 "max_width": max(widths, default=0.0),
                 "epsilon": epsilon,
             }
+            stats.update(parallel_stats)
             return QueryResult(
                 table.schema, rows, timings, engine=self.name, stats=stats
             )
@@ -159,48 +185,78 @@ class ApproxAdapter:
                 and time.perf_counter() - start >= spec.time_limit
             )
 
-        while pending and not exhausted:
-            rounds += 1
-            for index in sorted(pending):
-                if spec.budget is not None and expansions >= spec.budget:
-                    exhausted = True
-                    break
-                if out_of_time():
-                    exhausted = True
-                    break
-                allowance = row_budget
-                if spec.budget is not None:
-                    allowance = min(allowance, spec.budget - expansions)
-                approximator = ApproximateCompiler(
-                    registry,
-                    allowance,
-                    semiring,
-                    normalizer=normalizer,
-                    seed_bounds=seeds[index],
-                )
-                bounds = approximator.bounds(annotations[index])
-                seeds[index] = approximator.exact_bounds()
-                expansions += approximator.expansions
-                refined = ProbInterval(bounds.low, bounds.high)
-                previous = intervals[index]
-                if previous is not None:
-                    refined = previous.intersect(refined)
-                intervals[index] = refined
-                if refined.width <= epsilon:
-                    pending.discard(index)
-            if not pending or exhausted:
-                break
-            yield snapshot(converged=False)
-            row_budget *= 2
-            if row_budget > _MAX_ROW_BUDGET:
-                if spec.budget is None and spec.time_limit is None:
-                    # Unbounded spec: finish the stragglers exactly.
-                    for index in sorted(pending):
-                        exact = 1.0 - row_compiler.distribution(
-                            annotations[index]
-                        )[semiring.zero]
-                        intervals[index] = ProbInterval.point(exact)
-                    pending.clear()
-                exhausted = True
+        def refine(index: int, low: float, high: float) -> None:
+            refined = ProbInterval(low, high)
+            previous = intervals[index]
+            if previous is not None:
+                refined = previous.intersect(refined)
+            intervals[index] = refined
+            if refined.width <= epsilon:
+                pending.discard(index)
 
-        yield snapshot(converged=not pending)
+        try:
+            while pending and not exhausted:
+                rounds += 1
+                if fan_out and len(pending) > 1 and not out_of_time():
+                    # Every pending row gets the same allowance, so the round
+                    # is a pure fan-out; results merge in row order and are
+                    # bit-identical to the serial loop (the shared normalizer
+                    # below is only a cache).  Pool failures degrade to the
+                    # serial path inside SharedPool.run, recorded in stats.
+                    indices = sorted(pending)
+                    payloads = [(i, row_budget, seeds[i]) for i in indices]
+                    results, info = shared.run(payloads)
+                    parallel_stats["workers"] = info["workers"]
+                    if "parallel_fallback" in info:
+                        parallel_stats["parallel_fallback"] = info[
+                            "parallel_fallback"
+                        ]
+                    for index, (low, high, spent, exact) in zip(indices, results):
+                        seeds[index] = exact
+                        expansions += spent
+                        refine(index, low, high)
+                    if out_of_time():
+                        exhausted = True
+                else:
+                    for index in sorted(pending):
+                        if spec.budget is not None and expansions >= spec.budget:
+                            exhausted = True
+                            break
+                        if out_of_time():
+                            exhausted = True
+                            break
+                        allowance = row_budget
+                        if spec.budget is not None:
+                            allowance = min(allowance, spec.budget - expansions)
+                        approximator = ApproximateCompiler(
+                            registry,
+                            allowance,
+                            semiring,
+                            normalizer=normalizer,
+                            seed_bounds=seeds[index],
+                        )
+                        bounds = approximator.bounds(annotations[index])
+                        seeds[index] = approximator.exact_bounds()
+                        expansions += approximator.expansions
+                        refine(
+                            index, bounds.low, bounds.high
+                        )
+                if not pending or exhausted:
+                    break
+                yield snapshot(converged=False)
+                row_budget *= 2
+                if row_budget > _MAX_ROW_BUDGET:
+                    if spec.budget is None and spec.time_limit is None:
+                        # Unbounded spec: finish the stragglers exactly.
+                        for index in sorted(pending):
+                            exact = 1.0 - row_compiler.distribution(
+                                annotations[index]
+                            )[semiring.zero]
+                            intervals[index] = ProbInterval.point(exact)
+                        pending.clear()
+                    exhausted = True
+
+            yield snapshot(converged=not pending)
+        finally:
+            if shared is not None:
+                shared.close()

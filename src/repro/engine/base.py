@@ -127,6 +127,26 @@ class CompilationCache:
             self.hits += 1
         return cached
 
+    def normalize(self, expr: Expr) -> Expr:
+        """The cache's key function (the compiler's normal form)."""
+        return self.compiler.normalize(expr)
+
+    def cached(self, key: Expr) -> Distribution | None:
+        """The stored distribution of an already-normalized key, if any."""
+        return self._distributions.get(key)
+
+    def absorb(self, key: Expr, distribution: Distribution) -> None:
+        """Merge one externally compiled distribution into the cache.
+
+        The parallel compilation fan-out calls this with per-worker
+        results: ``key`` must already be normalized.  The entry counts as
+        a miss — the compile work happened, just in another process — so
+        hit/miss accounting stays comparable with serial runs.
+        """
+        if key not in self._distributions:
+            self.misses += 1
+            self._distributions[key] = distribution
+
     def compile(self, expr: Expr):
         return self.compiler.compile(expr)
 
@@ -169,6 +189,8 @@ class SproutAdapter:
         self, query: Query, spec: EvalSpec | None = None, **options
     ) -> QueryResult:
         _reject_non_exact(self.name, spec)
+        if spec is not None and spec.workers is not None:
+            options.setdefault("workers", spec.workers)
         result = self.engine.run(query, **options)
         result.engine = self.name
         return result
@@ -280,16 +302,26 @@ class MonteCarloAdapter:
                 delta=spec.delta,
                 max_samples=spec.budget,
                 time_limit=spec.time_limit,
+                workers=spec.workers,
             )
             return self._interval_result(query, intervals, info)
-        if spec is not None:  # remaining mode is "exact"
+        if spec is not None and not (
+            spec.execution_only and spec.workers is not None
+        ):
+            # Remaining mode is "exact": sampling cannot honour that.
+            # The single exception is a pure-execution spec — only the
+            # workers knob set — which shards the legacy fixed-budget
+            # estimator below without touching its answer semantics.
             raise QueryValidationError(
                 "montecarlo engine cannot guarantee exact answers; use "
                 "engine='sprout' or 'naive', or spec mode 'sample'"
             )
+        workers = spec.workers if spec is not None else None
         budget = self.samples if samples is None else samples
         start = time.perf_counter()
-        probabilities = self.engine.tuple_probabilities(query, samples=budget)
+        probabilities = self.engine.tuple_probabilities(
+            query, samples=budget, workers=workers
+        )
         elapsed = time.perf_counter() - start
         schema = query.schema(self.engine.db.catalog())
         rows = _concrete_rows(schema, probabilities)
@@ -321,6 +353,7 @@ class MonteCarloAdapter:
             delta=spec.delta,
             max_samples=spec.budget,
             time_limit=spec.time_limit,
+            workers=spec.workers,
         ):
             yield self._interval_result(query, intervals, info)
 

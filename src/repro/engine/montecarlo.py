@@ -24,6 +24,18 @@ The sampler is **batched**:
 * the generic per-world fallback memoises repeated worlds, so databases
   with few effective variables never evaluate the same world twice.
 
+The sampler is also **sharded** when a ``workers`` count is requested:
+each batch is split by the deterministic planner of
+:mod:`repro.parallel.shards` into fixed-size shards whose RNG streams are
+spawned from a per-round token, the shards evaluate independently (on a
+process pool for ``workers >= 2``, inline for ``workers=1``), and the
+per-shard counts merge by summation in shard order.  Because the shard
+plan and the seed derivation never depend on the worker count, a seeded
+run is **bit-identical** for any ``workers`` setting — including the
+sequential-stopping interval path, which shards every doubling round the
+same way.  A worker crash or pickle failure degrades to inline shard
+evaluation with the reason recorded in ``last_run_info``.
+
 Estimates remain plain empirical frequencies either way, and a fixed
 ``seed`` makes runs reproducible.
 """
@@ -47,6 +59,9 @@ from repro.algebra.semimodule import ModuleExpr
 from repro.algebra.valuation import Valuation
 from repro.db.pvc_table import PVCDatabase
 from repro.engine.spec import ProbInterval
+from repro.parallel import pool as parallel_pool
+from repro.parallel.reducer import merge_counts
+from repro.parallel.shards import plan_shards, resolve_workers, spawn_seeds
 from repro.prob import kernels
 from repro.query.executor import execute_deterministic, prepare
 from repro.query.ast import (
@@ -97,7 +112,9 @@ class MonteCarloEngine:
             assignment[name] = self.random.choices(values, weights=weights)[0]
         return Valuation(assignment, self.db.semiring)
 
-    def _sample_index_columns(self, names, samples: int) -> dict:
+    def _sample_index_columns(
+        self, names, samples: int, rng=None, np_rng=None
+    ) -> dict:
         """Batched draws as ``{name: (support_values, index_column)}``.
 
         One vectorized categorical draw per variable via the numpy
@@ -106,19 +123,26 @@ class MonteCarloEngine:
         O(variables × samples).  Draws stay in *index* form so the batch
         evaluator can turn them into presence vectors with one fancy
         index per variable instead of a per-sample Python loop.
+
+        ``rng``/``np_rng`` override the engine's own streams; the sharded
+        scheme passes per-shard streams here so draws are independent of
+        both the worker count and the engine's mutable state.
         """
+        if rng is None:
+            rng = self.random
+            np_rng = self._np_rng
         drawn: dict = {}
-        use_numpy = self._np_rng is not None and kernels.numpy_enabled()
+        use_numpy = np_rng is not None and kernels.numpy_enabled()
         for name in names:
             values, weights = zip(*self.db.registry[name].items())
             if use_numpy:
                 probabilities = _np.asarray(weights, dtype=float)
                 probabilities = probabilities / probabilities.sum()
-                indices = self._np_rng.choice(
+                indices = np_rng.choice(
                     len(values), size=samples, p=probabilities
                 )
             else:
-                indices = self.random.choices(
+                indices = rng.choices(
                     range(len(values)), weights=weights, k=samples
                 )
             drawn[name] = (values, indices)
@@ -127,16 +151,33 @@ class MonteCarloEngine:
     # -- estimation ----------------------------------------------------------
 
     def tuple_probabilities(
-        self, query: Query, samples: int = 1000
+        self,
+        query: Query,
+        samples: int = 1000,
+        workers: int | str | None = None,
+        shard_size: int | None = None,
     ) -> dict[tuple, float]:
-        """Empirical estimate of ``P[t ∈ answer]`` from ``samples`` worlds."""
+        """Empirical estimate of ``P[t ∈ answer]`` from ``samples`` worlds.
+
+        ``workers=None`` keeps the legacy single-stream sampler.  Any
+        explicit worker count (including 1) switches to the sharded
+        scheme, whose seeded results are bit-identical across worker
+        counts; ``workers >= 2`` evaluates the shards on a process pool.
+        """
         if samples <= 0:
             raise ValueError("need at least one sample")
         validate_query(query, self.db.catalog())
         referenced = list(dict.fromkeys(query.base_relations()))
+        workers = resolve_workers(workers)
         self.last_run_info = {"samples": samples, "batched": False}
-        counts, batched = self._sampled_counts(query, referenced, samples)
-        self.last_run_info["batched"] = batched
+        if workers is None:
+            counts, batched = self._sampled_counts(query, referenced, samples)
+            self.last_run_info["batched"] = batched
+        else:
+            counts, info = self._sharded_counts(
+                query, referenced, samples, workers, shard_size
+            )
+            self.last_run_info.update(info)
         return {values: count / samples for values, count in counts.items()}
 
     def _referenced_variables(self, referenced) -> list[str]:
@@ -156,7 +197,20 @@ class MonteCarloEngine:
         drawn = self._sample_index_columns(
             self._referenced_variables(referenced), samples
         )
-        if self._np_rng is not None and kernels.numpy_enabled():
+        return self._evaluate_drawn(query, referenced, drawn, samples)
+
+    def _evaluate_drawn(
+        self, query: Query, referenced, drawn, samples: int
+    ) -> tuple[dict[tuple, int], bool]:
+        """Count answer tuples over already-drawn index columns.
+
+        Counts are an exact, deterministic function of the drawn columns
+        — whether the vectorized batch evaluator or the per-world
+        fallback computes them — which is what makes sharded evaluation
+        (any split of the columns, any worker count) merge to identical
+        totals.
+        """
+        if _np is not None and kernels.numpy_enabled():
             try:
                 counts = self._batched_counts(query, drawn, samples)
             except _Fallback:
@@ -164,6 +218,57 @@ class MonteCarloEngine:
             if counts is not None:
                 return counts, True
         return self._per_world_counts(query, referenced, drawn, samples), False
+
+    # -- deterministic sharding -----------------------------------------------
+
+    def _shard_context(self, query: Query, referenced) -> tuple:
+        """The per-run context shared by every shard of every round."""
+        names = self._referenced_variables(referenced)
+        return (self.db, query, tuple(referenced), tuple(names))
+
+    def _sharded_counts(
+        self,
+        query: Query,
+        referenced,
+        samples: int,
+        workers: int,
+        shard_size: int | None = None,
+        shared: parallel_pool.SharedPool | None = None,
+    ) -> tuple[dict[tuple, int], dict]:
+        """Draw and evaluate ``samples`` worlds in deterministic shards.
+
+        The shard plan and the per-shard RNG seeds depend only on the
+        batch size and on one token drawn from the engine's seeded parent
+        stream — never on ``workers`` — so the merged counts are
+        bit-identical for any worker count.  Shards run on a process pool
+        when ``workers >= 2`` (falling back to inline evaluation with a
+        recorded reason when the pool cannot run); iterative callers pass
+        a :class:`~repro.parallel.pool.SharedPool` so the pool forks once
+        and serves every round.
+        """
+        sizes = plan_shards(samples, shard_size)
+        # One token per sampling round: the parent stream advances the
+        # same way no matter how many shards or workers follow.
+        token = self.random.getrandbits(63)
+        seeds = spawn_seeds(token, len(sizes))
+        payloads = list(zip(seeds, sizes))
+        if shared is not None:
+            results, info = shared.run(payloads)
+        else:
+            results, info = parallel_pool.execute(
+                _evaluate_shard,
+                self._shard_context(query, referenced),
+                payloads,
+                workers,
+            )
+        counts = merge_counts(result[0] for result in results)
+        batched = all(result[1] for result in results)
+        distinct = sum(result[2] for result in results)
+        stats = {"batched": batched, "shards": len(sizes)}
+        stats.update(info)
+        if distinct:
+            stats["distinct_worlds"] = distinct
+        return counts, stats
 
     def estimate_intervals(
         self,
@@ -173,6 +278,8 @@ class MonteCarloEngine:
         max_samples: int | None = None,
         time_limit: float | None = None,
         initial_batch: int = 256,
+        workers: int | str | None = None,
+        shard_size: int | None = None,
     ) -> tuple[dict[tuple, ProbInterval], dict]:
         """Sequential-stopping (ε, δ) estimation of ``P[t ∈ answer]``.
 
@@ -188,6 +295,8 @@ class MonteCarloEngine:
             max_samples=max_samples,
             time_limit=time_limit,
             initial_batch=initial_batch,
+            workers=workers,
+            shard_size=shard_size,
         ):
             pass
         return intervals, info
@@ -200,6 +309,8 @@ class MonteCarloEngine:
         max_samples: int | None = None,
         time_limit: float | None = None,
         initial_batch: int = 256,
+        workers: int | str | None = None,
+        shard_size: int | None = None,
     ):
         """Yield ``(intervals, info)`` snapshots of an (ε, δ) estimation.
 
@@ -216,12 +327,19 @@ class MonteCarloEngine:
         Tuples never observed in any sampled world are not reported
         (matching :meth:`tuple_probabilities`); their true probability
         may still be positive but is at most the resolution of the draw.
+
+        With an explicit ``workers`` count every doubling round is drawn
+        through the deterministic sharded scheme, so seeded interval
+        trajectories — every snapshot, every stopping decision except a
+        wall-clock ``time_limit`` trip — are bit-identical across worker
+        counts.
         """
         if epsilon <= 0.0:
             raise ValueError("sequential stopping needs epsilon > 0")
         if not (0.0 < delta < 1.0):
             raise ValueError("delta must be in (0, 1)")
         validate_query(query, self.db.catalog())
+        workers = resolve_workers(workers)
         referenced = list(dict.fromkeys(query.base_relations()))
         if max_samples is None:
             # Past this Hoeffding alone pushes every width under ε even
@@ -229,19 +347,67 @@ class MonteCarloEngine:
             max_samples = math.ceil(
                 2.0 * (math.log(4.0 / delta) + 13.0) / (epsilon * epsilon)
             )
+        self.last_run_info = {"samples": 0, "batched": True}
+        shared = (
+            parallel_pool.SharedPool(
+                _evaluate_shard,
+                self._shard_context(query, referenced),
+                workers,
+            )
+            if workers is not None
+            else None
+        )
+        try:
+            yield from self._interval_rounds(
+                query,
+                referenced,
+                epsilon,
+                delta,
+                max_samples,
+                time_limit,
+                initial_batch,
+                workers,
+                shard_size,
+                shared,
+            )
+        finally:
+            if shared is not None:
+                shared.close()
+
+    def _interval_rounds(
+        self,
+        query,
+        referenced,
+        epsilon,
+        delta,
+        max_samples,
+        time_limit,
+        initial_batch,
+        workers,
+        shard_size,
+        shared,
+    ):
+        """The doubling-round loop of :meth:`estimate_intervals_iter`
+        (split out so the shared pool's lifetime wraps the generator)."""
         start = time.perf_counter()
         totals: dict[tuple, int] = {}
         drawn_total = 0
         round_no = 0
         batched = True
-        self.last_run_info = {"samples": 0, "batched": True}
+        round_info: dict = {}
         while True:
             round_no += 1
             batch = initial_batch if drawn_total == 0 else drawn_total
             batch = min(batch, max_samples - drawn_total)
-            counts, round_batched = self._sampled_counts(
-                query, referenced, batch
-            )
+            if workers is None:
+                counts, round_batched = self._sampled_counts(
+                    query, referenced, batch
+                )
+            else:
+                counts, round_info = self._sharded_counts(
+                    query, referenced, batch, workers, shard_size, shared
+                )
+                round_batched = round_info["batched"]
             batched = batched and round_batched
             drawn_total += batch
             for values, count in counts.items():
@@ -269,6 +435,11 @@ class MonteCarloEngine:
                 "max_width": max_width,
                 "wall_seconds": elapsed,
             }
+            if workers is not None:
+                info["workers"] = round_info.get("workers", 1)
+                info["shards"] = round_info.get("shards", 0)
+                if "parallel_fallback" in round_info:
+                    info["parallel_fallback"] = round_info["parallel_fallback"]
             self.last_run_info = dict(info)
             yield intervals, info
             if done:
@@ -594,6 +765,31 @@ class MonteCarloEngine:
             filled = _np.where(matrix, array[:, None], -math.inf)
             return filled.max(axis=0, initial=-math.inf)
         raise _Fallback  # PROD and custom monoids: generic path
+
+
+def _evaluate_shard(context, payload):
+    """Process-pool task: draw and evaluate one shard of sampled worlds.
+
+    ``context`` is shared by every shard of a round (inherited by forked
+    workers, never pickled per task); the payload is just the shard's
+    ``(seed, size)``.  The shard draws from its own spawned streams — a
+    ``numpy.random.SeedSequence``-seeded ``Generator`` on the numpy path,
+    a private ``random.Random`` otherwise — so its columns are a pure
+    function of the seed, independent of which process evaluates it.
+
+    Returns ``(counts, batched, distinct_worlds)``.
+    """
+    db, query, referenced, names = context
+    seed, size = payload
+    engine = MonteCarloEngine(db)
+    np_rng = None
+    if _np is not None and kernels.numpy_enabled():
+        np_rng = _np.random.default_rng(_np.random.SeedSequence(seed))
+    drawn = engine._sample_index_columns(
+        list(names), size, rng=random.Random(seed), np_rng=np_rng
+    )
+    counts, batched = engine._evaluate_drawn(query, list(referenced), drawn, size)
+    return counts, batched, engine.last_run_info.get("distinct_worlds", 0)
 
 
 def _as_int(value):

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import QueryValidationError
+from repro.parallel.shards import validate_workers
 
 __all__ = ["EvalSpec", "ProbInterval", "EVAL_MODES"]
 
@@ -151,6 +152,13 @@ class EvalSpec:
     ``time_limit``:
         Wall-clock cap in seconds; refinement stops at the last completed
         round, reporting the (still sound) wider intervals.
+    ``workers``:
+        Multi-core execution: ``None`` (default) keeps every engine on
+        its serial code path, an integer ``>= 1`` runs the deterministic
+        sharded scheme on that many processes, and ``"auto"`` uses the
+        machine's CPU count.  Seeded results are bit-identical for any
+        worker count (see :mod:`repro.parallel`); ``workers`` therefore
+        changes *how fast* an answer arrives, never *what* it is.
     """
 
     mode: str = "exact"
@@ -158,6 +166,7 @@ class EvalSpec:
     delta: float = 0.05
     budget: int | None = None
     time_limit: float | None = None
+    workers: int | str | None = None
 
     def __post_init__(self):
         if self.mode not in EVAL_MODES:
@@ -181,6 +190,7 @@ class EvalSpec:
             raise QueryValidationError(
                 f"time_limit must be positive, got {self.time_limit!r}"
             )
+        validate_workers(self.workers)
 
     @classmethod
     def make(cls, spec=None, **overrides) -> "EvalSpec":
@@ -200,7 +210,7 @@ class EvalSpec:
         supplied = {k: v for k, v in overrides.items() if v is not None}
         if supplied:
             unknown = set(supplied) - {
-                "mode", "epsilon", "delta", "budget", "time_limit"
+                "mode", "epsilon", "delta", "budget", "time_limit", "workers"
             }
             if unknown:
                 raise QueryValidationError(
@@ -215,3 +225,14 @@ class EvalSpec:
     @property
     def is_exact(self) -> bool:
         return self.mode == "exact"
+
+    @property
+    def execution_only(self) -> bool:
+        """True when the spec only tunes *execution* (the workers knob)
+        and leaves every answer-quality field at its default.
+
+        The Monte-Carlo adapter uses this to distinguish "shard my legacy
+        fixed-budget run" (allowed) from an explicit exact-mode request
+        (still an error: sampling cannot guarantee exact answers).
+        """
+        return replace(self, workers=None) == EvalSpec()

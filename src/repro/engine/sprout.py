@@ -21,13 +21,16 @@ from typing import Iterator
 from repro.algebra.expressions import SemiringExpr
 from repro.algebra.semimodule import ModuleExpr
 from repro.algebra.valuation import Valuation
-from repro.core.compile import Compiler
+from repro.core.compile import Compiler, distribution_task
 from repro.core.joint import JointCompiler
 from repro.db.pvc_table import PVCDatabase, PVCTable
 from repro.db.relation import Relation
 from repro.db.schema import Schema
 from repro.engine.spec import ProbInterval
 from repro.errors import CompilationError
+from repro.parallel import pool as parallel_pool
+from repro.parallel.reducer import merge_stat_sums
+from repro.parallel.shards import resolve_workers
 from repro.prob.distribution import Distribution
 from repro.query.ast import Query
 from repro.query.executor import (
@@ -342,8 +345,22 @@ class SproutEngine:
         """Step I only: the pvc-table of symbolic result tuples (⟦·⟧)."""
         return execute_symbolic(self.prepare(query), self.db)
 
-    def run(self, query: Query, compute_probabilities: bool = True) -> QueryResult:
-        """Evaluate ``query``; returns rows, probabilities and timings."""
+    def run(
+        self,
+        query: Query,
+        compute_probabilities: bool = True,
+        workers: int | str | None = None,
+    ) -> QueryResult:
+        """Evaluate ``query``; returns rows, probabilities and timings.
+
+        ``workers`` parallelises step II: independent result-row
+        annotations (per-group aggregates, multi-tuple answers) compile
+        concurrently on a process pool, and the per-chunk distributions
+        merge back into the session's compilation cache.  Compilation is
+        deterministic, so results are identical for any worker count;
+        pool failures degrade to the serial path with
+        ``stats["parallel_fallback"]`` recording why.
+        """
         start = time.perf_counter()
         table = execute_symbolic(self.prepare(query), self.db)
         rewrite_seconds = time.perf_counter() - start
@@ -359,9 +376,15 @@ class SproutEngine:
             ResultRow(table.schema, row.values, row.annotation, compiler)
             for row in table
         ]
+        parallel_stats: dict = {}
         probability_seconds = 0.0
         if compute_probabilities:
             start = time.perf_counter()
+            effective = resolve_workers(workers)
+            if effective is not None:
+                parallel_stats = self._parallel_distributions(
+                    rows, compiler, effective
+                )
             for row in rows:
                 row.probability()
             probability_seconds = time.perf_counter() - start
@@ -373,10 +396,60 @@ class SproutEngine:
             "wall_seconds": rewrite_seconds + probability_seconds,
             "rows": len(rows),
         }
+        stats.update(parallel_stats)
         if hits_before is not None:
             stats["cache_hits"] = compiler.hits - hits_before
             stats["cache_misses"] = compiler.misses - misses_before
         return QueryResult(table.schema, rows, timings, stats=stats)
+
+    def _parallel_distributions(
+        self, rows: list[ResultRow], source, workers: int
+    ) -> dict:
+        """Compile the rows' annotation distributions across a pool.
+
+        Tasks are chunks of *unique, normalized, not-yet-cached*
+        annotations; results are written onto the rows' distribution
+        memo and absorbed into the distribution source when it is a
+        session :class:`~repro.engine.base.CompilationCache` (so later
+        runs, ``pretty()`` calls, and accessor lookups hit the cache
+        exactly as if the compile had happened in-process).
+        """
+        normalize = getattr(source, "normalize", None)
+        cached = getattr(source, "cached", None)
+        by_key: dict = {}
+        for row in rows:
+            key = normalize(row.annotation) if normalize else row.annotation
+            if not key.variables:
+                continue  # constant annotation: compiling it is trivial
+            existing = cached(key) if cached is not None else None
+            if existing is not None:
+                row._annotation_dist = existing
+                continue
+            by_key.setdefault(key, []).append(row)
+        pending = list(by_key)
+        stats = {"parallel_compiled": len(pending)}
+        if len(pending) < 2:
+            stats["workers"] = 1
+            return stats
+        chunk_count = min(len(pending), workers * 4)
+        chunks = [pending[i::chunk_count] for i in range(chunk_count)]
+        context = (self.db.registry, self.db.semiring, self.compiler_options)
+        results, info = parallel_pool.execute(
+            distribution_task, context, chunks, workers
+        )
+        stats.update(info)
+        absorb = getattr(source, "absorb", None)
+        for chunk, (distributions, _) in zip(chunks, results):
+            for key, distribution in zip(chunk, distributions):
+                for row in by_key[key]:
+                    row._annotation_dist = distribution
+                if absorb is not None:
+                    absorb(key, distribution)
+        deltas = merge_stat_sums(
+            (delta for _, delta in results), ("mutex_nodes",)
+        )
+        stats["parallel_mutex_nodes"] = deltas["mutex_nodes"]
+        return stats
 
     def deterministic_baseline(self, query: Query) -> tuple[Relation, float]:
         """The paper's Q0: run the query with every tuple certainly present.

@@ -1,0 +1,227 @@
+"""Process-pool lifecycle with graceful degradation to serial execution.
+
+One entry point, :func:`execute`, runs ``worker(context, payload)`` for a
+list of payloads and returns the results in payload order plus an info
+dict.  The contract engines rely on:
+
+* **Purity** — workers must be deterministic functions of
+  ``(context, payload)``.  Under that contract, running inline and
+  running on a pool produce identical results, which is what lets every
+  failure mode degrade to serial without changing any answer.
+* **Fork-based pools** — worker processes are forked, so the (potentially
+  large) shared ``context`` is inherited by the children instead of being
+  pickled per task; only the per-task payloads and results travel through
+  the pickled call queue.
+* **Graceful degradation** — a worker crash (``BrokenProcessPool``), a
+  payload/result that fails to pickle, a platform without ``fork``, or
+  any other pool-layer failure falls back to in-process execution, and
+  the returned info carries ``parallel_fallback`` with the reason.  A
+  *deterministic* exception raised by the worker itself also lands here:
+  the serial rerun re-raises it with its original type and traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+__all__ = ["ParallelUnavailable", "SharedPool", "execute", "fork_available"]
+
+
+class ParallelUnavailable(RuntimeError):
+    """The pool could not run the tasks; callers fall back to serial.
+
+    ``reason`` is a short machine-readable tag (``"no_fork"``,
+    ``"worker_crash"``, ``"pickle_error"``, ``"worker_error"``) that
+    engines surface as ``stats["parallel_fallback"]``.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+
+
+def fork_available() -> bool:
+    """True when fork-based process pools can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+#: Shared state installed in each forked worker by the pool initializer.
+#: With the fork start method the initializer arguments are inherited
+#: through the fork (no pickling), so arbitrarily large contexts ship to
+#: the workers for free.
+_WORKER_STATE: tuple | None = None
+
+
+def _install_worker_state(state: tuple) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _invoke(payload):
+    """Run the installed worker on one payload, fencing its exceptions.
+
+    Worker-raised exceptions are returned as an ``(False, summary)``
+    sentinel instead of propagating: a raw exception through the result
+    queue is indistinguishable from pool breakage in the parent, while
+    the sentinel lets the parent classify it as a *deterministic* error
+    that the serial rerun will reproduce with full fidelity.
+    """
+    worker, context = _WORKER_STATE
+    try:
+        return True, worker(context, payload)
+    except BaseException as exc:  # noqa: BLE001 - fence everything
+        return False, f"{type(exc).__name__}: {exc}"
+
+
+def _classify(exc: BaseException) -> ParallelUnavailable:
+    """Map a pool-layer exception to a fallback reason."""
+    if isinstance(exc, BrokenProcessPool):
+        return ParallelUnavailable("worker_crash", str(exc))
+    if isinstance(exc, pickle.PicklingError) or "pickle" in str(exc).lower():
+        return ParallelUnavailable("pickle_error", str(exc))
+    return ParallelUnavailable("worker_error", f"{type(exc).__name__}: {exc}")
+
+
+def _gather(executor, payloads) -> list:
+    """Submit the payloads and collect results in order; raise
+    ParallelUnavailable on any pool-layer failure.
+
+    Module-level so tests can monkeypatch the single seam through which
+    every pooled round runs.
+    """
+    results = [None] * len(payloads)
+    try:
+        futures = [executor.submit(_invoke, payload) for payload in payloads]
+        for index, future in enumerate(futures):
+            ok, value = future.result()
+            if not ok:
+                raise ParallelUnavailable("worker_error", value)
+            results[index] = value
+    except ParallelUnavailable:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - degrade, never crash
+        raise _classify(exc) from exc
+    return results
+
+
+class SharedPool:
+    """A reusable fork pool bound to one ``(worker, context)`` pair.
+
+    Iterative engines (sequential-stopping Monte-Carlo, approx
+    refinement) run many rounds against the *same* shared context; this
+    handle forks the worker pool once, on the first round that actually
+    needs it, and reuses it until :meth:`close`.  Each :meth:`run` has
+    the same contract as :func:`execute`: results in payload order, an
+    info dict with the worker count used, and graceful degradation to
+    inline execution — once degraded, later rounds stay inline with the
+    same recorded reason.
+    """
+
+    def __init__(self, worker, context, workers):
+        self.worker = worker
+        self.context = context
+        self.workers = workers
+        self._executor = None
+        self._fallback_reason: str | None = None
+
+    def _inline(self, payloads) -> list:
+        return [self.worker(self.context, payload) for payload in payloads]
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_install_worker_state,
+                initargs=((self.worker, self.context),),
+            )
+        return self._executor
+
+    def run(self, payloads) -> tuple[list, dict]:
+        """One round: ``worker(context, payload)`` per payload."""
+        payloads = list(payloads)
+        if (
+            self.workers is None
+            or self.workers <= 1
+            or len(payloads) <= 1
+        ):
+            return self._inline(payloads), {"workers": 1}
+        if self._fallback_reason is not None:
+            return self._inline(payloads), {
+                "workers": 1,
+                "parallel_fallback": self._fallback_reason,
+            }
+        if not fork_available():
+            self._fallback_reason = "no_fork"
+            return self._inline(payloads), {
+                "workers": 1,
+                "parallel_fallback": "no_fork",
+            }
+        try:
+            results = _gather(self._ensure_executor(), payloads)
+        except ParallelUnavailable as unavailable:
+            self._fallback_reason = unavailable.reason
+            self.close()
+            return self._inline(payloads), {
+                "workers": 1,
+                "parallel_fallback": unavailable.reason,
+            }
+        return results, {"workers": min(self.workers, len(payloads))}
+
+    def close(self) -> None:
+        """Shut the pool down; the handle stays usable (inline or by
+        forking a fresh pool on the next :meth:`run`).
+
+        Plain ``shutdown(wait=True)``: every submitted future has
+        already completed (or had its exception set) by the time
+        :meth:`run` returns, and ``cancel_futures`` has a shutdown race
+        against the queue-feeder after a payload pickling failure.
+        """
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SharedPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def execute(worker, context, payloads, workers) -> tuple[list, dict]:
+    """Run ``worker(context, payload)`` per payload, pooled when possible.
+
+    One-shot wrapper over :class:`SharedPool` (engines with a single
+    fan-out use this; iterative engines hold a :class:`SharedPool` open
+    across rounds).  Returns ``(results, info)`` with results in payload
+    order.  ``info`` always carries ``"workers"`` (the worker count
+    actually used) and, when the pool could not run,
+    ``"parallel_fallback"`` with the reason.
+
+    Serial execution is chosen outright when ``workers`` is None/1 or
+    there are fewer than two payloads; it is *fallen back to* when the
+    platform lacks ``fork`` or the pool fails mid-flight.  Because
+    workers are pure, the fallback rerun returns exactly what the pool
+    would have — including re-raising deterministic worker exceptions
+    with their original type.
+    """
+    with SharedPool(worker, context, workers) as pool:
+        return pool.run(payloads)
+
+
+def _crash_worker(context, payload):
+    """Test helper: dies hard inside a pool, answers politely inline.
+
+    Crashing only when a parent process exists makes the degradation path
+    end-to-end testable: the pool run breaks with ``BrokenProcessPool``
+    and the serial rerun still returns a correct result.
+    """
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return ("inline", payload)

@@ -1,0 +1,32 @@
+"""Deterministic reduction of per-shard results.
+
+Workers return partial results keyed by answer tuples (sample counts) or
+by normalized annotations (compiled distributions).  The reducers here
+merge them in *shard order* — the order of the deterministic shard plan,
+not the order shards happened to finish — so the merged value, including
+dict iteration order, is identical for any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["merge_counts", "merge_stat_sums"]
+
+
+def merge_counts(shard_counts: Iterable[Mapping]) -> dict:
+    """Sum per-key integer counts across shards, in shard order."""
+    merged: dict = {}
+    for counts in shard_counts:
+        for key, count in counts.items():
+            merged[key] = merged.get(key, 0) + count
+    return merged
+
+
+def merge_stat_sums(infos: Iterable[Mapping], keys: tuple) -> dict:
+    """Sum the named numeric diagnostics across per-shard info dicts."""
+    totals = dict.fromkeys(keys, 0)
+    for info in infos:
+        for key in keys:
+            totals[key] += info.get(key, 0)
+    return totals

@@ -217,30 +217,69 @@ class Session:
         )
 
     def _build_spec(
-        self, engine_name, spec, mode, epsilon, delta, budget, time_limit
+        self,
+        engine_name,
+        spec,
+        mode,
+        epsilon,
+        delta,
+        budget,
+        time_limit,
+        workers=None,
     ) -> EvalSpec | None:
         """The :class:`EvalSpec` the caller asked for, or ``None``.
 
         ``None`` (nothing requested) preserves the legacy point-answer
-        behavior of every engine.  When spec fields are given without a
-        mode, the chosen engine (explicit or the session default) implies
-        one — ``approx`` ↦ deterministic bounds, ``montecarlo`` ↦
-        sampled (ε, δ) intervals.
+        behavior of every engine.  When answer-*quality* fields
+        (``epsilon``/``delta``/``budget``/``time_limit``) are given
+        without a mode, the chosen engine (explicit or the session
+        default) implies one — ``approx`` ↦ deterministic bounds,
+        ``montecarlo`` ↦ sampled (ε, δ) intervals.  ``workers`` is a pure
+        *execution* knob and never implies a mode: on its own it yields
+        an exact-mode, execution-only spec that keeps every engine's
+        answer semantics unchanged (the Monte-Carlo adapter shards its
+        legacy fixed-budget estimator rather than switching to
+        sequential stopping).
         """
         if spec is None and all(
-            value is None for value in (mode, epsilon, delta, budget, time_limit)
+            value is None
+            for value in (mode, epsilon, delta, budget, time_limit, workers)
         ):
             return None
-        if spec is None and mode is None:
+        if spec is None and mode is None and any(
+            value is not None for value in (epsilon, delta, budget, time_limit)
+        ):
             mode = {"approx": "approx", "montecarlo": "sample"}.get(engine_name)
-        return EvalSpec.make(
+        built = EvalSpec.make(
             spec,
             mode=mode,
             epsilon=epsilon,
             delta=delta,
             budget=budget,
             time_limit=time_limit,
+            workers=workers,
         )
+        if engine_name == "montecarlo" and built.mode == "exact":
+            # Only the session can tell an *explicit* exact request from
+            # the default mode a workers-only spec carries; the adapter
+            # sees identical EvalSpec values for both.  Reject explicit
+            # requests here so `workers=` can never launder an exact
+            # request into samples; a pure-execution spec (workers only,
+            # no quality fields, no explicit mode) stays allowed — the
+            # adapter shards its legacy estimator for it.
+            explicitly_exact = mode == "exact" or spec == "exact" or (
+                isinstance(spec, EvalSpec)
+                and spec.mode == "exact"
+                and not spec.execution_only
+            )
+            if explicitly_exact or not (
+                built.execution_only and built.workers is not None
+            ):
+                raise QueryValidationError(
+                    "montecarlo engine cannot guarantee exact answers; use "
+                    "engine='sprout' or 'naive', or spec mode 'sample'"
+                )
+        return built
 
     def _resolve(self, query, engine, samples, spec, options):
         """Common dispatch of :meth:`run` and :meth:`run_iter`.
@@ -292,6 +331,7 @@ class Session:
         delta: float | None = None,
         budget: int | None = None,
         time_limit: float | None = None,
+        workers: int | str | None = None,
         **options,
     ) -> QueryResult:
         """Evaluate ``query`` and return a :class:`QueryResult`.
@@ -313,12 +353,16 @@ class Session:
         :class:`~repro.engine.spec.ProbInterval` (zero-width when exact),
         and ``result.stats`` carries the per-run diagnostics uniformly
         across engines.  ``samples`` remains the legacy fixed budget of
-        the Monte-Carlo engine.  Extra ``options`` are forwarded to the
-        engine (e.g. ``compute_probabilities=`` for sprout).
+        the Monte-Carlo engine.  ``workers`` (``int | "auto"``) runs the
+        engine's multi-core scheme — sharded sampling for Monte-Carlo,
+        parallel per-row compilation for sprout/approx — with seeded
+        results bit-identical to serial execution.  Extra ``options`` are
+        forwarded to the engine (e.g. ``compute_probabilities=`` for
+        sprout).
         """
         engine = self.default_engine if engine is None else engine
         spec = self._build_spec(
-            engine, spec, mode, epsilon, delta, budget, time_limit
+            engine, spec, mode, epsilon, delta, budget, time_limit, workers
         )
         query, name, spec = self._resolve(query, engine, samples, spec, options)
         return self.engine(name).run(query, spec=spec, **options)
@@ -333,6 +377,7 @@ class Session:
         delta: float | None = None,
         budget: int | None = None,
         time_limit: float | None = None,
+        workers: int | str | None = None,
         **options,
     ):
         """Anytime evaluation: yield progressively refined results.
@@ -351,12 +396,20 @@ class Session:
         """
         engine = self.default_engine if engine is None else engine
         spec = self._build_spec(
-            engine, spec, mode, epsilon, delta, budget, time_limit
+            engine, spec, mode, epsilon, delta, budget, time_limit, workers
         )
-        if spec is None and engine in ("approx", "montecarlo"):
+        if engine in ("approx", "montecarlo") and (
+            spec is None or spec.execution_only
+        ):
             # Anytime iteration over a refining engine needs a target;
-            # give it the default spec in the engine's native mode.
-            spec = EvalSpec(mode="approx" if engine == "approx" else "sample")
+            # give it the default spec in the engine's native mode (a
+            # workers-only spec keeps its workers, gains the mode).
+            native = "approx" if engine == "approx" else "sample"
+            spec = (
+                EvalSpec(mode=native)
+                if spec is None
+                else _replace(spec, mode=native)
+            )
         query, name, spec = self._resolve(query, engine, None, spec, options)
         adapter = self.engine(name)
         run_iter = getattr(adapter, "run_iter", None)

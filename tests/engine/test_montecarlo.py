@@ -209,6 +209,110 @@ class TestBatchedSampler:
         assert all(values[-1] <= 12 for values in batched)
 
 
+class TestShardedSampler:
+    """The deterministic sharded scheme behind the ``workers`` knob."""
+
+    def test_counts_identical_across_worker_counts(self):
+        db = two_table_db()
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "v")])
+        estimates = [
+            MonteCarloEngine(db, seed=7).tuple_probabilities(
+                query, 2000, workers=workers, shard_size=256
+            )
+            for workers in (1, 2, 4, "auto")
+        ]
+        assert all(estimate == estimates[0] for estimate in estimates)
+
+    def test_per_world_fallback_shards_identically(self):
+        """Complex annotations force the generic per-world path; shard
+        merging must still be worker-count independent there."""
+        db = simple_db()
+        db.tables["R"].add((2, 30), Var("x") * Var("y"))
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("m", "MIN", "v")])
+        first = MonteCarloEngine(db, seed=3).tuple_probabilities(
+            query, 1200, workers=1, shard_size=128
+        )
+        second = MonteCarloEngine(db, seed=3).tuple_probabilities(
+            query, 1200, workers=3, shard_size=128
+        )
+        assert first == second
+
+    def test_sharded_runs_are_seed_reproducible(self):
+        db = two_table_db()
+        query = relation("R")
+        first = MonteCarloEngine(db, seed=11).tuple_probabilities(
+            query, 1000, workers=2
+        )
+        second = MonteCarloEngine(db, seed=11).tuple_probabilities(
+            query, 1000, workers=2
+        )
+        assert first == second
+        third = MonteCarloEngine(db, seed=12).tuple_probabilities(
+            query, 1000, workers=2
+        )
+        assert first != third
+
+    def test_sharded_estimates_converge_to_exact(self):
+        db = simple_db()
+        query = GroupAgg(relation("R"), ["a"], [AggSpec.of("m", "MIN", "v")])
+        exact = NaiveEngine(db).tuple_probabilities(query)
+        estimate = MonteCarloEngine(db, seed=3).tuple_probabilities(
+            query, 5000, workers=2
+        )
+        for key, p in exact.items():
+            assert estimate.get(key, 0.0) == pytest.approx(p, abs=0.03)
+
+    def test_workers_none_keeps_the_legacy_stream(self):
+        """The default stays byte-for-byte the pre-sharding sampler, so
+        existing seeded workflows are unaffected."""
+        db = simple_db()
+        legacy = MonteCarloEngine(db, seed=5).tuple_probabilities(
+            relation("R"), 400
+        )
+        explicit = MonteCarloEngine(db, seed=5).tuple_probabilities(
+            relation("R"), 400, workers=None
+        )
+        assert legacy == explicit
+
+    def test_run_info_reports_sharding(self):
+        db = two_table_db()
+        engine = MonteCarloEngine(db, seed=2)
+        engine.tuple_probabilities(relation("R"), 1024, workers=2, shard_size=256)
+        info = engine.last_run_info
+        assert info["shards"] == 4
+        assert info["workers"] == 2
+        assert "parallel_fallback" not in info
+
+    def test_sequential_stopping_trajectory_identical_across_workers(self):
+        db = simple_db()
+        trajectories = []
+        for workers in (1, 2):
+            engine = MonteCarloEngine(db, seed=19)
+            trajectory = [
+                (
+                    {key: (i.low, i.high) for key, i in intervals.items()},
+                    info["samples"],
+                )
+                for intervals, info in engine.estimate_intervals_iter(
+                    relation("R"),
+                    epsilon=0.05,
+                    initial_batch=128,
+                    shard_size=64,
+                    workers=workers,
+                )
+            ]
+            trajectories.append(trajectory)
+        assert trajectories[0] == trajectories[1]
+
+    def test_invalid_workers_rejected(self):
+        from repro.errors import QueryValidationError
+
+        with pytest.raises(QueryValidationError, match="workers"):
+            MonteCarloEngine(simple_db()).tuple_probabilities(
+                relation("R"), 100, workers=0
+            )
+
+
 class TestSequentialStopping:
     """The (ε, δ) sequential estimator behind spec mode 'sample'."""
 

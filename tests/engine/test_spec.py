@@ -122,8 +122,37 @@ class TestEvalSpec:
         with pytest.raises(AttributeError):
             spec.mode = "approx"
 
+    def test_workers_field(self):
+        assert EvalSpec().workers is None
+        assert EvalSpec(workers=4).workers == 4
+        assert EvalSpec(workers="auto").workers == "auto"
+        for bad in (0, -1, 2.5, "many", True):
+            with pytest.raises(QueryValidationError, match="workers"):
+                EvalSpec(workers=bad)
+
+    def test_make_overrides_workers(self):
+        spec = EvalSpec.make("sample", workers=2)
+        assert spec.mode == "sample"
+        assert spec.workers == 2
+
+    def test_execution_only(self):
+        assert EvalSpec().execution_only
+        assert EvalSpec(workers=8).execution_only
+        assert not EvalSpec(mode="approx", workers=8).execution_only
+        assert not EvalSpec(epsilon=0.01).execution_only
+        assert not EvalSpec(budget=100, workers=2).execution_only
+
 
 class TestProbIntervalSerialization:
+    """Regression suite for the float-subclass round-trip.
+
+    Plain ``float`` pickling reconstructs from the single float value,
+    which would silently drop ``.low``/``.high``; ``__reduce__`` must
+    rebuild from the real constructor arguments.  Process pools pickle
+    intervals inside arbitrarily nested payloads, so the containers the
+    engines actually ship are covered too.
+    """
+
     def test_pickle_roundtrip(self):
         import pickle
 
@@ -132,9 +161,47 @@ class TestProbIntervalSerialization:
         assert (clone.low, clone.high) == (0.2, 0.6)
         assert isinstance(clone, ProbInterval)
 
+    def test_pickle_preserves_every_protocol(self):
+        import pickle
+
+        interval = ProbInterval(0.125, 0.875)
+        for protocol in range(pickle.HIGHEST_PROTOCOL + 1):
+            clone = pickle.loads(pickle.dumps(interval, protocol))
+            assert type(clone) is ProbInterval
+            assert (clone.low, clone.high) == (0.125, 0.875)
+            assert float(clone) == float(interval)
+
+    def test_pickle_nested_in_interval_dicts(self):
+        """The shape the sharded Monte-Carlo estimator returns."""
+        import pickle
+
+        payload = {
+            ("a", 1): ProbInterval(0.1, 0.3),
+            ("b", 2): ProbInterval.point(0.5),
+        }
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone[("a", 1)].width == pytest.approx(0.2)
+        assert clone[("b", 2)].is_point
+
     def test_deepcopy(self):
         import copy
 
         interval = ProbInterval.point(0.3)
         clone = copy.deepcopy(interval)
         assert clone.low == clone.high == 0.3
+
+    def test_deepcopy_wide_interval_keeps_subclass_and_bounds(self):
+        import copy
+
+        interval = ProbInterval(0.25, 0.75)
+        clone = copy.deepcopy([{"p": interval}])[0]["p"]
+        assert type(clone) is ProbInterval
+        assert (clone.low, clone.high) == (0.25, 0.75)
+
+    def test_pickle_roundtrip_survives_comparisons(self):
+        import pickle
+
+        a = pickle.loads(pickle.dumps(ProbInterval(0.6, 0.8)))
+        b = pickle.loads(pickle.dumps(ProbInterval(0.1, 0.5)))
+        assert a.definitely_above(b)
+        assert a.intersect(ProbInterval(0.7, 0.9)).low == 0.7

@@ -1,0 +1,107 @@
+"""Property tests: parallel execution never changes an answer.
+
+Random workloads come from the Eq.-11 generator
+(:mod:`repro.workloads.random_expr`): each example builds a small
+pvc-database whose row annotations are independently generated
+aggregation conditions over a shared Bernoulli variable pool.  Two
+properties are checked on every example:
+
+* **Sharded Monte-Carlo determinism** — seeded (ε, δ) interval
+  estimation returns *exactly* the same intervals (and the same stopping
+  trajectory) for any worker count, because the shard plan and per-shard
+  RNG streams are worker-count independent.
+* **Parallel exact compilation soundness** — sprout with a worker pool
+  matches the brute-force possible-worlds oracle to 1e-9, i.e. the
+  compile fan-out is a pure execution strategy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.semiring import BOOLEAN
+from repro.db.pvc_table import PVCDatabase
+from repro.engine.montecarlo import MonteCarloEngine
+from repro.engine.naive import NaiveEngine
+from repro.engine.sprout import SproutEngine
+from repro.prob.variables import VariableRegistry
+from repro.query.ast import AggSpec, GroupAgg, relation
+from repro.workloads.random_expr import ExprParams, generate_condition
+
+
+@st.composite
+def condition_databases(draw):
+    """A pvc-database with 2-3 rows annotated by random Eq.-11 conditions.
+
+    The conditions share one variable pool (correlated rows), which is
+    exactly the shape that exercises the generic per-world Monte-Carlo
+    path and non-trivial d-tree compilation.
+    """
+    params = ExprParams(
+        left_terms=draw(st.integers(min_value=1, max_value=3)),
+        right_terms=0,
+        variables=draw(st.integers(min_value=2, max_value=4)),
+        clauses=draw(st.integers(min_value=1, max_value=2)),
+        literals=draw(st.integers(min_value=1, max_value=2)),
+        max_value=8,
+        constant=draw(st.integers(min_value=0, max_value=10)),
+        theta=draw(st.sampled_from(["=", "<=", ">"])),
+        agg_left=draw(st.sampled_from(["SUM", "MIN", "MAX", "COUNT"])),
+    )
+    base_seed = draw(st.integers(min_value=0, max_value=2**20))
+    rows = draw(st.integers(min_value=2, max_value=3))
+    registry = VariableRegistry()
+    annotations = []
+    for i in range(rows):
+        expr, generated = generate_condition(params, seed=base_seed * 31 + i)
+        for name, dist in generated.items():
+            registry.declare(name, dist)  # same p=0.5 pool across rows
+        annotations.append(expr)
+    db = PVCDatabase(registry=registry, semiring=BOOLEAN)
+    table = db.create_table("R", ["i"])
+    for i, annotation in enumerate(annotations):
+        table.add((i,), annotation)
+    return db
+
+
+@settings(max_examples=8, deadline=None)
+@given(db=condition_databases(), seed=st.integers(min_value=0, max_value=999))
+def test_seeded_parallel_mc_intervals_equal_serial_exactly(db, seed):
+    query = relation("R")
+    snapshots = {}
+    for workers in (1, 3):
+        engine = MonteCarloEngine(db, seed=seed)
+        intervals, info = engine.estimate_intervals(
+            query,
+            epsilon=0.15,
+            delta=0.1,
+            max_samples=512,
+            initial_batch=128,
+            shard_size=64,
+            workers=workers,
+        )
+        assert info.get("parallel_fallback") is None
+        snapshots[workers] = (
+            {key: (i.low, i.high) for key, i in intervals.items()},
+            info["samples"],
+            info["rounds"],
+        )
+    assert snapshots[1] == snapshots[3]
+
+
+@settings(max_examples=6, deadline=None)
+@given(db=condition_databases())
+def test_parallel_sprout_matches_brute_force_oracle(db):
+    queries = [
+        relation("R"),
+        GroupAgg(relation("R"), [], [AggSpec.of("n", "COUNT", None)]),
+    ]
+    oracle = NaiveEngine(db)
+    engine = SproutEngine(db)
+    for query in queries:
+        expected = oracle.tuple_probabilities(query)
+        result = engine.run(query, workers=2)
+        assert result.stats.get("parallel_fallback") is None
+        actual = result.tuple_probabilities()
+        assert set(actual) == set(expected)
+        for key, probability in expected.items():
+            assert abs(actual[key] - probability) < 1e-9
