@@ -1,0 +1,190 @@
+"""Server throughput and tail latency under concurrent clients.
+
+Boots the :class:`~repro.server.QueryServer` in-process on ephemeral
+ports and drives it with ``N`` concurrent async clients, each issuing
+``M`` requests drawn round-robin from the demo query zoo
+(:data:`~repro.server.bootstrap.DEMO_QUERIES`: selection, projection,
+join, Boolean aggregation, group-by aggregation).  Three series:
+
+* ``cold`` — a fresh server, one client: every statement pays the full
+  parse + plan + compile pipeline (the per-request cost floor);
+* ``warm`` — the same zoo re-issued on warmed caches: the pipeline
+  collapses to statement/plan/distribution cache hits;
+* ``concurrent`` — a client sweep on warmed caches, measuring
+  throughput (requests/s) and p50/p95/p99 latency as admission
+  pressure grows.
+
+Every series records the statement-cache hit rate observed at
+``GET /stats``.  Note the machine matters: on a single-CPU container
+concurrency adds scheduling overhead, not parallel speedup — the
+committed reference JSON records its ``cpu_count``.
+
+Flags: ``--smoke`` (trimmed sweep for CI), ``--clients N`` (cap the
+sweep), ``--requests M`` (per-client request count), ``--json PATH``,
+``--baseline PATH``.
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import asyncio
+import os
+import statistics
+import sys
+import time
+
+from benchmarks.common import BenchReport, print_series, smoke_mode
+from repro.server import DEMO_QUERIES, QueryServer, ServerClient, ServerConfig
+from repro.server.bootstrap import demo_database
+
+
+def _flag(args, name, default):
+    for index, arg in enumerate(args):
+        if arg == name and index + 1 < len(args):
+            return int(args[index + 1])
+        if arg.startswith(name + "="):
+            return int(arg.split("=", 1)[1])
+    return default
+
+
+def client_sweep(argv=None) -> list[int]:
+    args = sys.argv[1:] if argv is None else argv
+    cap = _flag(args, "--clients", None)
+    sweep = [1, 4] if smoke_mode(argv) else [1, 2, 4, 8, 16]
+    if cap is not None:
+        sweep = [n for n in sweep if n <= cap] or [cap]
+    return sweep
+
+
+def request_count(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    return _flag(args, "--requests", 5 if smoke_mode(argv) else 25)
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    return {
+        "p50_ms": 1e3 * statistics.median(ordered),
+        "p95_ms": 1e3 * pct(0.95),
+        "p99_ms": 1e3 * pct(0.99),
+        "max_ms": 1e3 * ordered[-1],
+    }
+
+
+async def _drive_client(host, port, tcp_port, tenant, requests) -> list[float]:
+    """One client's request loop; returns per-request latencies."""
+    latencies = []
+    async with ServerClient(host, port, tcp_port=tcp_port, tenant=tenant) as c:
+        for i in range(requests):
+            sql = DEMO_QUERIES[i % len(DEMO_QUERIES)]
+            t0 = time.perf_counter()
+            await c.query(sql)
+            latencies.append(time.perf_counter() - t0)
+    return latencies
+
+
+async def _run_wave(server, clients: int, requests: int) -> dict:
+    host, port = server.http_address
+    _, tcp_port = server.tcp_address
+    before = server.statements.stats()
+    t0 = time.perf_counter()
+    results = await asyncio.gather(*(
+        _drive_client(host, port, tcp_port, f"tenant-{n}", requests)
+        for n in range(clients)
+    ))
+    wall = time.perf_counter() - t0
+    after = server.statements.stats()
+    latencies = [latency for worker in results for latency in worker]
+    lookups = (after["hits"] - before["hits"]) + (
+        after["misses"] - before["misses"]
+    )
+    hit_rate = (
+        (after["hits"] - before["hits"]) / lookups if lookups else 0.0
+    )
+    return {
+        "requests": len(latencies),
+        "wall_seconds": wall,
+        "throughput_rps": len(latencies) / wall,
+        "statement_hit_rate": hit_rate,
+        **_percentiles(latencies),
+    }
+
+
+async def run_benchmark(report: BenchReport, argv) -> None:
+    requests = request_count(argv)
+    config = ServerConfig(
+        port=0,
+        threads=4,
+        soft_limit=64,   # measure the un-degraded path
+        hard_limit=256,
+        seed=7,
+    )
+    async with QueryServer(demo_database(scale=1), config) as server:
+        # Series 1: cold start — every statement pays the full pipeline.
+        cold = await _run_wave(server, clients=1, requests=len(DEMO_QUERIES))
+        report.add("cold", {"clients": 1}, **cold)
+
+        # Series 2: warmed caches, one client.
+        warm = await _run_wave(server, clients=1, requests=requests)
+        report.add("warm", {"clients": 1}, **warm)
+
+        # Series 3: concurrent clients on warmed caches.
+        for clients in client_sweep(argv):
+            wave = await _run_wave(server, clients=clients, requests=requests)
+            report.add("concurrent", {"clients": clients}, **wave)
+
+        stats = server.stats()
+        report.config["server"] = {
+            "threads": config.threads,
+            "statement_cache": stats["statement_cache"],
+            "plan_cache": stats["plan_cache"],
+            "distribution_cache": {
+                key: stats["distribution_cache"][key]
+                for key in ("entries", "hits", "misses", "evictions")
+            },
+            "completed": stats["server"]["completed"],
+        }
+
+
+def main(argv=None) -> int:
+    report = BenchReport(
+        "server",
+        cpu_count=os.cpu_count(),
+        queries=len(DEMO_QUERIES),
+        requests_per_client=request_count(argv),
+    )
+    asyncio.run(run_benchmark(report, argv))
+    rows = [
+        (
+            point["series"],
+            point["params"]["clients"],
+            point["requests"],
+            f"{point['throughput_rps']:.1f}",
+            f"{point['p50_ms']:.1f}",
+            f"{point['p95_ms']:.1f}",
+            f"{point['p99_ms']:.1f}",
+            f"{point['statement_hit_rate']:.2f}",
+        )
+        for point in report.points
+    ]
+    print_series(
+        "server throughput / latency",
+        ["series", "clients", "reqs", "rps", "p50ms", "p95ms", "p99ms", "stmt-hit"],
+        rows,
+    )
+    report.finish(argv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

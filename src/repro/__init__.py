@@ -108,6 +108,7 @@ from repro.engine import (
     MonteCarloEngine,
     NaiveAdapter,
     NaiveEngine,
+    PlanCache,
     ProbInterval,
     QueryResult,
     ResultRow,
@@ -195,7 +196,7 @@ __all__ = [
     "SproutEngine", "NaiveEngine", "MonteCarloEngine",
     "QueryResult", "ResultRow", "EvalSpec", "ProbInterval",
     "Engine", "SproutAdapter", "ApproxAdapter", "NaiveAdapter",
-    "MonteCarloAdapter", "create_engine", "CompilationCache",
+    "MonteCarloAdapter", "create_engine", "CompilationCache", "PlanCache",
     # errors
     "ReproError", "AlgebraError", "ParseError", "DistributionError",
     "CompilationError", "SchemaError", "QueryValidationError",

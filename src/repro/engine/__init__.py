@@ -26,6 +26,7 @@ from repro.engine.base import (
     Engine,
     MonteCarloAdapter,
     NaiveAdapter,
+    PlanCache,
     SproutAdapter,
     create_engine,
     select_engine_name,
@@ -48,6 +49,7 @@ __all__ = [
     "EvalSpec",
     "ProbInterval",
     "CompilationCache",
+    "PlanCache",
     "SproutAdapter",
     "ApproxAdapter",
     "NaiveAdapter",

@@ -51,12 +51,21 @@ class ApproxAdapter:
 
     name = "approx"
 
-    def __init__(self, db: PVCDatabase, distribution_source=None, **compiler_options):
+    def __init__(
+        self,
+        db: PVCDatabase,
+        distribution_source=None,
+        plan_source=None,
+        **compiler_options,
+    ):
         self.db = db
         #: Step I (symbolic rewriting) is shared with the exact engine —
         #: including its prepared-plan cache.
         self.engine = SproutEngine(
-            db, distribution_source=distribution_source, **compiler_options
+            db,
+            distribution_source=distribution_source,
+            plan_source=plan_source,
+            **compiler_options,
         )
         self.distribution_source = distribution_source
         self.compiler_options = compiler_options

@@ -28,7 +28,9 @@ for a ``Q``-algebra query over a pvc-database — behind one front door:
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from typing import Protocol, runtime_checkable
 
 from repro.algebra.expressions import ONE, Expr
@@ -52,6 +54,7 @@ __all__ = [
     "Engine",
     "ENGINE_NAMES",
     "CompilationCache",
+    "PlanCache",
     "SproutAdapter",
     "ApproxAdapter",
     "NaiveAdapter",
@@ -89,7 +92,7 @@ def _reject_non_exact(name: str, spec: EvalSpec | None) -> None:
 
 
 class CompilationCache:
-    """Per-session distribution cache keyed on normalized annotations.
+    """Distribution cache keyed on normalized annotations.
 
     Wraps one persistent :class:`Compiler`, whose d-tree memo already
     shares work between *overlapping* annotations; this cache additionally
@@ -100,13 +103,35 @@ class CompilationCache:
     Duck-types the ``distribution``/``semiring`` surface of
     :class:`Compiler`, so it can stand in wherever result rows expect a
     distribution source.
+
+    ``max_entries`` bounds the cache: entries evict least-recently-used
+    (a lookup refreshes recency) and ``evictions`` counts what was
+    dropped.  ``None`` keeps the legacy unbounded behavior of a private
+    per-session cache; the query server shares one *bounded* instance
+    across every tenant session.
+
+    All operations are safe under concurrent access from threads (the
+    server's executor pool): one reentrant lock serializes lookups,
+    stores, :meth:`absorb` and :meth:`clear`.  Compilation itself also
+    runs under the lock — the wrapped compiler's memo tables are not
+    designed for concurrent mutation, and under the GIL serializing the
+    CPU-bound compile costs nothing (multi-core compilation goes through
+    the :mod:`repro.parallel` process pool instead).
     """
 
-    def __init__(self, compiler: Compiler):
+    def __init__(self, compiler: Compiler, max_entries: int | None = None):
+        if max_entries is not None and max_entries <= 0:
+            raise QueryValidationError(
+                f"max_entries must be a positive integer or None, "
+                f"got {max_entries!r}"
+            )
         self.compiler = compiler
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
-        self._distributions: dict[Expr, Distribution] = {}
+        self.evictions = 0
+        self._distributions: OrderedDict[Expr, Distribution] = OrderedDict()
+        self._lock = threading.RLock()
 
     @property
     def semiring(self):
@@ -116,24 +141,40 @@ class CompilationCache:
     def registry(self):
         return self.compiler.registry
 
+    def _store(self, key: Expr, distribution: Distribution) -> None:
+        """Insert as most-recent and evict past the bound (lock held)."""
+        self._distributions[key] = distribution
+        self._distributions.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._distributions) > self.max_entries:
+                self._distributions.popitem(last=False)
+                self.evictions += 1
+
     def distribution(self, expr: Expr) -> Distribution:
-        key = self.compiler.normalize(expr)
-        cached = self._distributions.get(key)
-        if cached is None:
-            self.misses += 1
-            cached = self.compiler.distribution(key)
-            self._distributions[key] = cached
-        else:
-            self.hits += 1
-        return cached
+        with self._lock:
+            key = self.compiler.normalize(expr)
+            cached = self._distributions.get(key)
+            if cached is None:
+                self.misses += 1
+                cached = self.compiler.distribution(key)
+                self._store(key, cached)
+            else:
+                self.hits += 1
+                self._distributions.move_to_end(key)
+            return cached
 
     def normalize(self, expr: Expr) -> Expr:
         """The cache's key function (the compiler's normal form)."""
-        return self.compiler.normalize(expr)
+        with self._lock:
+            return self.compiler.normalize(expr)
 
     def cached(self, key: Expr) -> Distribution | None:
         """The stored distribution of an already-normalized key, if any."""
-        return self._distributions.get(key)
+        with self._lock:
+            cached = self._distributions.get(key)
+            if cached is not None:
+                self._distributions.move_to_end(key)
+            return cached
 
     def absorb(self, key: Expr, distribution: Distribution) -> None:
         """Merge one externally compiled distribution into the cache.
@@ -143,12 +184,14 @@ class CompilationCache:
         a miss — the compile work happened, just in another process — so
         hit/miss accounting stays comparable with serial runs.
         """
-        if key not in self._distributions:
-            self.misses += 1
-            self._distributions[key] = distribution
+        with self._lock:
+            if key not in self._distributions:
+                self.misses += 1
+                self._store(key, distribution)
 
     def compile(self, expr: Expr):
-        return self.compiler.compile(expr)
+        with self._lock:
+            return self.compiler.compile(expr)
 
     def clear(self) -> None:
         """Drop every cached distribution and the compiler's d-tree memo.
@@ -156,22 +199,105 @@ class CompilationCache:
         Used by ``Session.close()``; the cache remains usable afterwards
         (a closed-and-reused session simply recompiles on demand).
         """
-        self._distributions.clear()
-        self.compiler = Compiler(
-            self.compiler.registry,
-            self.compiler.semiring,
-            heuristic=self.compiler.choose_variable,
-            pruning=self.compiler.pruning,
-            max_mutex_nodes=self.compiler.max_mutex_nodes,
-        )
+        with self._lock:
+            self._distributions.clear()
+            self.compiler = Compiler(
+                self.compiler.registry,
+                self.compiler.semiring,
+                heuristic=self.compiler.choose_variable,
+                pruning=self.compiler.pruning,
+                max_mutex_nodes=self.compiler.max_mutex_nodes,
+            )
+
+    def stats(self) -> dict:
+        """Counters snapshot (entries/hits/misses/evictions/bound)."""
+        with self._lock:
+            return {
+                "entries": len(self._distributions),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __len__(self) -> int:
-        return len(self._distributions)
+        with self._lock:
+            return len(self._distributions)
 
     def __repr__(self):
         return (
             f"CompilationCache({len(self)} entries, "
-            f"{self.hits} hits, {self.misses} misses)"
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.evictions} evictions)"
+        )
+
+
+class PlanCache:
+    """Shared bounded LRU of prepared physical plans.
+
+    Keyed on ``(query, db_fingerprint)`` — query AST nodes compare and
+    hash structurally, and the fingerprint (per-table cardinalities)
+    invalidates plans whose greedy join order was chosen for different
+    statistics.  One instance can back many sessions: the query server
+    hands every tenant session the same cache, so a statement one tenant
+    prepared skips the optimizer and physical planner for every other
+    tenant.  Thread-safe like :class:`CompilationCache`.
+    """
+
+    def __init__(self, max_entries: int | None = 256):
+        if max_entries is not None and max_entries <= 0:
+            raise QueryValidationError(
+                f"max_entries must be a positive integer or None, "
+                f"got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._plans: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
+
+    def get(self, query: Query, fingerprint: tuple):
+        with self._lock:
+            entry = self._plans.get((query, fingerprint))
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._plans.move_to_end((query, fingerprint))
+            return entry
+
+    def put(self, query: Query, fingerprint: tuple, prepared) -> None:
+        with self._lock:
+            self._plans[(query, fingerprint)] = prepared
+            self._plans.move_to_end((query, fingerprint))
+            if self.max_entries is not None:
+                while len(self._plans) > self.max_entries:
+                    self._plans.popitem(last=False)
+                    self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._plans),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __repr__(self):
+        return (
+            f"PlanCache({len(self)} entries, {self.hits} hits, "
+            f"{self.misses} misses, {self.evictions} evictions)"
         )
 
 
@@ -180,9 +306,18 @@ class SproutAdapter:
 
     name = "sprout"
 
-    def __init__(self, db: PVCDatabase, distribution_source=None, **compiler_options):
+    def __init__(
+        self,
+        db: PVCDatabase,
+        distribution_source=None,
+        plan_source=None,
+        **compiler_options,
+    ):
         self.engine = SproutEngine(
-            db, distribution_source=distribution_source, **compiler_options
+            db,
+            distribution_source=distribution_source,
+            plan_source=plan_source,
+            **compiler_options,
         )
 
     def run(
@@ -363,6 +498,7 @@ def create_engine(
     db: PVCDatabase,
     *,
     distribution_source=None,
+    plan_source=None,
     seed: int | None = None,
     samples: int = 1000,
     **compiler_options,
@@ -370,11 +506,17 @@ def create_engine(
     """Instantiate the engine adapter registered under ``name``."""
     if name == "sprout":
         return SproutAdapter(
-            db, distribution_source=distribution_source, **compiler_options
+            db,
+            distribution_source=distribution_source,
+            plan_source=plan_source,
+            **compiler_options,
         )
     if name == "approx":
         return ApproxAdapter(
-            db, distribution_source=distribution_source, **compiler_options
+            db,
+            distribution_source=distribution_source,
+            plan_source=plan_source,
+            **compiler_options,
         )
     if name == "naive":
         return NaiveAdapter(db)

@@ -122,6 +122,27 @@ class ProbInterval(float):
             return self if self.width <= other.width else other
         return ProbInterval(low, high)
 
+    def to_json(self) -> dict:
+        """The documented wire encoding: ``{"low": ..., "high": ...}``.
+
+        A bare ``json.dumps`` of a :class:`ProbInterval` would serialise
+        the float midpoint and silently lose the bracket; the codec keeps
+        both endpoints (the midpoint is recomputable).
+        """
+        return {"low": self.low, "high": self.high}
+
+    @classmethod
+    def from_json(cls, payload) -> "ProbInterval":
+        """Inverse of :meth:`to_json` (accepts any low/high mapping)."""
+        try:
+            low, high = float(payload["low"]), float(payload["high"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise QueryValidationError(
+                f"cannot decode {payload!r} as a probability interval; "
+                f"expected a mapping with 'low' and 'high'"
+            ) from exc
+        return cls(low, high)
+
     def __repr__(self):
         if self.is_point:
             return f"ProbInterval({float(self):.6g})"
@@ -221,6 +242,54 @@ class EvalSpec:
             # mode untouched here and let the session's auto policy decide.
             spec = replace(spec, **supplied)
         return spec
+
+    def to_json(self) -> dict:
+        """The documented wire encoding — one key per spec field.
+
+        Defaults are included, so a decoded spec is exactly the encoded
+        one (``EvalSpec.from_json(spec.to_json()) == spec``).
+        """
+        return {
+            "mode": self.mode,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "budget": self.budget,
+            "time_limit": self.time_limit,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_json(cls, payload) -> "EvalSpec":
+        """Inverse of :meth:`to_json`; missing keys take the defaults.
+
+        Unknown keys are rejected (a mistyped field silently meaning
+        "default" would be a protocol bug), and field validation is the
+        constructor's — a bad wire value raises the same
+        :class:`~repro.errors.QueryValidationError` a local caller gets.
+        """
+        if not isinstance(payload, dict):
+            raise QueryValidationError(
+                f"cannot decode {payload!r} as an EvalSpec; expected an "
+                f"object with spec fields"
+            )
+        unknown = set(payload) - {
+            "mode", "epsilon", "delta", "budget", "time_limit", "workers"
+        }
+        if unknown:
+            raise QueryValidationError(
+                f"unknown EvalSpec fields {sorted(unknown)}"
+            )
+        defaults = cls()
+        fields = {}
+        for field in (
+            "mode", "epsilon", "delta", "budget", "time_limit", "workers"
+        ):
+            value = payload.get(field)
+            # Explicit null and absent both mean "the default": budget,
+            # time_limit and workers legitimately default to None, and
+            # clients round-tripping to_json() re-send those nulls.
+            fields[field] = getattr(defaults, field) if value is None else value
+        return cls(**fields)
 
     @property
     def is_exact(self) -> bool:

@@ -306,6 +306,7 @@ class SproutEngine:
         self,
         db: PVCDatabase,
         distribution_source=None,
+        plan_source=None,
         **compiler_options,
     ):
         self.db = db
@@ -316,6 +317,12 @@ class SproutEngine:
         #: :class:`Compiler` per query, so repeated and overlapping
         #: annotations never recompile.
         self.distribution_source = distribution_source
+        #: Optional shared prepared-plan source (e.g. a server-wide
+        #: :class:`~repro.engine.base.PlanCache`).  Looked up by
+        #: structural query equality plus database statistics, so a plan
+        #: prepared by one session is reused by every session sharing the
+        #: cache.
+        self.plan_source = plan_source
         self._prepared_cache: tuple | None = None
 
     def prepare(self, query: Query) -> PreparedQuery:
@@ -323,7 +330,9 @@ class SproutEngine:
 
         Memoized per query object and per database statistics, so a query
         evaluated repeatedly (benchmark loops, cached sessions) is planned
-        once.
+        once.  With a shared ``plan_source`` the lookup extends across
+        sessions: structurally equal queries over a database with the same
+        statistics reuse one prepared plan.
         """
         fingerprint = tuple(
             (name, len(table)) for name, table in self.db.tables.items()
@@ -335,9 +344,15 @@ class SproutEngine:
             and cached[1] == fingerprint
         ):
             return cached[2]
-        prepared = prepare(
-            query, self.db.catalog(), self.db.cardinalities(), optimize=True
-        )
+        prepared = None
+        if self.plan_source is not None:
+            prepared = self.plan_source.get(query, fingerprint)
+        if prepared is None:
+            prepared = prepare(
+                query, self.db.catalog(), self.db.cardinalities(), optimize=True
+            )
+            if self.plan_source is not None:
+                self.plan_source.put(query, fingerprint, prepared)
         self._prepared_cache = (query, fingerprint, prepared)
         return prepared
 

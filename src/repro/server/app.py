@@ -1,0 +1,559 @@
+"""The async multi-tenant query server.
+
+One :class:`QueryServer` fronts one immutable
+:class:`~repro.db.pvc_table.PVCDatabase` for many tenants:
+
+* **Per-tenant sessions over shared base data.**  Each tenant name maps
+  to its own :class:`~repro.session.Session` (engine adapters, Monte-
+  Carlo RNG state), all opened over the *same* database, the same
+  server-wide :class:`~repro.engine.base.CompilationCache` and the same
+  :class:`~repro.engine.base.PlanCache` — so one tenant's compile work
+  is every tenant's cache hit.
+* **A shared prepared-statement cache** keyed on normalised query text
+  (:mod:`repro.server.statements`): a repeated statement skips parsing,
+  planning *and* d-tree compilation entirely.
+* **Bounded admission with load-shedding to anytime answers.**  Past
+  ``soft_limit`` concurrent requests the server rewrites incoming
+  evaluation specs to budgeted anytime mode (PR 4's ``EvalSpec``):
+  answers come back as *sound* probability intervals computed under a
+  strict budget/time cap instead of queueing unboundedly.  Past
+  ``hard_limit`` requests are shed with a structured overload error
+  (HTTP 503 + ``Retry-After``).
+* **A non-blocking event loop.**  Compile/evaluate work runs via
+  ``loop.run_in_executor`` on a thread pool; within a tenant, requests
+  serialise on a per-tenant lock (sessions hold engine state), while
+  different tenants execute concurrently — and can fan out to the
+  :mod:`repro.parallel` process pool via the usual ``workers`` spec
+  field.
+
+The wire protocols live in :mod:`repro.server.http` (JSON over HTTP:
+``POST /query``, ``GET /stats``, ``GET /healthz``) and
+:mod:`repro.server.tcp` (line-delimited JSON with streaming
+``run_iter`` interval snapshots).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import queue as queue_module
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, replace
+
+from repro.core.compile import Compiler
+from repro.db.pvc_table import PVCDatabase
+from repro.engine.base import CompilationCache, ENGINE_NAMES, PlanCache
+from repro.errors import QueryValidationError, ReproError
+from repro.server import http as http_protocol
+from repro.server import tcp as tcp_protocol
+from repro.server.codec import jsonable, result_to_json
+from repro.server.statements import StatementCache
+from repro.session import Session
+
+__all__ = [
+    "ServerConfig",
+    "QueryServer",
+    "ProtocolError",
+    "ServerOverloadedError",
+]
+
+#: EvalSpec fields accepted in a request's "spec" object.
+_SPEC_FIELDS = ("mode", "epsilon", "delta", "budget", "time_limit", "workers")
+
+
+class ProtocolError(ReproError):
+    """A request violates the wire protocol (malformed envelope)."""
+
+
+class ServerOverloadedError(ReproError):
+    """The hard admission limit tripped; retry after ``retry_after``."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"server overloaded; retry after {retry_after:g} seconds"
+        )
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of a :class:`QueryServer` (all have serving defaults).
+
+    ``soft_limit``/``hard_limit`` bound concurrent admitted requests:
+    at ``soft_limit`` new requests degrade to budgeted anytime specs
+    (``shed_epsilon``/``shed_budget``/``shed_time_limit``), at
+    ``hard_limit`` they are shed with ``retry_after``.  ``tcp_port``
+    ``None`` means "next port after ``port``" (or another ephemeral port
+    when ``port`` is 0).  ``threads`` sizes the executor pool the event
+    loop offloads blocking compile/eval work to; ``eval_workers``
+    optionally forces the :mod:`repro.parallel` process-pool ``workers``
+    spec field on every request that does not set its own.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    tcp_port: int | None = None
+    threads: int = 4
+    statement_cache_size: int | None = 256
+    plan_cache_size: int | None = 256
+    distribution_cache_size: int | None = 4096
+    soft_limit: int = 8
+    hard_limit: int = 32
+    shed_epsilon: float = 0.05
+    shed_budget: int = 2048
+    shed_time_limit: float = 0.25
+    retry_after: float = 1.0
+    default_engine: str = "auto"
+    seed: int | None = None
+    samples: int = 1000
+    eval_workers: int | str | None = None
+
+    def __post_init__(self):
+        if self.threads < 1:
+            raise QueryValidationError(
+                f"threads must be >= 1, got {self.threads!r}"
+            )
+        if self.soft_limit < 0 or self.hard_limit < 0:
+            raise QueryValidationError("admission limits must be >= 0")
+        if self.soft_limit > self.hard_limit:
+            raise QueryValidationError(
+                f"soft_limit ({self.soft_limit}) must not exceed "
+                f"hard_limit ({self.hard_limit})"
+            )
+        if self.shed_epsilon <= 0 or self.shed_budget <= 0:
+            raise QueryValidationError(
+                "shed_epsilon and shed_budget must be positive"
+            )
+        if self.shed_time_limit <= 0 or self.retry_after <= 0:
+            raise QueryValidationError(
+                "shed_time_limit and retry_after must be positive"
+            )
+
+
+class QueryServer:
+    """Serve one shared probabilistic database to many tenants."""
+
+    def __init__(self, db: PVCDatabase, config: ServerConfig | None = None, **overrides):
+        self.config = replace(config or ServerConfig(), **overrides)
+        self.db = db
+        #: The three server-wide caches every tenant session shares.
+        self.cache = CompilationCache(
+            Compiler(db.registry, db.semiring),
+            max_entries=self.config.distribution_cache_size,
+        )
+        self.plans = PlanCache(max_entries=self.config.plan_cache_size)
+        self.statements = StatementCache(
+            max_entries=self.config.statement_cache_size
+        )
+        self._sessions: dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._tenant_locks: dict[str, asyncio.Lock] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._http_server: asyncio.AbstractServer | None = None
+        self._tcp_server: asyncio.AbstractServer | None = None
+        self.http_address: tuple[str, int] | None = None
+        self.tcp_address: tuple[str, int] | None = None
+        self._started_monotonic: float | None = None
+        self._inflight = 0
+        self._counters = {
+            "requests": 0,
+            "completed": 0,
+            "degraded": 0,
+            "shed": 0,
+            "errors": 0,
+            "streams": 0,
+        }
+
+    # -- tenant state ----------------------------------------------------------
+
+    def session(self, tenant: str) -> Session:
+        """The (lazily created) session of ``tenant``.
+
+        All tenants share the database, the distribution cache and the
+        plan cache; the session carries only the per-tenant engine
+        adapters and RNG state.
+        """
+        with self._sessions_lock:
+            session = self._sessions.get(tenant)
+            if session is None:
+                session = Session(
+                    engine=self.config.default_engine,
+                    seed=self.config.seed,
+                    samples=self.config.samples,
+                    database=self.db,
+                    cache=self.cache,
+                    plan_cache=self.plans,
+                )
+                self._sessions[tenant] = session
+            return session
+
+    def _tenant_lock(self, tenant: str) -> asyncio.Lock:
+        lock = self._tenant_locks.get(tenant)
+        if lock is None:
+            lock = self._tenant_locks[tenant] = asyncio.Lock()
+        return lock
+
+    # -- request validation ----------------------------------------------------
+
+    def _unpack(self, payload) -> tuple[str, str, str | None, int | None, dict]:
+        """Validate a query request envelope; raise ProtocolError early."""
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"request must be a JSON object, got {type(payload).__name__}"
+            )
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ProtocolError("request needs a non-empty 'sql' string")
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 200:
+            raise ProtocolError(
+                "'tenant' must be a non-empty string of at most 200 chars"
+            )
+        engine = payload.get("engine")
+        if engine is not None and (
+            not isinstance(engine, str)
+            or (engine != "auto" and engine not in ENGINE_NAMES)
+        ):
+            raise ProtocolError(
+                f"unknown engine {engine!r}; expected 'auto' or one of "
+                f"{list(ENGINE_NAMES)}"
+            )
+        samples = payload.get("samples")
+        if samples is not None and (
+            isinstance(samples, bool) or not isinstance(samples, int)
+            or samples <= 0
+        ):
+            raise ProtocolError("'samples' must be a positive integer")
+        spec = payload.get("spec")
+        if spec is None:
+            fields: dict = {}
+        elif isinstance(spec, dict):
+            unknown = set(spec) - set(_SPEC_FIELDS)
+            if unknown:
+                raise ProtocolError(
+                    f"unknown EvalSpec fields {sorted(unknown)}"
+                )
+            fields = {
+                key: value for key, value in spec.items() if value is not None
+            }
+        else:
+            raise ProtocolError(
+                f"'spec' must be a JSON object of EvalSpec fields, got "
+                f"{type(spec).__name__}"
+            )
+        unknown_keys = set(payload) - {
+            "sql", "tenant", "engine", "samples", "spec", "op"
+        }
+        if unknown_keys:
+            raise ProtocolError(
+                f"unknown request fields {sorted(unknown_keys)}"
+            )
+        return sql, tenant, engine, samples, fields
+
+    # -- admission control -----------------------------------------------------
+
+    def _admit(self) -> bool:
+        """True when the request must degrade; raises when it must shed."""
+        if self._inflight >= self.config.hard_limit:
+            self._counters["shed"] += 1
+            raise ServerOverloadedError(self.config.retry_after)
+        return self._inflight >= self.config.soft_limit
+
+    def _shed_rewrite(
+        self, engine: str | None, samples: int | None, fields: dict
+    ) -> tuple[str | None, int | None, dict]:
+        """Rewrite a request to budgeted anytime mode under load.
+
+        The rewritten spec always yields *sound* interval answers —
+        deterministic ε-bounds (``approx``) or (ε, δ) confidence
+        intervals (``sample`` for Monte-Carlo intent) — under a strict
+        budget and time cap, so a loaded server degrades answer width,
+        never answer correctness, and never queues unboundedly.
+        """
+        cfg = self.config
+        fields = dict(fields)
+        mode = fields.get("mode")
+        wants_sample = mode == "sample" or (
+            mode is None and engine == "montecarlo"
+        )
+        fields["mode"] = "sample" if wants_sample else "approx"
+        fields.setdefault("epsilon", cfg.shed_epsilon)
+        budget = fields.get("budget")
+        if samples is not None:
+            # The legacy fixed Monte-Carlo budget folds into spec.budget.
+            budget = samples if budget is None else min(budget, samples)
+            samples = None
+        fields["budget"] = (
+            cfg.shed_budget if budget is None else min(budget, cfg.shed_budget)
+        )
+        time_limit = fields.get("time_limit")
+        fields["time_limit"] = (
+            cfg.shed_time_limit
+            if time_limit is None
+            else min(time_limit, cfg.shed_time_limit)
+        )
+        if wants_sample:
+            engine = "montecarlo" if engine in (None, "montecarlo") else "auto"
+        else:
+            engine = "approx" if engine in (None, "approx") else "auto"
+        return engine, samples, fields
+
+    # -- query execution -------------------------------------------------------
+
+    async def execute(self, payload) -> dict:
+        """The one-shot query path shared by the HTTP and TCP protocols."""
+        self._counters["requests"] += 1
+        sql, tenant, engine, samples, fields = self._unpack(payload)
+        degraded = self._admit()
+        if degraded:
+            self._counters["degraded"] += 1
+            engine, samples, fields = self._shed_rewrite(
+                engine, samples, fields
+            )
+        fields.setdefault("workers", self.config.eval_workers)
+        session = self.session(tenant)
+        query, statement_hit = await self._offload(
+            self.statements.get_or_parse, sql
+        )
+        self._inflight += 1
+        try:
+            async with self._tenant_lock(tenant):
+                result = await self._offload(
+                    session.run,
+                    query,
+                    engine=engine,
+                    samples=samples,
+                    **fields,
+                )
+        finally:
+            self._inflight -= 1
+        self._counters["completed"] += 1
+        return {
+            "result": result_to_json(result),
+            "tenant": tenant,
+            "degraded": degraded,
+            "statement_cache_hit": statement_hit,
+        }
+
+    async def execute_stream(self, payload):
+        """Async generator of ``run_iter`` snapshots (the TCP stream op).
+
+        Each yielded item is ``{"snapshot": <result>, "seq": n, ...}``;
+        the per-tenant lock and the in-flight slot are held for the whole
+        stream, so a stream counts against the admission limits like one
+        long request.
+        """
+        self._counters["requests"] += 1
+        self._counters["streams"] += 1
+        sql, tenant, engine, samples, fields = self._unpack(payload)
+        if samples is not None:
+            raise ProtocolError(
+                "streams refine under an EvalSpec; pass 'spec' "
+                "(e.g. {'mode': 'sample', 'budget': ...}) instead of 'samples'"
+            )
+        degraded = self._admit()
+        if degraded:
+            self._counters["degraded"] += 1
+            engine, samples, fields = self._shed_rewrite(
+                engine, samples, fields
+            )
+        fields.setdefault("workers", self.config.eval_workers)
+        session = self.session(tenant)
+        query, statement_hit = await self._offload(
+            self.statements.get_or_parse, sql
+        )
+        loop = asyncio.get_running_loop()
+        # Hand-off between the run_iter thread and the async consumer is
+        # a *thread* queue with a stop flag: the producer only ever
+        # blocks with a timeout, so an abandoned stream (client went
+        # away mid-refinement) can always be unwound — it must never pin
+        # an executor thread, and stop() must never deadlock on it.
+        items: queue_module.Queue = queue_module.Queue(maxsize=4)
+        abandoned = threading.Event()
+
+        def push(item) -> bool:
+            while not abandoned.is_set():
+                try:
+                    items.put(item, timeout=0.05)
+                    return True
+                except queue_module.Full:
+                    continue
+            return False
+
+        def producer():
+            try:
+                for snapshot in session.run_iter(
+                    query, engine=engine, **fields
+                ):
+                    if not push(("snapshot", result_to_json(snapshot))):
+                        return
+            except BaseException as exc:  # propagated to the consumer
+                push(("error", exc))
+            else:
+                push(("done", None))
+
+        async def next_item():
+            # Poll rather than block a thread on items.get(): a blocked
+            # get could outlive an abandoned generator.  Snapshots arrive
+            # on millisecond refinement rounds; 2ms polling is invisible.
+            while True:
+                try:
+                    return items.get_nowait()
+                except queue_module.Empty:
+                    await asyncio.sleep(0.002)
+
+        self._inflight += 1
+        try:
+            async with self._tenant_lock(tenant):
+                future = loop.run_in_executor(self._executor, producer)
+                seq = 0
+                while True:
+                    kind, value = await next_item()
+                    if kind == "snapshot":
+                        seq += 1
+                        yield {
+                            "snapshot": value,
+                            "seq": seq,
+                            "tenant": tenant,
+                            "degraded": degraded,
+                            "statement_cache_hit": statement_hit,
+                        }
+                    elif kind == "error":
+                        raise value
+                    else:
+                        break
+                await future
+        finally:
+            # Unblock (and then drain past) a producer mid-push when the
+            # consumer leaves early; harmless after normal completion.
+            abandoned.set()
+            while True:
+                try:
+                    items.get_nowait()
+                except queue_module.Empty:
+                    break
+            self._inflight -= 1
+        self._counters["completed"] += 1
+
+    async def _offload(self, fn, *args, **kwargs):
+        """Run blocking work on the executor pool, off the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(fn, *args, **kwargs)
+        )
+
+    def note_error(self) -> None:
+        """Protocol layers report a failed request for /stats accounting."""
+        self._counters["errors"] += 1
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` payload: counters and cache hit rates."""
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        with self._sessions_lock:
+            tenants = sorted(self._sessions)
+        return {
+            "server": {
+                "uptime_seconds": uptime,
+                "inflight": self._inflight,
+                "soft_limit": self.config.soft_limit,
+                "hard_limit": self.config.hard_limit,
+                "tenants": len(tenants),
+                **self._counters,
+            },
+            "statement_cache": self.statements.stats(),
+            "plan_cache": self.plans.stats(),
+            "distribution_cache": self.cache.stats(),
+            "database": {
+                "tables": {
+                    name: len(table) for name, table in self.db.tables.items()
+                },
+                "variables": len(self.db.registry),
+            },
+            "config": jsonable(asdict(self.config)),
+        }
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "inflight": self._inflight,
+            "tenants": len(self._sessions),
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> "QueryServer":
+        """Bind the HTTP and TCP listeners and start the executor pool."""
+        if self._http_server is not None:
+            raise ProtocolError("server already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.threads,
+            thread_name_prefix="repro-server",
+        )
+        self._started_monotonic = time.monotonic()
+        self._http_server = await asyncio.start_server(
+            functools.partial(http_protocol.handle_connection, self),
+            self.config.host,
+            self.config.port,
+        )
+        self.http_address = self._http_server.sockets[0].getsockname()[:2]
+        tcp_port = self.config.tcp_port
+        if tcp_port is None:
+            tcp_port = 0 if self.config.port == 0 else self.config.port + 1
+        self._tcp_server = await asyncio.start_server(
+            functools.partial(tcp_protocol.handle_connection, self),
+            self.config.host,
+            tcp_port,
+            # readline() is bounded by the stream limit; one request is
+            # one line, so the limit must cover MAX_LINE_BYTES.
+            limit=tcp_protocol.MAX_LINE_BYTES + 1024,
+        )
+        self.tcp_address = self._tcp_server.sockets[0].getsockname()[:2]
+        return self
+
+    async def stop(self) -> None:
+        """Close the listeners and shut the executor pool down."""
+        for server in (self._http_server, self._tcp_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._http_server = None
+        self._tcp_server = None
+        if self._executor is not None:
+            executor = self._executor
+            self._executor = None
+            # Join worker threads OFF the event loop: a shutdown(wait=True)
+            # here would block the loop and deadlock any in-flight work
+            # that still needs a loop tick to finish.
+            await asyncio.get_running_loop().run_in_executor(
+                None, functools.partial(executor.shutdown, wait=True)
+            )
+
+    async def serve_forever(self) -> None:
+        """Start (when needed) and serve until cancelled."""
+        if self._http_server is None:
+            await self.start()
+        await asyncio.gather(
+            self._http_server.serve_forever(),
+            self._tcp_server.serve_forever(),
+        )
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.stop()
+        return False
+
+    def __repr__(self):
+        return (
+            f"QueryServer(http={self.http_address}, tcp={self.tcp_address}, "
+            f"tenants={len(self._sessions)}, inflight={self._inflight})"
+        )

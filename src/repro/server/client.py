@@ -1,0 +1,311 @@
+"""The async client of the query server.
+
+Built directly on asyncio streams (no HTTP library in the container);
+speaks both wire protocols:
+
+* :meth:`ServerClient.query`, :meth:`ServerClient.stats`,
+  :meth:`ServerClient.healthz` — JSON over HTTP on one keep-alive
+  connection (reconnecting once if the server closed it);
+* :meth:`ServerClient.stream` — the TCP line protocol's anytime path:
+  an async iterator of progressively tightening
+  :class:`~repro.server.codec.RemoteResult` snapshots;
+* :meth:`ServerClient.tcp_query` — a one-shot query over the TCP
+  protocol (used by tests to exercise both stacks).
+
+`query` mirrors :meth:`Session.run`'s keyword surface (``engine=``,
+``samples=``, ``spec=``, and the inline ``mode``/``epsilon``/…
+overrides) and returns a :class:`~repro.server.codec.RemoteResult`
+whose ``degraded``/``statement_cache_hit`` flags expose the server-side
+envelope.  Server-reported failures raise :class:`ServerError` (or
+:class:`ServerOverloaded`, carrying ``retry_after``, when admission
+control shed the request).
+
+Usage::
+
+    async with ServerClient("127.0.0.1", 8642) as client:
+        result = await client.query("SELECT kind FROM R", tenant="alice")
+        for row in result:
+            print(row.values, row.probability.low, row.probability.high)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.engine.spec import EvalSpec
+from repro.errors import ReproError
+from repro.server.codec import RemoteResult, result_from_json, spec_payload
+
+__all__ = ["ServerClient", "ServerError", "ServerOverloaded"]
+
+
+class ServerError(ReproError):
+    """The server reported a structured error for this request."""
+
+    def __init__(self, error: dict):
+        message = error.get("message", "server error")
+        super().__init__(f"{error.get('type', 'ServerError')}: {message}")
+        self.error = dict(error)
+
+
+class ServerOverloaded(ServerError):
+    """The server shed this request; retry after ``retry_after``."""
+
+    def __init__(self, error: dict, retry_after: float):
+        super().__init__(error)
+        self.retry_after = retry_after
+
+
+def _raise_for_error(error: dict):
+    retry_after = error.get("retry_after")
+    if retry_after is not None or error.get("type") == "ServerOverloadedError":
+        raise ServerOverloaded(error, float(retry_after or 0.0))
+    raise ServerError(error)
+
+
+class ServerClient:
+    """An asyncio client for one query server (HTTP + TCP endpoints)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        tcp_port: int | None = None,
+        tenant: str = "default",
+    ):
+        self.host = host
+        self.port = port
+        self.tcp_port = tcp_port if tcp_port is not None else port + 1
+        self.tenant = tenant
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        # One in-flight HTTP request at a time per client (the keep-alive
+        # connection is a pipe); concurrency tests use many clients.
+        self._lock = asyncio.Lock()
+
+    # -- HTTP ------------------------------------------------------------------
+
+    async def _connect_http(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def _http(self, method: str, path: str, payload: dict | None = None):
+        """One HTTP round-trip; reconnects once on a dropped keep-alive."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        request = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            f"\r\n"
+        ).encode("latin-1") + body
+        async with self._lock:
+            for attempt in (0, 1):
+                if self._writer is None:
+                    await self._connect_http()
+                try:
+                    self._writer.write(request)
+                    await self._writer.drain()
+                    return await self._read_http_response()
+                except (
+                    ConnectionError,
+                    asyncio.IncompleteReadError,
+                    BrokenPipeError,
+                ):
+                    await self._close_http()
+                    if attempt:
+                        raise
+
+    async def _read_http_response(self):
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        parts = status_line.decode("latin-1").split(maxsplit=2)
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self._close_http()
+        payload = json.loads(body.decode("utf-8")) if body else {}
+        return status, headers, payload
+
+    async def _close_http(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    # -- public API ------------------------------------------------------------
+
+    async def query(
+        self,
+        sql: str,
+        *,
+        tenant: str | None = None,
+        engine: str | None = None,
+        samples: int | None = None,
+        spec: EvalSpec | str | dict | None = None,
+        mode: str | None = None,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        budget: int | None = None,
+        time_limit: float | None = None,
+        workers: int | str | None = None,
+    ) -> RemoteResult:
+        """Run ``sql`` on the server; mirrors :meth:`Session.run`."""
+        payload = {
+            "sql": sql,
+            "tenant": tenant if tenant is not None else self.tenant,
+        }
+        if engine is not None:
+            payload["engine"] = engine
+        if samples is not None:
+            payload["samples"] = samples
+        wire_spec = spec_payload(
+            spec,
+            mode=mode,
+            epsilon=epsilon,
+            delta=delta,
+            budget=budget,
+            time_limit=time_limit,
+            workers=workers,
+        )
+        if wire_spec is not None:
+            payload["spec"] = wire_spec
+        status, _, response = await self._http("POST", "/query", payload)
+        if status != 200:
+            _raise_for_error(response.get("error", {"message": f"HTTP {status}"}))
+        return result_from_json(
+            response["result"],
+            degraded=response.get("degraded", False),
+            statement_cache_hit=response.get("statement_cache_hit", False),
+        )
+
+    async def stats(self) -> dict:
+        status, _, response = await self._http("GET", "/stats")
+        if status != 200:
+            _raise_for_error(response.get("error", {"message": f"HTTP {status}"}))
+        return response
+
+    async def healthz(self) -> dict:
+        status, _, response = await self._http("GET", "/healthz")
+        if status != 200:
+            _raise_for_error(response.get("error", {"message": f"HTTP {status}"}))
+        return response
+
+    # -- TCP -------------------------------------------------------------------
+
+    async def _tcp_round_trip(self, request: dict, collect_stream: bool):
+        reader, writer = await asyncio.open_connection(self.host, self.tcp_port)
+        try:
+            writer.write(json.dumps(request).encode("utf-8") + b"\n")
+            await writer.drain()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    raise ServerError(
+                        {"type": "ConnectionClosed",
+                         "message": "server closed the stream"}
+                    )
+                response = json.loads(line.decode("utf-8"))
+                if not response.get("ok", False):
+                    _raise_for_error(response.get("error", {}))
+                if collect_stream:
+                    if response.get("done"):
+                        return
+                    yield response
+                else:
+                    yield response
+                    return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _tcp_payload(self, op, sql, tenant, engine, spec, **overrides) -> dict:
+        payload = {
+            "op": op,
+            "sql": sql,
+            "tenant": tenant if tenant is not None else self.tenant,
+        }
+        if engine is not None:
+            payload["engine"] = engine
+        wire_spec = spec_payload(spec, **overrides)
+        if wire_spec is not None:
+            payload["spec"] = wire_spec
+        return payload
+
+    async def tcp_query(
+        self,
+        sql: str,
+        *,
+        tenant: str | None = None,
+        engine: str | None = None,
+        spec: EvalSpec | str | dict | None = None,
+        **overrides,
+    ) -> RemoteResult:
+        """One-shot query over the TCP line protocol."""
+        payload = self._tcp_payload("query", sql, tenant, engine, spec, **overrides)
+        async for response in self._tcp_round_trip(payload, collect_stream=False):
+            return result_from_json(
+                response["result"],
+                degraded=response.get("degraded", False),
+                statement_cache_hit=response.get("statement_cache_hit", False),
+            )
+
+    async def stream(
+        self,
+        sql: str,
+        *,
+        tenant: str | None = None,
+        engine: str | None = None,
+        spec: EvalSpec | str | dict | None = None,
+        **overrides,
+    ):
+        """Async iterator of anytime snapshots (``Session.run_iter``).
+
+        Each yielded :class:`RemoteResult` carries sound, monotonically
+        tightening intervals; stop consuming whenever the current widths
+        are good enough (each stream uses its own TCP connection, so
+        abandoning it cannot desynchronise other requests).
+        """
+        payload = self._tcp_payload("stream", sql, tenant, engine, spec, **overrides)
+        async for response in self._tcp_round_trip(payload, collect_stream=True):
+            yield result_from_json(
+                response["snapshot"],
+                degraded=response.get("degraded", False),
+                statement_cache_hit=response.get("statement_cache_hit", False),
+            )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def close(self) -> None:
+        await self._close_http()
+
+    async def __aenter__(self) -> "ServerClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"ServerClient(http={self.host}:{self.port}, "
+            f"tcp={self.host}:{self.tcp_port}, tenant={self.tenant!r})"
+        )

@@ -1,0 +1,147 @@
+"""The server-wide prepared-statement cache.
+
+Keyed on *normalised query text* (the edgedb idiom: one shared compiled
+cache in front of per-connection state): when tenant B sends the same
+SQL tenant A already ran, the parse is skipped here, the optimised
+physical plan is reused via the shared
+:class:`~repro.engine.base.PlanCache`, and the compiled distributions
+come out of the shared :class:`~repro.engine.base.CompilationCache` —
+the whole compile pipeline collapses to cache lookups.
+
+Normalisation is deliberately conservative — textual, lossless, and
+quote-aware: runs of whitespace *outside* string literals collapse to a
+single space and trailing semicolons are dropped, while quoted literals
+are preserved byte-for-byte (two queries differing only inside a string
+constant must never collide).  Keyword case is **not** folded, so
+``SELECT`` and ``select`` are distinct statements; the cache trades a
+few extra misses for guaranteed semantic identity.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import QueryValidationError
+from repro.query.ast import Query
+from repro.query.sql import parse_sql
+
+__all__ = ["normalise_statement", "PreparedStatement", "StatementCache"]
+
+
+def normalise_statement(text: str) -> str:
+    """The cache key of a SQL string (see the module docstring)."""
+    if not isinstance(text, str):
+        raise QueryValidationError(
+            f"statement must be a SQL string, got {type(text).__name__}"
+        )
+    out: list[str] = []
+    pending_space = False
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            # Copy the quoted literal verbatim; a doubled '' stays inside.
+            j = i + 1
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(text[i : min(j + 1, n)])
+            i = j + 1
+        elif ch.isspace():
+            pending_space = True
+            i += 1
+        else:
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(ch)
+            i += 1
+    key = "".join(out)
+    while key.endswith(";"):
+        key = key[:-1].rstrip()
+    return key
+
+
+@dataclass
+class PreparedStatement:
+    """One cached statement: its normalised text and parsed query AST."""
+
+    key: str
+    query: Query
+    uses: int = 1
+
+
+class StatementCache:
+    """Bounded LRU from normalised SQL text to parsed query ASTs.
+
+    Thread-safe (the server parses on executor threads).  Counters
+    mirror :class:`~repro.engine.base.CompilationCache`: ``hits`` are
+    cross-request (and, on a shared server, cross-tenant) statement
+    reuses, ``evictions`` count entries dropped past ``max_entries``.
+    Parse errors propagate to the caller and cache nothing.
+    """
+
+    def __init__(self, max_entries: int | None = 256):
+        if max_entries is not None and max_entries <= 0:
+            raise QueryValidationError(
+                f"max_entries must be a positive integer or None, "
+                f"got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._statements: OrderedDict[str, PreparedStatement] = OrderedDict()
+        self._lock = threading.RLock()
+
+    def get_or_parse(self, text: str, parser=parse_sql):
+        """``(query, hit)`` for ``text``, parsing (and caching) on miss."""
+        key = normalise_statement(text)
+        with self._lock:
+            entry = self._statements.get(key)
+            if entry is not None:
+                self.hits += 1
+                entry.uses += 1
+                self._statements.move_to_end(key)
+                return entry.query, True
+            query = parser(key)
+            self.misses += 1
+            self._statements[key] = PreparedStatement(key, query)
+            if self.max_entries is not None:
+                while len(self._statements) > self.max_entries:
+                    self._statements.popitem(last=False)
+                    self.evictions += 1
+            return query, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._statements.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._statements),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._statements)
+
+    def __repr__(self):
+        return (
+            f"StatementCache({len(self)} entries, {self.hits} hits, "
+            f"{self.misses} misses, {self.evictions} evictions)"
+        )

@@ -124,6 +124,8 @@ class Session:
         seed: int | None = None,
         samples: int = 1000,
         database: PVCDatabase | None = None,
+        cache: CompilationCache | None = None,
+        plan_cache=None,
         **compiler_options,
     ):
         if engine != "auto" and engine not in ENGINE_NAMES:
@@ -147,11 +149,36 @@ class Session:
         self.seed = seed
         self.samples = samples
         self.compiler_options = compiler_options
-        #: The persistent compiler; its d-tree memo is shared by every
-        #: sprout run of this session.
-        self.compiler = Compiler(self.registry, self.semiring, **compiler_options)
-        #: Distribution cache keyed on normalized annotations.
-        self.cache = CompilationCache(self.compiler)
+        if cache is not None:
+            # Adopt a shared (usually server-wide) distribution cache: the
+            # session then contributes to and benefits from every other
+            # session sharing it.  The cache's compiler must speak this
+            # session's registry and semiring — anything else would mix
+            # distributions of unrelated variable spaces.
+            if cache.registry is not self.registry:
+                raise QueryValidationError(
+                    "a shared CompilationCache must be built on the same "
+                    "variable registry as the session's database"
+                )
+            if cache.semiring != self.semiring:
+                raise QueryValidationError(
+                    f"shared CompilationCache semiring {cache.semiring!r} "
+                    f"conflicts with the session semiring {self.semiring!r}"
+                )
+            self.compiler = cache.compiler
+            self.cache = cache
+        else:
+            #: The persistent compiler; its d-tree memo is shared by every
+            #: sprout run of this session.
+            self.compiler = Compiler(
+                self.registry, self.semiring, **compiler_options
+            )
+            #: Distribution cache keyed on normalized annotations.
+            self.cache = CompilationCache(self.compiler)
+        #: Optional shared prepared-plan cache (see
+        #: :class:`~repro.engine.base.PlanCache`); ``None`` keeps the
+        #: engines' private per-query memo.
+        self.plan_cache = plan_cache
         self._engines: dict[str, Engine] = {}
         self._tuple_independent: tuple | None = None
 
@@ -197,6 +224,7 @@ class Session:
                 name,
                 self.db,
                 distribution_source=self.cache,
+                plan_source=self.plan_cache,
                 seed=self.seed,
                 samples=self.samples,
                 **self.compiler_options,
@@ -562,6 +590,8 @@ def connect(
     seed: int | None = None,
     samples: int = 1000,
     database: PVCDatabase | None = None,
+    cache: CompilationCache | None = None,
+    plan_cache=None,
     **compiler_options,
 ) -> Session:
     """Open a :class:`Session` — the primary entry point of the library.
@@ -577,7 +607,11 @@ def connect(
     ``"sprout"``, ``"approx"``, ``"naive"``, or ``"montecarlo"``.
     ``seed`` makes Monte-Carlo runs and generated workloads
     reproducible.  An existing :class:`PVCDatabase` can be adopted via
-    ``database=``.  Sessions are context managers —
+    ``database=``; multi-tenant deployments (see :mod:`repro.server`)
+    additionally share one ``cache=`` (a
+    :class:`~repro.engine.base.CompilationCache`) and one ``plan_cache=``
+    (a :class:`~repro.engine.base.PlanCache`) across many sessions over
+    the same database.  Sessions are context managers —
     ``with connect() as s: ...`` clears the compilation caches on exit.
     """
     return Session(
@@ -586,5 +620,7 @@ def connect(
         seed=seed,
         samples=samples,
         database=database,
+        cache=cache,
+        plan_cache=plan_cache,
         **compiler_options,
     )

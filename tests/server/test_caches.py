@@ -1,0 +1,190 @@
+"""The shared engine-layer caches: bounded LRU, counters, thread-safety."""
+
+import threading
+
+import pytest
+
+from repro import CompilationCache, PlanCache, connect
+from repro.algebra.expressions import Var, ssum
+from repro.algebra.semiring import BOOLEAN
+from repro.core.compile import Compiler
+from repro.errors import QueryValidationError
+from repro.prob.variables import VariableRegistry
+from repro.query.ast import Project, relation
+
+
+def make_cache(max_entries=None, variables=32):
+    registry = VariableRegistry()
+    for i in range(variables):
+        registry.bernoulli(f"x{i}", 0.5)
+    return CompilationCache(Compiler(registry, BOOLEAN), max_entries=max_entries)
+
+
+class TestCompilationCacheLRU:
+    def test_hit_miss_counters(self):
+        cache = make_cache()
+        cache.distribution(Var("x0"))
+        cache.distribution(Var("x0"))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1 and stats["evictions"] == 0
+
+    def test_eviction_past_bound(self):
+        cache = make_cache(max_entries=2)
+        for i in range(3):
+            cache.distribution(Var(f"x{i}"))
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        # x0 was least-recently-used: recompiling it is a miss...
+        cache.distribution(Var("x0"))
+        assert cache.stats()["misses"] == 4
+        # ...while x2 is still cached.
+        before = cache.stats()["hits"]
+        cache.distribution(Var("x2"))
+        assert cache.stats()["hits"] == before + 1
+
+    def test_lookup_refreshes_recency(self):
+        cache = make_cache(max_entries=2)
+        cache.distribution(Var("x0"))
+        cache.distribution(Var("x1"))
+        cache.distribution(Var("x0"))  # x0 becomes MRU
+        cache.distribution(Var("x2"))  # evicts x1, not x0
+        hits = cache.stats()["hits"]
+        cache.distribution(Var("x0"))
+        assert cache.stats()["hits"] == hits + 1
+
+    def test_unbounded_by_default(self):
+        cache = make_cache()
+        for i in range(20):
+            cache.distribution(Var(f"x{i}"))
+        assert cache.stats()["evictions"] == 0
+        assert len(cache) == 20
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(QueryValidationError):
+            make_cache(max_entries=0)
+
+    def test_absorb_counts_as_miss_and_respects_existing(self):
+        cache = make_cache()
+        key = cache.normalize(Var("x0"))
+        dist = Compiler(cache.registry, cache.semiring).distribution(key)
+        cache.absorb(key, dist)
+        assert cache.stats()["misses"] == 1
+        assert cache.cached(key) is dist
+        # A second absorb of the same key is a no-op.
+        other = Compiler(cache.registry, cache.semiring).distribution(key)
+        cache.absorb(key, other)
+        assert cache.cached(key) is dist
+        assert cache.stats()["misses"] == 1
+
+    def test_clear_keeps_cache_usable(self):
+        cache = make_cache()
+        cache.distribution(ssum([Var("x0"), Var("x1")]))
+        cache.clear()
+        assert len(cache) == 0
+        result = cache.distribution(ssum([Var("x0"), Var("x1")]))
+        assert result is not None
+
+
+class TestCompilationCacheThreads:
+    def test_concurrent_distribution_absorb_clear(self):
+        cache = make_cache(max_entries=16)
+        errors = []
+
+        def reader(offset):
+            try:
+                for round_ in range(30):
+                    for i in range(8):
+                        expr = ssum(
+                            [Var(f"x{(offset + i) % 32}"), Var(f"x{i}")]
+                        )
+                        dist = cache.distribution(expr)
+                        assert abs(sum(p for _, p in dist.items()) - 1.0) < 1e-9
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def clearer():
+            try:
+                for _ in range(10):
+                    cache.clear()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(k,)) for k in range(3)
+        ] + [threading.Thread(target=clearer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+
+
+class TestPlanCache:
+    def test_structurally_equal_queries_share_plans(self):
+        cache = PlanCache()
+        q1 = Project(relation("R"), ["a"])
+        q2 = Project(relation("R"), ["a"])  # distinct object, equal structure
+        fingerprint = (("R", 3),)
+        assert cache.get(q1, fingerprint) is None
+        cache.put(q1, fingerprint, "prepared-plan")
+        assert cache.get(q2, fingerprint) == "prepared-plan"
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_fingerprint_invalidates(self):
+        cache = PlanCache()
+        query = Project(relation("R"), ["a"])
+        cache.put(query, (("R", 3),), "old")
+        assert cache.get(query, (("R", 4),)) is None
+
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        queries = [Project(relation("R"), [col]) for col in ("a", "b", "c")]
+        for i, query in enumerate(queries):
+            cache.put(query, (), f"plan{i}")
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+        assert cache.get(queries[0], ()) is None
+        assert cache.get(queries[2], ()) == "plan2"
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(QueryValidationError):
+            PlanCache(max_entries=-1)
+
+
+class TestSharedCachesAcrossSessions:
+    def test_plan_and_distribution_reuse_across_sessions(self):
+        def build(cache=None, plan_cache=None):
+            s = connect(cache=cache, plan_cache=plan_cache)
+            t = s.table("R", ["kind", "value"])
+            for kind, value, p in [("a", 10, 0.5), ("b", 30, 0.7)]:
+                t.insert((kind, value), p=p)
+            return s
+
+        first = build()
+        shared_plans = PlanCache()
+        a = build(plan_cache=shared_plans)
+        b = connect(plan_cache=shared_plans, database=a.db)
+        query = "SELECT kind FROM R WHERE value >= 20"
+        baseline = first.sql(query)
+        r1 = a.sql(query)
+        assert shared_plans.stats()["misses"] >= 1
+        r2 = b.sql(query)
+        assert shared_plans.stats()["hits"] >= 1
+        probs = lambda r: {
+            row.values: (row.probability().low, row.probability().high)
+            for row in r.rows
+        }
+        assert probs(r1) == probs(r2) == probs(baseline)
+
+    def test_session_rejects_foreign_cache(self):
+        s1 = connect()
+        s1.table("R", ["a"]).insert((1,), p=0.5)
+        foreign = CompilationCache(
+            Compiler(VariableRegistry(), BOOLEAN)
+        )
+        with pytest.raises(QueryValidationError):
+            connect(cache=foreign, database=s1.db)

@@ -1,0 +1,185 @@
+"""The wire codec: lossless round-trips for every engine's results."""
+
+import json
+
+import pytest
+
+from repro import EvalSpec, ProbInterval, connect, count_, sum_
+from repro.errors import QueryValidationError
+from repro.server.codec import (
+    RemoteResult,
+    SymbolicValue,
+    VOLATILE_STAT_KEYS,
+    decode_value,
+    encode_value,
+    fingerprint,
+    jsonable,
+    result_from_json,
+    result_to_json,
+    spec_payload,
+)
+
+
+@pytest.fixture
+def session():
+    s = connect(seed=11)
+    t = s.table("R", ["kind", "value"])
+    for kind, value, p in [
+        ("a", 10, 0.5), ("a", 20, 0.4), ("b", 30, 0.7),
+    ]:
+        t.insert((kind, value), p=p)
+    return s
+
+
+class TestIntervalCodec:
+    def test_round_trip_preserves_both_endpoints(self):
+        interval = ProbInterval(0.25, 0.75)
+        decoded = ProbInterval.from_json(interval.to_json())
+        assert decoded.low == 0.25 and decoded.high == 0.75
+
+    def test_bare_json_dumps_would_lose_the_bracket(self):
+        # The motivating bug: a ProbInterval is a float, so json.dumps
+        # flattens it to the midpoint.
+        assert json.loads(json.dumps(ProbInterval(0.2, 0.4))) == pytest.approx(0.3)
+        assert ProbInterval(0.2, 0.4).to_json() == {"low": 0.2, "high": 0.4}
+
+    def test_bad_payloads_raise_cleanly(self):
+        for bad in (None, 3.5, {"low": 0.2}, {"low": "x", "high": 0.5}, []):
+            with pytest.raises(QueryValidationError):
+                ProbInterval.from_json(bad)
+
+
+class TestSpecCodec:
+    def test_round_trip_identity(self):
+        spec = EvalSpec(mode="sample", epsilon=0.01, delta=0.1, budget=500)
+        assert EvalSpec.from_json(spec.to_json()) == spec
+
+    def test_defaults_round_trip_including_nulls(self):
+        spec = EvalSpec()
+        payload = spec.to_json()
+        assert payload["budget"] is None  # defaults are explicit nulls
+        assert EvalSpec.from_json(payload) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(QueryValidationError):
+            EvalSpec.from_json({"mode": "approx", "eps": 0.1})
+
+    def test_values_validated_like_local_construction(self):
+        with pytest.raises(QueryValidationError):
+            EvalSpec.from_json({"budget": -5})
+
+    def test_spec_payload_merges_overrides(self):
+        payload = spec_payload("approx", epsilon=0.01)
+        assert payload == {"mode": "approx", "epsilon": 0.01}
+        assert spec_payload(None) is None
+        assert spec_payload(None, budget=10) == {"budget": 10}
+        full = spec_payload(EvalSpec(mode="sample"), budget=7)
+        assert full["mode"] == "sample" and full["budget"] == 7
+        with pytest.raises(QueryValidationError):
+            spec_payload(3.5)
+
+
+class TestResultCodec:
+    @pytest.mark.parametrize("engine", ["sprout", "naive", "montecarlo"])
+    def test_every_engine_round_trips(self, session, engine):
+        result = session.table("R").select("kind").run(engine=engine)
+        payload = result_to_json(result)
+        json.dumps(payload)  # must be wire-encodable as-is
+        decoded = result_from_json(payload)
+        assert decoded.engine == engine
+        assert decoded.columns == ["kind"]
+        assert len(decoded) == len(result.rows)
+        for local, remote in zip(result.rows, decoded.rows):
+            assert remote.values == local.values
+            assert remote.probability.low == local.probability().low
+            assert remote.probability.high == local.probability().high
+
+    def test_approx_intervals_survive(self, session):
+        result = session.table("R").select("kind").run(
+            engine="approx", spec=EvalSpec(mode="approx", budget=1)
+        )
+        decoded = result_from_json(result_to_json(result))
+        widths = [row.probability.width for row in decoded.rows]
+        locals_ = [row.probability().width for row in result.rows]
+        assert widths == locals_
+
+    def test_symbolic_group_agg_values_encode(self, session):
+        # sprout group-agg rows carry symbolic semimodule values; a bare
+        # json.dumps of those raises TypeError.
+        result = (
+            session.table("R").group_by("kind").agg(total=sum_("value"))
+            .run(engine="sprout")
+        )
+        payload = result_to_json(result)
+        json.dumps(payload)
+        decoded = result_from_json(payload)
+        symbolic = [
+            value
+            for row in decoded.rows
+            for value in row.values
+            if isinstance(value, SymbolicValue)
+        ]
+        assert symbolic, "expected symbolic aggregate values on the wire"
+
+    def test_stats_always_jsonable(self, session):
+        query = session.table("R").group_by("kind").agg(n=count_())
+        for engine in ("sprout", "naive", "montecarlo"):
+            result = query.run(engine=engine)
+            json.dumps(jsonable(result.stats))
+            json.dumps(jsonable(result.timings))
+
+    def test_jsonable_is_total(self):
+        exotic = {
+            ("tuple", "key"): {1, 2},
+            "interval": ProbInterval(0.1, 0.9),
+            "nested": [object()],
+        }
+        encoded = jsonable(exotic)
+        json.dumps(encoded)
+        assert encoded["interval"] == {"low": 0.1, "high": 0.9}
+
+    def test_remote_result_reencodes_to_same_payload(self, session):
+        result = (
+            session.table("R").group_by("kind").agg(total=sum_("value"))
+            .run(engine="sprout")
+        )
+        payload = result_to_json(result)
+        assert result_from_json(payload).to_json() == payload
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(QueryValidationError):
+            result_from_json({"not": "a result"})
+
+    def test_encode_decode_value_inverse(self):
+        for value in (1, 2.5, "x", None, True):
+            assert decode_value(encode_value(value)) == value
+        marker = decode_value({"symbolic": "x + y"})
+        assert marker == SymbolicValue("x + y")
+        assert encode_value(marker) == {"symbolic": "x + y"}
+
+
+class TestFingerprint:
+    def test_volatile_stats_do_not_change_fingerprint(self, session):
+        result = session.table("R").select("kind").run(engine="sprout")
+        payload = result_to_json(result)
+        noisy = dict(payload)
+        noisy["stats"] = dict(payload["stats"])
+        for key in VOLATILE_STAT_KEYS:
+            noisy["stats"][key] = 123456
+        assert fingerprint(payload) == fingerprint(noisy)
+
+    def test_answer_changes_change_fingerprint(self, session):
+        result = session.table("R").select("kind").run(engine="sprout")
+        payload = result_to_json(result)
+        other = json.loads(json.dumps(payload))
+        other["rows"][0]["probability"]["low"] += 1e-6
+        assert fingerprint(payload) != fingerprint(other)
+
+    def test_accepts_all_three_shapes(self, session):
+        result = session.table("R").select("kind").run(engine="sprout")
+        payload = result_to_json(result)
+        assert (
+            fingerprint(result)
+            == fingerprint(payload)
+            == fingerprint(result_from_json(payload))
+        )

@@ -1,0 +1,485 @@
+"""The query server end to end: conformance, backpressure, robustness.
+
+All tests boot a real :class:`~repro.server.QueryServer` on ephemeral
+localhost ports and drive it with real :class:`ServerClient` sockets.
+Tests are written as sync functions running their own ``asyncio.run``
+event loop (no pytest-asyncio dependency in the container).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import (
+    DEMO_QUERIES,
+    ProtocolError,
+    QueryServer,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+    ServerOverloaded,
+    demo_database,
+    demo_session,
+    fingerprint,
+)
+
+#: Deterministic queries (no Monte-Carlo) for byte-identity conformance.
+ZOO = DEMO_QUERIES
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def booted(**overrides):
+    """A started server over the standard demo database (port 0)."""
+    config = ServerConfig(port=0, **overrides)
+    server = QueryServer(demo_database(), config)
+    await server.start()
+    return server
+
+
+def client_for(server, **kwargs) -> ServerClient:
+    host, port = server.http_address
+    _, tcp_port = server.tcp_address
+    return ServerClient(host, port, tcp_port=tcp_port, **kwargs)
+
+
+def oracle_fingerprints() -> dict:
+    """Serial Session answers over an identically built database."""
+    session = demo_session()
+    return {sql: fingerprint(session.sql(sql)) for sql in ZOO}
+
+
+class TestConcurrentConformance:
+    def test_eight_concurrent_clients_match_serial_oracle(self):
+        """The acceptance criterion: N >= 8 async clients, each running
+        the full query zoo as its own tenant, produce results
+        byte-identical (fingerprint: values, interval endpoints, stats
+        modulo timing/caching counters) to a fresh serial Session — and
+        the shared statement cache records cross-tenant hits."""
+        expected = oracle_fingerprints()
+
+        async def scenario():
+            server = await booted(soft_limit=64, hard_limit=256)
+            try:
+                async def one_client(n):
+                    async with client_for(server, tenant=f"tenant-{n}") as c:
+                        results = {}
+                        # stagger starting points so clients interleave
+                        for i in range(len(ZOO)):
+                            sql = ZOO[(n + i) % len(ZOO)]
+                            results[sql] = await c.query(sql)
+                        return results
+
+                all_results = await asyncio.gather(
+                    *(one_client(n) for n in range(8))
+                )
+                async with client_for(server) as c:
+                    stats = await c.stats()
+                return all_results, stats
+            finally:
+                await server.stop()
+
+        all_results, stats = run(scenario())
+        for results in all_results:
+            assert set(results) == set(expected)
+            for sql, remote in results.items():
+                assert fingerprint(remote) == expected[sql], sql
+        # 8 tenants x 7 statements over 7 distinct texts: at least the
+        # 7 x 7 re-issues must be cross-tenant statement-cache hits.
+        assert stats["statement_cache"]["hits"] >= 49
+        assert stats["statement_cache"]["misses"] == len(ZOO)
+        assert stats["plan_cache"]["hits"] > 0
+        assert stats["server"]["completed"] == 8 * len(ZOO)
+        assert stats["server"]["errors"] == 0
+
+    def test_tcp_protocol_matches_http(self):
+        expected = oracle_fingerprints()
+
+        async def scenario():
+            server = await booted()
+            try:
+                async with client_for(server) as c:
+                    http_result = await c.query(ZOO[3])
+                    tcp_result = await c.tcp_query(ZOO[3])
+                    return http_result, tcp_result
+            finally:
+                await server.stop()
+
+        http_result, tcp_result = run(scenario())
+        assert fingerprint(http_result) == expected[ZOO[3]]
+        assert fingerprint(tcp_result) == expected[ZOO[3]]
+
+    def test_montecarlo_seeded_tenants_are_reproducible(self):
+        """Sampling engines hold RNG state per session; two fresh tenants
+        with the same seed must agree with each other (and a local
+        Session) on the same seeded run."""
+        async def scenario():
+            server = await booted(seed=123)
+            try:
+                async with client_for(server) as c:
+                    a = await c.query(ZOO[1], tenant="mc-a", engine="montecarlo")
+                    b = await c.query(ZOO[1], tenant="mc-b", engine="montecarlo")
+                    return a, b
+            finally:
+                await server.stop()
+
+        a, b = run(scenario())
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestBackpressure:
+    def test_soft_limit_degrades_to_sound_intervals(self):
+        """With soft_limit=0 every request degrades: answers become
+        budgeted anytime intervals that still *contain* the exact
+        probability — degraded, never wrong."""
+        exact = {}
+        session = demo_session()
+        sql = ZOO[1]
+        for row in session.sql(sql).rows:
+            exact[row.values] = row.probability().value
+
+        async def scenario():
+            server = await booted(soft_limit=0, hard_limit=64)
+            try:
+                async with client_for(server) as c:
+                    result = await c.query(sql)
+                    stats = await c.stats()
+                    return result, stats
+            finally:
+                await server.stop()
+
+        result, stats = run(scenario())
+        assert result.degraded
+        assert result.engine in ("approx", "sprout")
+        assert set(exact) == {row.values for row in result.rows}
+        for row in result.rows:
+            p = row.probability
+            assert p.low - 1e-9 <= exact[row.values] <= p.high + 1e-9
+        assert stats["server"]["degraded"] >= 1
+
+    def test_degraded_montecarlo_intent_stays_sampling(self):
+        async def scenario():
+            server = await booted(soft_limit=0, hard_limit=64, seed=5)
+            try:
+                async with client_for(server) as c:
+                    return await c.query(
+                        ZOO[1], engine="montecarlo", samples=100000
+                    )
+            finally:
+                await server.stop()
+
+        result = run(scenario())
+        assert result.degraded
+        assert result.engine == "montecarlo"
+        # the shed budget caps the requested 100k samples
+        assert result.stats["samples"] <= ServerConfig().shed_budget
+
+    def test_hard_limit_sheds_with_retry_after(self):
+        async def scenario():
+            server = await booted(
+                soft_limit=0, hard_limit=0, retry_after=1.5
+            )
+            try:
+                async with client_for(server) as c:
+                    with pytest.raises(ServerOverloaded) as excinfo:
+                        await c.query(ZOO[0])
+                    # the server survives shedding: health + later success
+                    health = await c.healthz()
+                    stats = await c.stats()
+                    return excinfo.value, health, stats
+            finally:
+                await server.stop()
+
+        error, health, stats = run(scenario())
+        assert error.retry_after == 1.5
+        assert health["status"] == "ok"
+        assert stats["server"]["shed"] == 1
+
+    def test_recovers_after_shedding(self):
+        """A server that shed under a tiny hard limit still serves
+        correct answers afterwards (concurrent burst, then a check)."""
+        expected = oracle_fingerprints()
+
+        async def scenario():
+            server = await booted(soft_limit=1, hard_limit=2)
+            try:
+                async def attempt(n):
+                    async with client_for(server, tenant=f"burst-{n}") as c:
+                        try:
+                            return await c.query(ZOO[5])
+                        except ServerOverloaded as exc:
+                            return exc
+
+                burst = await asyncio.gather(*(attempt(n) for n in range(12)))
+                async with client_for(server) as c:
+                    after = await c.query(ZOO[0], tenant="after")
+                return burst, after
+            finally:
+                await server.stop()
+
+        burst, after = run(scenario())
+        answered = [r for r in burst if not isinstance(r, ServerOverloaded)]
+        assert answered, "some burst requests should be admitted"
+        for result in answered:
+            if not result.degraded:
+                assert fingerprint(result) == expected[ZOO[5]]
+        assert fingerprint(after) == expected[ZOO[0]]
+
+
+class TestStreaming:
+    def test_stream_snapshots_tighten_and_stay_sound(self):
+        session = demo_session()
+        sql = ZOO[1]  # projection: identical row shape across modes
+        exact = {
+            row.values: row.probability().value
+            for row in session.sql(sql).rows
+        }
+
+        async def scenario():
+            server = await booted(seed=9)
+            try:
+                async with client_for(server) as c:
+                    snapshots = []
+                    async for snap in c.stream(
+                        sql,
+                        spec={"mode": "sample", "epsilon": 0.05,
+                              "budget": 30000},
+                    ):
+                        snapshots.append(snap)
+                    return snapshots
+            finally:
+                await server.stop()
+
+        snapshots = run(scenario())
+        assert len(snapshots) >= 2, "expected multiple refinement snapshots"
+        max_widths = [
+            max(row.probability.width for row in snap.rows)
+            for snap in snapshots
+        ]
+        assert max_widths == sorted(max_widths, reverse=True)
+        assert max_widths[-1] <= 0.05 + 1e-9
+        # (ε, δ) confidence intervals: check the final bracket with a
+        # generous slack for the documented per-interval failure rate.
+        final = snapshots[-1]
+        for remote_row in final.rows:
+            p = remote_row.probability
+            truth = exact[remote_row.values]
+            assert p.low - 0.25 <= truth <= p.high + 0.25
+
+    def test_abandoned_stream_does_not_wedge_the_server(self):
+        """A client that disconnects mid-stream must not leave the
+        producer thread blocked — the server keeps serving and stop()
+        terminates (this deadlocked before the thread-queue hand-off)."""
+        async def scenario():
+            server = await booted(seed=9)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *server.tcp_address
+                )
+                writer.write(json.dumps({
+                    "op": "stream", "sql": ZOO[1],
+                    "spec": {"mode": "sample", "epsilon": 0.001,
+                             "budget": 200000},
+                }).encode() + b"\n")
+                await writer.drain()
+                await reader.readline()  # first snapshot arrives...
+                writer.close()           # ...then the client vanishes
+                # the server must still answer other tenants promptly
+                async with client_for(server) as c:
+                    result = await c.query(ZOO[0], tenant="other")
+                return result
+            finally:
+                await asyncio.wait_for(server.stop(), timeout=30)
+
+        result = run(scenario())
+        assert len(result.rows) > 0
+
+    def test_stream_rejects_samples_field(self):
+        async def scenario():
+            server = await booted()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *server.tcp_address
+                )
+                writer.write(json.dumps({
+                    "op": "stream", "sql": ZOO[0], "samples": 10,
+                }).encode() + b"\n")
+                await writer.drain()
+                line = json.loads(await reader.readline())
+                writer.close()
+                return line
+            finally:
+                await server.stop()
+
+        line = run(scenario())
+        assert line["ok"] is False
+        assert line["error"]["type"] == "ProtocolError"
+
+
+class TestRobustness:
+    def test_malformed_requests_get_structured_errors(self):
+        """Bad JSON, missing fields, bad SQL, unknown ops: every failure
+        is a structured error response and the server keeps serving."""
+        async def scenario():
+            server = await booted()
+            try:
+                host, port = server.http_address
+                outcomes = {}
+
+                # 1. invalid JSON body over raw HTTP
+                reader, writer = await asyncio.open_connection(host, port)
+                body = b"{not json"
+                writer.write(
+                    b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+                )
+                await writer.drain()
+                status = (await reader.readline()).split()[1]
+                outcomes["bad_json"] = int(status)
+                writer.close()
+
+                # 2-5. structured client errors via the client
+                async with client_for(server) as c:
+                    for name, kwargs in {
+                        "missing_sql": {"sql": "   "},
+                        "bad_sql": {"sql": "SELECT FROM WHERE"},
+                        "unknown_relation": {"sql": "SELECT a FROM nope"},
+                    }.items():
+                        try:
+                            await c.query(**kwargs)
+                            outcomes[name] = None  # pragma: no cover
+                        except ServerError as exc:
+                            outcomes[name] = exc.error["type"]
+                    try:
+                        await c.query(ZOO[0], engine="quantum")
+                        outcomes["bad_engine"] = None  # pragma: no cover
+                    except ServerError as exc:
+                        outcomes["bad_engine"] = exc.error["type"]
+                    try:
+                        await c.query(ZOO[0], spec={"mode": "psychic"})
+                        outcomes["bad_spec"] = None  # pragma: no cover
+                    except ServerError as exc:
+                        outcomes["bad_spec"] = exc.error["type"]
+
+                    # 6. unknown TCP op
+                    reader, writer = await asyncio.open_connection(
+                        *server.tcp_address
+                    )
+                    writer.write(b'{"op": "explode"}\n')
+                    writer.write(b"also not json\n")
+                    # the same connection must still answer a good query
+                    writer.write(json.dumps(
+                        {"op": "query", "sql": ZOO[0]}
+                    ).encode() + b"\n")
+                    await writer.drain()
+                    op_err = json.loads(await reader.readline())
+                    json_err = json.loads(await reader.readline())
+                    good = json.loads(await reader.readline())
+                    writer.close()
+
+                    # the event loop survived everything above
+                    result = await c.query(ZOO[0])
+                    stats = await c.stats()
+                return outcomes, op_err, json_err, good, result, stats
+            finally:
+                await server.stop()
+
+        outcomes, op_err, json_err, good, result, stats = run(scenario())
+        assert outcomes["bad_json"] == 400
+        assert outcomes["missing_sql"] == "ProtocolError"
+        assert outcomes["bad_sql"] == "ParseError"
+        assert outcomes["unknown_relation"] == "QueryValidationError"
+        assert outcomes["bad_engine"] == "ProtocolError"
+        assert outcomes["bad_spec"] == "QueryValidationError"
+        assert op_err["ok"] is False
+        assert json_err["ok"] is False
+        assert good["ok"] is True and len(good["result"]["rows"]) > 0
+        assert len(result.rows) > 0
+        assert stats["server"]["errors"] >= 6
+
+    def test_unknown_route_and_method(self):
+        async def scenario():
+            server = await booted()
+            try:
+                host, port = server.http_address
+
+                async def raw(request):
+                    reader, writer = await asyncio.open_connection(host, port)
+                    writer.write(request)
+                    await writer.drain()
+                    status = int((await reader.readline()).split()[1])
+                    writer.close()
+                    return status
+
+                not_found = await raw(
+                    b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"
+                )
+                wrong_method = await raw(
+                    b"GET /query HTTP/1.1\r\nHost: x\r\n\r\n"
+                )
+                return not_found, wrong_method
+            finally:
+                await server.stop()
+
+        not_found, wrong_method = run(scenario())
+        assert not_found == 404
+        assert wrong_method == 405
+
+    def test_tenant_isolation_of_unknown_fields(self):
+        async def scenario():
+            server = await booted()
+            try:
+                host, port = server.http_address
+                reader, writer = await asyncio.open_connection(host, port)
+                body = json.dumps({"sql": ZOO[0], "bogus": 1}).encode()
+                writer.write(
+                    b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+                )
+                await writer.drain()
+                status = int((await reader.readline()).split()[1])
+                writer.close()
+                return status
+            finally:
+                await server.stop()
+
+        assert run(scenario()) == 400
+
+
+class TestServerConfig:
+    def test_limit_validation(self):
+        with pytest.raises(Exception):
+            ServerConfig(soft_limit=8, hard_limit=4)
+        with pytest.raises(Exception):
+            ServerConfig(threads=0)
+        with pytest.raises(Exception):
+            ServerConfig(shed_budget=0)
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            server = await booted()
+            try:
+                with pytest.raises(ProtocolError):
+                    await server.start()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_stats_payload_is_json_encodable(self):
+        async def scenario():
+            server = await booted()
+            try:
+                async with client_for(server) as c:
+                    await c.query(ZOO[0])
+                    return await c.stats()
+            finally:
+                await server.stop()
+
+        stats = run(scenario())
+        json.dumps(stats)
+        assert stats["database"]["tables"]["R"] == 8
+        assert stats["config"]["soft_limit"] == ServerConfig().soft_limit

@@ -1,0 +1,110 @@
+"""The prepared-statement cache: normalisation, LRU, thread-safety."""
+
+import threading
+
+import pytest
+
+from repro.errors import ParseError, QueryValidationError
+from repro.server.statements import StatementCache, normalise_statement
+
+
+class TestNormalisation:
+    def test_whitespace_runs_collapse(self):
+        assert (
+            normalise_statement("SELECT   a\n  FROM\t R")
+            == normalise_statement("SELECT a FROM R")
+        )
+
+    def test_leading_trailing_whitespace_stripped(self):
+        assert normalise_statement("  SELECT a FROM R  ") == "SELECT a FROM R"
+
+    def test_trailing_semicolons_dropped(self):
+        assert normalise_statement("SELECT a FROM R;") == "SELECT a FROM R"
+        assert normalise_statement("SELECT a FROM R ; ;") == "SELECT a FROM R"
+
+    def test_string_literals_preserved_verbatim(self):
+        # Two statements differing only inside a literal must NOT collide.
+        a = normalise_statement("SELECT a FROM R WHERE b = 'x  y'")
+        b = normalise_statement("SELECT a FROM R WHERE b = 'x y'")
+        assert a != b
+        # ... and whitespace inside the literal survives normalisation.
+        assert "'x  y'" in a
+
+    def test_doubled_quote_escapes_stay_inside_literal(self):
+        key = normalise_statement("SELECT a FROM R WHERE b = 'it''s   ok'")
+        assert "'it''s   ok'" in key
+
+    def test_keyword_case_not_folded(self):
+        assert (
+            normalise_statement("select a from R")
+            != normalise_statement("SELECT a FROM R")
+        )
+
+    def test_non_string_rejected(self):
+        with pytest.raises(QueryValidationError):
+            normalise_statement(42)
+
+
+class TestStatementCache:
+    def test_equivalent_texts_share_one_entry(self):
+        cache = StatementCache()
+        q1, hit1 = cache.get_or_parse("SELECT a, b FROM R")
+        q2, hit2 = cache.get_or_parse("  SELECT   a, b\nFROM R ;")
+        assert not hit1 and hit2
+        assert q1 is q2
+        assert len(cache) == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_counts(self):
+        cache = StatementCache(max_entries=2)
+        cache.get_or_parse("SELECT a FROM R")
+        cache.get_or_parse("SELECT b FROM R")
+        cache.get_or_parse("SELECT a FROM R")  # refresh: a is now MRU
+        cache.get_or_parse("SELECT c FROM R")  # evicts b
+        assert cache.stats()["evictions"] == 1
+        _, hit_a = cache.get_or_parse("SELECT a FROM R")
+        assert hit_a  # survived because it was refreshed
+        _, hit_b = cache.get_or_parse("SELECT b FROM R")
+        assert not hit_b  # was evicted
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(QueryValidationError):
+            StatementCache(max_entries=0)
+
+    def test_parse_errors_propagate_and_cache_nothing(self):
+        cache = StatementCache()
+        with pytest.raises(ParseError):
+            cache.get_or_parse("SELECT FROM WHERE")
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_clear(self):
+        cache = StatementCache()
+        cache.get_or_parse("SELECT a FROM R")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_concurrent_access_is_consistent(self):
+        cache = StatementCache(max_entries=8)
+        statements = [f"SELECT a FROM R WHERE b = {i}" for i in range(16)]
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    for sql in statements:
+                        query, _ = cache.get_or_parse(sql)
+                        assert query is not None
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert len(cache) <= 8
+        assert stats["hits"] + stats["misses"] == 4 * 50 * 16
