@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="concurrent requests beyond which requests are shed (503)",
     )
     parser.add_argument(
+        "--max-tenants", type=int, default=defaults.max_tenants,
+        help="bound on per-tenant sessions (LRU-evicts idle tenants)",
+    )
+    parser.add_argument(
         "--shed-epsilon", type=float, default=defaults.shed_epsilon,
         help="target interval width of degraded requests",
     )
@@ -105,6 +109,7 @@ async def _serve(args) -> None:
         distribution_cache_size=args.distribution_cache,
         soft_limit=args.soft_limit,
         hard_limit=args.hard_limit,
+        max_tenants=args.max_tenants,
         shed_epsilon=args.shed_epsilon,
         shed_budget=args.shed_budget,
         shed_time_limit=args.shed_time_limit,

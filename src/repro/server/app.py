@@ -39,6 +39,7 @@ import functools
 import queue as queue_module
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, replace
 
@@ -84,7 +85,11 @@ class ServerConfig:
     ``soft_limit``/``hard_limit`` bound concurrent admitted requests:
     at ``soft_limit`` new requests degrade to budgeted anytime specs
     (``shed_epsilon``/``shed_budget``/``shed_time_limit``), at
-    ``hard_limit`` they are shed with ``retry_after``.  ``tcp_port``
+    ``hard_limit`` they are shed with ``retry_after``.  ``max_tenants``
+    bounds per-tenant server state (sessions and locks are keyed on
+    client-supplied tenant names): past it the least-recently-used
+    *idle* tenant is evicted, and when every tenant is busy the request
+    is shed like a hard-limit trip.  ``tcp_port``
     ``None`` means "next port after ``port``" (or another ephemeral port
     when ``port`` is 0).  ``threads`` sizes the executor pool the event
     loop offloads blocking compile/eval work to; ``eval_workers``
@@ -101,6 +106,7 @@ class ServerConfig:
     distribution_cache_size: int | None = 4096
     soft_limit: int = 8
     hard_limit: int = 32
+    max_tenants: int = 64
     shed_epsilon: float = 0.05
     shed_budget: int = 2048
     shed_time_limit: float = 0.25
@@ -121,6 +127,10 @@ class ServerConfig:
             raise QueryValidationError(
                 f"soft_limit ({self.soft_limit}) must not exceed "
                 f"hard_limit ({self.hard_limit})"
+            )
+        if self.max_tenants < 1:
+            raise QueryValidationError(
+                f"max_tenants must be >= 1, got {self.max_tenants!r}"
             )
         if self.shed_epsilon <= 0 or self.shed_budget <= 0:
             raise QueryValidationError(
@@ -147,9 +157,10 @@ class QueryServer:
         self.statements = StatementCache(
             max_entries=self.config.statement_cache_size
         )
-        self._sessions: dict[str, Session] = {}
+        self._sessions: OrderedDict[str, Session] = OrderedDict()
         self._sessions_lock = threading.Lock()
         self._tenant_locks: dict[str, asyncio.Lock] = {}
+        self._tenant_busy: dict[str, int] = {}
         self._executor: ThreadPoolExecutor | None = None
         self._http_server: asyncio.AbstractServer | None = None
         self._tcp_server: asyncio.AbstractServer | None = None
@@ -164,6 +175,7 @@ class QueryServer:
             "shed": 0,
             "errors": 0,
             "streams": 0,
+            "tenants_evicted": 0,
         }
 
     # -- tenant state ----------------------------------------------------------
@@ -173,27 +185,66 @@ class QueryServer:
 
         All tenants share the database, the distribution cache and the
         plan cache; the session carries only the per-tenant engine
-        adapters and RNG state.
+        adapters and RNG state.  Tenant state is bounded by
+        ``config.max_tenants``: creating one more evicts the least-
+        recently-used idle tenant, and raises
+        :class:`ServerOverloadedError` when every tenant is busy.
         """
         with self._sessions_lock:
-            session = self._sessions.get(tenant)
-            if session is None:
-                session = Session(
-                    engine=self.config.default_engine,
-                    seed=self.config.seed,
-                    samples=self.config.samples,
-                    database=self.db,
-                    cache=self.cache,
-                    plan_cache=self.plans,
-                )
-                self._sessions[tenant] = session
-            return session
+            return self._session_locked(tenant)
 
-    def _tenant_lock(self, tenant: str) -> asyncio.Lock:
-        lock = self._tenant_locks.get(tenant)
-        if lock is None:
-            lock = self._tenant_locks[tenant] = asyncio.Lock()
-        return lock
+    def _session_locked(self, tenant: str) -> Session:
+        session = self._sessions.get(tenant)
+        if session is None:
+            if len(self._sessions) >= self.config.max_tenants:
+                self._evict_idle_tenant()
+            session = Session(
+                engine=self.config.default_engine,
+                seed=self.config.seed,
+                samples=self.config.samples,
+                database=self.db,
+                cache=self.cache,
+                plan_cache=self.plans,
+            )
+            self._sessions[tenant] = session
+            self._tenant_locks[tenant] = asyncio.Lock()
+        else:
+            self._sessions.move_to_end(tenant)
+        return session
+
+    def _evict_idle_tenant(self) -> None:
+        """Drop the LRU tenant with no in-flight request (caller locks)."""
+        victim = next(
+            (name for name in self._sessions if name not in self._tenant_busy),
+            None,
+        )
+        if victim is None:
+            self._counters["shed"] += 1
+            raise ServerOverloadedError(self.config.retry_after)
+        del self._sessions[victim]
+        self._tenant_locks.pop(victim, None)
+        self._counters["tenants_evicted"] += 1
+
+    def _acquire_tenant(self, tenant: str) -> tuple[Session, asyncio.Lock]:
+        """Tenant session + lock, refcounted busy until _release_tenant.
+
+        The busy refcount pins the tenant against LRU eviction for the
+        whole request — including the time spent *waiting* on the
+        tenant lock — so two requests of one tenant can never end up on
+        two different ``Session`` objects.
+        """
+        with self._sessions_lock:
+            session = self._session_locked(tenant)
+            self._tenant_busy[tenant] = self._tenant_busy.get(tenant, 0) + 1
+            return session, self._tenant_locks[tenant]
+
+    def _release_tenant(self, tenant: str) -> None:
+        with self._sessions_lock:
+            count = self._tenant_busy.get(tenant, 0) - 1
+            if count > 0:
+                self._tenant_busy[tenant] = count
+            else:
+                self._tenant_busy.pop(tenant, None)
 
     # -- request validation ----------------------------------------------------
 
@@ -255,7 +306,14 @@ class QueryServer:
     # -- admission control -----------------------------------------------------
 
     def _admit(self) -> bool:
-        """True when the request must degrade; raises when it must shed."""
+        """True when the request must degrade; raises when it must shed.
+
+        Contract: the caller must increment ``_inflight`` in the same
+        synchronous stretch as this check (no await in between) and
+        decrement it in a ``finally`` covering parsing, lock wait and
+        execution — otherwise a burst arriving while one request awaits
+        would all read the same stale count and overshoot the limits.
+        """
         if self._inflight >= self.config.hard_limit:
             self._counters["shed"] += 1
             raise ServerOverloadedError(self.config.retry_after)
@@ -307,26 +365,29 @@ class QueryServer:
         self._counters["requests"] += 1
         sql, tenant, engine, samples, fields = self._unpack(payload)
         degraded = self._admit()
-        if degraded:
-            self._counters["degraded"] += 1
-            engine, samples, fields = self._shed_rewrite(
-                engine, samples, fields
-            )
-        fields.setdefault("workers", self.config.eval_workers)
-        session = self.session(tenant)
-        query, statement_hit = await self._offload(
-            self.statements.get_or_parse, sql
-        )
-        self._inflight += 1
+        self._inflight += 1  # synchronously with _admit — see its contract
         try:
-            async with self._tenant_lock(tenant):
-                result = await self._offload(
-                    session.run,
-                    query,
-                    engine=engine,
-                    samples=samples,
-                    **fields,
+            if degraded:
+                self._counters["degraded"] += 1
+                engine, samples, fields = self._shed_rewrite(
+                    engine, samples, fields
                 )
+            fields.setdefault("workers", self.config.eval_workers)
+            session, lock = self._acquire_tenant(tenant)
+            try:
+                query, statement_hit = await self._offload(
+                    self.statements.get_or_parse, sql
+                )
+                async with lock:
+                    result = await self._offload(
+                        session.run,
+                        query,
+                        engine=engine,
+                        samples=samples,
+                        **fields,
+                    )
+            finally:
+                self._release_tenant(tenant)
         finally:
             self._inflight -= 1
         self._counters["completed"] += 1
@@ -354,86 +415,114 @@ class QueryServer:
                 "(e.g. {'mode': 'sample', 'budget': ...}) instead of 'samples'"
             )
         degraded = self._admit()
-        if degraded:
-            self._counters["degraded"] += 1
-            engine, samples, fields = self._shed_rewrite(
-                engine, samples, fields
-            )
-        fields.setdefault("workers", self.config.eval_workers)
-        session = self.session(tenant)
-        query, statement_hit = await self._offload(
-            self.statements.get_or_parse, sql
-        )
-        loop = asyncio.get_running_loop()
-        # Hand-off between the run_iter thread and the async consumer is
-        # a *thread* queue with a stop flag: the producer only ever
-        # blocks with a timeout, so an abandoned stream (client went
-        # away mid-refinement) can always be unwound — it must never pin
-        # an executor thread, and stop() must never deadlock on it.
-        items: queue_module.Queue = queue_module.Queue(maxsize=4)
-        abandoned = threading.Event()
-
-        def push(item) -> bool:
-            while not abandoned.is_set():
-                try:
-                    items.put(item, timeout=0.05)
-                    return True
-                except queue_module.Full:
-                    continue
-            return False
-
-        def producer():
-            try:
-                for snapshot in session.run_iter(
-                    query, engine=engine, **fields
-                ):
-                    if not push(("snapshot", result_to_json(snapshot))):
-                        return
-            except BaseException as exc:  # propagated to the consumer
-                push(("error", exc))
-            else:
-                push(("done", None))
-
-        async def next_item():
-            # Poll rather than block a thread on items.get(): a blocked
-            # get could outlive an abandoned generator.  Snapshots arrive
-            # on millisecond refinement rounds; 2ms polling is invisible.
-            while True:
-                try:
-                    return items.get_nowait()
-                except queue_module.Empty:
-                    await asyncio.sleep(0.002)
-
-        self._inflight += 1
+        self._inflight += 1  # synchronously with _admit — see its contract
         try:
-            async with self._tenant_lock(tenant):
-                future = loop.run_in_executor(self._executor, producer)
-                seq = 0
-                while True:
-                    kind, value = await next_item()
-                    if kind == "snapshot":
-                        seq += 1
-                        yield {
-                            "snapshot": value,
-                            "seq": seq,
-                            "tenant": tenant,
-                            "degraded": degraded,
-                            "statement_cache_hit": statement_hit,
-                        }
-                    elif kind == "error":
-                        raise value
-                    else:
-                        break
-                await future
-        finally:
-            # Unblock (and then drain past) a producer mid-push when the
-            # consumer leaves early; harmless after normal completion.
-            abandoned.set()
-            while True:
+            if degraded:
+                self._counters["degraded"] += 1
+                engine, samples, fields = self._shed_rewrite(
+                    engine, samples, fields
+                )
+            fields.setdefault("workers", self.config.eval_workers)
+            session, lock = self._acquire_tenant(tenant)
+            try:
+                query, statement_hit = await self._offload(
+                    self.statements.get_or_parse, sql
+                )
+                loop = asyncio.get_running_loop()
+                # Hand-off between the run_iter thread and the async
+                # consumer is a *thread* queue with a stop flag: the
+                # producer only ever blocks with a timeout, so an
+                # abandoned stream (client went away mid-refinement) can
+                # always be unwound — it must never pin an executor
+                # thread, and stop() must never deadlock on it.
+                items: queue_module.Queue = queue_module.Queue(maxsize=4)
+                abandoned = threading.Event()
+                finished = threading.Event()
+
+                def push(item) -> bool:
+                    while not abandoned.is_set():
+                        try:
+                            items.put(item, timeout=0.05)
+                            return True
+                        except queue_module.Full:
+                            continue
+                    return False
+
+                def producer():
+                    try:
+                        try:
+                            for snapshot in session.run_iter(
+                                query, engine=engine, **fields
+                            ):
+                                if not push(
+                                    ("snapshot", result_to_json(snapshot))
+                                ):
+                                    return
+                        except BaseException as exc:  # to the consumer
+                            push(("error", exc))
+                        else:
+                            push(("done", None))
+                    finally:
+                        finished.set()
+
+                async def next_item():
+                    # Poll rather than block a thread on items.get(): a
+                    # blocked get could outlive an abandoned generator.
+                    # Snapshots arrive on millisecond refinement rounds;
+                    # 2ms polling is invisible.
+                    while True:
+                        try:
+                            return items.get_nowait()
+                        except queue_module.Empty:
+                            await asyncio.sleep(0.002)
+
+                # The lock is managed by hand (not `async with`) so an
+                # abandoned stream's cleanup runs *before* release: on
+                # GeneratorExit a context manager would release at
+                # unwind time while the producer thread may still be
+                # inside session.run_iter — letting a new same-tenant
+                # request run concurrently on the same Session.
+                await lock.acquire()
+                future = None
                 try:
-                    items.get_nowait()
-                except queue_module.Empty:
-                    break
+                    future = loop.run_in_executor(self._executor, producer)
+                    seq = 0
+                    while True:
+                        kind, value = await next_item()
+                        if kind == "snapshot":
+                            seq += 1
+                            yield {
+                                "snapshot": value,
+                                "seq": seq,
+                                "tenant": tenant,
+                                "degraded": degraded,
+                                "statement_cache_hit": statement_hit,
+                            }
+                        elif kind == "error":
+                            raise value
+                        else:
+                            break
+                    await future
+                finally:
+                    # Stop the producer, then hold the tenant lock until
+                    # it has actually exited (it notices `abandoned`
+                    # within its 50ms push timeout, or at the end of the
+                    # current refinement round).
+                    abandoned.set()
+                    try:
+                        if future is not None:
+                            while not finished.is_set():
+                                await asyncio.sleep(0.002)
+                    finally:
+                        while True:
+                            try:
+                                items.get_nowait()
+                            except queue_module.Empty:
+                                break
+                        lock.release()
+            finally:
+                self._release_tenant(tenant)
+        finally:
             self._inflight -= 1
         self._counters["completed"] += 1
 
@@ -465,6 +554,7 @@ class QueryServer:
                 "inflight": self._inflight,
                 "soft_limit": self.config.soft_limit,
                 "hard_limit": self.config.hard_limit,
+                "max_tenants": self.config.max_tenants,
                 "tenants": len(tenants),
                 **self._counters,
             },

@@ -61,6 +61,10 @@ async def _read_request(reader: asyncio.StreamReader):
         request_line = await reader.readline()
     except (ConnectionError, asyncio.IncompleteReadError):
         return None
+    except ValueError:
+        # readline() raises ValueError past the stream's line limit:
+        # answer with a structured 400, not a dropped connection.
+        raise _BadRequest("HTTP request line exceeds the line-length limit")
     if not request_line:
         return None
     try:
@@ -69,7 +73,10 @@ async def _read_request(reader: asyncio.StreamReader):
         raise _BadRequest("malformed HTTP request line")
     headers: dict[str, str] = {}
     while True:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise _BadRequest("HTTP header line exceeds the line-length limit")
         if line in (b"\r\n", b"\n", b""):
             break
         if len(headers) > 100:

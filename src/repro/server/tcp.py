@@ -84,9 +84,17 @@ async def _serve_line(server, writer: asyncio.StreamWriter, line: bytes) -> None
             await _send(writer, {"ok": True, **response})
         elif op == "stream":
             count = 0
-            async for item in server.execute_stream(payload):
-                await _send(writer, {"ok": True, **item})
-                count += 1
+            stream = server.execute_stream(payload)
+            try:
+                async for item in stream:
+                    await _send(writer, {"ok": True, **item})
+                    count += 1
+            finally:
+                # Explicit aclose: when the client vanishes mid-stream
+                # the generator's cleanup must run *now* (stopping the
+                # producer thread and only then releasing the tenant
+                # lock), not whenever GC finalises the generator.
+                await stream.aclose()
             await _send(writer, {"ok": True, "done": True, "snapshots": count})
         else:
             raise ProtocolError(

@@ -19,6 +19,7 @@ from repro.server import (
     ServerConfig,
     ServerError,
     ServerOverloaded,
+    ServerOverloadedError,
     demo_database,
     demo_session,
     fingerprint,
@@ -198,6 +199,33 @@ class TestBackpressure:
         assert health["status"] == "ok"
         assert stats["server"]["shed"] == 1
 
+    def test_burst_cannot_overshoot_hard_limit(self):
+        """Twelve execute() coroutines fired in one burst against
+        hard_limit=2: the in-flight slot is claimed synchronously with
+        the admission check, so at most two are admitted regardless of
+        how the burst interleaves with executor offloads (previously
+        the count was read before an await and the whole burst got in)."""
+        async def scenario():
+            server = await booted(soft_limit=0, hard_limit=2)
+            try:
+                results = await asyncio.gather(
+                    *(server.execute({"sql": ZOO[0], "tenant": f"burst-{n}"})
+                      for n in range(12)),
+                    return_exceptions=True,
+                )
+                return results, server.stats()
+            finally:
+                await server.stop()
+
+        results, stats = run(scenario())
+        shed = [r for r in results if isinstance(r, ServerOverloadedError)]
+        answered = [r for r in results if isinstance(r, dict)]
+        assert len(answered) + len(shed) == 12
+        assert len(answered) <= 2
+        assert len(shed) >= 10
+        assert stats["server"]["shed"] == len(shed)
+        assert stats["server"]["inflight"] == 0
+
     def test_recovers_after_shedding(self):
         """A server that shed under a tiny hard limit still serves
         correct answers afterwards (concurrent burst, then a check)."""
@@ -290,12 +318,19 @@ class TestStreaming:
                 # the server must still answer other tenants promptly
                 async with client_for(server) as c:
                     result = await c.query(ZOO[0], tenant="other")
-                return result
+                    # and the *stream's own* tenant must be serviceable
+                    # again: the abandoned stream's cleanup stops the
+                    # producer thread *before* releasing the tenant
+                    # lock, so this cannot race run_iter on the shared
+                    # Session — it just waits its turn.
+                    same = await c.query(ZOO[0])  # tenant "default"
+                return result, same
             finally:
                 await asyncio.wait_for(server.stop(), timeout=30)
 
-        result = run(scenario())
+        result, same = run(scenario())
         assert len(result.rows) > 0
+        assert len(same.rows) > 0
 
     def test_stream_rejects_samples_field(self):
         async def scenario():
@@ -400,6 +435,27 @@ class TestRobustness:
         assert len(result.rows) > 0
         assert stats["server"]["errors"] >= 6
 
+    def test_overlong_request_line_gets_400(self):
+        """A request line past the stream's line limit must come back as
+        a structured 400, not a silently dropped connection plus an
+        unhandled-exception log."""
+        async def scenario():
+            server = await booted()
+            try:
+                host, port = server.http_address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET /" + b"a" * 66000 + b" HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                status_line = await reader.readline()
+                writer.close()
+                return status_line
+            finally:
+                await server.stop()
+
+        status_line = run(scenario())
+        assert status_line, "server dropped the connection without a response"
+        assert int(status_line.split()[1]) == 400
+
     def test_unknown_route_and_method(self):
         async def scenario():
             server = await booted()
@@ -449,6 +505,56 @@ class TestRobustness:
         assert run(scenario()) == 400
 
 
+class TestTenantBound:
+    def test_idle_tenants_are_lru_evicted(self):
+        """Cycling tenant names must not grow server state without
+        bound: past max_tenants the LRU idle tenant (and its lock) is
+        evicted, and every request still gets a correct answer."""
+        async def scenario():
+            server = await booted(max_tenants=2)
+            try:
+                async with client_for(server) as c:
+                    for n in range(5):
+                        result = await c.query(ZOO[0], tenant=f"cycler-{n}")
+                        assert len(result.rows) > 0
+                    return await c.stats()
+            finally:
+                await server.stop()
+
+        stats = run(scenario())
+        assert stats["server"]["tenants"] <= 2
+        assert stats["server"]["tenants_evicted"] == 3
+        assert stats["server"]["completed"] == 5
+        assert stats["server"]["errors"] == 0
+
+    def test_new_tenant_sheds_when_every_tenant_is_busy(self):
+        """With max_tenants=1 and that one tenant pinned by a live
+        stream, a second tenant cannot evict it and is shed with the
+        structured overload error instead."""
+        async def scenario():
+            server = await booted(seed=9, max_tenants=1)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *server.tcp_address
+                )
+                writer.write(json.dumps({
+                    "op": "stream", "sql": ZOO[1], "tenant": "pinned",
+                    "spec": {"mode": "sample", "epsilon": 0.001,
+                             "budget": 200000},
+                }).encode() + b"\n")
+                await writer.drain()
+                await reader.readline()  # stream running: 'pinned' is busy
+                async with client_for(server) as c:
+                    with pytest.raises(ServerOverloaded):
+                        await c.query(ZOO[0], tenant="someone-else")
+                writer.close()
+                return True
+            finally:
+                await asyncio.wait_for(server.stop(), timeout=30)
+
+        assert run(scenario())
+
+
 class TestServerConfig:
     def test_limit_validation(self):
         with pytest.raises(Exception):
@@ -457,6 +563,8 @@ class TestServerConfig:
             ServerConfig(threads=0)
         with pytest.raises(Exception):
             ServerConfig(shed_budget=0)
+        with pytest.raises(Exception):
+            ServerConfig(max_tenants=0)
 
     def test_double_start_rejected(self):
         async def scenario():
