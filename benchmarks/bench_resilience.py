@@ -1,0 +1,136 @@
+"""Deadline compliance and graceful degradation under time pressure.
+
+For each engine the bench issues the demo join query under a sweep of
+``time_limit`` values that force mid-run expiry (per-row/per-round
+latency is injected through the deterministic fault harness so the
+deadline genuinely trips regardless of machine speed) and measures:
+
+* ``deadline_hit_rate`` — how often the limit actually tripped;
+* ``overshoot_p95`` — 95th percentile of ``max(0, elapsed - limit)``,
+  the end-to-end deadline-compliance number (the contract: small and
+  bounded, never a full extra batch or an unbounded hang);
+* ``mean_width`` / ``max_width`` — how wide the degraded sound
+  intervals are, i.e. what answer quality a caller still holds when the
+  budget expires (exact rows are width 0, unfinished rows width 1).
+
+A no-limit baseline per engine records the fault-free full runtime for
+context.  Flags: ``--smoke`` (one tight point per engine, one run),
+``--runs N``, ``--json PATH``, ``--baseline PATH``.
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import statistics
+import sys
+import time
+
+from benchmarks.common import BenchReport, smoke_mode
+from repro.resilience import FaultPlan, fault_plan
+from repro.server.bootstrap import demo_session
+
+ROW_QUERY = "SELECT kind, value FROM R"
+JOIN_QUERY = "SELECT label FROM R, T WHERE kind = rkind"
+
+#: Injected latency making the tiny demo workload slow enough that the
+#: time limits below expire mid-run on any machine (deterministic: the
+#: same plan fires the same faults every run).  Monte-Carlo needs no
+#: injected latency — its unreachable ε keeps it sampling until either
+#: the deadline or the sample budget (which bounds the no-limit
+#: baseline) trips.
+ENGINE_FAULTS = {
+    "sprout": ("engine.sprout.row", 0.008),
+    "approx": ("engine.approx.round", 0.03),
+    "montecarlo": None,
+}
+
+ENGINE_OPTIONS = {
+    # 16 rows x 8ms: tight limits catch the run mid-row-loop.
+    "sprout": dict(query=ROW_QUERY, engine="sprout"),
+    "approx": dict(query=JOIN_QUERY, engine="approx", mode="approx",
+                   epsilon=1e-9),
+    "montecarlo": dict(
+        query=JOIN_QUERY, engine="montecarlo", mode="sample",
+        epsilon=1e-6, delta=0.01, budget=20_000,
+    ),
+}
+
+
+def _runs(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    for index, arg in enumerate(args):
+        if arg == "--runs" and index + 1 < len(args):
+            return int(args[index + 1])
+        if arg.startswith("--runs="):
+            return int(arg.split("=", 1)[1])
+    return 1 if smoke_mode(argv) else 5
+
+
+def measure(engine: str, time_limit, runs: int) -> dict:
+    fault = ENGINE_FAULTS[engine]
+    options = dict(ENGINE_OPTIONS[engine])
+    query = options.pop("query")
+    elapsed, overshoot, widths, hits = [], [], [], 0
+    for run in range(runs):
+        session = demo_session(scale=2)
+        plan = FaultPlan(seed=run)
+        if fault is not None:
+            point, delay = fault
+            plan.add(point, "slow", delay=delay, times=None)
+        with fault_plan(plan):
+            start = time.perf_counter()
+            result = session.sql(query, time_limit=time_limit, **options)
+            wall = time.perf_counter() - start
+        elapsed.append(wall)
+        if time_limit is not None:
+            overshoot.append(max(0.0, wall - time_limit))
+        if result.stats.get("deadline_hit"):
+            hits += 1
+        widths.extend(row.probability().width for row in result.rows)
+    percentile = (
+        sorted(overshoot)[max(0, int(round(0.95 * len(overshoot))) - 1)]
+        if overshoot
+        else 0.0
+    )
+    return {
+        "mean": statistics.mean(elapsed),
+        "deadline_hit_rate": hits / runs,
+        "overshoot_p95": percentile,
+        "mean_width": statistics.mean(widths) if widths else 0.0,
+        "max_width": max(widths, default=0.0),
+    }
+
+
+def main(argv=None) -> int:
+    runs = _runs(argv)
+    limits = [0.02] if smoke_mode(argv) else [0.01, 0.05, 0.2]
+    report = BenchReport("resilience", runs=runs)
+    print(f"deadline compliance, {runs} run(s) per point")
+    header = (
+        f"{'engine':<12} {'limit':>8} {'mean_s':>9} {'hit_rate':>9} "
+        f"{'over_p95':>9} {'mean_w':>7} {'max_w':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for engine in sorted(ENGINE_OPTIONS):
+        for limit in [None] + limits:
+            metrics = measure(engine, limit, runs)
+            label = "none" if limit is None else f"{limit:g}"
+            print(
+                f"{engine:<12} {label:>8} {metrics['mean']:>9.4f} "
+                f"{metrics['deadline_hit_rate']:>9.2f} "
+                f"{metrics['overshoot_p95']:>9.4f} "
+                f"{metrics['mean_width']:>7.3f} {metrics['max_width']:>6.2f}"
+            )
+            report.add(engine, {"time_limit": limit}, **metrics)
+    report.finish(argv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,10 +121,12 @@ from repro.errors import (
     CompilationError,
     DistributionError,
     ParseError,
+    QueryTimeoutError,
     QueryValidationError,
     ReproError,
     SchemaError,
 )
+from repro.resilience import Deadline, FaultPlan, FaultSpec
 from repro.prob import Distribution, ProbabilitySpace, VariableRegistry
 from repro.query import (
     AggSpec,
@@ -200,4 +202,7 @@ __all__ = [
     # errors
     "ReproError", "AlgebraError", "ParseError", "DistributionError",
     "CompilationError", "SchemaError", "QueryValidationError",
+    "QueryTimeoutError",
+    # resilience
+    "Deadline", "FaultPlan", "FaultSpec",
 ]

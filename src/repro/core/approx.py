@@ -125,10 +125,15 @@ class ApproximateCompiler:
         semiring: Semiring = BOOLEAN,
         normalizer: Normalizer | None = None,
         seed_bounds: dict | None = None,
+        deadline=None,
     ):
         self.registry = registry
         self.budget = budget
         self.semiring = semiring
+        #: Optional :class:`repro.resilience.deadline.Deadline`; once it
+        #: expires further Shannon expansions return unknown bounds, the
+        #: same sound degradation as budget exhaustion.
+        self.deadline = deadline
         #: Shannon expansions actually performed (for diagnostics; the
         #: remaining allowance is ``budget``).
         self.expansions = 0
@@ -221,6 +226,12 @@ class ApproximateCompiler:
         if not expr.variables:
             return self._bounds(expr)
         if self.budget <= 0:
+            return ProbabilityBounds.unknown()
+        if self.deadline is not None and self.deadline.expired():
+            # An expired deadline behaves exactly like an exhausted
+            # budget: stop expanding and report the (sound) vacuous
+            # bounds, letting the caller keep whatever tightness the
+            # completed expansions bought.
             return ProbabilityBounds.unknown()
         self.budget -= 1
         self.expansions += 1

@@ -58,6 +58,7 @@ from repro.core.pruning import prune
 from repro.errors import CompilationError
 from repro.prob.distribution import Distribution
 from repro.prob.variables import VariableRegistry
+from repro.resilience.deadline import check_deadline
 
 __all__ = [
     "Compiler",
@@ -366,6 +367,11 @@ class Compiler:
 
     def _shannon(self, expr: Expr) -> DTree:
         """Rule 6: mutually exclusive expansion ``⊔ₓ`` (Eq. 10)."""
+        # Rule 6 is the only potentially exponential rule, so the ⊔-node
+        # loop is where a compile that will never finish spends its time:
+        # the ambient-deadline checkpoint lives here (one ContextVar read
+        # per ⊔-node when no deadline is active).
+        check_deadline("exact compilation")
         if self.max_mutex_nodes is not None and (
             self.mutex_nodes_created >= self.max_mutex_nodes
         ):

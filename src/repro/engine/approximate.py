@@ -31,10 +31,12 @@ from repro.core.compile import Compiler
 from repro.db.pvc_table import PVCDatabase
 from repro.engine.spec import EvalSpec, ProbInterval
 from repro.engine.sprout import QueryResult, ResultRow, SproutEngine
-from repro.errors import QueryValidationError
+from repro.errors import QueryTimeoutError, QueryValidationError
 from repro.parallel import pool as parallel_pool
 from repro.parallel.shards import resolve_workers
 from repro.query.ast import Query
+from repro.resilience.deadline import Deadline, deadline_scope
+from repro.resilience.faults import fault_point
 
 __all__ = ["ApproxAdapter"]
 
@@ -80,9 +82,18 @@ class ApproxAdapter:
 
     def run(self, query: Query, spec: EvalSpec | None = None, **options) -> QueryResult:
         """Refine until the spec is satisfied; return the final snapshot."""
+        spec = EvalSpec.make(spec)
         result = None
         for result in self.run_iter(query, spec=spec, **options):
             pass
+        if result.stats.get("deadline_hit") and spec.on_timeout == "raise":
+            raise QueryTimeoutError(
+                f"approximate refinement exceeded time_limit="
+                f"{spec.time_limit:g}s (max interval width "
+                f"{result.stats.get('max_width', 1.0):.3g})",
+                partial=result,
+                elapsed=result.stats.get("wall_seconds"),
+            )
         return result
 
     def run_iter(self, query: Query, spec: EvalSpec | None = None, **options):
@@ -107,6 +118,11 @@ class ApproxAdapter:
         # fallback); mode "approx" stops at the requested width.
         epsilon = spec.epsilon if spec.mode == "approx" else 0.0
 
+        #: One deadline for the whole run (rewriting included), threaded
+        #: into the ApproximateCompiler's Shannon loop (mid-row expiry
+        #: degrades to unknown bounds, the same soundness as budget
+        #: exhaustion) and into the pool watchdog around fan-out rounds.
+        deadline = Deadline.after(spec.time_limit)
         start = time.perf_counter()
         table = self.engine.rewrite(query)
         rewrite_seconds = time.perf_counter() - start
@@ -126,6 +142,7 @@ class ApproxAdapter:
         expansions = 0
         rounds = 0
         exhausted = False
+        timed_out = False
         #: Per-row refinement is independent within a round, so rounds
         #: fan out across a process pool — except under a global
         #: expansion budget, where each row's allowance depends on what
@@ -183,16 +200,19 @@ class ApproxAdapter:
                 "max_width": max(widths, default=0.0),
                 "epsilon": epsilon,
             }
+            if timed_out:
+                stats["deadline_hit"] = True
             stats.update(parallel_stats)
             return QueryResult(
                 table.schema, rows, timings, engine=self.name, stats=stats
             )
 
         def out_of_time() -> bool:
-            return (
-                spec.time_limit is not None
-                and time.perf_counter() - start >= spec.time_limit
-            )
+            nonlocal timed_out
+            if deadline is not None and deadline.expired():
+                timed_out = True
+                return True
+            return False
 
         def refine(index: int, low: float, high: float) -> None:
             refined = ProbInterval(low, high)
@@ -206,6 +226,7 @@ class ApproxAdapter:
         try:
             while pending and not exhausted:
                 rounds += 1
+                fault_point("engine.approx.round")
                 if fan_out and len(pending) > 1 and not out_of_time():
                     # Every pending row gets the same allowance, so the round
                     # is a pure fan-out; results merge in row order and are
@@ -214,7 +235,12 @@ class ApproxAdapter:
                     # serial path inside SharedPool.run, recorded in stats.
                     indices = sorted(pending)
                     payloads = [(i, row_budget, seeds[i]) for i in indices]
-                    results, info = shared.run(payloads)
+                    # The scope covers only this (yield-free) block: it
+                    # hands the deadline to the pool watchdog so a hung
+                    # round cannot outlive the time budget by more than
+                    # the watchdog grace period.
+                    with deadline_scope(deadline):
+                        results, info = shared.run(payloads)
                     parallel_stats["workers"] = info["workers"]
                     if "parallel_fallback" in info:
                         parallel_stats["parallel_fallback"] = info[
@@ -243,6 +269,7 @@ class ApproxAdapter:
                             semiring,
                             normalizer=normalizer,
                             seed_bounds=seeds[index],
+                            deadline=deadline,
                         )
                         bounds = approximator.bounds(annotations[index])
                         seeds[index] = approximator.exact_bounds()

@@ -41,8 +41,13 @@ from repro.engine.montecarlo import MonteCarloEngine
 from repro.engine.naive import NaiveEngine
 from repro.engine.spec import EvalSpec
 from repro.engine.sprout import QueryResult, ResultRow, SproutEngine
-from repro.errors import QueryValidationError
+from repro.errors import QueryTimeoutError, QueryValidationError
 from repro.prob.distribution import Distribution
+from repro.resilience.deadline import (
+    DeadlineExceeded,
+    deadline_from_spec,
+    deadline_scope,
+)
 from repro.query.ast import Query
 from repro.query.tractability import (
     Classification,
@@ -326,8 +331,23 @@ class SproutAdapter:
         _reject_non_exact(self.name, spec)
         if spec is not None and spec.workers is not None:
             options.setdefault("workers", spec.workers)
-        result = self.engine.run(query, **options)
+        deadline = deadline_from_spec(spec)
+        with deadline_scope(deadline):
+            result = self.engine.run(query, **options)
         result.engine = self.name
+        if result.stats.get("deadline_hit"):
+            # The engine degraded to a sound partial answer: compiled
+            # rows are exact, the rest report [0, 1].  Under the
+            # "raise" policy the partial still travels on the error.
+            if spec is not None and spec.on_timeout == "raise":
+                raise QueryTimeoutError(
+                    f"exact compilation exceeded time_limit="
+                    f"{spec.time_limit:g}s after "
+                    f"{result.stats.get('rows_exact', 0)} of "
+                    f"{len(result.rows)} rows",
+                    partial=result,
+                    elapsed=deadline.elapsed() if deadline else None,
+                )
         return result
 
 
@@ -363,7 +383,21 @@ class NaiveAdapter:
             )
         _reject_non_exact(self.name, spec)
         start = time.perf_counter()
-        probabilities = self.engine.tuple_probabilities(query)
+        deadline = deadline_from_spec(spec)
+        try:
+            with deadline_scope(deadline):
+                probabilities = self.engine.tuple_probabilities(query)
+        except DeadlineExceeded as exc:
+            # Mid-enumeration the answer tuple set itself is incomplete,
+            # so there is no sound partial to degrade to: the naive
+            # engine always raises on timeout, under either policy.
+            raise QueryTimeoutError(
+                f"naive enumeration exceeded time_limit="
+                f"{spec.time_limit:g}s; possible-worlds enumeration has "
+                f"no sound partial answer",
+                partial=None,
+                elapsed=time.perf_counter() - start,
+            ) from exc
         elapsed = time.perf_counter() - start
         schema = query.schema(self.engine.db.catalog())
         rows = _concrete_rows(schema, probabilities)
@@ -439,7 +473,15 @@ class MonteCarloAdapter:
                 time_limit=spec.time_limit,
                 workers=spec.workers,
             )
-            return self._interval_result(query, intervals, info)
+            result = self._interval_result(query, intervals, info)
+            if info.get("deadline_hit") and spec.on_timeout == "raise":
+                raise QueryTimeoutError(
+                    f"sampling exceeded time_limit={spec.time_limit:g}s "
+                    f"after {info.get('samples', 0)} samples",
+                    partial=result,
+                    elapsed=info.get("wall_seconds"),
+                )
+            return result
         if spec is not None and not (
             spec.execution_only and spec.workers is not None
         ):

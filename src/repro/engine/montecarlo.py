@@ -64,6 +64,8 @@ from repro.parallel.reducer import merge_counts
 from repro.parallel.shards import plan_shards, resolve_workers, spawn_seeds
 from repro.prob import kernels
 from repro.query.executor import execute_deterministic, prepare
+from repro.resilience.deadline import Deadline, deadline_scope
+from repro.resilience.faults import fault_point
 from repro.query.ast import (
     BaseRelation,
     Extend,
@@ -374,6 +376,24 @@ class MonteCarloEngine:
             if shared is not None:
                 shared.close()
 
+    @staticmethod
+    def _deadline_clamp(
+        batch: int, drawn_total: int, elapsed: float, remaining: float
+    ) -> int:
+        """Samples of the next round that fit into ``remaining`` seconds.
+
+        Uses the observed sampling rate ``drawn_total / elapsed``; always
+        returns at least one sample so the loop makes progress and then
+        observes the deadline trip on the next clock check.  Pure —
+        exercised directly by the overshoot regression tests.
+        """
+        if remaining <= 0.0:
+            return 1
+        if elapsed <= 0.0 or drawn_total <= 0:
+            return max(1, batch)
+        affordable = int(drawn_total / elapsed * remaining)
+        return max(1, min(batch, affordable))
+
     def _interval_rounds(
         self,
         query,
@@ -390,6 +410,7 @@ class MonteCarloEngine:
         """The doubling-round loop of :meth:`estimate_intervals_iter`
         (split out so the shared pool's lifetime wraps the generator)."""
         start = time.perf_counter()
+        deadline = Deadline.after(time_limit)
         totals: dict[tuple, int] = {}
         drawn_total = 0
         round_no = 0
@@ -397,16 +418,32 @@ class MonteCarloEngine:
         round_info: dict = {}
         while True:
             round_no += 1
+            fault_point("engine.montecarlo.round")
             batch = initial_batch if drawn_total == 0 else drawn_total
             batch = min(batch, max_samples - drawn_total)
+            if deadline is not None and drawn_total:
+                # Doubling rounds only check the clock *between* rounds,
+                # so an unclamped final round could blow far past the
+                # limit; cap it to what the observed sampling rate fits
+                # into the remaining budget.
+                batch = self._deadline_clamp(
+                    batch,
+                    drawn_total,
+                    time.perf_counter() - start,
+                    deadline.remaining(),
+                )
             if workers is None:
                 counts, round_batched = self._sampled_counts(
                     query, referenced, batch
                 )
             else:
-                counts, round_info = self._sharded_counts(
-                    query, referenced, batch, workers, shard_size, shared
-                )
+                # The scope hands the deadline to the pool watchdog, so
+                # a wedged shard worker is killed (and the round rerun
+                # inline) instead of hanging past the time budget.
+                with deadline_scope(deadline):
+                    counts, round_info = self._sharded_counts(
+                        query, referenced, batch, workers, shard_size, shared
+                    )
                 round_batched = round_info["batched"]
             batched = batched and round_batched
             drawn_total += batch
@@ -435,6 +472,8 @@ class MonteCarloEngine:
                 "max_width": max_width,
                 "wall_seconds": elapsed,
             }
+            if out_of_time and not converged:
+                info["deadline_hit"] = True
             if workers is not None:
                 info["workers"] = round_info.get("workers", 1)
                 info["shards"] = round_info.get("shards", 0)
@@ -506,6 +545,7 @@ class MonteCarloEngine:
         world_cache: dict[tuple, list] = {}
         distinct = 0
         for sample in range(samples):
+            fault_point("engine.montecarlo.world")
             key = tuple(int(column[sample]) for column in index_columns)
             support = world_cache.get(key)
             if support is None:

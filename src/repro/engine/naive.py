@@ -29,6 +29,7 @@ from repro.errors import QueryValidationError
 from repro.prob.distribution import Distribution
 from repro.query.ast import Query
 from repro.query.executor import PreparedQuery, execute_deterministic, prepare
+from repro.resilience.deadline import check_deadline
 
 __all__ = ["NaiveEngine", "evaluate_deterministic"]
 
@@ -83,6 +84,11 @@ class NaiveEngine:
         semiring = self.db.semiring
         probabilities: dict[tuple, float] = {}
         for world, probability in enumerate_database_worlds(self.db):
+            # Cooperative checkpoint per world: enumeration is the
+            # exponential loop here, and a partial sweep is *not* a
+            # sound answer (tuples and masses are both incomplete), so
+            # the adapter converts this into QueryTimeoutError.
+            check_deadline("possible-worlds enumeration")
             result = execute_deterministic(prepared, world, semiring)
             for values in result.support():
                 probabilities[values] = probabilities.get(values, 0.0) + probability

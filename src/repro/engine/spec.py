@@ -180,6 +180,14 @@ class EvalSpec:
         machine's CPU count.  Seeded results are bit-identical for any
         worker count (see :mod:`repro.parallel`); ``workers`` therefore
         changes *how fast* an answer arrives, never *what* it is.
+    ``on_timeout``:
+        What happens when the ``time_limit`` deadline trips:
+        ``"partial"`` (default) degrades to the best *sound* answer
+        obtained so far — exact rows stay zero-width, not-yet-compiled
+        rows report the vacuous ``[0, 1]`` interval — while ``"raise"``
+        raises :class:`~repro.errors.QueryTimeoutError` carrying that
+        same partial result.  The naive engine has no sound partial
+        (its tuple set is incomplete mid-enumeration) and always raises.
     """
 
     mode: str = "exact"
@@ -188,6 +196,7 @@ class EvalSpec:
     budget: int | None = None
     time_limit: float | None = None
     workers: int | str | None = None
+    on_timeout: str = "partial"
 
     def __post_init__(self):
         if self.mode not in EVAL_MODES:
@@ -212,6 +221,11 @@ class EvalSpec:
                 f"time_limit must be positive, got {self.time_limit!r}"
             )
         validate_workers(self.workers)
+        if self.on_timeout not in ("partial", "raise"):
+            raise QueryValidationError(
+                f"on_timeout must be 'partial' or 'raise', "
+                f"got {self.on_timeout!r}"
+            )
 
     @classmethod
     def make(cls, spec=None, **overrides) -> "EvalSpec":
@@ -231,7 +245,8 @@ class EvalSpec:
         supplied = {k: v for k, v in overrides.items() if v is not None}
         if supplied:
             unknown = set(supplied) - {
-                "mode", "epsilon", "delta", "budget", "time_limit", "workers"
+                "mode", "epsilon", "delta", "budget", "time_limit",
+                "workers", "on_timeout",
             }
             if unknown:
                 raise QueryValidationError(
@@ -256,6 +271,7 @@ class EvalSpec:
             "budget": self.budget,
             "time_limit": self.time_limit,
             "workers": self.workers,
+            "on_timeout": self.on_timeout,
         }
 
     @classmethod
@@ -273,7 +289,8 @@ class EvalSpec:
                 f"object with spec fields"
             )
         unknown = set(payload) - {
-            "mode", "epsilon", "delta", "budget", "time_limit", "workers"
+            "mode", "epsilon", "delta", "budget", "time_limit",
+            "workers", "on_timeout",
         }
         if unknown:
             raise QueryValidationError(
@@ -282,7 +299,8 @@ class EvalSpec:
         defaults = cls()
         fields = {}
         for field in (
-            "mode", "epsilon", "delta", "budget", "time_limit", "workers"
+            "mode", "epsilon", "delta", "budget", "time_limit",
+            "workers", "on_timeout",
         ):
             value = payload.get(field)
             # Explicit null and absent both mean "the default": budget,
@@ -303,5 +321,7 @@ class EvalSpec:
         The Monte-Carlo adapter uses this to distinguish "shard my legacy
         fixed-budget run" (allowed) from an explicit exact-mode request
         (still an error: sampling cannot guarantee exact answers).
+        ``on_timeout`` is a degradation policy, not a quality field, so
+        it does not count either.
         """
-        return replace(self, workers=None) == EvalSpec()
+        return replace(self, workers=None, on_timeout="partial") == EvalSpec()

@@ -33,6 +33,8 @@ from repro.parallel.reducer import merge_stat_sums
 from repro.parallel.shards import resolve_workers
 from repro.prob.distribution import Distribution
 from repro.query.ast import Query
+from repro.resilience.deadline import DeadlineExceeded, current_deadline
+from repro.resilience.faults import fault_point
 from repro.query.executor import (
     PreparedQuery,
     execute_deterministic,
@@ -393,6 +395,8 @@ class SproutEngine:
         ]
         parallel_stats: dict = {}
         probability_seconds = 0.0
+        rows_exact = len(rows)
+        deadline_hit = False
         if compute_probabilities:
             start = time.perf_counter()
             effective = resolve_workers(workers)
@@ -400,8 +404,27 @@ class SproutEngine:
                 parallel_stats = self._parallel_distributions(
                     rows, compiler, effective
                 )
-            for row in rows:
-                row.probability()
+            # Per-row cooperative deadline loop.  Step I enumerated the
+            # *complete* candidate row set above, so degrading here is
+            # sound: rows compiled before the deadline keep their exact
+            # zero-width intervals, the rest report the vacuous [0, 1].
+            deadline = current_deadline()
+            rows_exact = 0
+            for index, row in enumerate(rows):
+                if deadline_hit or (deadline is not None and deadline.expired()):
+                    deadline_hit = True
+                    row._probability = ProbInterval.unknown()
+                    continue
+                fault_point("engine.sprout.row")
+                try:
+                    row.probability()
+                except DeadlineExceeded:
+                    # The ⊔-node checkpoint fired mid-compile; this
+                    # row's d-tree is incomplete, so it is unknown too.
+                    deadline_hit = True
+                    row._probability = ProbInterval.unknown()
+                    continue
+                rows_exact += 1
             probability_seconds = time.perf_counter() - start
         timings = {
             "rewrite_seconds": rewrite_seconds,
@@ -411,6 +434,9 @@ class SproutEngine:
             "wall_seconds": rewrite_seconds + probability_seconds,
             "rows": len(rows),
         }
+        if deadline_hit:
+            stats["deadline_hit"] = True
+            stats["rows_exact"] = rows_exact
         stats.update(parallel_stats)
         if hits_before is not None:
             stats["cache_hits"] = compiler.hits - hits_before

@@ -61,3 +61,19 @@ class QueryValidationError(ReproError):
 
 class WorldEnumerationError(ReproError):
     """Brute-force possible-world enumeration is infeasible or ill-defined."""
+
+
+class QueryTimeoutError(ReproError):
+    """A query hit its ``EvalSpec.time_limit`` deadline.
+
+    Raised under ``spec.on_timeout == "raise"`` (and always by the naive
+    engine, which has no sound partial answer).  ``partial`` carries the
+    best *sound* result obtained before the deadline — every reported
+    interval contains the exact answer — or ``None`` when no sound
+    partial exists.  ``elapsed`` is the wall-clock time spent.
+    """
+
+    def __init__(self, message: str, partial=None, elapsed: float | None = None):
+        super().__init__(message)
+        self.partial = partial
+        self.elapsed = elapsed

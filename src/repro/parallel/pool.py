@@ -18,25 +18,57 @@ dict.  The contract engines rely on:
   the returned info carries ``parallel_fallback`` with the reason.  A
   *deterministic* exception raised by the worker itself also lands here:
   the serial rerun re-raises it with its original type and traceback.
+* **The watchdog** — a wedged worker (deadlocked, stuck in a syscall,
+  or fault-injected) must not hang the parent forever: when a per-task
+  timeout is configured (explicitly, via :data:`DEFAULT_TASK_TIMEOUT`,
+  or implicitly from the ambient :mod:`repro.resilience` deadline) the
+  round is abandoned with reason ``"worker_hang"``, the stuck processes
+  are killed, the payloads rerun inline, and — because a single hang
+  may be transient — the *next* round gets one fresh pool before the
+  handle degrades to permanent inline execution.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
-__all__ = ["ParallelUnavailable", "SharedPool", "execute", "fork_available"]
+from repro.resilience.deadline import current_deadline
+from repro.resilience.faults import fault_point
+
+__all__ = [
+    "DEFAULT_TASK_TIMEOUT",
+    "ParallelUnavailable",
+    "SharedPool",
+    "execute",
+    "fork_available",
+]
+
+#: Process-wide default per-task watchdog timeout (seconds), used when a
+#: pool has no explicit ``task_timeout``.  ``None`` disables the
+#: watchdog (the pre-watchdog behavior) — except under an ambient
+#: resilience deadline, which always bounds pooled rounds.
+DEFAULT_TASK_TIMEOUT: float | None = None
+
+#: Grace added on top of an active deadline's remaining time before the
+#: watchdog declares a round hung: legitimate work slightly past the
+#: deadline still gets collected (and the engine degrades cooperatively);
+#: only a genuinely wedged worker trips the kill path.
+_DEADLINE_GRACE = 2.0
 
 
 class ParallelUnavailable(RuntimeError):
     """The pool could not run the tasks; callers fall back to serial.
 
     ``reason`` is a short machine-readable tag (``"no_fork"``,
-    ``"worker_crash"``, ``"pickle_error"``, ``"worker_error"``) that
-    engines surface as ``stats["parallel_fallback"]``.
+    ``"worker_crash"``, ``"pickle_error"``, ``"worker_error"``,
+    ``"worker_hang"``) that engines surface as
+    ``stats["parallel_fallback"]``.
     """
 
     def __init__(self, reason: str, detail: str = ""):
@@ -70,8 +102,14 @@ def _invoke(payload):
     queue is indistinguishable from pool breakage in the parent, while
     the sentinel lets the parent classify it as a *deterministic* error
     that the serial rerun will reproduce with full fidelity.
+
+    The ``pool.worker`` fault point sits *outside* the fence: injected
+    pool-layer faults (crash/hang/pickle) must look like infrastructure
+    failures — classified by reason in the parent — not like
+    deterministic worker errors.
     """
     worker, context = _WORKER_STATE
+    fault_point("pool.worker")
     try:
         return True, worker(context, payload)
     except BaseException as exc:  # noqa: BLE001 - fence everything
@@ -87,9 +125,13 @@ def _classify(exc: BaseException) -> ParallelUnavailable:
     return ParallelUnavailable("worker_error", f"{type(exc).__name__}: {exc}")
 
 
-def _gather(executor, payloads) -> list:
+def _gather(executor, payloads, timeout: float | None = None) -> list:
     """Submit the payloads and collect results in order; raise
     ParallelUnavailable on any pool-layer failure.
+
+    ``timeout`` bounds the *round*: every result must arrive within
+    ``timeout`` seconds of submission or the round is declared hung
+    (reason ``"worker_hang"``) — the caller owns killing the pool.
 
     Module-level so tests can monkeypatch the single seam through which
     every pooled round runs.
@@ -97,8 +139,20 @@ def _gather(executor, payloads) -> list:
     results = [None] * len(payloads)
     try:
         futures = [executor.submit(_invoke, payload) for payload in payloads]
+        expires = None if timeout is None else time.monotonic() + timeout
         for index, future in enumerate(futures):
-            ok, value = future.result()
+            if expires is None:
+                ok, value = future.result()
+            else:
+                try:
+                    ok, value = future.result(
+                        timeout=max(expires - time.monotonic(), 0.0)
+                    )
+                except concurrent.futures.TimeoutError:
+                    raise ParallelUnavailable(
+                        "worker_hang",
+                        f"pool task still running after {timeout:g}s",
+                    ) from None
             if not ok:
                 raise ParallelUnavailable("worker_error", value)
             results[index] = value
@@ -120,14 +174,22 @@ class SharedPool:
     info dict with the worker count used, and graceful degradation to
     inline execution — once degraded, later rounds stay inline with the
     same recorded reason.
+
+    ``task_timeout`` arms the hung-worker watchdog for every round (see
+    :meth:`_watchdog_timeout` for how it combines with the ambient
+    deadline).  A hang kills the stuck pool and reruns the round inline,
+    but — unlike every other failure — allows *one* fresh pool on the
+    next round; a second hang degrades the handle permanently.
     """
 
-    def __init__(self, worker, context, workers):
+    def __init__(self, worker, context, workers, task_timeout: float | None = None):
         self.worker = worker
         self.context = context
         self.workers = workers
+        self.task_timeout = task_timeout
         self._executor = None
         self._fallback_reason: str | None = None
+        self._hangs = 0
 
     def _inline(self, payloads) -> list:
         return [self.worker(self.context, payload) for payload in payloads]
@@ -141,6 +203,27 @@ class SharedPool:
                 initargs=((self.worker, self.context),),
             )
         return self._executor
+
+    def _watchdog_timeout(self) -> float | None:
+        """The effective per-round watchdog timeout.
+
+        The explicit ``task_timeout`` (or the module default) combines
+        with the ambient resilience deadline: under a deadline a round
+        may take at most ``remaining + grace`` seconds, so a request
+        with ``time_limit=T`` is bounded even when a worker wedges —
+        the end-to-end deadline contract across the process boundary,
+        where cooperative checkpoints cannot reach.
+        """
+        timeout = (
+            self.task_timeout
+            if self.task_timeout is not None
+            else DEFAULT_TASK_TIMEOUT
+        )
+        deadline = current_deadline()
+        if deadline is not None:
+            bound = max(deadline.remaining(), 0.0) + _DEADLINE_GRACE
+            timeout = bound if timeout is None else min(timeout, bound)
+        return timeout
 
     def run(self, payloads) -> tuple[list, dict]:
         """One round: ``worker(context, payload)`` per payload."""
@@ -162,16 +245,46 @@ class SharedPool:
                 "workers": 1,
                 "parallel_fallback": "no_fork",
             }
+        timeout = self._watchdog_timeout()
         try:
-            results = _gather(self._ensure_executor(), payloads)
+            # Two-arg call when unarmed: _gather is a documented
+            # monkeypatch seam and most callers never arm the watchdog.
+            if timeout is None:
+                results = _gather(self._ensure_executor(), payloads)
+            else:
+                results = _gather(self._ensure_executor(), payloads, timeout)
         except ParallelUnavailable as unavailable:
-            self._fallback_reason = unavailable.reason
-            self.close()
+            if unavailable.reason == "worker_hang":
+                # The workers are wedged: close() would join them and
+                # hang the parent too — kill hard instead.  One rebuild
+                # is allowed (a hang can be transient); a second hang
+                # degrades the handle permanently like other failures.
+                self._kill()
+                self._hangs += 1
+                if self._hangs >= 2:
+                    self._fallback_reason = "worker_hang"
+            else:
+                self._fallback_reason = unavailable.reason
+                self.close()
             return self._inline(payloads), {
                 "workers": 1,
                 "parallel_fallback": unavailable.reason,
             }
         return results, {"workers": min(self.workers, len(payloads))}
+
+    def _kill(self) -> None:
+        """Hard-stop a pool with hung workers without joining them."""
+        if self._executor is None:
+            return
+        executor, self._executor = self._executor, None
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):
+                pass
+        # wait=False: the killed processes cannot be joined synchronously
+        # here; the executor's management thread reaps them.
+        executor.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         """Shut the pool down; the handle stays usable (inline or by
@@ -181,6 +294,8 @@ class SharedPool:
         already completed (or had its exception set) by the time
         :meth:`run` returns, and ``cancel_futures`` has a shutdown race
         against the queue-feeder after a payload pickling failure.
+        Hung pools never reach here — :meth:`run` already replaced them
+        via :meth:`_kill`.
         """
         if self._executor is not None:
             executor, self._executor = self._executor, None
@@ -194,7 +309,9 @@ class SharedPool:
         return False
 
 
-def execute(worker, context, payloads, workers) -> tuple[list, dict]:
+def execute(
+    worker, context, payloads, workers, task_timeout: float | None = None
+) -> tuple[list, dict]:
     """Run ``worker(context, payload)`` per payload, pooled when possible.
 
     One-shot wrapper over :class:`SharedPool` (engines with a single
@@ -211,7 +328,7 @@ def execute(worker, context, payloads, workers) -> tuple[list, dict]:
     would have — including re-raising deterministic worker exceptions
     with their original type.
     """
-    with SharedPool(worker, context, workers) as pool:
+    with SharedPool(worker, context, workers, task_timeout=task_timeout) as pool:
         return pool.run(payloads)
 
 

@@ -29,7 +29,12 @@ from repro.server.app import (
     ServerOverloadedError,
 )
 from repro.server.bootstrap import DEMO_QUERIES, demo_database, demo_session
-from repro.server.client import ServerClient, ServerError, ServerOverloaded
+from repro.server.client import (
+    RetryPolicy,
+    ServerClient,
+    ServerError,
+    ServerOverloaded,
+)
 from repro.server.codec import (
     RemoteResult,
     RemoteRow,
@@ -52,6 +57,7 @@ __all__ = [
     "ServerClient",
     "ServerError",
     "ServerOverloaded",
+    "RetryPolicy",
     "RemoteResult",
     "RemoteRow",
     "SymbolicValue",

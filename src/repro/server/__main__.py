@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import signal
 import sys
 
 from repro.server.app import QueryServer, ServerConfig
@@ -83,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock cap in seconds of degraded requests",
     )
     parser.add_argument(
+        "--drain-timeout", type=float, default=defaults.drain_timeout,
+        help="seconds to let in-flight requests finish on SIGTERM/SIGINT "
+        "(new arrivals are shed with 503 during the drain)",
+    )
+    parser.add_argument(
         "--engine", default=defaults.default_engine,
         help="default engine of tenant sessions (auto/sprout/approx/"
         "naive/montecarlo)",
@@ -113,6 +119,7 @@ async def _serve(args) -> None:
         shed_epsilon=args.shed_epsilon,
         shed_budget=args.shed_budget,
         shed_time_limit=args.shed_time_limit,
+        drain_timeout=args.drain_timeout,
         default_engine=args.engine,
         seed=args.seed,
     )
@@ -125,10 +132,39 @@ async def _serve(args) -> None:
     print(f"                    tcp://{tcp_host}:{tcp_port} "
           f"(line-JSON: ping/stats/query/stream)")
     print(f"database: {server.db!r}")
+
+    # Graceful shutdown: SIGTERM/SIGINT flip an event instead of killing
+    # the loop mid-request; stop() then drains — new arrivals shed with
+    # 503 + Retry-After, admitted work gets up to --drain-timeout.
+    loop = asyncio.get_running_loop()
+    stop_requested = asyncio.Event()
+    installed: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop_requested.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):
+            # Platforms without loop signal support (e.g. Windows
+            # proactor) fall back to the KeyboardInterrupt path in main.
+            pass
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    stop_task = asyncio.ensure_future(stop_requested.wait())
     try:
-        await server.serve_forever()
+        await asyncio.wait(
+            {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stop_requested.is_set():
+            print(f"\nsignal received: draining for up to "
+                  f"{config.drain_timeout:g}s ...")
     finally:
+        for task in (serve_task, stop_task):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        for sig in installed:
+            loop.remove_signal_handler(sig)
         await server.stop()
+        print("server stopped")
 
 
 def main(argv=None) -> int:

@@ -61,7 +61,10 @@ __all__ = [
 ]
 
 #: EvalSpec fields accepted in a request's "spec" object.
-_SPEC_FIELDS = ("mode", "epsilon", "delta", "budget", "time_limit", "workers")
+_SPEC_FIELDS = (
+    "mode", "epsilon", "delta", "budget", "time_limit", "workers",
+    "on_timeout",
+)
 
 
 class ProtocolError(ReproError):
@@ -95,6 +98,9 @@ class ServerConfig:
     loop offloads blocking compile/eval work to; ``eval_workers``
     optionally forces the :mod:`repro.parallel` process-pool ``workers``
     spec field on every request that does not set its own.
+    ``drain_timeout`` bounds graceful shutdown: :meth:`QueryServer.stop`
+    sheds new arrivals (503 + ``Retry-After``) and waits up to this many
+    seconds for in-flight requests to finish before abandoning them.
     """
 
     host: str = "127.0.0.1"
@@ -111,6 +117,7 @@ class ServerConfig:
     shed_budget: int = 2048
     shed_time_limit: float = 0.25
     retry_after: float = 1.0
+    drain_timeout: float = 5.0
     default_engine: str = "auto"
     seed: int | None = None
     samples: int = 1000
@@ -140,6 +147,10 @@ class ServerConfig:
             raise QueryValidationError(
                 "shed_time_limit and retry_after must be positive"
             )
+        if self.drain_timeout < 0:
+            raise QueryValidationError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout!r}"
+            )
 
 
 class QueryServer:
@@ -168,6 +179,7 @@ class QueryServer:
         self.tcp_address: tuple[str, int] | None = None
         self._started_monotonic: float | None = None
         self._inflight = 0
+        self._draining = False
         self._counters = {
             "requests": 0,
             "completed": 0,
@@ -176,6 +188,7 @@ class QueryServer:
             "errors": 0,
             "streams": 0,
             "tenants_evicted": 0,
+            "drain_abandoned": 0,
         }
 
     # -- tenant state ----------------------------------------------------------
@@ -314,6 +327,11 @@ class QueryServer:
         execution — otherwise a burst arriving while one request awaits
         would all read the same stale count and overshoot the limits.
         """
+        if self._draining:
+            # A draining server finishes what it admitted and sheds the
+            # rest — new arrivals get 503 + Retry-After, never a hang.
+            self._counters["shed"] += 1
+            raise ServerOverloadedError(self.config.retry_after)
         if self._inflight >= self.config.hard_limit:
             self._counters["shed"] += 1
             raise ServerOverloadedError(self.config.retry_after)
@@ -552,6 +570,7 @@ class QueryServer:
             "server": {
                 "uptime_seconds": uptime,
                 "inflight": self._inflight,
+                "draining": self._draining,
                 "soft_limit": self.config.soft_limit,
                 "hard_limit": self.config.hard_limit,
                 "max_tenants": self.config.max_tenants,
@@ -608,23 +627,57 @@ class QueryServer:
         self.tcp_address = self._tcp_server.sockets[0].getsockname()[:2]
         return self
 
-    async def stop(self) -> None:
-        """Close the listeners and shut the executor pool down."""
+    async def stop(self, drain_timeout: float | None = None) -> None:
+        """Drain gracefully, then close the listeners and executor.
+
+        The drain contract: the moment ``stop`` is called, new arrivals
+        are shed with a structured overload error (503 + ``Retry-After``
+        on HTTP) — including requests on already open keep-alive
+        connections — while requests admitted before the drain get up to
+        ``drain_timeout`` seconds (default ``config.drain_timeout``) to
+        finish normally.  Whatever is still running past the window is
+        abandoned to the executor (counted in ``drain_abandoned``)
+        rather than holding shutdown hostage.
+        """
+        if drain_timeout is None:
+            drain_timeout = self.config.drain_timeout
+        self._draining = True
         for server in (self._http_server, self._tcp_server):
             if server is not None:
                 server.close()
-                await server.wait_closed()
+        deadline = time.monotonic() + drain_timeout
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        abandoned = self._inflight
+        if abandoned:
+            self._counters["drain_abandoned"] += abandoned
+        for server in (self._http_server, self._tcp_server):
+            if server is not None:
+                # wait_closed() is bounded defensively: on some Python
+                # versions it also waits for open client connections,
+                # which an abandoned stream could hold indefinitely.
+                try:
+                    await asyncio.wait_for(server.wait_closed(), timeout=1.0)
+                except asyncio.TimeoutError:
+                    pass
         self._http_server = None
         self._tcp_server = None
         if self._executor is not None:
             executor = self._executor
             self._executor = None
-            # Join worker threads OFF the event loop: a shutdown(wait=True)
-            # here would block the loop and deadlock any in-flight work
-            # that still needs a loop tick to finish.
-            await asyncio.get_running_loop().run_in_executor(
-                None, functools.partial(executor.shutdown, wait=True)
-            )
+            if abandoned:
+                # Don't join threads still running abandoned work — let
+                # them finish (or die with the process) in the background.
+                executor.shutdown(wait=False, cancel_futures=True)
+            else:
+                # Join worker threads OFF the event loop: a
+                # shutdown(wait=True) here would block the loop and
+                # deadlock any in-flight work that still needs a loop
+                # tick to finish.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, functools.partial(executor.shutdown, wait=True)
+                )
+        self._draining = False
 
     async def serve_forever(self) -> None:
         """Start (when needed) and serve until cancelled."""

@@ -20,6 +20,12 @@ envelope.  Server-reported failures raise :class:`ServerError` (or
 :class:`ServerOverloaded`, carrying ``retry_after``, when admission
 control shed the request).
 
+Pass ``retry=RetryPolicy(...)`` to make the idempotent operations
+(``query``/``tcp_query``/``stats``/``healthz``) survive transient
+failures — shedding, dropped connections, server-side infrastructure
+errors — with capped exponential backoff, seeded jitter, and respect
+for the server's ``Retry-After``.  Streams never retry.
+
 Usage::
 
     async with ServerClient("127.0.0.1", 8642) as client:
@@ -32,12 +38,28 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
+import time
+from dataclasses import dataclass
 
 from repro.engine.spec import EvalSpec
-from repro.errors import ReproError
+from repro.errors import QueryValidationError, ReproError
 from repro.server.codec import RemoteResult, result_from_json, spec_payload
 
-__all__ = ["ServerClient", "ServerError", "ServerOverloaded"]
+__all__ = ["ServerClient", "ServerError", "ServerOverloaded", "RetryPolicy"]
+
+#: Server-reported error types worth a retry: infrastructure failures
+#: that a healthy server would not reproduce on the next attempt.
+#: Protocol and query-validation errors are deterministic — retrying
+#: them can only waste the budget — so they are deliberately absent.
+_RETRYABLE_ERROR_TYPES = frozenset({
+    "ConnectionError",
+    "ConnectionResetError",
+    "BrokenPipeError",
+    "ConnectionClosed",
+    "TimeoutError",
+    "OSError",
+})
 
 
 class ServerError(ReproError):
@@ -57,6 +79,63 @@ class ServerOverloaded(ServerError):
         self.retry_after = retry_after
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter for idempotent requests.
+
+    Attempt ``n`` (0-based) backs off ``base_delay * multiplier**n``
+    capped at ``max_delay``, stretched by up to ``jitter * 100`` percent
+    of seeded randomness (deterministic per policy instance, so tests
+    and reproductions see the same schedule).  When the server sheds a
+    request with ``Retry-After``, the client honours it: the actual
+    sleep is ``max(backoff, retry_after)``.  ``max_attempts`` and
+    ``max_elapsed`` bound the total budget — whichever trips first ends
+    the retry loop and re-raises the last failure.
+
+    Only idempotent operations retry (``query``/``tcp_query``/
+    ``stats``/``healthz``; every query is a read over an immutable
+    database).  Streams never retry: a re-sent stream would restart
+    refinement from scratch mid-consumption.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    max_elapsed: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise QueryValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise QueryValidationError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise QueryValidationError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if self.jitter < 0:
+            raise QueryValidationError(
+                f"jitter must be >= 0, got {self.jitter!r}"
+            )
+        if self.max_elapsed <= 0:
+            raise QueryValidationError(
+                f"max_elapsed must be positive, got {self.max_elapsed!r}"
+            )
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """The base sleep before retry number ``attempt + 1``."""
+        delay = min(
+            self.base_delay * self.multiplier ** attempt, self.max_delay
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
 def _raise_for_error(error: dict):
     retry_after = error.get("retry_after")
     if retry_after is not None or error.get("type") == "ServerOverloadedError":
@@ -73,16 +152,59 @@ class ServerClient:
         port: int = 8642,
         tcp_port: int | None = None,
         tenant: str = "default",
+        retry: RetryPolicy | None = None,
     ):
         self.host = host
         self.port = port
         self.tcp_port = tcp_port if tcp_port is not None else port + 1
         self.tenant = tenant
+        self.retry = retry
+        self._retry_rng = (
+            random.Random(retry.seed) if retry is not None else None
+        )
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         # One in-flight HTTP request at a time per client (the keep-alive
         # connection is a pipe); concurrency tests use many clients.
         self._lock = asyncio.Lock()
+
+    async def _with_retry(self, attempt_once):
+        """Run ``attempt_once`` under the client's retry policy.
+
+        Retries transient failures only: admission-control shedding
+        (honouring the server's ``Retry-After``), dropped or refused
+        connections, and server-reported infrastructure errors
+        (:data:`_RETRYABLE_ERROR_TYPES`).  Deterministic failures —
+        protocol violations, bad SQL, bad spec values — raise
+        immediately.
+        """
+        policy = self.retry
+        if policy is None:
+            return await attempt_once()
+        start = time.monotonic()
+        last: BaseException | None = None
+        for attempt in range(policy.max_attempts):
+            try:
+                return await attempt_once()
+            except ServerOverloaded as exc:
+                last = exc
+                delay = max(
+                    policy.backoff(attempt, self._retry_rng), exc.retry_after
+                )
+            except ServerError as exc:
+                if exc.error.get("type") not in _RETRYABLE_ERROR_TYPES:
+                    raise
+                last = exc
+                delay = policy.backoff(attempt, self._retry_rng)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+                last = exc
+                delay = policy.backoff(attempt, self._retry_rng)
+            if attempt + 1 >= policy.max_attempts:
+                break
+            if time.monotonic() - start + delay > policy.max_elapsed:
+                break
+            await asyncio.sleep(delay)
+        raise last
 
     # -- HTTP ------------------------------------------------------------------
 
@@ -164,6 +286,7 @@ class ServerClient:
         budget: int | None = None,
         time_limit: float | None = None,
         workers: int | str | None = None,
+        on_timeout: str | None = None,
     ) -> RemoteResult:
         """Run ``sql`` on the server; mirrors :meth:`Session.run`."""
         payload = {
@@ -182,26 +305,35 @@ class ServerClient:
             budget=budget,
             time_limit=time_limit,
             workers=workers,
+            on_timeout=on_timeout,
         )
         if wire_spec is not None:
             payload["spec"] = wire_spec
-        status, _, response = await self._http("POST", "/query", payload)
-        if status != 200:
-            _raise_for_error(response.get("error", {"message": f"HTTP {status}"}))
-        return result_from_json(
-            response["result"],
-            degraded=response.get("degraded", False),
-            statement_cache_hit=response.get("statement_cache_hit", False),
-        )
+
+        async def attempt_once():
+            status, _, response = await self._http("POST", "/query", payload)
+            if status != 200:
+                _raise_for_error(
+                    response.get("error", {"message": f"HTTP {status}"})
+                )
+            return result_from_json(
+                response["result"],
+                degraded=response.get("degraded", False),
+                statement_cache_hit=response.get(
+                    "statement_cache_hit", False
+                ),
+            )
+
+        return await self._with_retry(attempt_once)
 
     async def stats(self) -> dict:
-        status, _, response = await self._http("GET", "/stats")
-        if status != 200:
-            _raise_for_error(response.get("error", {"message": f"HTTP {status}"}))
-        return response
+        return await self._with_retry(lambda: self._get_json("/stats"))
 
     async def healthz(self) -> dict:
-        status, _, response = await self._http("GET", "/healthz")
+        return await self._with_retry(lambda: self._get_json("/healthz"))
+
+    async def _get_json(self, path: str) -> dict:
+        status, _, response = await self._http("GET", path)
         if status != 200:
             _raise_for_error(response.get("error", {"message": f"HTTP {status}"}))
         return response
@@ -261,12 +393,20 @@ class ServerClient:
     ) -> RemoteResult:
         """One-shot query over the TCP line protocol."""
         payload = self._tcp_payload("query", sql, tenant, engine, spec, **overrides)
-        async for response in self._tcp_round_trip(payload, collect_stream=False):
-            return result_from_json(
-                response["result"],
-                degraded=response.get("degraded", False),
-                statement_cache_hit=response.get("statement_cache_hit", False),
-            )
+
+        async def attempt_once():
+            async for response in self._tcp_round_trip(
+                payload, collect_stream=False
+            ):
+                return result_from_json(
+                    response["result"],
+                    degraded=response.get("degraded", False),
+                    statement_cache_hit=response.get(
+                        "statement_cache_hit", False
+                    ),
+                )
+
+        return await self._with_retry(attempt_once)
 
     async def stream(
         self,

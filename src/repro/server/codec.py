@@ -38,6 +38,7 @@ from repro.algebra.semimodule import ModuleExpr
 from repro.engine.spec import EvalSpec, ProbInterval
 from repro.engine.sprout import QueryResult
 from repro.errors import QueryValidationError
+from repro.resilience.faults import fault_point
 
 __all__ = [
     "SymbolicValue",
@@ -64,6 +65,11 @@ VOLATILE_STAT_KEYS = frozenset({
     "parallel_compiled",
     "parallel_mutex_nodes",
     "parallel_fallback",
+    # Deadline outcomes depend on wall-clock, not on the answer: a run
+    # that trips spec.time_limit still returns sound intervals, and how
+    # many rows it finished exactly varies with machine load.
+    "deadline_hit",
+    "rows_exact",
 })
 
 
@@ -197,6 +203,7 @@ class RemoteResult:
 
 def result_to_json(result: QueryResult) -> dict:
     """Encode a :class:`QueryResult` as the documented wire object."""
+    fault_point("server.codec.encode")
     return {
         "engine": result.engine,
         "columns": list(result.schema.attributes),
@@ -271,6 +278,7 @@ def spec_payload(
     budget: int | None = None,
     time_limit: float | None = None,
     workers: int | str | None = None,
+    on_timeout: str | None = None,
 ) -> dict | None:
     """Assemble the wire form of an evaluation spec from client inputs.
 
@@ -289,6 +297,7 @@ def spec_payload(
             ("budget", budget),
             ("time_limit", time_limit),
             ("workers", workers),
+            ("on_timeout", on_timeout),
         )
         if value is not None
     }

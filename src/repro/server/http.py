@@ -34,6 +34,7 @@ import asyncio
 import json
 
 from repro.errors import ReproError
+from repro.resilience.faults import fault_point
 
 __all__ = ["handle_connection", "MAX_BODY_BYTES"]
 
@@ -152,6 +153,10 @@ async def _dispatch(server, method: str, path: str, body: bytes):
             server.note_error()
             return 400, _error_body(ProtocolError(f"bad JSON body: {exc}")), None
         try:
+            # Injected faults escape this try on purpose: an io fault
+            # here surfaces as a 500 (retryable by the client policy),
+            # exactly like a genuine mid-request infrastructure failure.
+            fault_point("server.http.request")
             return 200, await server.execute(payload), None
         except ServerOverloadedError as exc:
             server.note_error()

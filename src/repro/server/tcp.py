@@ -32,6 +32,7 @@ import asyncio
 import json
 
 from repro.errors import ReproError
+from repro.resilience.faults import fault_point
 
 __all__ = ["handle_connection", "MAX_LINE_BYTES"]
 
@@ -75,6 +76,10 @@ async def _serve_line(server, writer: asyncio.StreamWriter, line: bytes) -> None
         return
     op = payload.get("op", "query")
     try:
+        # An injected io fault escapes to the connection loop's generic
+        # handler, which answers with a structured error line and keeps
+        # the loop alive.
+        fault_point("server.tcp.line")
         if op == "ping":
             await _send(writer, {"ok": True, "pong": True})
         elif op == "stats":

@@ -254,6 +254,7 @@ class Session:
         budget,
         time_limit,
         workers=None,
+        on_timeout=None,
     ) -> EvalSpec | None:
         """The :class:`EvalSpec` the caller asked for, or ``None``.
 
@@ -271,7 +272,9 @@ class Session:
         """
         if spec is None and all(
             value is None
-            for value in (mode, epsilon, delta, budget, time_limit, workers)
+            for value in (
+                mode, epsilon, delta, budget, time_limit, workers, on_timeout
+            )
         ):
             return None
         if spec is None and mode is None and any(
@@ -286,6 +289,7 @@ class Session:
             budget=budget,
             time_limit=time_limit,
             workers=workers,
+            on_timeout=on_timeout,
         )
         if engine_name == "montecarlo" and built.mode == "exact":
             # Only the session can tell an *explicit* exact request from
@@ -360,6 +364,7 @@ class Session:
         budget: int | None = None,
         time_limit: float | None = None,
         workers: int | str | None = None,
+        on_timeout: str | None = None,
         **options,
     ) -> QueryResult:
         """Evaluate ``query`` and return a :class:`QueryResult`.
@@ -387,10 +392,17 @@ class Session:
         results bit-identical to serial execution.  Extra ``options`` are
         forwarded to the engine (e.g. ``compute_probabilities=`` for
         sprout).
+
+        ``time_limit`` is honoured *end to end* — including inside exact
+        compilation — and ``on_timeout`` picks the policy when it trips:
+        ``"partial"`` (default) returns the best sound answer obtained so
+        far, ``"raise"`` raises
+        :class:`~repro.errors.QueryTimeoutError` carrying that partial.
         """
         engine = self.default_engine if engine is None else engine
         spec = self._build_spec(
-            engine, spec, mode, epsilon, delta, budget, time_limit, workers
+            engine, spec, mode, epsilon, delta, budget, time_limit, workers,
+            on_timeout,
         )
         query, name, spec = self._resolve(query, engine, samples, spec, options)
         return self.engine(name).run(query, spec=spec, **options)
@@ -406,6 +418,7 @@ class Session:
         budget: int | None = None,
         time_limit: float | None = None,
         workers: int | str | None = None,
+        on_timeout: str | None = None,
         **options,
     ):
         """Anytime evaluation: yield progressively refined results.
@@ -424,7 +437,8 @@ class Session:
         """
         engine = self.default_engine if engine is None else engine
         spec = self._build_spec(
-            engine, spec, mode, epsilon, delta, budget, time_limit, workers
+            engine, spec, mode, epsilon, delta, budget, time_limit, workers,
+            on_timeout,
         )
         if engine in ("approx", "montecarlo") and (
             spec is None or spec.execution_only

@@ -1,0 +1,131 @@
+"""Unit tests of the deadline primitive and its ambient propagation."""
+
+import time
+
+import pytest
+
+from repro.engine.montecarlo import MonteCarloEngine
+from repro.engine.spec import EvalSpec
+from repro.errors import QueryValidationError
+from repro.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_from_spec,
+    deadline_scope,
+)
+
+
+class TestDeadline:
+    def test_validation(self):
+        with pytest.raises(QueryValidationError):
+            Deadline(0.0)
+        with pytest.raises(QueryValidationError):
+            Deadline(-1.0)
+        with pytest.raises(QueryValidationError):
+            Deadline("soon")
+        with pytest.raises(QueryValidationError):
+            Deadline(True)
+
+    def test_after_none_is_none(self):
+        assert Deadline.after(None) is None
+        assert isinstance(Deadline.after(1.5), Deadline)
+
+    def test_remaining_and_expiry(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired()
+        assert 0.0 < deadline.remaining() <= 60.0
+        assert deadline.elapsed() >= 0.0
+        deadline.check("unit test")  # far from expiry: no raise
+
+        tight = Deadline(0.001)
+        time.sleep(0.005)
+        assert tight.expired()
+        assert tight.remaining() < 0.0
+        with pytest.raises(DeadlineExceeded) as err:
+            tight.check("unit test")
+        assert "unit test" in str(err.value)
+        assert err.value.deadline is tight
+
+    def test_from_spec(self):
+        assert deadline_from_spec(None) is None
+        assert deadline_from_spec(EvalSpec()) is None
+        deadline = deadline_from_spec(EvalSpec(time_limit=2.0))
+        assert deadline is not None and deadline.seconds == 2.0
+
+
+class TestAmbientScope:
+    def test_scope_sets_and_resets(self):
+        assert current_deadline() is None
+        deadline = Deadline(30.0)
+        with deadline_scope(deadline) as active:
+            assert active is deadline
+            assert current_deadline() is deadline
+            inner = Deadline(10.0)
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_scope_none_is_noop(self):
+        with deadline_scope(None) as active:
+            assert active is None
+            assert current_deadline() is None
+
+    def test_check_deadline_without_scope_is_noop(self):
+        check_deadline("nothing active")  # must not raise
+
+    def test_check_deadline_raises_in_expired_scope(self):
+        deadline = Deadline(0.001)
+        time.sleep(0.005)
+        with deadline_scope(deadline):
+            with pytest.raises(DeadlineExceeded):
+                check_deadline("loop body")
+
+    def test_scope_resets_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline(30.0)):
+                raise RuntimeError("boom")
+        assert current_deadline() is None
+
+
+class TestEvalSpecPolicy:
+    def test_on_timeout_values(self):
+        assert EvalSpec().on_timeout == "partial"
+        assert EvalSpec(on_timeout="raise").on_timeout == "raise"
+        with pytest.raises(QueryValidationError):
+            EvalSpec(on_timeout="explode")
+
+    def test_on_timeout_round_trips_json(self):
+        spec = EvalSpec(time_limit=0.5, on_timeout="raise")
+        assert EvalSpec.from_json(spec.to_json()) == spec
+
+    def test_on_timeout_is_execution_only(self):
+        # Policy, like workers, does not describe answer quality: a spec
+        # that only sets it must not force an engine off the exact path.
+        assert EvalSpec(on_timeout="raise").execution_only
+
+
+class TestMonteCarloDeadlineClamp:
+    """The mid-round overshoot fix: the final batch is clamped to what
+    the observed sampling rate affords within the remaining budget."""
+
+    clamp = staticmethod(MonteCarloEngine._deadline_clamp)
+
+    def test_expired_budget_degenerates_to_one(self):
+        assert self.clamp(4096, 1000, 0.5, 0.0) == 1
+        assert self.clamp(4096, 1000, 0.5, -1.0) == 1
+
+    def test_no_rate_information_keeps_batch(self):
+        assert self.clamp(4096, 0, 0.0, 1.0) == 4096
+        assert self.clamp(4096, 1000, 0.0, 1.0) == 4096
+
+    def test_clamps_to_affordable_samples(self):
+        # 1000 samples in 1s → 1000/s; 0.1s left affords ~100 samples.
+        assert self.clamp(4096, 1000, 1.0, 0.1) == 100
+        # Plenty of time left: the planned batch stands.
+        assert self.clamp(4096, 1000, 1.0, 100.0) == 4096
+
+    def test_never_below_one(self):
+        assert self.clamp(4096, 1000, 1.0, 1e-9) >= 1

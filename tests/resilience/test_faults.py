@@ -1,0 +1,143 @@
+"""The fault-injection harness itself: determinism, scoping, guards."""
+
+import pytest
+
+from repro.errors import QueryValidationError
+from repro.resilience import FaultPlan, FaultSpec, fault_plan, fault_point
+from repro.resilience.faults import active_plan, clear_plan, install_plan
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    """Every test starts and ends with no installed plan."""
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestFaultSpec:
+    def test_kind_validation(self):
+        with pytest.raises(QueryValidationError):
+            FaultSpec("meteor")
+
+    def test_option_validation(self):
+        with pytest.raises(QueryValidationError):
+            FaultSpec("io", times=0)
+        with pytest.raises(QueryValidationError):
+            FaultSpec("io", rate=0.0)
+        with pytest.raises(QueryValidationError):
+            FaultSpec("io", rate=1.5)
+        with pytest.raises(QueryValidationError):
+            FaultSpec("slow", delay=-1.0)
+        with pytest.raises(QueryValidationError):
+            FaultSpec("io", after=-1)
+
+
+class TestFaultPoint:
+    def test_noop_without_plan(self):
+        assert active_plan() is None
+        for _ in range(1000):
+            fault_point("pool.worker")  # must be a strict no-op
+
+    def test_noop_for_unbound_points(self):
+        with fault_plan(FaultPlan().add("server.http.request", "io")):
+            fault_point("pool.worker")  # bound elsewhere: no-op
+            assert active_plan().hits == {}
+
+    def test_io_fault_fires_times_then_heals(self):
+        plan = FaultPlan().add("server.http.request", "io", times=2)
+        with fault_plan(plan):
+            for _ in range(2):
+                with pytest.raises(ConnectionError):
+                    fault_point("server.http.request")
+            fault_point("server.http.request")  # healed
+        assert plan.fires == {"server.http.request": 2}
+        assert plan.hits == {"server.http.request": 3}
+        assert plan.fired == [("server.http.request", "io")] * 2
+
+    def test_after_skips_leading_hits(self):
+        plan = FaultPlan().add("server.tcp.line", "io", times=1, after=2)
+        with fault_plan(plan):
+            fault_point("server.tcp.line")
+            fault_point("server.tcp.line")
+            with pytest.raises(ConnectionError):
+                fault_point("server.tcp.line")
+
+    def test_slow_fault_sleeps(self):
+        import time
+
+        plan = FaultPlan().add("engine.approx.round", "slow", delay=0.02)
+        with fault_plan(plan):
+            start = time.perf_counter()
+            fault_point("engine.approx.round")
+            assert time.perf_counter() - start >= 0.02
+
+    def test_worker_only_guard_covers_crash_hang_pickle(self):
+        plan = (
+            FaultPlan()
+            .add("a", "crash")
+            .add("b", "hang")
+            .add("c", "pickle")
+        )
+        with fault_plan(plan):
+            # None of these may fire in the parent process — a crash
+            # here would kill the test runner outright.
+            fault_point("a")
+            fault_point("b")
+            fault_point("c")
+        assert plan.fires == {}
+
+    def test_guard_does_not_consume_the_times_budget(self):
+        # Parent-side hits at a worker-only fault must leave the budget
+        # intact for the actual workers (which fork later).
+        plan = FaultPlan().add("pool.worker", "crash", times=1)
+        with fault_plan(plan):
+            for _ in range(5):
+                fault_point("pool.worker")
+        assert plan.hits == {"pool.worker": 5}
+        assert plan.fires == {}
+
+
+class TestDeterminism:
+    def _fired_pattern(self, seed):
+        plan = FaultPlan(seed=seed).add(
+            "server.http.request", "io", rate=0.5, times=None
+        )
+        pattern = []
+        with fault_plan(plan):
+            for _ in range(64):
+                try:
+                    fault_point("server.http.request")
+                    pattern.append(0)
+                except ConnectionError:
+                    pattern.append(1)
+        return pattern
+
+    def test_rate_faults_are_seed_deterministic(self):
+        first = self._fired_pattern(seed=42)
+        second = self._fired_pattern(seed=42)
+        assert first == second
+        assert 0 < sum(first) < 64  # actually probabilistic
+
+    def test_different_seeds_differ(self):
+        assert self._fired_pattern(seed=1) != self._fired_pattern(seed=2)
+
+
+class TestInstallation:
+    def test_context_manager_clears_on_exit(self):
+        plan = FaultPlan()
+        with fault_plan(plan):
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_context_manager_clears_on_error(self):
+        with pytest.raises(RuntimeError):
+            with fault_plan(FaultPlan()):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_install_and_clear(self):
+        plan = install_plan(FaultPlan())
+        assert active_plan() is plan
+        clear_plan()
+        assert active_plan() is None

@@ -1,0 +1,335 @@
+"""Server-stack resilience: client retries, graceful drain, wire policy.
+
+Same conventions as ``tests/server/test_server.py``: real servers on
+ephemeral localhost ports, sync tests running their own ``asyncio.run``
+loop (no pytest-asyncio in the container).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import QueryValidationError
+from repro.resilience import FaultPlan, fault_plan
+from repro.resilience.faults import clear_plan
+from repro.server import (
+    QueryServer,
+    RetryPolicy,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+    ServerOverloaded,
+    demo_database,
+)
+
+SQL = "SELECT kind FROM R WHERE value >= 20"
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def booted(**overrides):
+    config = ServerConfig(port=0, **overrides)
+    server = QueryServer(demo_database(), config)
+    await server.start()
+    return server
+
+
+def client_for(server, **kwargs) -> ServerClient:
+    host, port = server.http_address
+    _, tcp_port = server.tcp_address
+    return ServerClient(host, port, tcp_port=tcp_port, **kwargs)
+
+
+#: A fast schedule for tests: retries land within milliseconds.
+FAST_RETRY = RetryPolicy(
+    max_attempts=5, base_delay=0.01, max_delay=0.05, jitter=0.1
+)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(QueryValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(QueryValidationError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(QueryValidationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(QueryValidationError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(QueryValidationError):
+            RetryPolicy(max_elapsed=0.0)
+
+    def test_backoff_grows_and_caps(self):
+        import random
+
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.backoff(n, rng) for n in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_seed_deterministic(self):
+        import random
+
+        policy = RetryPolicy(jitter=0.5)
+        first = [policy.backoff(n, random.Random(7)) for n in range(3)]
+        second = [policy.backoff(n, random.Random(7)) for n in range(3)]
+        assert first == second
+
+
+class TestRetryUntilSuccess:
+    def test_http_retry_survives_transient_io_fault(self):
+        """The io fault heals after two hits; the retrying client never
+        sees it, the bare client fails on the first attempt."""
+
+        async def scenario():
+            server = await booted()
+            try:
+                plan = FaultPlan().add(
+                    "server.http.request", "io", times=2
+                )
+                with fault_plan(plan):
+                    async with client_for(server) as bare:
+                        with pytest.raises(ServerError) as err:
+                            await bare.query(SQL)
+                        assert err.value.error["type"] == "ConnectionError"
+                    async with client_for(server, retry=FAST_RETRY) as c:
+                        result = await c.query(SQL)
+                assert len(result.rows) > 0
+                assert plan.fires == {"server.http.request": 2}
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_tcp_retry_survives_transient_io_fault(self):
+        async def scenario():
+            server = await booted()
+            try:
+                plan = FaultPlan().add("server.tcp.line", "io", times=1)
+                with fault_plan(plan):
+                    async with client_for(server, retry=FAST_RETRY) as c:
+                        result = await c.tcp_query(SQL)
+                assert len(result.rows) > 0
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_retry_until_shedding_server_recovers(self):
+        """A client retrying against a fully loaded server succeeds once
+        capacity frees up, honouring the server's Retry-After."""
+
+        async def scenario():
+            server = await booted(retry_after=0.05)
+            try:
+                # Saturate admission artificially, then free it shortly.
+                server._inflight = server.config.hard_limit
+
+                async def recover():
+                    await asyncio.sleep(0.15)
+                    server._inflight = 0
+
+                recovery = asyncio.ensure_future(recover())
+                async with client_for(server, retry=FAST_RETRY) as c:
+                    result = await c.query(SQL)
+                await recovery
+                assert len(result.rows) > 0
+                assert server._counters["shed"] >= 1
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_deterministic_errors_never_retry(self):
+        async def scenario():
+            server = await booted()
+            try:
+                async with client_for(server, retry=FAST_RETRY) as c:
+                    with pytest.raises(ServerError):
+                        await c.query("SELECT nope FROM missing_table")
+                # One request, one error: no retry storm on bad SQL.
+                assert server._counters["requests"] == 1
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_attempt_budget_is_capped(self):
+        async def scenario():
+            server = await booted()
+            try:
+                policy = RetryPolicy(
+                    max_attempts=3, base_delay=0.001, jitter=0.0
+                )
+                plan = FaultPlan().add(
+                    "server.http.request", "io", times=None
+                )
+                with fault_plan(plan):
+                    async with client_for(server, retry=policy) as c:
+                        with pytest.raises(ServerError):
+                            await c.query(SQL)
+                assert plan.fires == {"server.http.request": 3}
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestTimeoutPolicyOverWire:
+    def test_partial_policy_returns_degraded_intervals(self):
+        async def scenario():
+            server = await booted()
+            try:
+                plan = FaultPlan().add(
+                    "engine.sprout.row", "slow", delay=0.005, times=None
+                )
+                with fault_plan(plan):
+                    async with client_for(server) as c:
+                        result = await c.query(
+                            SQL, engine="sprout", time_limit=0.01
+                        )
+                assert result.stats["deadline_hit"] is True
+                assert any(r.probability.width == 1.0 for r in result.rows)
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_raise_policy_maps_to_structured_error(self):
+        async def scenario():
+            server = await booted()
+            try:
+                plan = FaultPlan().add(
+                    "engine.sprout.row", "slow", delay=0.005, times=None
+                )
+                with fault_plan(plan):
+                    async with client_for(server) as c:
+                        with pytest.raises(ServerError) as err:
+                            await c.query(
+                                SQL,
+                                engine="sprout",
+                                time_limit=0.01,
+                                on_timeout="raise",
+                            )
+                assert err.value.error["type"] == "QueryTimeoutError"
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestGracefulDrain:
+    def test_inflight_completes_and_new_arrivals_shed(self):
+        async def scenario():
+            server = await booted(drain_timeout=10.0)
+            slow = client_for(server)
+            probe = client_for(server)
+            try:
+                # Open the probe's keep-alive connection before the
+                # listeners close (healthz bypasses admission control).
+                await probe.healthz()
+                # An in-flight request that runs ~50ms on the executor.
+                plan = FaultPlan().add(
+                    "engine.approx.round", "slow", delay=0.05, times=None
+                )
+                with fault_plan(plan):
+                    inflight = asyncio.ensure_future(
+                        slow.query(
+                            SQL,
+                            engine="approx",
+                            mode="approx",
+                            epsilon=1e-9,
+                            time_limit=0.4,
+                        )
+                    )
+                    for _ in range(200):
+                        if server._inflight:
+                            break
+                        await asyncio.sleep(0.005)
+                    assert server._inflight == 1
+                    stopping = asyncio.ensure_future(server.stop())
+                    await asyncio.sleep(0.02)
+                    assert server._draining
+                    # A new arrival on the existing connection: shed.
+                    with pytest.raises(ServerOverloaded):
+                        await probe.query(SQL)
+                    # The admitted request still completes normally.
+                    result = await inflight
+                    assert len(result.rows) > 0
+                    await stopping
+                assert server._counters["drain_abandoned"] == 0
+            finally:
+                await slow.close()
+                await probe.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_drain_abandons_stragglers_past_the_window(self):
+        async def scenario():
+            server = await booted(drain_timeout=0.05)
+            client = client_for(server)
+            try:
+                plan = FaultPlan().add(
+                    "engine.approx.round", "slow", delay=0.4, times=None
+                )
+                with fault_plan(plan):
+                    inflight = asyncio.ensure_future(
+                        client.query(
+                            SQL,
+                            engine="approx",
+                            mode="approx",
+                            epsilon=1e-9,
+                            time_limit=0.6,
+                        )
+                    )
+                    for _ in range(200):
+                        if server._inflight:
+                            break
+                        await asyncio.sleep(0.005)
+                    await server.stop()
+                    assert server._counters["drain_abandoned"] == 1
+                    # The straggler still finishes on its own schedule.
+                    result = await inflight
+                    assert len(result.rows) > 0
+            finally:
+                await client.close()
+
+        run(scenario())
+
+    def test_stats_expose_draining_flag(self):
+        async def scenario():
+            server = await booted()
+            assert server.stats()["server"]["draining"] is False
+            await server.stop()
+            assert server.stats()["server"]["draining"] is False
+
+        run(scenario())
+
+
+class TestCodecFaultPoint:
+    def test_encode_fault_is_a_structured_500(self):
+        async def scenario():
+            server = await booted()
+            try:
+                plan = FaultPlan().add("server.codec.encode", "io", times=1)
+                with fault_plan(plan):
+                    async with client_for(server, retry=FAST_RETRY) as c:
+                        result = await c.query(SQL)
+                assert len(result.rows) > 0
+                assert plan.fires == {"server.codec.encode": 1}
+            finally:
+                await server.stop()
+
+        run(scenario())
