@@ -46,8 +46,15 @@ from repro.engine.montecarlo import MonteCarloEngine
 from repro.engine.sprout import SproutEngine
 from repro.parallel import resolve_workers
 from repro.prob.variables import VariableRegistry
-from repro.query.ast import AggSpec, GroupAgg, Project, Select, relation
-from repro.query.predicates import cmp_
+from repro.query.ast import (
+    AggSpec,
+    GroupAgg,
+    Project,
+    Select,
+    product_of,
+    relation,
+)
+from repro.query.predicates import cmp_, eq
 
 
 def _cpu_count() -> int:
@@ -89,6 +96,46 @@ def build_mc_hard_database(rows: int, groups: int = 4, seed: int = 0):
 
 def mc_hard_query():
     return GroupAgg(relation("R"), ["a"], [AggSpec.of("t", "SUM", "v")])
+
+
+def build_mc_join_database(rows: int, dim_rows: int = 50, seed: int = 0):
+    """A conjunctively annotated fact table plus a certain dimension.
+
+    The conjunctions force Monte-Carlo onto the per-world path (the
+    vectorized batch evaluator requires single-variable annotations) and
+    the join makes per-world evaluation the cost center: the compiled
+    kernel hoists the deterministic dimension — instantiation and hash
+    index — out of the world loop entirely, while the interpreter
+    rebuilds the world's relations every time.
+    """
+    rng = random.Random(seed)
+    registry = VariableRegistry()
+    db = PVCDatabase(registry=registry, semiring=BOOLEAN)
+    fact = db.create_table("fact", ["k", "v"])
+    for i in range(rows):
+        x, y = f"r{i}", f"q{i}"
+        registry.bernoulli(x, 0.5)
+        registry.bernoulli(y, 0.6)
+        fact.add(
+            (rng.randrange(dim_rows), rng.randint(0, 50)), Var(x) * Var(y)
+        )
+    dim = db.create_table("dim", ["dk", "cat"])
+    for k in range(dim_rows):
+        dim.add((k, k % 5))
+    return db
+
+
+def mc_join_query():
+    return GroupAgg(
+        Project(
+            Select(
+                product_of(relation("fact"), relation("dim")), eq("k", "dk")
+            ),
+            ["cat", "v"],
+        ),
+        ["cat"],
+        [AggSpec.of("t", "SUM", "v")],
+    )
 
 
 def build_compile_database(
@@ -138,6 +185,27 @@ def measure_mc_fixed(db, query, samples, workers, runs, seed=1):
         times.append(time.perf_counter() - start)
         fingerprint = sorted(estimate.items(), key=lambda kv: repr(kv[0]))
         assert "parallel_fallback" not in engine.last_run_info, (
+            engine.last_run_info
+        )
+    return times, fingerprint
+
+
+def measure_mc_codegen(db, query, samples, codegen, runs, seed=1):
+    """Fixed-budget MC on the per-world path with codegen forced on/off.
+
+    Serial (``workers=None``) so the measured difference is purely the
+    per-world evaluator: interpreted instantiate-and-execute vs the bound
+    fused kernel.  Returns the times and the answer fingerprint — the
+    caller asserts the two evaluators estimate identically.
+    """
+    times, fingerprint = [], None
+    for run in range(runs):
+        engine = MonteCarloEngine(db, seed=seed, codegen=codegen)
+        start = time.perf_counter()
+        estimate = engine.tuple_probabilities(query, samples)
+        times.append(time.perf_counter() - start)
+        fingerprint = sorted(estimate.items(), key=lambda kv: repr(kv[0]))
+        assert engine.last_run_info.get("codegen_used", False) is codegen, (
             engine.last_run_info
         )
     return times, fingerprint
@@ -269,6 +337,44 @@ def main() -> None:
         f"Compilation-heavy HAVING sweep ({groups} groups)",
         ["workers", "mean_ms", "speedup"],
         rows,
+    )
+
+    # Codegen on/off on the serial per-world MC path: same drawn worlds,
+    # different evaluator — the answers must be bit-identical.  A join
+    # workload, so per-world evaluation (not world sampling, which both
+    # evaluators share) dominates the wall-clock.
+    cg_mc_rows, cg_samples = (12, 800) if smoke else (40, 4000)
+    db = build_mc_join_database(rows=cg_mc_rows)
+    query = mc_join_query()
+    cg_rows = []
+    reference, interp_mean = None, None
+    for codegen in (False, True):
+        times, fingerprint = measure_mc_codegen(
+            db, query, cg_samples, codegen, runs
+        )
+        mean = statistics.mean(times)
+        stdev = statistics.stdev(times) if len(times) > 1 else 0.0
+        if reference is None:
+            interp_mean, reference = mean, fingerprint
+        elif fingerprint != reference:
+            raise AssertionError(
+                "mc_codegen: compiled estimates diverged from interpreted"
+            )
+        speedup = interp_mean / mean if mean > 0 else 0.0
+        report.add(
+            "mc_codegen",
+            {"rows": cg_mc_rows, "samples": cg_samples, "codegen": codegen},
+            mean=round(mean, 6),
+            stdev=round(stdev, 6),
+            speedup_vs_interpreter=round(speedup, 3),
+        )
+        cg_rows.append(
+            ("on" if codegen else "off", f"{mean * 1e3:.1f}", f"{speedup:.2f}x")
+        )
+    print_series(
+        f"MC per-world evaluator — codegen off vs on ({cg_samples} worlds, serial)",
+        ["codegen", "mean_ms", "speedup"],
+        cg_rows,
     )
 
     report.finish()

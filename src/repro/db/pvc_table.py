@@ -103,23 +103,26 @@ class PVCTable:
     1
     """
 
-    __slots__ = ("schema", "rows", "_scan_cache", "_index_cache")
+    __slots__ = ("schema", "rows", "_scan_cache", "_index_cache", "_column_cache")
 
     def __init__(self, schema: Schema, rows: Iterable[PVCRow] = ()):
         self.schema = schema
         self.rows: list[PVCRow] = list(rows)
         #: Caches for the physical executor, invalidated by row count:
-        #: the merged set-of-tuples scan and per-key-set hash indexes.
+        #: the merged set-of-tuples scan, per-key-set hash indexes, and
+        #: the columnar (per-column + annotation) views.
         #: Mutate rows through :meth:`add`/:meth:`add_block` (append-only,
         #: so the count always changes); code that replaces entries of the
         #: ``rows`` list in place must call :meth:`invalidate_caches`.
         self._scan_cache = None
         self._index_cache: dict = {}
+        self._column_cache: dict = {}
 
     def invalidate_caches(self) -> None:
-        """Drop the cached scan/hash-index views after in-place edits."""
+        """Drop the cached scan/hash-index/column views after in-place edits."""
         self._scan_cache = None
         self._index_cache.clear()
+        self._column_cache.clear()
 
     def add(self, values: Sequence, annotation: SemiringExpr = ONE):
         """Append a row; the default annotation ``1_K`` means "certain"."""
@@ -205,6 +208,34 @@ class PVCTable:
             bucket.append(row)
         self._index_cache[key_indices] = (len(self.rows), buckets)
         return buckets
+
+    def value_columns(self) -> list:
+        """Columnar view of the raw rows: one list per attribute, aligned
+        with ``rows`` order (semimodule values appear unevaluated).
+
+        Memoised like the scan/hash-index caches (keyed on the row
+        count), so repeated plan bindings — the codegen per-world layout
+        in particular — never re-split rows into columns.
+        """
+        cached = self._column_cache.get("values")
+        if cached is not None and cached[0] == len(self.rows):
+            return cached[1]
+        columns = [
+            [row.values[i] for row in self.rows]
+            for i in range(len(self.schema))
+        ]
+        self._column_cache["values"] = (len(self.rows), columns)
+        return columns
+
+    def annotation_column(self) -> list:
+        """The annotation column ``Φ`` of the raw rows, memoised like
+        :meth:`value_columns`."""
+        cached = self._column_cache.get("annotations")
+        if cached is not None and cached[0] == len(self.rows):
+            return cached[1]
+        column = [row.annotation for row in self.rows]
+        self._column_cache["annotations"] = (len(self.rows), column)
+        return column
 
     def __iter__(self) -> Iterator[PVCRow]:
         return iter(self.rows)

@@ -29,7 +29,7 @@ __all__ = ["Relation"]
 class Relation:
     """A deterministic relation: tuples with semiring multiplicities."""
 
-    __slots__ = ("schema", "semiring", "_tuples")
+    __slots__ = ("schema", "semiring", "_tuples", "_version", "_index_cache", "_column_cache")
 
     def __init__(
         self,
@@ -40,6 +40,13 @@ class Relation:
         self.schema = schema
         self.semiring = semiring
         self._tuples: dict[tuple, object] = {}
+        #: Mutation counter keying the memoised hash-index and column
+        #: views.  The row *count* is not a safe key here (unlike
+        #: PVCTable, which is append-only): ``add`` can change a
+        #: multiplicity — or cancel a tuple — without changing ``len``.
+        self._version = 0
+        self._index_cache: dict = {}
+        self._column_cache: dict = {}
         for values, multiplicity in tuples:
             self.add(values, multiplicity)
 
@@ -55,6 +62,7 @@ class Relation:
             multiplicity = self.semiring.one
         current = self._tuples.get(values, self.semiring.zero)
         combined = self.semiring.add(current, multiplicity)
+        self._version += 1
         if combined == self.semiring.zero:
             self._tuples.pop(values, None)
         else:
@@ -77,19 +85,48 @@ class Relation:
     def hash_index(self, attributes: Sequence[str]) -> dict:
         """Buckets of ``(values, multiplicity)`` keyed on ``attributes``.
 
-        The build side of a hash equi-join over this relation.
+        The build side of a hash equi-join over this relation.  Built
+        once per key set and memoised until the relation mutates, so
+        repeated executions against the same world (the per-world
+        engines, the compiled kernels) never rebuild an index.
         """
         from repro.db.pvc_table import tuple_getter
 
+        key = tuple(attributes)
+        cached = self._index_cache.get(key)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         key_of = tuple_getter([self.schema.index(a) for a in attributes])
         buckets: dict[tuple, list] = {}
         for values, multiplicity in self._tuples.items():
-            key = key_of(values)
-            bucket = buckets.get(key)
+            bucket_key = key_of(values)
+            bucket = buckets.get(bucket_key)
             if bucket is None:
-                buckets[key] = bucket = []
+                buckets[bucket_key] = bucket = []
             bucket.append((values, multiplicity))
+        self._index_cache[key] = (self._version, buckets)
         return buckets
+
+    def column(self, attribute: str) -> list:
+        """The values of one attribute across all tuples, in tuple order.
+
+        Memoised per attribute until the relation mutates — the columnar
+        view repeated plans share instead of re-splitting rows.
+        """
+        cached = self._column_cache.get(attribute)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        index = self.schema.index(attribute)
+        values = [row[index] for row in self._tuples]
+        self._column_cache[attribute] = (self._version, values)
+        return values
+
+    def columns(self, attributes: Sequence[str] | None = None) -> list:
+        """Columnar view: one list per attribute (all attributes when
+        ``attributes`` is None), aligned with :meth:`tuples` order."""
+        if attributes is None:
+            attributes = self.schema.attributes
+        return [self.column(attribute) for attribute in attributes]
 
     def multiplicity(self, values: Sequence):
         """The multiplicity of a tuple (``0_S`` if absent)."""

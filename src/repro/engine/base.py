@@ -34,6 +34,7 @@ from collections import OrderedDict
 from typing import Protocol, runtime_checkable
 
 from repro.algebra.expressions import ONE, Expr
+from repro.codegen import runtime_stats
 from repro.core.compile import Compiler
 from repro.db.pvc_table import PVCDatabase
 from repro.engine.approximate import ApproxAdapter
@@ -351,6 +352,20 @@ class SproutAdapter:
         return result
 
 
+def _codegen_stats(stats: dict, before: dict) -> dict:
+    """Merge this run's codegen counter deltas into ``stats``.
+
+    The counters are process-wide (kernels are cached across runs and
+    sessions), so per-run stats report the *delta* over the run; all of
+    these are volatile — excluded from result fingerprints like
+    ``wall_seconds``.
+    """
+    after = runtime_stats()
+    for key in ("kernels_compiled", "kernel_cache_hits", "codegen_compile_seconds"):
+        stats[key] = after[key] - before[key]
+    return stats
+
+
 def _concrete_rows(schema, probabilities, compare_key=repr):
     """Sorted ResultRows for engines reporting concrete tuples only."""
     return [
@@ -382,6 +397,8 @@ class NaiveAdapter:
                 f"naive engine takes no run options, got {sorted(options)}"
             )
         _reject_non_exact(self.name, spec)
+        self.engine.codegen = spec.codegen if spec is not None else None
+        counters = runtime_stats()
         start = time.perf_counter()
         deadline = deadline_from_spec(spec)
         try:
@@ -402,6 +419,8 @@ class NaiveAdapter:
         schema = query.schema(self.engine.db.catalog())
         rows = _concrete_rows(schema, probabilities)
         stats = {"wall_seconds": elapsed, "rows": len(rows)}
+        stats.update(self.engine.last_run_info)
+        _codegen_stats(stats, counters)
         return QueryResult(
             schema,
             rows,
@@ -459,6 +478,8 @@ class MonteCarloAdapter:
                 "use engine='approx' (Monte-Carlo provides (ε, δ) "
                 "confidence intervals via spec mode 'sample')"
             )
+        self.engine.codegen = spec.codegen if spec is not None else None
+        counters = runtime_stats()
         if spec is not None and spec.mode == "sample":
             if samples is not None:
                 raise QueryValidationError(
@@ -474,6 +495,7 @@ class MonteCarloAdapter:
                 workers=spec.workers,
             )
             result = self._interval_result(query, intervals, info)
+            _codegen_stats(result.stats, counters)
             if info.get("deadline_hit") and spec.on_timeout == "raise":
                 raise QueryTimeoutError(
                     f"sampling exceeded time_limit={spec.time_limit:g}s "
@@ -483,12 +505,14 @@ class MonteCarloAdapter:
                 )
             return result
         if spec is not None and not (
-            spec.execution_only and spec.workers is not None
+            spec.execution_only
+            and (spec.workers is not None or spec.codegen is not None)
         ):
             # Remaining mode is "exact": sampling cannot honour that.
             # The single exception is a pure-execution spec — only the
-            # workers knob set — which shards the legacy fixed-budget
-            # estimator below without touching its answer semantics.
+            # workers and/or codegen knobs set — which runs the legacy
+            # fixed-budget estimator below without touching its answer
+            # semantics.
             raise QueryValidationError(
                 "montecarlo engine cannot guarantee exact answers; use "
                 "engine='sprout' or 'naive', or spec mode 'sample'"
@@ -504,6 +528,7 @@ class MonteCarloAdapter:
         rows = _concrete_rows(schema, probabilities)
         stats = {"wall_seconds": elapsed, "rows": len(rows)}
         stats.update(self.engine.last_run_info)
+        _codegen_stats(stats, counters)
         return QueryResult(
             schema,
             rows,
@@ -524,6 +549,8 @@ class MonteCarloAdapter:
             raise QueryValidationError(
                 "anytime Monte-Carlo needs spec mode 'sample'"
             )
+        self.engine.codegen = spec.codegen
+        counters = runtime_stats()
         for intervals, info in self.engine.estimate_intervals_iter(
             query,
             epsilon=spec.epsilon,
@@ -532,7 +559,9 @@ class MonteCarloAdapter:
             time_limit=spec.time_limit,
             workers=spec.workers,
         ):
-            yield self._interval_result(query, intervals, info)
+            result = self._interval_result(query, intervals, info)
+            _codegen_stats(result.stats, counters)
+            yield result
 
 
 def create_engine(

@@ -57,6 +57,12 @@ from repro.algebra.monoid import (
 )
 from repro.algebra.semimodule import ModuleExpr
 from repro.algebra.valuation import Valuation
+from repro.codegen import (
+    CodegenUnsupported,
+    codegen_enabled,
+    codegen_strict,
+    kernel_for,
+)
 from repro.db.pvc_table import PVCDatabase
 from repro.engine.spec import ProbInterval
 from repro.parallel import pool as parallel_pool
@@ -91,8 +97,19 @@ class _Fallback(Exception):
 class MonteCarloEngine:
     """Approximate query answering by sampling possible worlds."""
 
-    def __init__(self, db: PVCDatabase, seed: int | None = None):
+    def __init__(
+        self,
+        db: PVCDatabase,
+        seed: int | None = None,
+        codegen: bool | None = None,
+    ):
         self.db = db
+        #: Per-world execution strategy of the generic fallback: ``None``
+        #: follows the ``REPRO_CODEGEN`` environment knob, ``True``/
+        #: ``False`` force the compiled kernels on or off.  Compiled and
+        #: interpreted per-world evaluation are bit-identical, so this —
+        #: like ``workers`` — never changes a seeded answer.
+        self.codegen = codegen
         self.random = random.Random(seed)
         self._np_rng = (
             _np.random.default_rng(seed) if _np is not None else None
@@ -189,28 +206,30 @@ class MonteCarloEngine:
         return sorted(needed)
 
     def _sampled_counts(
-        self, query: Query, referenced, samples: int
+        self, query: Query, referenced, samples: int, prepared=None
     ) -> tuple[dict[tuple, int], bool]:
         """Draw ``samples`` worlds and count answer-tuple occurrences.
 
         Tries the vectorized whole-batch evaluator first; returns the
-        counts and whether the batched path handled the query.
+        counts and whether the batched path handled the query.  Callers
+        that evaluate many rounds pass ``prepared`` so the plan (and any
+        compiled kernel riding its cache) is built once, not per round.
         """
         drawn = self._sample_index_columns(
             self._referenced_variables(referenced), samples
         )
-        return self._evaluate_drawn(query, referenced, drawn, samples)
+        return self._evaluate_drawn(query, referenced, drawn, samples, prepared)
 
     def _evaluate_drawn(
-        self, query: Query, referenced, drawn, samples: int
+        self, query: Query, referenced, drawn, samples: int, prepared=None
     ) -> tuple[dict[tuple, int], bool]:
         """Count answer tuples over already-drawn index columns.
 
         Counts are an exact, deterministic function of the drawn columns
-        — whether the vectorized batch evaluator or the per-world
-        fallback computes them — which is what makes sharded evaluation
-        (any split of the columns, any worker count) merge to identical
-        totals.
+        — whether the vectorized batch evaluator, the compiled per-world
+        kernel, or the interpreted fallback computes them — which is what
+        makes sharded evaluation (any split of the columns, any worker
+        count) merge to identical totals.
         """
         if _np is not None and kernels.numpy_enabled():
             try:
@@ -219,14 +238,36 @@ class MonteCarloEngine:
                 counts = None
             if counts is not None:
                 return counts, True
-        return self._per_world_counts(query, referenced, drawn, samples), False
+        return (
+            self._per_world_counts(query, referenced, drawn, samples, prepared),
+            False,
+        )
 
     # -- deterministic sharding -----------------------------------------------
 
     def _shard_context(self, query: Query, referenced) -> tuple:
-        """The per-run context shared by every shard of every round."""
+        """The per-run context shared by every shard of every round.
+
+        The plan is prepared — and, when codegen is on, compiled — once
+        here in the parent: forked shard workers inherit the prepared
+        query through the context (the :class:`CompiledPlan` riding its
+        ``op_cache`` is itself a cheap picklable payload), so no shard
+        re-plans or re-compiles.
+        """
         names = self._referenced_variables(referenced)
-        return (self.db, query, tuple(referenced), tuple(names))
+        prepared = prepare(
+            query, self.db.catalog(), self.db.cardinalities(), optimize=False
+        )
+        if codegen_enabled(self.codegen):
+            kernel_for(prepared, self.db.semiring)
+        return (
+            self.db,
+            query,
+            tuple(referenced),
+            tuple(names),
+            self.codegen,
+            prepared,
+        )
 
     def _sharded_counts(
         self,
@@ -266,7 +307,12 @@ class MonteCarloEngine:
         counts = merge_counts(result[0] for result in results)
         batched = all(result[1] for result in results)
         distinct = sum(result[2] for result in results)
-        stats = {"batched": batched, "shards": len(sizes)}
+        codegen_used = any(result[3] for result in results)
+        stats = {
+            "batched": batched,
+            "shards": len(sizes),
+            "codegen_used": codegen_used,
+        }
         stats.update(info)
         if distinct:
             stats["distinct_worlds"] = distinct
@@ -415,7 +461,16 @@ class MonteCarloEngine:
         drawn_total = 0
         round_no = 0
         batched = True
+        codegen_used = False
         round_info: dict = {}
+        prepared = None
+        if workers is None:
+            # Plan (and, through the kernel cache, compile) once for the
+            # whole doubling loop; sharded rounds get the same hoisting
+            # from _shard_context.
+            prepared = prepare(
+                query, self.db.catalog(), self.db.cardinalities(), optimize=False
+            )
         while True:
             round_no += 1
             fault_point("engine.montecarlo.round")
@@ -434,8 +489,9 @@ class MonteCarloEngine:
                 )
             if workers is None:
                 counts, round_batched = self._sampled_counts(
-                    query, referenced, batch
+                    query, referenced, batch, prepared
                 )
+                round_info = dict(self.last_run_info)
             else:
                 # The scope hands the deadline to the pool watchdog, so
                 # a wedged shard worker is killed (and the round rerun
@@ -464,6 +520,9 @@ class MonteCarloEngine:
             elapsed = time.perf_counter() - start
             out_of_time = time_limit is not None and elapsed >= time_limit
             done = converged or drawn_total >= max_samples or out_of_time
+            codegen_used = codegen_used or round_info.get(
+                "codegen_used", False
+            )
             info = {
                 "samples": drawn_total,
                 "rounds": round_no,
@@ -471,6 +530,7 @@ class MonteCarloEngine:
                 "converged": converged,
                 "max_width": max_width,
                 "wall_seconds": elapsed,
+                "codegen_used": codegen_used,
             }
             if out_of_time and not converged:
                 info["deadline_hit"] = True
@@ -523,24 +583,40 @@ class MonteCarloEngine:
     # -- generic per-world fallback -------------------------------------------
 
     def _per_world_counts(
-        self, query: Query, referenced, drawn, samples: int
+        self, query: Query, referenced, drawn, samples: int, prepared=None
     ) -> dict[tuple, int]:
         """Evaluate sampled worlds one by one, memoising repeated worlds.
 
         Only the relations referenced by the query are instantiated, and
         only their variables enter the world key (in index form), so
         databases with few effective variables collapse to a handful of
-        evaluations.  The query is planned once through the shared
-        physical executor; every sampled world reuses the plan.
+        evaluations.  The query is planned — and, when codegen applies,
+        compiled and bound — once; with a bound kernel each distinct
+        world is one call that maps support indices straight onto
+        precoerced semiring values and runs the fused plan function, no
+        per-world relation objects or Valuation dicts at all.  Compiled
+        and interpreted evaluation yield bit-identical supports.
         """
         names = list(drawn)
         supports = [drawn[name][0] for name in names]
         index_columns = [drawn[name][1] for name in names]
         semiring = self.db.semiring
         tables = [(name, self.db.tables[name]) for name in referenced]
-        prepared = prepare(
-            query, self.db.catalog(), self.db.cardinalities(), optimize=False
-        )
+        if prepared is None:
+            prepared = prepare(
+                query, self.db.catalog(), self.db.cardinalities(), optimize=False
+            )
+        bound = None
+        if codegen_enabled(self.codegen):
+            kernel = kernel_for(prepared, semiring)
+            if kernel is not None:
+                try:
+                    bound = kernel.bind(self.db, names, supports)
+                except CodegenUnsupported:
+                    if codegen_strict():
+                        raise
+                    bound = None
+        self.last_run_info["codegen_used"] = bound is not None
         counts: dict[tuple, int] = {}
         world_cache: dict[tuple, list] = {}
         distinct = 0
@@ -550,19 +626,24 @@ class MonteCarloEngine:
             support = world_cache.get(key)
             if support is None:
                 distinct += 1
-                valuation = Valuation(
-                    {
-                        name: values[i]
-                        for name, values, i in zip(names, supports, key)
-                    },
-                    semiring,
-                )
-                world = {
-                    name: table.instantiate(valuation, semiring)
-                    for name, table in tables
-                }
-                result = execute_deterministic(prepared, world, semiring)
-                support = list(result.support())
+                if bound is not None:
+                    support = list(bound.run_indices(key))
+                else:
+                    valuation = Valuation(
+                        {
+                            name: values[i]
+                            for name, values, i in zip(names, supports, key)
+                        },
+                        semiring,
+                    )
+                    world = {
+                        name: table.instantiate(valuation, semiring)
+                        for name, table in tables
+                    }
+                    result = execute_deterministic(
+                        prepared, world, semiring, codegen=self.codegen
+                    )
+                    support = list(result.support())
                 world_cache[key] = support
             for values in support:
                 counts[values] = counts.get(values, 0) + 1
@@ -817,19 +898,26 @@ def _evaluate_shard(context, payload):
     a private ``random.Random`` otherwise — so its columns are a pure
     function of the seed, independent of which process evaluates it.
 
-    Returns ``(counts, batched, distinct_worlds)``.
+    Returns ``(counts, batched, distinct_worlds, codegen_used)``.
     """
-    db, query, referenced, names = context
+    db, query, referenced, names, codegen, prepared = context
     seed, size = payload
-    engine = MonteCarloEngine(db)
+    engine = MonteCarloEngine(db, codegen=codegen)
     np_rng = None
     if _np is not None and kernels.numpy_enabled():
         np_rng = _np.random.default_rng(_np.random.SeedSequence(seed))
     drawn = engine._sample_index_columns(
         list(names), size, rng=random.Random(seed), np_rng=np_rng
     )
-    counts, batched = engine._evaluate_drawn(query, list(referenced), drawn, size)
-    return counts, batched, engine.last_run_info.get("distinct_worlds", 0)
+    counts, batched = engine._evaluate_drawn(
+        query, list(referenced), drawn, size, prepared=prepared
+    )
+    return (
+        counts,
+        batched,
+        engine.last_run_info.get("distinct_worlds", 0),
+        engine.last_run_info.get("codegen_used", False),
+    )
 
 
 def _as_int(value):

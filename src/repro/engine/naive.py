@@ -22,11 +22,13 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.codegen import CodegenUnsupported, codegen_enabled, codegen_strict, kernel_for
 from repro.db.pvc_table import PVCDatabase
 from repro.db.relation import Relation
 from repro.db.worlds import enumerate_database_worlds
 from repro.errors import QueryValidationError
 from repro.prob.distribution import Distribution
+from repro.prob.space import ProbabilitySpace
 from repro.query.ast import Query
 from repro.query.executor import PreparedQuery, execute_deterministic, prepare
 from repro.resilience.deadline import check_deadline
@@ -53,10 +55,38 @@ def evaluate_deterministic(
 
 
 class NaiveEngine:
-    """Exact query answering by explicit possible-world enumeration."""
+    """Exact query answering by explicit possible-world enumeration.
 
-    def __init__(self, db: PVCDatabase):
+    ``codegen`` selects per-world execution: ``None`` (default) follows
+    the ``REPRO_CODEGEN`` environment knob, ``True``/``False`` force the
+    compiled kernels on or off.  With a kernel available the enumeration
+    loop becomes tight: the plan is compiled once, bound once (hoisting
+    deterministic tables, hash indexes and static subplans out of the
+    loop), and each world runs one fused function — with answers
+    bit-identical to the interpreted loop.
+    """
+
+    def __init__(self, db: PVCDatabase, codegen: bool | None = None):
         self.db = db
+        self.codegen = codegen
+        #: Diagnostics of the most recent run (``codegen_used``); the
+        #: engine adapters surface these as ``QueryResult.stats``.
+        self.last_run_info: dict = {}
+
+    def _bind(self, prepared: PreparedQuery):
+        """A bound compiled plan for the whole-database world order, or
+        ``None`` when codegen is off or the plan has no compiled form."""
+        if not codegen_enabled(self.codegen):
+            return None
+        kernel = kernel_for(prepared, self.db.semiring)
+        if kernel is None:
+            return None
+        try:
+            return kernel.bind(self.db, sorted(self.db.variables))
+        except CodegenUnsupported:
+            if codegen_strict():
+                raise
+            return None
 
     def _prepare(self, query: Query) -> PreparedQuery:
         """Validate and plan once; every enumerated world reuses the plan.
@@ -82,14 +112,29 @@ class NaiveEngine:
         """
         prepared = self._prepare(query)
         semiring = self.db.semiring
+        bound = self._bind(prepared)
+        self.last_run_info = {"codegen_used": bound is not None}
         probabilities: dict[tuple, float] = {}
+        if bound is not None:
+            space = ProbabilitySpace(self.db.registry, semiring)
+            for valuation, probability in space.enumerate_worlds(
+                sorted(self.db.variables)
+            ):
+                check_deadline("possible-worlds enumeration")
+                for values in bound.run_assignment(valuation.assignment):
+                    probabilities[values] = (
+                        probabilities.get(values, 0.0) + probability
+                    )
+            return probabilities
         for world, probability in enumerate_database_worlds(self.db):
             # Cooperative checkpoint per world: enumeration is the
             # exponential loop here, and a partial sweep is *not* a
             # sound answer (tuples and masses are both incomplete), so
             # the adapter converts this into QueryTimeoutError.
             check_deadline("possible-worlds enumeration")
-            result = execute_deterministic(prepared, world, semiring)
+            result = execute_deterministic(
+                prepared, world, semiring, codegen=self.codegen
+            )
             for values in result.support():
                 probabilities[values] = probabilities.get(values, 0.0) + probability
         return probabilities
@@ -98,9 +143,23 @@ class NaiveEngine:
         """Distribution of the multiplicity of one answer tuple."""
         prepared = self._prepare(query)
         semiring = self.db.semiring
+        bound = self._bind(prepared)
+        self.last_run_info = {"codegen_used": bound is not None}
         accum: dict = {}
+        if bound is not None:
+            values = tuple(values)
+            space = ProbabilitySpace(self.db.registry, semiring)
+            for valuation, probability in space.enumerate_worlds(
+                sorted(self.db.variables)
+            ):
+                mapping = bound.run_assignment(valuation.assignment)
+                mult = mapping.get(values, semiring.zero)
+                accum[mult] = accum.get(mult, 0.0) + probability
+            return Distribution(accum)
         for world, probability in enumerate_database_worlds(self.db):
-            result = execute_deterministic(prepared, world, semiring)
+            result = execute_deterministic(
+                prepared, world, semiring, codegen=self.codegen
+            )
             mult = result.multiplicity(values)
             accum[mult] = accum.get(mult, 0.0) + probability
         return Distribution(accum)
@@ -113,9 +172,21 @@ class NaiveEngine:
         """
         prepared = self._prepare(query)
         semiring = self.db.semiring
+        bound = self._bind(prepared)
+        self.last_run_info = {"codegen_used": bound is not None}
         accum: dict = {}
+        if bound is not None:
+            space = ProbabilitySpace(self.db.registry, semiring)
+            for valuation, probability in space.enumerate_worlds(
+                sorted(self.db.variables)
+            ):
+                key = frozenset(bound.run_assignment(valuation.assignment))
+                accum[key] = accum.get(key, 0.0) + probability
+            return Distribution(accum)
         for world, probability in enumerate_database_worlds(self.db):
-            result = execute_deterministic(prepared, world, semiring)
+            result = execute_deterministic(
+                prepared, world, semiring, codegen=self.codegen
+            )
             key = frozenset(result.support())
             accum[key] = accum.get(key, 0.0) + probability
         return Distribution(accum)

@@ -188,6 +188,13 @@ class EvalSpec:
         raises :class:`~repro.errors.QueryTimeoutError` carrying that
         same partial result.  The naive engine has no sound partial
         (its tuple set is incomplete mid-enumeration) and always raises.
+    ``codegen``:
+        Whether deterministic per-world evaluation may use the compiled
+        plan kernels of :mod:`repro.codegen`: ``None`` (default) follows
+        the ``REPRO_CODEGEN`` environment knob, ``True``/``False`` force
+        it per run.  Compiled and interpreted execution are bit-identical
+        (the interpreter is the conformance oracle), so this — like
+        ``workers`` — changes only *how fast* an answer arrives.
     """
 
     mode: str = "exact"
@@ -197,6 +204,7 @@ class EvalSpec:
     time_limit: float | None = None
     workers: int | str | None = None
     on_timeout: str = "partial"
+    codegen: bool | None = None
 
     def __post_init__(self):
         if self.mode not in EVAL_MODES:
@@ -226,6 +234,10 @@ class EvalSpec:
                 f"on_timeout must be 'partial' or 'raise', "
                 f"got {self.on_timeout!r}"
             )
+        if self.codegen not in (None, True, False):
+            raise QueryValidationError(
+                f"codegen must be True, False or None, got {self.codegen!r}"
+            )
 
     @classmethod
     def make(cls, spec=None, **overrides) -> "EvalSpec":
@@ -246,7 +258,7 @@ class EvalSpec:
         if supplied:
             unknown = set(supplied) - {
                 "mode", "epsilon", "delta", "budget", "time_limit",
-                "workers", "on_timeout",
+                "workers", "on_timeout", "codegen",
             }
             if unknown:
                 raise QueryValidationError(
@@ -272,6 +284,7 @@ class EvalSpec:
             "time_limit": self.time_limit,
             "workers": self.workers,
             "on_timeout": self.on_timeout,
+            "codegen": self.codegen,
         }
 
     @classmethod
@@ -290,7 +303,7 @@ class EvalSpec:
             )
         unknown = set(payload) - {
             "mode", "epsilon", "delta", "budget", "time_limit",
-            "workers", "on_timeout",
+            "workers", "on_timeout", "codegen",
         }
         if unknown:
             raise QueryValidationError(
@@ -300,7 +313,7 @@ class EvalSpec:
         fields = {}
         for field in (
             "mode", "epsilon", "delta", "budget", "time_limit",
-            "workers", "on_timeout",
+            "workers", "on_timeout", "codegen",
         ):
             value = payload.get(field)
             # Explicit null and absent both mean "the default": budget,
@@ -322,6 +335,10 @@ class EvalSpec:
         fixed-budget run" (allowed) from an explicit exact-mode request
         (still an error: sampling cannot guarantee exact answers).
         ``on_timeout`` is a degradation policy, not a quality field, so
-        it does not count either.
+        it does not count either; neither does ``codegen``, which is
+        answer-neutral by construction.
         """
-        return replace(self, workers=None, on_timeout="partial") == EvalSpec()
+        return (
+            replace(self, workers=None, on_timeout="partial", codegen=None)
+            == EvalSpec()
+        )

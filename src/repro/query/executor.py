@@ -26,6 +26,7 @@ from typing import Mapping
 
 from repro.algebra.conditions import compare
 from repro.algebra.expressions import ONE, ZERO, SemiringExpr, sprod, ssum
+from repro.codegen import codegen_enabled, kernel_for
 from repro.algebra.monoid import COUNT, SUM, CountMonoid
 from repro.algebra.semimodule import MConst, ModuleExpr, aggsum, tensor
 from repro.db.pvc_table import (
@@ -123,9 +124,31 @@ def execute_symbolic(prepared: PreparedQuery, db: PVCDatabase) -> PVCTable:
 
 
 def execute_deterministic(
-    prepared: PreparedQuery, world: Mapping[str, Relation], semiring
+    prepared: PreparedQuery,
+    world: Mapping[str, Relation],
+    semiring,
+    *,
+    codegen: bool | None = None,
 ) -> Relation:
-    """Execute the plan on one deterministic world (concrete multiplicities)."""
+    """Execute the plan on one deterministic world (concrete multiplicities).
+
+    By default this runs the plan's compiled kernel (see
+    :mod:`repro.codegen`), falling back to the tree-walking interpreter
+    when the plan has no compiled form.  ``codegen=False`` — or the
+    ``REPRO_CODEGEN=0`` environment escape hatch — forces the
+    interpreter; the two produce bit-identical relations.
+    """
+    from repro.codegen import codegen_enabled, kernel_for
+    from repro.resilience.deadline import check_deadline
+
+    if codegen_enabled(codegen):
+        kernel = kernel_for(prepared, semiring)
+        if kernel is not None:
+            return Relation.from_mapping(
+                prepared.plan.schema,
+                semiring,
+                kernel.execute(world, check_deadline=check_deadline),
+            )
     executor = _DeterministicExecutor(world, semiring, prepared.op_cache)
     return Relation.from_mapping(
         prepared.plan.schema, semiring, executor.tuples(prepared.plan)

@@ -70,6 +70,14 @@ VOLATILE_STAT_KEYS = frozenset({
     # many rows it finished exactly varies with machine load.
     "deadline_hit",
     "rows_exact",
+    # Codegen diagnostics: whether the compiled kernels ran (and how
+    # warm the kernel cache was) never changes an answer — compiled and
+    # interpreted execution are bit-identical by construction — so runs
+    # differing only in REPRO_CODEGEN fingerprint identically.
+    "codegen_used",
+    "kernels_compiled",
+    "kernel_cache_hits",
+    "codegen_compile_seconds",
 })
 
 
@@ -279,6 +287,7 @@ def spec_payload(
     time_limit: float | None = None,
     workers: int | str | None = None,
     on_timeout: str | None = None,
+    codegen: bool | None = None,
 ) -> dict | None:
     """Assemble the wire form of an evaluation spec from client inputs.
 
@@ -298,6 +307,7 @@ def spec_payload(
             ("time_limit", time_limit),
             ("workers", workers),
             ("on_timeout", on_timeout),
+            ("codegen", codegen),
         )
         if value is not None
     }

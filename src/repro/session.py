@@ -255,6 +255,7 @@ class Session:
         time_limit,
         workers=None,
         on_timeout=None,
+        codegen=None,
     ) -> EvalSpec | None:
         """The :class:`EvalSpec` the caller asked for, or ``None``.
 
@@ -273,7 +274,8 @@ class Session:
         if spec is None and all(
             value is None
             for value in (
-                mode, epsilon, delta, budget, time_limit, workers, on_timeout
+                mode, epsilon, delta, budget, time_limit, workers,
+                on_timeout, codegen,
             )
         ):
             return None
@@ -290,6 +292,7 @@ class Session:
             time_limit=time_limit,
             workers=workers,
             on_timeout=on_timeout,
+            codegen=codegen,
         )
         if engine_name == "montecarlo" and built.mode == "exact":
             # Only the session can tell an *explicit* exact request from
@@ -305,7 +308,8 @@ class Session:
                 and not spec.execution_only
             )
             if explicitly_exact or not (
-                built.execution_only and built.workers is not None
+                built.execution_only
+                and (built.workers is not None or built.codegen is not None)
             ):
                 raise QueryValidationError(
                     "montecarlo engine cannot guarantee exact answers; use "
@@ -365,6 +369,7 @@ class Session:
         time_limit: float | None = None,
         workers: int | str | None = None,
         on_timeout: str | None = None,
+        codegen: bool | None = None,
         **options,
     ) -> QueryResult:
         """Evaluate ``query`` and return a :class:`QueryResult`.
@@ -398,11 +403,16 @@ class Session:
         ``"partial"`` (default) returns the best sound answer obtained so
         far, ``"raise"`` raises
         :class:`~repro.errors.QueryTimeoutError` carrying that partial.
+
+        ``codegen`` (``True``/``False``/``None``) forces the compiled
+        per-world kernels on or off for this run; the default follows the
+        ``REPRO_CODEGEN`` environment knob.  Like ``workers`` it never
+        changes an answer, only how fast it arrives.
         """
         engine = self.default_engine if engine is None else engine
         spec = self._build_spec(
             engine, spec, mode, epsilon, delta, budget, time_limit, workers,
-            on_timeout,
+            on_timeout, codegen,
         )
         query, name, spec = self._resolve(query, engine, samples, spec, options)
         return self.engine(name).run(query, spec=spec, **options)
@@ -419,6 +429,7 @@ class Session:
         time_limit: float | None = None,
         workers: int | str | None = None,
         on_timeout: str | None = None,
+        codegen: bool | None = None,
         **options,
     ):
         """Anytime evaluation: yield progressively refined results.
@@ -438,7 +449,7 @@ class Session:
         engine = self.default_engine if engine is None else engine
         spec = self._build_spec(
             engine, spec, mode, epsilon, delta, budget, time_limit, workers,
-            on_timeout,
+            on_timeout, codegen,
         )
         if engine in ("approx", "montecarlo") and (
             spec is None or spec.execution_only
@@ -501,13 +512,23 @@ class Session:
         """Step I only: the pvc-table of symbolic result tuples (⟦·⟧)."""
         return evaluate(self._lower(query), self.db)
 
-    def explain(self, query, *, optimize: bool = True) -> str:
+    def explain(
+        self, query, *, optimize: bool = True, format: str = "plan"
+    ) -> str:
         """The step-I pipeline for ``query``, as a human-readable report.
 
-        Shows the logical plan before and after the rule-based optimizer
-        (with the names of the rules that fired, per fixpoint pass) and
-        the physical operator tree — hash joins, their greedy order and
-        cardinality estimates — that the shared executor would run.
+        With the default ``format="plan"``, shows the logical plan before
+        and after the rule-based optimizer (with the names of the rules
+        that fired, per fixpoint pass) and the physical operator tree —
+        hash joins, their greedy order and cardinality estimates — that
+        the shared executor would run.
+
+        ``format="code"`` instead returns the fused per-world kernel
+        :mod:`repro.codegen` compiles for the plan: plain Python source
+        whose header labels every CSE temp (shared subplans, hoisted
+        hash indexes and static blocks) the kernel reuses.  Raises
+        :class:`~repro.errors.QueryValidationError` when the plan has no
+        compiled form.
 
         >>> s = connect()
         >>> _ = s.table("items", ["name", "price"]).insert(("inkjet", 99))
@@ -515,6 +536,10 @@ class Session:
         == logical plan ==
         ...
         """
+        if format not in ("plan", "code"):
+            raise QueryValidationError(
+                f"unknown explain format {format!r}; expected 'plan' or 'code'"
+            )
         lowered = self._lower(query)
         prepared = prepare(  # validates against Definition 5 first
             lowered,
@@ -522,6 +547,16 @@ class Session:
             self.db.cardinalities(),
             optimize=optimize,
         )
+        if format == "code":
+            from repro.codegen import CodegenUnsupported, compile_plan
+
+            try:
+                compiled = compile_plan(prepared.plan, self.semiring)
+            except CodegenUnsupported as exc:
+                raise QueryValidationError(
+                    f"no compiled form for this plan: {exc}"
+                ) from exc
+            return compiled.source
         lines = ["== logical plan ==", f"input:     {prepared.query!r}"]
         if prepared.trace:
             lines.append(f"optimized: {prepared.optimized!r}")

@@ -1,0 +1,99 @@
+"""The memoised columnar views of Relation and PVCTable (and their
+invalidation) — the world-invariant extraction the kernels lean on."""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import SConst, Var
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.db.pvc_table import PVCDatabase
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.prob.variables import VariableRegistry
+
+
+def rel():
+    r = Relation(Schema(["a", "b"]), NATURALS)
+    r.add((1, "x"), 2)
+    r.add((2, "y"), 1)
+    return r
+
+
+class TestRelationCaches:
+    def test_column_memoised(self):
+        r = rel()
+        first = r.column("a")
+        assert first == [1, 2]
+        assert r.column("a") is first
+
+    def test_columns_aligned_with_tuple_order(self):
+        r = rel()
+        assert r.columns() == [[1, 2], ["x", "y"]]
+        assert r.columns(["b"]) == [["x", "y"]]
+
+    def test_hash_index_memoised(self):
+        r = rel()
+        index = r.hash_index(["a"])
+        assert index[(1,)] == [((1, "x"), 2)]
+        assert r.hash_index(["a"]) is index
+
+    def test_mutation_invalidates(self):
+        r = rel()
+        column = r.column("a")
+        index = r.hash_index(["a"])
+        r.add((3, "z"), 1)
+        assert r.column("a") == [1, 2, 3]
+        assert r.column("a") is not column
+        assert (3,) in r.hash_index(["a"])
+        assert r.hash_index(["a"]) is not index
+
+    def test_multiplicity_change_without_len_change_invalidates(self):
+        """The trap a row-count key would miss: ``add`` can change a
+        multiplicity — or cancel a tuple — without changing ``len``."""
+        r = rel()
+        index = r.hash_index(["a"])
+        assert index[(1,)] == [((1, "x"), 2)]
+        r.add((1, "x"), 3)  # merged: same len(), new multiplicity
+        assert len(r) == 2
+        assert r.hash_index(["a"])[(1,)] == [((1, "x"), 5)]
+
+    def test_from_mapping_starts_clean(self):
+        r = Relation.from_mapping(
+            Schema(["a"]), NATURALS, {(1,): 2, (2,): 1}
+        )
+        assert r.column("a") == [1, 2]
+        r.add((3,), 1)
+        assert r.column("a") == [1, 2, 3]
+
+
+class TestPVCTableCaches:
+    def build(self):
+        reg = VariableRegistry()
+        db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+        t = db.create_table("T", ["a", "b"])
+        reg.bernoulli("x", 0.5)
+        t.add((1, "p"), Var("x"))
+        t.add((2, "q"), SConst(True))
+        return t
+
+    def test_value_columns_memoised(self):
+        t = self.build()
+        columns = t.value_columns()
+        assert columns[0] == [1, 2]
+        assert columns[1] == ["p", "q"]
+        assert t.value_columns() is columns
+
+    def test_annotation_column_memoised(self):
+        t = self.build()
+        annotations = t.annotation_column()
+        assert annotations == [Var("x"), SConst(True)]
+        assert t.annotation_column() is annotations
+
+    def test_append_invalidates(self):
+        t = self.build()
+        columns = t.value_columns()
+        annotations = t.annotation_column()
+        t.add((3, "r"), SConst(True))
+        assert t.value_columns() is not columns
+        assert t.value_columns()[0] == [1, 2, 3]
+        assert t.annotation_column() is not annotations
+        assert len(t.annotation_column()) == 3

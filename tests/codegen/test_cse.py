@@ -1,0 +1,100 @@
+"""Cross-operator CSE: shared work is emitted — and evaluated — once."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.algebra.expressions import SConst, Var
+from repro.algebra.semiring import BOOLEAN
+from repro.codegen import compile_plan
+from repro.db.pvc_table import PVCDatabase
+from repro.db.worlds import enumerate_database_worlds
+from repro.prob.variables import VariableRegistry
+from repro.query.ast import Project, Select, Union, relation
+from repro.query.executor import prepare
+from repro.query.predicates import cmp_
+
+
+def shared_subplan_db():
+    reg = VariableRegistry()
+    db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+    r = db.create_table("R", ["a", "b"])
+    reg.bernoulli("x", 0.5)
+    r.add((1, 10), Var("x"))
+    r.add((2, 20), SConst(True))
+    return db
+
+
+def shared_subplan_query():
+    """A union whose two branches are the *same* subplan."""
+    branch = Select(relation("R"), cmp_("b", ">", 5))
+    return Union(branch, branch)
+
+
+class TestSharedSubplans:
+    def test_shared_block_evaluated_once(self):
+        db = shared_subplan_db()
+        query = shared_subplan_query()
+        prepared = prepare(
+            query, db.catalog(), db.cardinalities(), optimize=False
+        )
+        kernel = compile_plan(prepared.plan, db.semiring)
+        for world, _ in enumerate_database_worlds(db):
+            per_world: Counter = Counter()
+            kernel.execute(world, trace=lambda key: per_world.update([key]))
+            # Every block — including the subplan both union branches
+            # consume — fires exactly once per world.
+            assert per_world, "trace hook never fired"
+            assert set(per_world.values()) == {1}, per_world
+
+    def test_source_labels_shared_temps(self):
+        db = shared_subplan_db()
+        prepared = prepare(
+            shared_subplan_query(),
+            db.catalog(),
+            db.cardinalities(),
+            optimize=False,
+        )
+        kernel = compile_plan(prepared.plan, db.semiring)
+        assert "(shared x2)" in kernel.source
+        assert "statics / CSE temps" in kernel.source
+
+    def test_trace_labels_cover_all_blocks(self):
+        db = shared_subplan_db()
+        prepared = prepare(
+            shared_subplan_query(),
+            db.catalog(),
+            db.cardinalities(),
+            optimize=False,
+        )
+        kernel = compile_plan(prepared.plan, db.semiring)
+        fired: list = []
+        world, _ = next(iter(enumerate_database_worlds(db)))
+        kernel.execute(world, trace=fired.append)
+        assert set(fired) <= set(kernel.trace_labels)
+
+
+class TestSharedIndexes:
+    def test_hash_index_sites_deduplicated(self):
+        """Two joins probing the same build side share one index site."""
+        from repro.query.ast import Product
+        from repro.query.predicates import eq
+
+        reg = VariableRegistry()
+        db = PVCDatabase(registry=reg, semiring=BOOLEAN)
+        r = db.create_table("R", ["a", "b"])
+        s = db.create_table("S", ["c", "d"])
+        reg.bernoulli("x", 0.5)
+        r.add((1, 1), Var("x"))
+        r.add((2, 2), SConst(True))
+        s.add((1, "p"), SConst(True))
+        s.add((2, "q"), SConst(True))
+        join = Project(
+            Select(Product(relation("R"), relation("S")), eq("b", "c")),
+            ["a", "d"],
+        )
+        query = Union(join, join)
+        prepared = prepare(query, db.catalog(), db.cardinalities())
+        kernel = compile_plan(prepared.plan, db.semiring)
+        site_keys = [site[0] for site in kernel.index_sites]
+        assert len(site_keys) == len(set(site_keys))
