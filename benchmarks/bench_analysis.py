@@ -1,0 +1,108 @@
+"""Wall time of the self-hosted static-analysis gate.
+
+The ``static-analysis`` CI job runs ``python -m repro.analysis
+src/repro`` on every push, so its latency is part of the build budget.
+This benchmark records the per-checker split over the real tree:
+
+* ``full`` — all four checkers in one pass, exactly the CI gate;
+* one series per checker (``locks``, ``forksafety``, ``kernels``,
+  ``statskeys``) run in isolation, which shows where the time goes;
+* ``parse-only`` — scanning with no checkers, the file-IO/AST floor.
+
+The floor dominates: parsing + tokenizing the tree costs ~0.5 s and the
+four checkers together add ~0.1 s on top — including the kernel
+verifier's differential corpus (every fused operator shape in both
+semirings), which is cheap because the corpus databases are tiny and
+plan compilation hits the codegen cache across entries.
+
+Flags: ``--smoke`` (single run per series for CI), ``--runs N``
+(default 5; best-of is reported alongside the mean), ``--json PATH``,
+``--baseline PATH``.
+"""
+
+from __future__ import annotations
+
+if __package__ in (None, ""):  # direct script execution: python benchmarks/...
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import pathlib
+import statistics
+import sys
+import time
+
+from benchmarks.common import BenchReport, print_series, smoke_mode
+from repro.analysis import analyze_paths
+from repro.analysis.checkers import (
+    ForkSafetyChecker,
+    KernelChecker,
+    LockDisciplineChecker,
+    StatsKeyChecker,
+    all_checkers,
+)
+
+SRC_REPRO = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+SERIES = [
+    ("full", all_checkers),
+    ("locks", lambda: [LockDisciplineChecker()]),
+    ("forksafety", lambda: [ForkSafetyChecker()]),
+    ("kernels", lambda: [KernelChecker()]),
+    ("statskeys", lambda: [StatsKeyChecker()]),
+    ("parse-only", lambda: []),
+]
+
+
+def measure(checkers_factory, runs: int) -> tuple[float, float, int]:
+    """(mean_seconds, best_seconds, files_scanned) over ``runs`` passes."""
+    times = []
+    files_scanned = 0
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = analyze_paths([str(SRC_REPRO)], checkers=checkers_factory())
+        times.append(time.perf_counter() - start)
+        files_scanned = result.files_scanned
+        if not result.clean:  # the gate itself must hold while we time it
+            raise SystemExit(
+                "tree is not clean:\n"
+                + "\n".join(f.render() for f in result.findings)
+            )
+    return statistics.mean(times), min(times), files_scanned
+
+
+def flag_value(flag: str, default: int) -> int:
+    args = sys.argv[1:]
+    for index, arg in enumerate(args):
+        if arg == flag and index + 1 < len(args):
+            return int(args[index + 1])
+        if arg.startswith(flag + "="):
+            return int(arg.split("=", 1)[1])
+    return default
+
+
+def main() -> None:
+    smoke = smoke_mode()
+    runs = 1 if smoke else flag_value("--runs", 5)
+    report = BenchReport("analysis", runs=runs, smoke=smoke)
+    rows = []
+    for name, factory in SERIES:
+        mean, best, files_scanned = measure(factory, runs)
+        report.add(
+            name,
+            {"files": files_scanned},
+            mean=round(mean, 4),
+            best=round(best, 4),
+        )
+        rows.append((name, files_scanned, f"{mean:.3f}", f"{best:.3f}"))
+    print_series(
+        "Self-hosted analyzer wall time over src/repro",
+        ["series", "files", "mean_s", "best_s"],
+        rows,
+    )
+    report.finish()
+
+
+if __name__ == "__main__":
+    main()

@@ -23,8 +23,6 @@ if __package__ in (None, ""):  # direct script execution: python benchmarks/...
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-import time
-
 import pytest
 
 from benchmarks.common import BenchReport, print_series

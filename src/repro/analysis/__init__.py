@@ -1,0 +1,45 @@
+"""Self-hosted static analysis for the repro codebase.
+
+The suite is both a CLI (``python -m repro.analysis src/repro``) and a
+pytest-importable API::
+
+    from repro.analysis import analyze_paths
+    result = analyze_paths(["src/repro"])
+    assert result.clean, "\\n".join(f.render() for f in result.findings)
+
+Four codebase-specific checkers ride on a small framework (findings,
+inline suppressions, committed baseline, reporters):
+
+* ``locks`` — declared shared state is mutated only under its owning
+  lock; no ``await`` under a held threading lock.
+* ``forksafety`` — nothing unpicklable flows into pool workers.
+* ``kernels`` — verifies invariants of kernels emitted by
+  ``repro.codegen.emit`` over a differential corpus.
+* ``statskeys`` — every stats key written by the engines is declared
+  deterministic or volatile for answer fingerprinting.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, write_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.runner import (
+    AnalysisContext,
+    AnalysisResult,
+    BaseChecker,
+    Checker,
+    analyze_paths,
+    default_checkers,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisResult",
+    "BaseChecker",
+    "Baseline",
+    "Checker",
+    "Finding",
+    "analyze_paths",
+    "default_checkers",
+    "write_baseline",
+]

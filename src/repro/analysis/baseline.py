@@ -1,0 +1,112 @@
+"""The committed-baseline mechanism for grandfathered findings.
+
+A baseline file is a JSON document listing findings that predate a rule
+(or are deliberate, documented exceptions).  Matching is by
+:meth:`~repro.analysis.findings.Finding.baseline_key` — ``(file, rule,
+message)`` without the line number — and is a *multiset* match: two
+identical grandfathered findings need two baseline entries, so the
+baseline can never hide a newly introduced duplicate of an old sin.
+
+Every entry should carry a ``"why"`` string justifying the exception;
+entries that no longer match anything are reported as ``baseline-stale``
+findings, so fixing a grandfathered finding forces the baseline to
+shrink with it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "write_baseline"]
+
+_KEY = tuple[str, str, str]
+
+
+class Baseline:
+    """The parsed baseline: a multiset of grandfathered finding keys."""
+
+    def __init__(self, entries: list[dict], path: str | None = None):
+        self.path = path
+        self.entries = entries
+        self._budget: Counter[_KEY] = Counter()
+        for entry in entries:
+            self._budget[(entry["file"], entry["rule"], entry["message"])] += 1
+        self._matched: Counter[_KEY] = Counter()
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = payload.get("findings", [])
+        for entry in entries:
+            missing = {"file", "rule", "message"} - set(entry)
+            if missing:
+                raise ValueError(
+                    f"baseline entry {entry!r} lacks {sorted(missing)}"
+                )
+        return cls(entries, path=str(path))
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    def absorbs(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered (consumes one entry)."""
+        key = finding.baseline_key()
+        if self._matched[key] < self._budget[key]:
+            self._matched[key] += 1
+            return True
+        return False
+
+    def stale_entries(self) -> list[Finding]:
+        """``baseline-stale`` findings for entries that matched nothing."""
+        stale: list[Finding] = []
+        for (file, rule, message), budget in sorted(self._budget.items()):
+            unmatched = budget - self._matched[(file, rule, message)]
+            for _ in range(unmatched):
+                stale.append(
+                    Finding(
+                        file=self.path or "<baseline>",
+                        line=1,
+                        rule_id="baseline-stale",
+                        severity="warning",
+                        message=(
+                            f"baseline entry no longer matches anything: "
+                            f"{file} [{rule}] {message!r}; remove it"
+                        ),
+                    )
+                )
+        return stale
+
+
+def write_baseline(
+    findings: list[Finding], path: str | Path, why: str = "grandfathered"
+) -> None:
+    """Serialise ``findings`` as a fresh baseline at ``path``.
+
+    The generic ``why`` is a placeholder: deliberate exceptions should
+    be edited to carry a real justification before the file is
+    committed.
+    """
+    payload = {
+        "comment": (
+            "Grandfathered repro.analysis findings. Matching ignores line "
+            "numbers; each entry absorbs exactly one finding. Give every "
+            "entry an honest 'why'."
+        ),
+        "findings": [
+            {
+                "file": finding.file,
+                "rule": finding.rule_id,
+                "message": finding.message,
+                "why": why,
+            }
+            for finding in sorted(findings)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )

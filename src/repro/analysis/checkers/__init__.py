@@ -1,0 +1,30 @@
+"""The registered checkers.
+
+``all_checkers`` is the single registration point: the CLI, the CI gate
+and the self-hosting test all run exactly this list, so adding a checker
+here is the whole wiring step.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.forksafety import ForkSafetyChecker
+from repro.analysis.checkers.kernels import KernelChecker
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.statskeys import StatsKeyChecker
+
+__all__ = [
+    "ForkSafetyChecker",
+    "KernelChecker",
+    "LockDisciplineChecker",
+    "StatsKeyChecker",
+    "all_checkers",
+]
+
+
+def all_checkers() -> list:
+    return [
+        LockDisciplineChecker(),
+        ForkSafetyChecker(),
+        KernelChecker(),
+        StatsKeyChecker(),
+    ]

@@ -1,0 +1,280 @@
+"""Fork/pickle-safety checker for pool call sites.
+
+:class:`~repro.parallel.pool.SharedPool` ships its worker function and
+every context/payload object to forked (or spawned) worker processes by
+pickling.  Three things break that contract silently and only surface as
+runtime ``PicklingError`` (or, worse, as a worker inheriting a lock in a
+locked state):
+
+* a worker that is not a plain module-level function — lambdas, nested
+  functions and bound methods do not pickle;
+* payload/context expressions carrying objects that must not cross a
+  process boundary: threading locks/conditions/events, sockets, open
+  file handles, ``contextvars`` vars/tokens, and ``Deadline`` instances
+  (a deadline is anchored to the parent's monotonic clock, which is not
+  meaningful in the child — ship the remaining-seconds float instead);
+* the same objects reached through a simple local alias.
+
+The checker recognises the codebase's two pool idioms —
+``parallel_pool.execute(worker, context, payloads, ...)`` and
+``SharedPool(worker, context, workers, ...)`` — and performs one level
+of single-assignment local dataflow, so ``ctx = (..., Deadline(...))``
+followed by ``pool.execute(fn, ctx, ...)`` is still caught.  Names it
+cannot resolve (parameters, attributes) are assumed safe: this is a
+lint for the obvious mistakes, not an escape analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import AnalysisContext, BaseChecker
+from repro.analysis.source import SourceModule
+
+__all__ = ["ForkSafetyChecker"]
+
+#: Bare constructor names whose results must not be pickled to a worker.
+_UNPICKLABLE_NAMES = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "ContextVar",
+        "open",
+        "Deadline",
+        "current_deadline",
+    }
+)
+
+#: ``module.attr`` constructor pairs with the same property.
+_UNPICKLABLE_ATTRS = frozenset(
+    {
+        ("threading", "Lock"),
+        ("threading", "RLock"),
+        ("threading", "Condition"),
+        ("threading", "Event"),
+        ("threading", "Semaphore"),
+        ("threading", "BoundedSemaphore"),
+        ("threading", "Barrier"),
+        ("socket", "socket"),
+        ("contextvars", "ContextVar"),
+        ("Deadline", "after"),
+        ("deadlines", "current_deadline"),
+        ("deadlines", "Deadline"),
+    }
+)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _unpicklable_reason(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _UNPICKLABLE_NAMES:
+        return f"{func.id}(...)"
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        pair = (func.value.id, func.attr)
+        if pair in _UNPICKLABLE_ATTRS:
+            return f"{func.value.id}.{func.attr}(...)"
+    return None
+
+
+class _Scope:
+    """One function (or the module body) as a pool-call-site scope."""
+
+    def __init__(self, node, parent: "_Scope | None"):
+        self.node = node
+        self.parent = parent
+        body = node.body if hasattr(node, "body") else []
+        self.statements = body
+        #: single-assignment locals: name -> assigned expression
+        self.bindings: dict[str, ast.expr] = {}
+        #: names defined as nested functions / lambdas in this scope
+        self.local_callables: dict[str, str] = {}
+        counts: dict[str, int] = {}
+        for statement in self._walk_own():
+            if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                target = statement.targets[0]
+                if isinstance(target, ast.Name):
+                    counts[target.id] = counts.get(target.id, 0) + 1
+                    self.bindings[target.id] = statement.value
+                    if isinstance(statement.value, ast.Lambda):
+                        self.local_callables[target.id] = "a lambda"
+            elif isinstance(statement, _FUNCTION_NODES) and isinstance(
+                node, _FUNCTION_NODES
+            ):
+                # Only functions nested *inside a function* are
+                # unpicklable; module-level defs are the safe case.
+                self.local_callables[statement.name] = "a nested function"
+        for name, count in counts.items():
+            if count > 1:
+                self.bindings.pop(name, None)
+
+    def _walk_own(self):
+        """Walk this function's statements, not nested functions'."""
+        pending = list(self.statements)
+        while pending:
+            statement = pending.pop()
+            yield statement
+            if isinstance(statement, _FUNCTION_NODES):
+                continue
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.stmt):
+                    pending.append(child)
+                elif isinstance(child, (ast.excepthandler,)):
+                    pending.extend(child.body)
+
+    def resolve(self, name: str) -> ast.expr | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+    def callable_kind(self, name: str) -> str | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.local_callables:
+                return scope.local_callables[name]
+            scope = scope.parent
+        return None
+
+
+def _is_pool_call(call: ast.Call) -> str | None:
+    """``"execute"`` / ``"SharedPool"`` when ``call`` is a pool site."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "SharedPool":
+        return "SharedPool"
+    if isinstance(func, ast.Attribute):
+        if func.attr == "SharedPool":
+            return "SharedPool"
+        if func.attr == "execute" and isinstance(func.value, ast.Name):
+            if func.value.id in ("parallel_pool", "pool"):
+                return "execute"
+    return None
+
+
+class ForkSafetyChecker(BaseChecker):
+    name = "forksafety"
+    rules = ("fork-unpicklable-worker", "fork-unpicklable-payload")
+
+    def check_module(
+        self, module: SourceModule, context: AnalysisContext
+    ) -> Iterator[Finding]:
+        yield from self._check_scope(module, module.tree, None)
+
+    def _check_scope(
+        self, module: SourceModule, node, parent: _Scope | None
+    ) -> Iterator[Finding]:
+        scope = _Scope(node, parent)
+        for statement in scope._walk_own():
+            if isinstance(statement, _FUNCTION_NODES):
+                yield from self._check_scope(module, statement, scope)
+                continue
+            # _walk_own already yields nested statements individually, so
+            # examine only the expressions attached to *this* statement —
+            # a full ast.walk would re-visit calls once per enclosing
+            # statement.
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, (ast.stmt, ast.excepthandler)):
+                    continue
+                for expr in ast.walk(child):
+                    if isinstance(expr, ast.Call):
+                        kind = _is_pool_call(expr)
+                        if kind is not None:
+                            yield from self._check_site(
+                                module, expr, kind, scope
+                            )
+
+    def _check_site(
+        self, module: SourceModule, call: ast.Call, kind: str, scope: _Scope
+    ) -> Iterator[Finding]:
+        args = call.args
+        if not args:
+            return
+        yield from self._check_worker(module, args[0], scope)
+        # execute(worker, context, payloads, ...) ships args 1 and 2;
+        # SharedPool(worker, context, workers) ships arg 1 only.
+        payload_args = args[1:3] if kind == "execute" else args[1:2]
+        for position, payload in enumerate(payload_args):
+            role = ("context", "payloads")[position] if kind == "execute" else "context"
+            yield from self._check_payload(module, payload, role, scope)
+
+    def _check_worker(
+        self, module: SourceModule, worker: ast.expr, scope: _Scope
+    ) -> Iterator[Finding]:
+        described: str | None = None
+        if isinstance(worker, ast.Lambda):
+            described = "a lambda"
+        elif isinstance(worker, ast.Name):
+            described = scope.callable_kind(worker.id)
+        elif isinstance(worker, ast.Attribute):
+            if isinstance(worker.value, ast.Name) and worker.value.id == "self":
+                described = f"the bound method self.{worker.attr}"
+        if described is not None:
+            yield Finding(
+                file=module.path,
+                line=worker.lineno,
+                rule_id="fork-unpicklable-worker",
+                severity="error",
+                message=(
+                    f"pool worker is {described}; only module-level "
+                    f"functions pickle into worker processes"
+                ),
+            )
+
+    def _check_payload(
+        self,
+        module: SourceModule,
+        payload: ast.expr,
+        role: str,
+        scope: _Scope,
+        depth: int = 0,
+    ) -> Iterator[Finding]:
+        if depth > 4:
+            return
+        for node in ast.walk(payload):
+            if isinstance(node, ast.Lambda):
+                yield Finding(
+                    file=module.path,
+                    line=node.lineno,
+                    rule_id="fork-unpicklable-payload",
+                    severity="error",
+                    message=(
+                        f"pool {role} contains a lambda, which does not "
+                        f"pickle into a worker process"
+                    ),
+                )
+            elif isinstance(node, ast.Call):
+                reason = _unpicklable_reason(node)
+                if reason is not None:
+                    yield Finding(
+                        file=module.path,
+                        line=node.lineno,
+                        rule_id="fork-unpicklable-payload",
+                        severity="error",
+                        message=(
+                            f"pool {role} contains {reason}, which must "
+                            f"not cross a process boundary (locks, "
+                            f"sockets, context vars and Deadline objects "
+                            f"do not survive pickling)"
+                        ),
+                    )
+            elif isinstance(node, ast.Name) and node is not payload:
+                resolved = scope.resolve(node.id)
+                if resolved is not None:
+                    yield from self._check_payload(
+                        module, resolved, role, scope, depth + 1
+                    )
+        if isinstance(payload, ast.Name):
+            resolved = scope.resolve(payload.id)
+            if resolved is not None:
+                yield from self._check_payload(
+                    module, resolved, role, scope, depth + 1
+                )

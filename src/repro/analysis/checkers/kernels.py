@@ -1,0 +1,566 @@
+"""Codegen kernel verifier.
+
+:mod:`repro.codegen.emit` lowers physical plans to Python source; this
+checker re-parses that source and *proves* the invariants the rest of
+the system leans on, for every plan in a differential corpus
+(:mod:`repro.analysis.corpus`) covering each fused operator in both
+built-in semirings:
+
+``kernel-world-read``
+    ``_world`` may be read only as the first argument of the ``_table``
+    / ``_index`` runtime helpers, and every table so read inside a
+    statics block ``bK`` must be listed in the kernel's ``block_scans``
+    metadata for ``bK``.  That metadata is exactly what
+    :class:`~repro.codegen.binding.BoundPlan` uses to decide a block is
+    world-invariant and hoistable — an unlisted read would make a
+    "hoisted" block silently depend on the world.
+
+``kernel-temp-reuse``
+    Every statics/CSE temp follows the single guard shape: exactly one
+    ``_st.get('<site>')`` load, immediately guarded by ``if <tmp> is
+    None:``, with the temp re-assigned only inside that guard and all
+    other uses after it.  (This is the "assigned exactly once before
+    all uses" contract for ``(shared xN)`` CSE temps: one compute, many
+    reads.)
+
+``kernel-name-collision``
+    No name the kernel binds may collide with its parameters
+    (``_world``, ``_st``, ``_trace``, ``_ckd``), the runtime globals
+    (``_table``, ``_index``, ``_MX``), or the bound constants
+    (``_kN``): a collision would shadow the runtime out from under
+    later blocks.
+
+``kernel-free-variable``
+    Def-before-use: every name the kernel reads is a parameter, a
+    runtime global, a bound constant, a whitelisted builtin, or was
+    assigned earlier in the kernel.  A free variable would resolve
+    against whatever leaked into the exec namespace.
+
+``kernel-statics-mismatch``
+    The metadata and the source agree on the statics layout (same site
+    keys), and every key a :class:`BoundPlan` actually hoists is a
+    declared site — a key the kernel never reads would be dead weight
+    shipped to every worker; a missing declaration would defeat
+    hoisting.
+
+``kernel-compile-error``
+    The emitted source must parse and compile at all.
+
+The checker runs at project scope (it needs no source modules — its
+input is the *emitted artifact*); :func:`verify_kernel_source` is the
+importable core, so tests can tamper with emitted source and watch the
+specific invariant trip.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import AnalysisContext, BaseChecker
+
+__all__ = [
+    "KernelChecker",
+    "KernelMeta",
+    "meta_for",
+    "verify_kernel",
+    "verify_kernel_source",
+]
+
+KERNEL_PARAMS = ("_world", "_st", "_trace", "_ckd")
+RUNTIME_GLOBALS = ("_table", "_index", "_MX")
+#: Builtins the emitter legitimately references.
+ALLOWED_BUILTINS = frozenset({"min", "max", "isinstance"})
+
+
+@dataclass
+class KernelMeta:
+    """The slice of compiled-plan metadata the verifier checks against."""
+
+    block_scans: dict[str, tuple[str, ...]]
+    scan_names: tuple[str, ...]
+    consts: tuple[str, ...]
+    block_keys: tuple[str, ...]
+    index_keys: tuple[str, ...]
+
+
+def meta_for(compiled) -> KernelMeta:
+    """Extract a :class:`KernelMeta` from a ``CompiledPlan``."""
+    return KernelMeta(
+        block_scans=dict(compiled.block_scans),
+        scan_names=tuple(compiled.scan_names),
+        consts=tuple(compiled.consts),
+        block_keys=tuple(key for key, *_ in compiled.block_sites),
+        index_keys=tuple(key for key, *_ in compiled.index_sites),
+    )
+
+
+@dataclass
+class _Site:
+    key: str
+    temp: str
+    line: int
+    guard: ast.If | None = None
+
+
+class _KernelAuditor:
+    def __init__(self, meta: KernelMeta, origin: str):
+        self.meta = meta
+        self.origin = origin
+        self.findings: list[Finding] = []
+        self.sites: list[_Site] = []
+        #: temp name -> its site (for reuse checks)
+        self.temp_sites: dict[str, _Site] = {}
+
+    def finding(self, line: int, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                file=self.origin,
+                line=line,
+                rule_id=rule,
+                severity="error",
+                message=message,
+            )
+        )
+
+    # -- structure: statics loads and their guards ------------------------
+
+    @staticmethod
+    def _st_load(statement: ast.stmt) -> tuple[str, str] | None:
+        """``(temp, key)`` when ``statement`` is ``tmp = _st.get('key')``."""
+        if not isinstance(statement, ast.Assign):
+            return None
+        if len(statement.targets) != 1 or not isinstance(
+            statement.targets[0], ast.Name
+        ):
+            return None
+        value = statement.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"
+            and isinstance(value.func.value, ast.Name)
+            and value.func.value.id == "_st"
+            and len(value.args) == 1
+            and isinstance(value.args[0], ast.Constant)
+            and isinstance(value.args[0].value, str)
+        ):
+            return statement.targets[0].id, value.args[0].value
+        return None
+
+    @staticmethod
+    def _is_guard(statement: ast.stmt, temp: str) -> bool:
+        return (
+            isinstance(statement, ast.If)
+            and isinstance(statement.test, ast.Compare)
+            and isinstance(statement.test.left, ast.Name)
+            and statement.test.left.id == temp
+            and len(statement.test.ops) == 1
+            and isinstance(statement.test.ops[0], ast.Is)
+            and isinstance(statement.test.comparators[0], ast.Constant)
+            and statement.test.comparators[0].value is None
+            and not statement.orelse
+        )
+
+    def walk_body(self, body: list[ast.stmt], blocks: tuple[str, ...]) -> None:
+        index = 0
+        while index < len(body):
+            statement = body[index]
+            load = self._st_load(statement)
+            if load is not None:
+                temp, key = load
+                site = _Site(key, temp, statement.lineno)
+                self.sites.append(site)
+                if temp in self.temp_sites:
+                    self.finding(
+                        statement.lineno,
+                        "kernel-temp-reuse",
+                        f"temp {temp!r} is loaded from _st twice "
+                        f"(sites {self.temp_sites[temp].key!r} and "
+                        f"{key!r}); each CSE temp must have exactly one "
+                        f"statics site",
+                    )
+                else:
+                    self.temp_sites[temp] = site
+                guard = body[index + 1] if index + 1 < len(body) else None
+                if guard is not None and self._is_guard(guard, temp):
+                    site.guard = guard
+                    inner = blocks
+                    if key.startswith("b"):
+                        inner = blocks + (key,)
+                    self.walk_body(guard.body, inner)
+                    index += 2
+                    continue
+                self.finding(
+                    statement.lineno,
+                    "kernel-temp-reuse",
+                    f"statics load of site {key!r} into {temp!r} is not "
+                    f"immediately guarded by 'if {temp} is None:'",
+                )
+                index += 1
+                continue
+            self.check_statement(statement, blocks)
+            for child_body in self._child_bodies(statement):
+                self.walk_body(child_body, blocks)
+            index += 1
+
+    @staticmethod
+    def _child_bodies(statement: ast.stmt) -> list[list[ast.stmt]]:
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            child = getattr(statement, attr, None)
+            if child:
+                bodies.append(child)
+        for handler in getattr(statement, "handlers", ()) or ():
+            bodies.append(handler.body)
+        return bodies
+
+    # -- per-statement expression checks ----------------------------------
+
+    def check_statement(self, statement: ast.stmt, blocks: tuple[str, ...]) -> None:
+        for node in ast.iter_child_nodes(statement):
+            if isinstance(node, ast.expr):
+                self.check_expr(node, blocks)
+
+    def check_expr(self, expr: ast.expr, blocks: tuple[str, ...]) -> None:
+        allowed_world: set[int] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("_table", "_index"):
+                    if node.args and isinstance(node.args[0], ast.Name):
+                        if node.args[0].id == "_world":
+                            allowed_world.add(id(node.args[0]))
+                    self._check_table_read(node, blocks)
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == "_world"
+                and id(node) not in allowed_world
+            ):
+                self.finding(
+                    node.lineno,
+                    "kernel-world-read",
+                    "_world may only be passed to _table/_index; any "
+                    "other read makes the block world-dependent behind "
+                    "the statics layout's back",
+                )
+
+    def _check_table_read(self, call: ast.Call, blocks: tuple[str, ...]) -> None:
+        if len(call.args) < 2 or not (
+            isinstance(call.args[1], ast.Constant)
+            and isinstance(call.args[1].value, str)
+        ):
+            self.finding(
+                call.lineno,
+                "kernel-world-read",
+                f"{call.func.id} called with a non-literal table name",  # type: ignore[union-attr]
+            )
+            return
+        name = call.args[1].value
+        if name not in self.meta.scan_names:
+            self.finding(
+                call.lineno,
+                "kernel-world-read",
+                f"table {name!r} is read from _world but is not in the "
+                f"kernel's scan_names metadata",
+            )
+            return
+        if blocks:
+            scope = self.meta.block_scans.get(blocks[-1])
+            if scope is not None and name not in scope:
+                self.finding(
+                    call.lineno,
+                    "kernel-world-read",
+                    f"block {blocks[-1]!r} reads table {name!r} but its "
+                    f"block_scans scope only declares "
+                    f"{tuple(sorted(scope))!r}; hoisting decisions would "
+                    f"be wrong",
+                )
+
+    # -- temp discipline over the whole kernel ----------------------------
+
+    def check_temp_discipline(self, fn: ast.FunctionDef) -> None:
+        # One load per *block* (CSE) site: a ``bK`` block is computed
+        # exactly once by construction.  Table/index slots (``t:``/
+        # ``i:``) may legitimately be loaded once per scan occurrence —
+        # a union scanning R twice loads ``t:R`` into two independent
+        # temps, each with its own guard.
+        seen_keys: dict[str, _Site] = {}
+        for site in self.sites:
+            if not site.key.startswith("b"):
+                continue
+            if site.key in seen_keys:
+                self.finding(
+                    site.line,
+                    "kernel-temp-reuse",
+                    f"statics site {site.key!r} is loaded more than once; "
+                    f"each CSE block must have exactly one load",
+                )
+            else:
+                seen_keys[site.key] = site
+        for site in self.sites:
+            if site.guard is None:
+                continue
+            guard_span = (site.guard.lineno, _last_line(site.guard))
+            for node in ast.walk(fn):
+                if not (
+                    isinstance(node, ast.Name) and node.id == site.temp
+                ):
+                    continue
+                inside = guard_span[0] <= node.lineno <= guard_span[1]
+                if isinstance(node.ctx, ast.Store):
+                    if node.lineno != site.line and not inside:
+                        self.finding(
+                            node.lineno,
+                            "kernel-temp-reuse",
+                            f"CSE temp {site.temp!r} (site {site.key!r}) "
+                            f"is re-assigned outside its statics guard; "
+                            f"the temp must be computed exactly once",
+                        )
+                elif isinstance(node.ctx, ast.Load):
+                    if node.lineno < site.line:
+                        self.finding(
+                            node.lineno,
+                            "kernel-temp-reuse",
+                            f"CSE temp {site.temp!r} (site {site.key!r}) "
+                            f"is read before its statics load on line "
+                            f"{site.line}",
+                        )
+
+    # -- collisions and free variables ------------------------------------
+
+    def check_names(self, fn: ast.FunctionDef) -> None:
+        params = tuple(arg.arg for arg in fn.args.args)
+        if params != KERNEL_PARAMS:
+            self.finding(
+                fn.lineno,
+                "kernel-name-collision",
+                f"kernel signature is {params!r}, expected "
+                f"{KERNEL_PARAMS!r}",
+            )
+        reserved = set(KERNEL_PARAMS) | set(RUNTIME_GLOBALS) | set(
+            self.meta.consts
+        )
+        allowed = reserved | ALLOWED_BUILTINS
+        defined: set[str] = set(KERNEL_PARAMS)
+        for statement in fn.body:
+            self._flow(statement, defined, reserved, allowed)
+
+    def _flow(
+        self,
+        statement: ast.stmt,
+        defined: set[str],
+        reserved: set[str],
+        allowed: set[str],
+    ) -> None:
+        def check_loads(node: ast.AST) -> None:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, ast.Load
+                ):
+                    if sub.id not in defined and sub.id not in allowed:
+                        self.finding(
+                            sub.lineno,
+                            "kernel-free-variable",
+                            f"name {sub.id!r} is read before any "
+                            f"assignment and is neither a parameter, a "
+                            f"runtime global, a bound constant, nor a "
+                            f"whitelisted builtin",
+                        )
+
+        def define(target: ast.expr) -> None:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, ast.Store
+                ):
+                    if sub.id in reserved:
+                        self.finding(
+                            sub.lineno,
+                            "kernel-name-collision",
+                            f"kernel assigns to {sub.id!r}, which "
+                            f"collides with a runtime binding "
+                            f"(parameters, kernel globals, or bound "
+                            f"constants)",
+                        )
+                    defined.add(sub.id)
+
+        if isinstance(statement, ast.Assign):
+            check_loads(statement.value)
+            for target in statement.targets:
+                # subscript/attribute stores *read* their base first
+                if not isinstance(target, ast.Name):
+                    check_loads(target)
+                define(target)
+        elif isinstance(statement, ast.AugAssign):
+            check_loads(statement.value)
+            check_loads(statement.target)
+            define(statement.target)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            check_loads(statement.iter)
+            define(statement.target)
+            for child in statement.body + statement.orelse:
+                self._flow(child, defined, reserved, allowed)
+        elif isinstance(statement, (ast.If, ast.While)):
+            check_loads(statement.test)
+            for child in statement.body + statement.orelse:
+                self._flow(child, defined, reserved, allowed)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                check_loads(statement.value)
+        elif isinstance(statement, ast.Expr):
+            check_loads(statement.value)
+        elif isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                check_loads(target)
+        else:
+            check_loads(statement)
+
+    # -- metadata agreement -----------------------------------------------
+
+    def check_layout(self) -> None:
+        observed_blocks = {
+            site.key for site in self.sites if site.key.startswith("b")
+        }
+        declared_blocks = set(self.meta.block_keys)
+        for missing in sorted(declared_blocks - observed_blocks):
+            self.finding(
+                1,
+                "kernel-statics-mismatch",
+                f"metadata declares statics site {missing!r} but the "
+                f"source never loads it",
+            )
+        for extra in sorted(observed_blocks - declared_blocks):
+            self.finding(
+                1,
+                "kernel-statics-mismatch",
+                f"source loads statics site {extra!r} that the metadata "
+                f"does not declare; binding can never hoist it",
+            )
+        scans_meta = set(self.meta.block_scans)
+        if scans_meta != declared_blocks:
+            self.finding(
+                1,
+                "kernel-statics-mismatch",
+                f"block_scans keys {tuple(sorted(scans_meta))!r} disagree "
+                f"with block_sites keys "
+                f"{tuple(sorted(declared_blocks))!r}",
+            )
+
+
+def _last_line(node: ast.AST) -> int:
+    return getattr(node, "end_lineno", None) or node.lineno
+
+
+def verify_kernel_source(
+    source: str, meta: KernelMeta, origin: str = "<kernel>"
+) -> list[Finding]:
+    """Verify one emitted kernel's source against its metadata."""
+    try:
+        tree = ast.parse(source)
+        compile(source, origin, "exec")
+    except SyntaxError as exc:
+        return [
+            Finding(
+                file=origin,
+                line=exc.lineno or 1,
+                rule_id="kernel-compile-error",
+                severity="error",
+                message=f"emitted kernel does not compile: {exc.msg}",
+            )
+        ]
+    fn = next(
+        (
+            node
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef) and node.name == "_kernel"
+        ),
+        None,
+    )
+    if fn is None:
+        return [
+            Finding(
+                file=origin,
+                line=1,
+                rule_id="kernel-compile-error",
+                severity="error",
+                message="emitted source defines no _kernel function",
+            )
+        ]
+    auditor = _KernelAuditor(meta, origin)
+    auditor.walk_body(fn.body, ())
+    auditor.check_temp_discipline(fn)
+    auditor.check_names(fn)
+    auditor.check_layout()
+    return auditor.findings
+
+
+def verify_kernel(compiled, origin: str | None = None) -> list[Finding]:
+    """Verify a ``CompiledPlan``'s emitted source end to end."""
+    if origin is None:
+        origin = f"repro.codegen[{compiled.semiring.name}]"
+    return verify_kernel_source(compiled.source, meta_for(compiled), origin)
+
+
+def verify_bound_statics(compiled, bound, origin: str) -> list[Finding]:
+    """Every key a BoundPlan hoists must be a declared statics site."""
+    declared = (
+        {f"t:{name}" for name in compiled.scan_names}
+        | {key for key, *_ in compiled.index_sites}
+        | {key for key, *_ in compiled.block_sites}
+    )
+    findings = []
+    for key in sorted(set(bound.statics) - declared):
+        findings.append(
+            Finding(
+                file=origin,
+                line=1,
+                rule_id="kernel-statics-mismatch",
+                severity="error",
+                message=(
+                    f"bound plan hoists statics key {key!r} that the "
+                    f"kernel never declares; the kernel would ignore it"
+                ),
+            )
+        )
+    return findings
+
+
+class KernelChecker(BaseChecker):
+    name = "kernels"
+    rules = (
+        "kernel-world-read",
+        "kernel-temp-reuse",
+        "kernel-name-collision",
+        "kernel-free-variable",
+        "kernel-statics-mismatch",
+        "kernel-compile-error",
+    )
+
+    def check_project(self, context: AnalysisContext) -> Iterator[Finding]:
+        if context.options.get("skip_kernel_corpus"):
+            return
+        try:
+            from repro.analysis.corpus import build_corpus
+
+            entries = build_corpus()
+        except Exception as exc:  # surface as a finding, never a crash
+            yield Finding(
+                file="src/repro/analysis/corpus.py",
+                line=1,
+                rule_id="kernel-compile-error",
+                severity="error",
+                message=(
+                    f"could not build the kernel verification corpus: "
+                    f"{type(exc).__name__}: {exc}"
+                ),
+            )
+            return
+        for entry in entries:
+            origin = f"repro.codegen[{entry.name}]"
+            yield from verify_kernel(entry.compiled, origin)
+            if entry.bound is not None:
+                yield from verify_bound_statics(
+                    entry.compiled, entry.bound, origin
+                )

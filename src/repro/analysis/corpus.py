@@ -1,0 +1,121 @@
+"""Differential corpus for the kernel verifier.
+
+A small database (two joinable tables over four Bernoulli variables)
+and one query shape per fused operator, compiled under both built-in
+semirings — the same coverage the codegen conformance suite uses, but
+importable from production code so ``python -m repro.analysis`` can
+verify emitted kernels without depending on the test tree.
+
+Each entry carries the compiled kernel and, where binding succeeds, a
+:class:`~repro.codegen.binding.BoundPlan` so the verifier can also
+check the *hoisted* statics against the declared layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import SConst, Var
+from repro.algebra.semiring import BOOLEAN, NATURALS
+from repro.codegen import compile_plan
+from repro.db.pvc_table import PVCDatabase
+from repro.prob.variables import VariableRegistry
+from repro.query.ast import (
+    AggSpec,
+    Extend,
+    GroupAgg,
+    Product,
+    Project,
+    Select,
+    Union,
+    relation,
+)
+from repro.query.executor import prepare
+from repro.query.predicates import cmp_, eq, lit
+
+__all__ = ["CorpusEntry", "build_corpus", "corpus_db", "corpus_queries"]
+
+
+def corpus_db(semiring):
+    """Two joinable tables over four variables (16 worlds)."""
+    registry = VariableRegistry()
+    db = PVCDatabase(registry=registry, semiring=semiring)
+    r = db.create_table("R", ["a", "b"])
+    registry.bernoulli("x1", 0.4)
+    registry.bernoulli("x2", 0.7)
+    r.add(("u", 1), Var("x1"))
+    if semiring is NATURALS:
+        r.add(("u", 1), SConst(2))  # duplicate values, merged multiplicity
+    r.add(("v", 2), Var("x2"))
+    r.add(("w", 3), SConst(semiring.one))
+    s = db.create_table("S", ["c", "d"])
+    registry.bernoulli("y1", 0.5)
+    registry.bernoulli("y2", 0.8)
+    s.add((1, "p"), Var("y1"))
+    s.add((2, "q"), Var("y2"))
+    s.add((3, "p"), SConst(semiring.one))
+    return db
+
+
+def corpus_queries() -> dict:
+    """One query shape per fused operator."""
+    return {
+        "project": Project(relation("R"), ["a"]),
+        "select": Select(relation("R"), cmp_("b", ">=", 2)),
+        "join": Project(
+            Select(Product(relation("R"), relation("S")), eq("b", "c")),
+            ["a", "d"],
+        ),
+        "union": Union(
+            Select(relation("R"), eq("a", lit("u"))),
+            Select(relation("R"), cmp_("b", ">", 1)),
+        ),
+        "shared-subplan": Union(
+            Select(relation("R"), cmp_("b", ">", 1)),
+            Select(relation("R"), cmp_("b", ">", 1)),
+        ),
+        "extend-permute": Project(
+            Extend(relation("R"), "a2", "a"), ["a2", "b", "a"]
+        ),
+        "groupby": GroupAgg(
+            Select(Product(relation("R"), relation("S")), eq("b", "c")),
+            ["d"],
+            [AggSpec.of("n", "count")],
+        ),
+        "agg-sum": GroupAgg(
+            relation("S"),
+            ["d"],
+            [AggSpec.of("total", "sum", "c")],
+        ),
+    }
+
+
+@dataclass
+class CorpusEntry:
+    name: str
+    compiled: object
+    bound: object | None
+
+
+def build_corpus() -> list[CorpusEntry]:
+    """Compile (and bind) every corpus shape under both semirings."""
+    entries: list[CorpusEntry] = []
+    for semiring, semiring_id in ((BOOLEAN, "boolean"), (NATURALS, "naturals")):
+        db = corpus_db(semiring)
+        queries = corpus_queries()
+        for shape in sorted(queries):
+            prepared = prepare(
+                queries[shape],
+                db.catalog(),
+                db.cardinalities(),
+                optimize=False,
+            )
+            compiled = compile_plan(prepared.plan, semiring)
+            try:
+                bound = compiled.bind(db, sorted(db.variables))
+            except Exception:
+                bound = None
+            entries.append(
+                CorpusEntry(f"{semiring_id}:{shape}", compiled, bound)
+            )
+    return entries

@@ -1,0 +1,69 @@
+"""Text and JSON reporters with CI-friendly exit codes.
+
+Exit code contract: ``0`` — clean against suppressions and baseline;
+``1`` — at least one reportable finding; ``2`` — the analyzer itself
+could not run (bad usage, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import TextIO
+
+from repro.analysis.runner import AnalysisResult
+
+__all__ = ["render_text", "render_json", "report"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    if verbose:
+        for finding in result.suppressed:
+            lines.append(f"{finding.render()}  [suppressed]")
+        for finding in result.baselined:
+            lines.append(f"{finding.render()}  [baselined]")
+    counts = result.by_rule()
+    summary = (
+        f"{len(result.findings)} finding(s)"
+        f" ({', '.join(f'{rule}: {n}' for rule, n in counts.items())})"
+        if counts
+        else "clean"
+    )
+    lines.append(
+        f"repro.analysis: {summary} — {result.files_scanned} file(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined, "
+        f"{result.wall_seconds:.2f}s "
+        f"[{', '.join(result.checkers)}]"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    return json.dumps(result.to_json(), indent=2, sort_keys=False)
+
+
+def report(
+    result: AnalysisResult,
+    format: str = "text",
+    stream: TextIO | None = None,
+    json_output: str | None = None,
+    verbose: bool = False,
+) -> int:
+    """Write the report; return the process exit code."""
+    stream = sys.stdout if stream is None else stream
+    if json_output is not None:
+        with open(json_output, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result) + "\n")
+    if format == "json":
+        stream.write(render_json(result) + "\n")
+    else:
+        stream.write(render_text(result, verbose=verbose) + "\n")
+    return result.exit_code()

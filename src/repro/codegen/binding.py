@@ -209,8 +209,15 @@ class BoundPlan:
             from repro.query.executor import _DeterministicExecutor
 
             executor = _DeterministicExecutor(static_world, semiring, {})
+            scopes = getattr(compiled, "block_scans", None) or {}
             for key, kind, op, extra in compiled.block_sites:
-                if not _static_scans(op) <= static_names:
+                # The emitter's declared scope is authoritative (and what
+                # the kernel verifier proves); fall back to walking the
+                # subtree for compiled plans predating the metadata.
+                scope = scopes.get(key)
+                if scope is None:
+                    scope = _static_scans(op)
+                if not set(scope) <= static_names:
                     continue
                 tuples = executor.tuples(op)
                 if kind == "dict":

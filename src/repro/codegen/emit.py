@@ -125,6 +125,7 @@ class _Emitter:
         self.scan_names: list[str] = []
         self.index_sites: list[tuple] = []
         self.block_sites: list[tuple] = []
+        self.block_scans: dict[str, tuple[str, ...]] = {}
         self.trace_labels: dict[str, str] = {}
         self._n = 0
         self._sites = 0
@@ -199,6 +200,15 @@ class _Emitter:
         key = f"b{self._sites}"
         self._sites += 1
         self.block_sites.append((key, kind, op, extra))
+        # The site's world-dependency scope: every base table the block's
+        # subtree can read.  Binding hoists the block iff all of these are
+        # deterministic; the kernel verifier proves the emitted body reads
+        # nothing outside this set.
+        self.block_scans[key] = tuple(
+            sorted(
+                {node.name for node in op.walk() if isinstance(node, Scan)}
+            )
+        )
         self.trace_labels[key] = op.label()
         return key
 
@@ -656,6 +666,7 @@ class CompiledPlan:
         "scan_names",
         "index_sites",
         "block_sites",
+        "block_scans",
         "trace_labels",
         "compile_seconds",
         "_fn",
@@ -670,6 +681,7 @@ class CompiledPlan:
         scan_names,
         index_sites,
         block_sites,
+        block_scans,
         trace_labels,
         compile_seconds,
     ):
@@ -680,6 +692,7 @@ class CompiledPlan:
         self.scan_names = scan_names
         self.index_sites = index_sites
         self.block_sites = block_sites
+        self.block_scans = block_scans
         self.trace_labels = trace_labels
         self.compile_seconds = compile_seconds
         self._fn = None
@@ -721,6 +734,21 @@ class CompiledPlan:
     def __setstate__(self, state):
         for slot, value in state.items():
             setattr(self, slot, value)
+        if "block_scans" not in state:
+            # Pickles from before the scope metadata existed: recover the
+            # scopes from the plan subtrees carried by block_sites.
+            self.block_scans = {
+                key: tuple(
+                    sorted(
+                        {
+                            node.name
+                            for node in op.walk()
+                            if isinstance(node, Scan)
+                        }
+                    )
+                )
+                for key, _kind, op, _extra in self.block_sites
+            }
         self._fn = None
 
     def __repr__(self):
@@ -757,6 +785,7 @@ def compile_plan(plan: PhysicalOp, semiring) -> CompiledPlan:
         tuple(emitter.scan_names),
         tuple(emitter.index_sites),
         tuple(emitter.block_sites),
+        dict(emitter.block_scans),
         dict(emitter.trace_labels),
         elapsed,
     )

@@ -25,6 +25,7 @@ result stats.
 from __future__ import annotations
 
 import os
+import threading
 
 from repro.algebra.semimodule import ModuleExpr
 from repro.db.pvc_table import tuple_getter
@@ -132,21 +133,32 @@ _STATS = {
     "codegen_compile_seconds": 0.0,
 }
 
+#: Server executor threads compile kernels concurrently, so the counters
+#: need a real lock: ``+=`` on a dict entry is a read-modify-write, and
+#: lost updates here skew ``codegen_compile_seconds`` in every result.
+_STATS_LOCK = threading.Lock()
+
+_shared_state_ = {"_STATS_LOCK": ("_STATS",)}
+
 
 def record_compile(seconds: float) -> None:
-    _STATS["kernels_compiled"] += 1
-    _STATS["codegen_compile_seconds"] += seconds
+    with _STATS_LOCK:
+        _STATS["kernels_compiled"] += 1
+        _STATS["codegen_compile_seconds"] += seconds
 
 
 def record_cache_hit() -> None:
-    _STATS["kernel_cache_hits"] += 1
+    with _STATS_LOCK:
+        _STATS["kernel_cache_hits"] += 1
 
 
 def runtime_stats() -> dict:
     """A snapshot of the process-wide codegen counters."""
-    return dict(_STATS)
+    with _STATS_LOCK:
+        return dict(_STATS)
 
 
 def reset_runtime_stats() -> None:
-    for key in _STATS:
-        _STATS[key] = 0.0 if key == "codegen_compile_seconds" else 0
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0.0 if key == "codegen_compile_seconds" else 0

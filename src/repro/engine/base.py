@@ -125,6 +125,19 @@ class CompilationCache:
     the :mod:`repro.parallel` process pool instead).
     """
 
+    #: Lock discipline, enforced statically by ``repro.analysis`` (the
+    #: ``locks`` checker): the listed fields are mutated only while
+    #: holding ``self._lock``.
+    _shared_state_ = {
+        "_lock": (
+            "hits",
+            "misses",
+            "evictions",
+            "compiler",
+            "_distributions",
+        ),
+    }
+
     def __init__(self, compiler: Compiler, max_entries: int | None = None):
         if max_entries is not None and max_entries <= 0:
             raise QueryValidationError(
@@ -147,7 +160,7 @@ class CompilationCache:
     def registry(self):
         return self.compiler.registry
 
-    def _store(self, key: Expr, distribution: Distribution) -> None:
+    def _store_locked(self, key: Expr, distribution: Distribution) -> None:
         """Insert as most-recent and evict past the bound (lock held)."""
         self._distributions[key] = distribution
         self._distributions.move_to_end(key)
@@ -163,7 +176,7 @@ class CompilationCache:
             if cached is None:
                 self.misses += 1
                 cached = self.compiler.distribution(key)
-                self._store(key, cached)
+                self._store_locked(key, cached)
             else:
                 self.hits += 1
                 self._distributions.move_to_end(key)
@@ -193,7 +206,7 @@ class CompilationCache:
         with self._lock:
             if key not in self._distributions:
                 self.misses += 1
-                self._store(key, distribution)
+                self._store_locked(key, distribution)
 
     def compile(self, expr: Expr):
         with self._lock:
@@ -249,6 +262,10 @@ class PlanCache:
     prepared skips the optimizer and physical planner for every other
     tenant.  Thread-safe like :class:`CompilationCache`.
     """
+
+    _shared_state_ = {
+        "_lock": ("hits", "misses", "evictions", "_plans"),
+    }
 
     def __init__(self, max_entries: int | None = 256):
         if max_entries is not None and max_entries <= 0:

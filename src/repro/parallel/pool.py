@@ -34,6 +34,7 @@ import concurrent.futures
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -182,6 +183,14 @@ class SharedPool:
     next round; a second hang degrades the handle permanently.
     """
 
+    #: Lifecycle state may be poked from more than one thread (the query
+    #: server drives engines from an executor pool while ``stop()`` paths
+    #: close pools); ``_state_lock`` owns every mutation.  Enforced
+    #: statically by the ``locks`` checker of ``repro.analysis``.
+    _shared_state_ = {
+        "_state_lock": ("_executor", "_fallback_reason", "_hangs"),
+    }
+
     def __init__(self, worker, context, workers, task_timeout: float | None = None):
         self.worker = worker
         self.context = context
@@ -190,19 +199,21 @@ class SharedPool:
         self._executor = None
         self._fallback_reason: str | None = None
         self._hangs = 0
+        self._state_lock = threading.Lock()
 
     def _inline(self, payloads) -> list:
         return [self.worker(self.context, payload) for payload in payloads]
 
     def _ensure_executor(self):
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context("fork"),
-                initializer=_install_worker_state,
-                initargs=((self.worker, self.context),),
-            )
-        return self._executor
+        with self._state_lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=_install_worker_state,
+                    initargs=((self.worker, self.context),),
+                )
+            return self._executor
 
     def _watchdog_timeout(self) -> float | None:
         """The effective per-round watchdog timeout.
@@ -240,7 +251,8 @@ class SharedPool:
                 "parallel_fallback": self._fallback_reason,
             }
         if not fork_available():
-            self._fallback_reason = "no_fork"
+            with self._state_lock:
+                self._fallback_reason = "no_fork"
             return self._inline(payloads), {
                 "workers": 1,
                 "parallel_fallback": "no_fork",
@@ -260,11 +272,13 @@ class SharedPool:
                 # is allowed (a hang can be transient); a second hang
                 # degrades the handle permanently like other failures.
                 self._kill()
-                self._hangs += 1
-                if self._hangs >= 2:
-                    self._fallback_reason = "worker_hang"
+                with self._state_lock:
+                    self._hangs += 1
+                    if self._hangs >= 2:
+                        self._fallback_reason = "worker_hang"
             else:
-                self._fallback_reason = unavailable.reason
+                with self._state_lock:
+                    self._fallback_reason = unavailable.reason
                 self.close()
             return self._inline(payloads), {
                 "workers": 1,
@@ -274,9 +288,10 @@ class SharedPool:
 
     def _kill(self) -> None:
         """Hard-stop a pool with hung workers without joining them."""
-        if self._executor is None:
+        with self._state_lock:
+            executor, self._executor = self._executor, None
+        if executor is None:
             return
-        executor, self._executor = self._executor, None
         for process in list(getattr(executor, "_processes", {}).values()):
             try:
                 process.kill()
@@ -297,8 +312,9 @@ class SharedPool:
         Hung pools never reach here — :meth:`run` already replaced them
         via :meth:`_kill`.
         """
-        if self._executor is not None:
+        with self._state_lock:
             executor, self._executor = self._executor, None
+        if executor is not None:
             executor.shutdown(wait=True)
 
     def __enter__(self) -> "SharedPool":

@@ -49,8 +49,6 @@ from repro.query.predicates import (
     AttrRef,
     Comparison,
     Literal,
-    Predicate,
-    TruePredicate,
     conj,
 )
 

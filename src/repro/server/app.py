@@ -156,6 +156,19 @@ class ServerConfig:
 class QueryServer:
     """Serve one shared probabilistic database to many tenants."""
 
+    #: Lock discipline, enforced statically by the ``locks`` checker of
+    #: ``repro.analysis``.  ``_counters_lock`` is a leaf lock (it is
+    #: taken inside ``_sessions_lock`` by the eviction path, never the
+    #: other way around): protocol handlers bump counters from executor
+    #: threads while the event loop mutates them too, so every counter
+    #: update is a guarded read-modify-write.  Admission state
+    #: (``_inflight``/``_draining``) shares the counter lock so
+    #: ``_admit`` can check-and-claim a slot atomically.
+    _shared_state_ = {
+        "_counters_lock": ("_counters", "_inflight", "_draining"),
+        "_sessions_lock": ("_sessions", "_tenant_locks", "_tenant_busy"),
+    }
+
     def __init__(self, db: PVCDatabase, config: ServerConfig | None = None, **overrides):
         self.config = replace(config or ServerConfig(), **overrides)
         self.db = db
@@ -178,6 +191,7 @@ class QueryServer:
         self.http_address: tuple[str, int] | None = None
         self.tcp_address: tuple[str, int] | None = None
         self._started_monotonic: float | None = None
+        self._counters_lock = threading.Lock()
         self._inflight = 0
         self._draining = False
         self._counters = {
@@ -206,11 +220,17 @@ class QueryServer:
         with self._sessions_lock:
             return self._session_locked(tenant)
 
+    def _count(self, key: str, n: int = 1) -> None:
+        """Bump a server counter (``+=`` on a dict entry is a
+        read-modify-write, and counters are hit from executor threads)."""
+        with self._counters_lock:
+            self._counters[key] += n
+
     def _session_locked(self, tenant: str) -> Session:
         session = self._sessions.get(tenant)
         if session is None:
             if len(self._sessions) >= self.config.max_tenants:
-                self._evict_idle_tenant()
+                self._evict_idle_tenant_locked()
             session = Session(
                 engine=self.config.default_engine,
                 seed=self.config.seed,
@@ -225,18 +245,23 @@ class QueryServer:
             self._sessions.move_to_end(tenant)
         return session
 
-    def _evict_idle_tenant(self) -> None:
-        """Drop the LRU tenant with no in-flight request (caller locks)."""
+    def _evict_idle_tenant_locked(self) -> None:
+        """Drop the LRU tenant with no in-flight request.
+
+        Caller holds ``_sessions_lock``; counters take their own leaf
+        lock via :meth:`_count` (``_sessions_lock`` alone does not
+        protect ``_counters`` — admission paths bump them without it).
+        """
         victim = next(
             (name for name in self._sessions if name not in self._tenant_busy),
             None,
         )
         if victim is None:
-            self._counters["shed"] += 1
+            self._count("shed")
             raise ServerOverloadedError(self.config.retry_after)
         del self._sessions[victim]
         self._tenant_locks.pop(victim, None)
-        self._counters["tenants_evicted"] += 1
+        self._count("tenants_evicted")
 
     def _acquire_tenant(self, tenant: str) -> tuple[Session, asyncio.Lock]:
         """Tenant session + lock, refcounted busy until _release_tenant.
@@ -319,23 +344,32 @@ class QueryServer:
     # -- admission control -----------------------------------------------------
 
     def _admit(self) -> bool:
-        """True when the request must degrade; raises when it must shed.
+        """Claim an in-flight slot; True when the request must degrade.
 
-        Contract: the caller must increment ``_inflight`` in the same
-        synchronous stretch as this check (no await in between) and
-        decrement it in a ``finally`` covering parsing, lock wait and
-        execution — otherwise a burst arriving while one request awaits
-        would all read the same stale count and overshoot the limits.
+        Check and claim are one atomic step under ``_counters_lock`` —
+        a burst of concurrent arrivals each sees the count including the
+        slots the others already claimed, so the limits cannot be
+        overshot.  Raises when the request must shed instead; on success
+        the caller owns one slot and must give it back via
+        :meth:`_release_slot` in a ``finally`` covering parsing, lock
+        wait and execution.
         """
-        if self._draining:
-            # A draining server finishes what it admitted and sheds the
-            # rest — new arrivals get 503 + Retry-After, never a hang.
-            self._counters["shed"] += 1
-            raise ServerOverloadedError(self.config.retry_after)
-        if self._inflight >= self.config.hard_limit:
-            self._counters["shed"] += 1
-            raise ServerOverloadedError(self.config.retry_after)
-        return self._inflight >= self.config.soft_limit
+        with self._counters_lock:
+            if self._draining:
+                # A draining server finishes what it admitted and sheds
+                # the rest — new arrivals get 503 + Retry-After, never a
+                # hang.
+                self._counters["shed"] += 1
+                raise ServerOverloadedError(self.config.retry_after)
+            if self._inflight >= self.config.hard_limit:
+                self._counters["shed"] += 1
+                raise ServerOverloadedError(self.config.retry_after)
+            self._inflight += 1
+            return self._inflight > self.config.soft_limit
+
+    def _release_slot(self) -> None:
+        with self._counters_lock:
+            self._inflight -= 1
 
     def _shed_rewrite(
         self, engine: str | None, samples: int | None, fields: dict
@@ -380,13 +414,12 @@ class QueryServer:
 
     async def execute(self, payload) -> dict:
         """The one-shot query path shared by the HTTP and TCP protocols."""
-        self._counters["requests"] += 1
+        self._count("requests")
         sql, tenant, engine, samples, fields = self._unpack(payload)
-        degraded = self._admit()
-        self._inflight += 1  # synchronously with _admit — see its contract
+        degraded = self._admit()  # claims the in-flight slot on success
         try:
             if degraded:
-                self._counters["degraded"] += 1
+                self._count("degraded")
                 engine, samples, fields = self._shed_rewrite(
                     engine, samples, fields
                 )
@@ -407,8 +440,8 @@ class QueryServer:
             finally:
                 self._release_tenant(tenant)
         finally:
-            self._inflight -= 1
-        self._counters["completed"] += 1
+            self._release_slot()
+        self._count("completed")
         return {
             "result": result_to_json(result),
             "tenant": tenant,
@@ -424,19 +457,18 @@ class QueryServer:
         stream, so a stream counts against the admission limits like one
         long request.
         """
-        self._counters["requests"] += 1
-        self._counters["streams"] += 1
+        self._count("requests")
+        self._count("streams")
         sql, tenant, engine, samples, fields = self._unpack(payload)
         if samples is not None:
             raise ProtocolError(
                 "streams refine under an EvalSpec; pass 'spec' "
                 "(e.g. {'mode': 'sample', 'budget': ...}) instead of 'samples'"
             )
-        degraded = self._admit()
-        self._inflight += 1  # synchronously with _admit — see its contract
+        degraded = self._admit()  # claims the in-flight slot on success
         try:
             if degraded:
-                self._counters["degraded"] += 1
+                self._count("degraded")
                 engine, samples, fields = self._shed_rewrite(
                     engine, samples, fields
                 )
@@ -541,8 +573,8 @@ class QueryServer:
             finally:
                 self._release_tenant(tenant)
         finally:
-            self._inflight -= 1
-        self._counters["completed"] += 1
+            self._release_slot()
+        self._count("completed")
 
     async def _offload(self, fn, *args, **kwargs):
         """Run blocking work on the executor pool, off the event loop."""
@@ -553,7 +585,7 @@ class QueryServer:
 
     def note_error(self) -> None:
         """Protocol layers report a failed request for /stats accounting."""
-        self._counters["errors"] += 1
+        self._count("errors")
 
     # -- observability ---------------------------------------------------------
 
@@ -566,16 +598,20 @@ class QueryServer:
         )
         with self._sessions_lock:
             tenants = sorted(self._sessions)
+        with self._counters_lock:
+            inflight = self._inflight
+            draining = self._draining
+            counters = dict(self._counters)
         return {
             "server": {
                 "uptime_seconds": uptime,
-                "inflight": self._inflight,
-                "draining": self._draining,
+                "inflight": inflight,
+                "draining": draining,
                 "soft_limit": self.config.soft_limit,
                 "hard_limit": self.config.hard_limit,
                 "max_tenants": self.config.max_tenants,
                 "tenants": len(tenants),
-                **self._counters,
+                **counters,
             },
             "statement_cache": self.statements.stats(),
             "plan_cache": self.plans.stats(),
@@ -641,7 +677,8 @@ class QueryServer:
         """
         if drain_timeout is None:
             drain_timeout = self.config.drain_timeout
-        self._draining = True
+        with self._counters_lock:
+            self._draining = True
         for server in (self._http_server, self._tcp_server):
             if server is not None:
                 server.close()
@@ -650,7 +687,7 @@ class QueryServer:
             await asyncio.sleep(0.01)
         abandoned = self._inflight
         if abandoned:
-            self._counters["drain_abandoned"] += abandoned
+            self._count("drain_abandoned", abandoned)
         for server in (self._http_server, self._tcp_server):
             if server is not None:
                 # wait_closed() is bounded defensively: on some Python
@@ -677,7 +714,8 @@ class QueryServer:
                 await asyncio.get_running_loop().run_in_executor(
                     None, functools.partial(executor.shutdown, wait=True)
                 )
-        self._draining = False
+        with self._counters_lock:
+            self._draining = False
 
     async def serve_forever(self) -> None:
         """Start (when needed) and serve until cancelled."""

@@ -51,6 +51,7 @@ __all__ = [
     "result_from_json",
     "fingerprint",
     "VOLATILE_STAT_KEYS",
+    "DETERMINISTIC_STAT_KEYS",
 ]
 
 #: Stats keys that legitimately differ between two runs of the same
@@ -78,6 +79,28 @@ VOLATILE_STAT_KEYS = frozenset({
     "kernels_compiled",
     "kernel_cache_hits",
     "codegen_compile_seconds",
+    # Whether the vectorised batch evaluator ran depends on numpy being
+    # importable, so the same seeded run fingerprints differently across
+    # the with/without-numpy CI legs unless this is dropped too.
+    "batched",
+})
+
+#: Stats keys that are a deterministic function of the query, the data
+#: and the seed — the keys :func:`fingerprint` keeps.  Every stats key
+#: the engines emit must appear in exactly one of these two sets; the
+#: ``statskeys`` checker of :mod:`repro.analysis` enforces the union
+#: statically against every ``stats[...]``/``last_run_info[...]`` write
+#: in ``engine/``, ``codegen/`` and ``server/``.
+DETERMINISTIC_STAT_KEYS = frozenset({
+    "rows",
+    "samples",
+    "rounds",
+    "expansions",
+    "converged",
+    "max_width",
+    "epsilon",
+    "distinct_worlds",
+    "top_k_decided",
 })
 
 

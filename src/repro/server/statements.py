@@ -90,6 +90,13 @@ class StatementCache:
     Parse errors propagate to the caller and cache nothing.
     """
 
+    #: Lock discipline, enforced statically by the ``locks`` checker of
+    #: ``repro.analysis``: counters and the LRU map mutate only under
+    #: ``self._lock``.
+    _shared_state_ = {
+        "_lock": ("hits", "misses", "evictions", "_statements"),
+    }
+
     def __init__(self, max_entries: int | None = 256):
         if max_entries is not None and max_entries <= 0:
             raise QueryValidationError(

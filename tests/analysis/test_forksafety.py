@@ -1,0 +1,265 @@
+"""Fixture corpus for the fork/pickle-safety checker."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.checkers.forksafety import ForkSafetyChecker
+
+CHECKERS = [ForkSafetyChecker()]
+
+
+def rule_ids(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestWorker:
+    def test_flags_lambda_worker(self, analyze):
+        result = analyze(
+            """
+    from repro.parallel import pool as parallel_pool
+
+    def run(payloads):
+        return parallel_pool.execute(lambda p: p, (), payloads, 2)
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["fork-unpicklable-worker"]
+
+    def test_flags_nested_function_worker(self, analyze):
+        result = analyze(
+            """
+    from repro.parallel import pool as parallel_pool
+
+    def run(payloads):
+        def worker(payload):
+            return payload
+        return parallel_pool.execute(worker, (), payloads, 2)
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["fork-unpicklable-worker"]
+        assert "nested function" in result.findings[0].message
+
+    def test_flags_bound_method_worker(self, analyze):
+        result = analyze(
+            """
+    from repro.parallel import pool as parallel_pool
+
+    class Engine:
+        def evaluate(self, payload):
+            return payload
+
+        def run(self, payloads):
+            return parallel_pool.execute(self.evaluate, (), payloads, 2)
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["fork-unpicklable-worker"]
+        assert "bound method" in result.findings[0].message
+
+    def test_passes_module_level_worker(self, analyze):
+        result = analyze(
+            """
+    from repro.parallel import pool as parallel_pool
+
+    def worker(payload):
+        return payload
+
+    def run(payloads):
+        return parallel_pool.execute(worker, (), payloads, 2)
+    """,
+            CHECKERS,
+        )
+        assert result.clean
+
+    def test_each_site_reported_exactly_once(self, analyze):
+        # The call sits under two statement layers (try/if); the scope
+        # walker must still visit it once, not once per ancestor.
+        result = analyze(
+            """
+    from repro.parallel import pool as parallel_pool
+
+    def run(payloads, shared):
+        try:
+            if shared is None:
+                def worker(payload):
+                    return payload
+                return parallel_pool.execute(worker, (), payloads, 2)
+        except OSError:
+            return None
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["fork-unpicklable-worker"]
+
+
+class TestPayload:
+    def test_flags_deadline_in_context(self, analyze):
+        result = analyze(
+            """
+    from repro.parallel import pool as parallel_pool
+    from repro.resilience.deadlines import Deadline
+
+    def worker(payload):
+        return payload
+
+    def run(payloads, seconds):
+        context = (42, Deadline.after(seconds))
+        return parallel_pool.execute(worker, context, payloads, 2)
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["fork-unpicklable-payload"]
+        assert "Deadline" in result.findings[0].message
+
+    def test_flags_threading_lock_through_alias(self, analyze):
+        result = analyze(
+            """
+    import threading
+    from repro.parallel import pool as parallel_pool
+
+    def worker(payload):
+        return payload
+
+    def run(payloads):
+        guard = threading.Lock()
+        context = (guard,)
+        return parallel_pool.execute(worker, context, payloads, 2)
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["fork-unpicklable-payload"]
+
+    def test_flags_lambda_in_payloads(self, analyze):
+        result = analyze(
+            """
+    from repro.parallel import pool as parallel_pool
+
+    def worker(payload):
+        return payload
+
+    def run():
+        return parallel_pool.execute(worker, (), [lambda: 1], 2)
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["fork-unpicklable-payload"]
+
+    def test_sharedpool_context_is_checked(self, analyze):
+        result = analyze(
+            """
+    from repro.parallel.pool import SharedPool
+
+    def worker(payload):
+        return payload
+
+    def run(registry):
+        return SharedPool(worker, (registry, open("log")), 2)
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["fork-unpicklable-payload"]
+        assert "open" in result.findings[0].message
+
+    def test_passes_plain_picklable_context(self, analyze):
+        result = analyze(
+            """
+    from repro.parallel import pool as parallel_pool
+
+    def worker(payload):
+        return payload
+
+    def run(registry, semiring, payloads, workers):
+        context = (registry, semiring, ("a", 1))
+        return parallel_pool.execute(worker, context, payloads, workers)
+    """,
+            CHECKERS,
+        )
+        assert result.clean
+
+    def test_reassigned_alias_is_not_resolved(self, analyze):
+        # Two assignments to the same name defeat single-assignment
+        # dataflow; the checker must stay silent, not guess.
+        result = analyze(
+            """
+    import threading
+    from repro.parallel import pool as parallel_pool
+
+    def worker(payload):
+        return payload
+
+    def run(payloads, safe):
+        context = (threading.Lock(),)
+        context = safe
+        return parallel_pool.execute(worker, context, payloads, 2)
+    """,
+            CHECKERS,
+        )
+        assert result.clean
+
+
+class TestHygiene:
+    def test_suppression(self, analyze):
+        result = analyze(
+            """
+    from repro.parallel import pool as parallel_pool
+
+    def run(payloads):
+        # repro: allow(fork-unpicklable-worker)
+        return parallel_pool.execute(lambda p: p, (), payloads, 2)
+    """,
+            CHECKERS,
+        )
+        assert result.clean
+        assert [f.rule_id for f in result.suppressed] == [
+            "fork-unpicklable-worker"
+        ]
+
+    def test_baseline(self, analyze, tmp_path):
+        source = """
+    from repro.parallel import pool as parallel_pool
+
+    def run(payloads):
+        return parallel_pool.execute(lambda p: p, (), payloads, 2)
+    """
+        flagged = analyze(source, CHECKERS)
+        assert len(flagged.findings) == 1
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "file": flagged.findings[0].file,
+                            "rule": flagged.findings[0].rule_id,
+                            "message": flagged.findings[0].message,
+                            "why": "fixture",
+                        }
+                    ]
+                }
+            )
+        )
+        result = analyze(source, CHECKERS, baseline=str(baseline_path))
+        assert result.clean
+        assert len(result.baselined) == 1
+
+
+class TestShippedPoolSites:
+    def test_real_pool_call_sites_are_clean(self):
+        """The actual engine pool sites pass (workers are module-level)."""
+        from pathlib import Path
+
+        from repro.analysis import analyze_paths
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        result = analyze_paths(
+            [str(src / "engine"), str(src / "parallel")], checkers=CHECKERS
+        )
+        assert result.clean, [f.render() for f in result.findings]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

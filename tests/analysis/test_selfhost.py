@@ -1,0 +1,79 @@
+"""Self-hosting: the committed tree passes its own static analysis."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, default_checkers
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+class TestSelfHost:
+    def test_committed_tree_is_clean_via_api(self):
+        result = analyze_paths([str(SRC_REPRO)])
+        assert result.clean, "\n".join(f.render() for f in result.findings)
+        assert result.files_scanned > 50
+
+    def test_committed_tree_is_clean_via_cli(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(SRC_REPRO)],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "clean" in completed.stdout
+
+    def test_cli_json_artifact_matches_api(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        artifact = tmp_path / "findings.json"
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.analysis", str(SRC_REPRO),
+                "--format", "json", "--json-output", str(artifact),
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        payload = json.loads(artifact.read_text())
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+
+    def test_default_checkers_cover_all_four_dimensions(self):
+        names = {checker.name for checker in default_checkers()}
+        assert names == {"locks", "forksafety", "kernels", "statskeys"}
+
+    def test_shared_state_declarations_exist_where_promised(self):
+        """The runtime classes this PR hardened carry declarations."""
+        from repro.codegen import runtime
+        from repro.engine.base import CompilationCache, PlanCache
+        from repro.parallel.pool import SharedPool
+        from repro.server.app import QueryServer
+        from repro.server.statements import StatementCache
+
+        for owner in (CompilationCache, PlanCache, StatementCache):
+            assert "_lock" in owner._shared_state_
+        assert "_state_lock" in SharedPool._shared_state_
+        assert "_counters_lock" in QueryServer._shared_state_
+        assert runtime._shared_state_ == {"_STATS_LOCK": ("_STATS",)}
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))
