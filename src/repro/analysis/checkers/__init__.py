@@ -7,12 +7,14 @@ here is the whole wiring step.
 
 from __future__ import annotations
 
+from repro.analysis.checkers.epochs import CacheEpochChecker
 from repro.analysis.checkers.forksafety import ForkSafetyChecker
 from repro.analysis.checkers.kernels import KernelChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.statskeys import StatsKeyChecker
 
 __all__ = [
+    "CacheEpochChecker",
     "ForkSafetyChecker",
     "KernelChecker",
     "LockDisciplineChecker",
@@ -27,4 +29,5 @@ def all_checkers() -> list:
         ForkSafetyChecker(),
         KernelChecker(),
         StatsKeyChecker(),
+        CacheEpochChecker(),
     ]

@@ -1,0 +1,167 @@
+"""Mutation bookkeeping for live pvc-databases: deltas and lineage.
+
+The paper's pipeline treats the pvc-database as frozen; every cache in
+the stack — merged scans, hash indexes, prepared plans, compiled d-tree
+distributions, fused kernels — was originally keyed against data that
+could never change.  This module is the bookkeeping layer that makes the
+database *mutable* without flushing those caches wholesale:
+
+* :class:`Delta` — one immutable record of a mutation: which table, what
+  kind of change, how many rows, which random variables the touched rows
+  mention, and which variables had their *distribution* changed (the only
+  event that invalidates compiled d-trees — annotations are lineage, and
+  a distribution is a pure function of its variables' distributions);
+* :class:`DeltaLog` — a bounded in-memory log of recent deltas, mostly a
+  diagnostic surface (``db.deltas``) for tests, benchmarks and the
+  server's ``/stats`` endpoint;
+* :class:`LineageIndex` — the variable → dependent-cache-keys map the
+  :class:`~repro.engine.base.CompilationCache` maintains, so a
+  probability update invalidates exactly the distributions whose lineage
+  mentions the reassigned variables and nothing else.
+
+Invalidation granularity, by cache:
+
+==================  =====================================================
+cache               invalidated by
+==================  =====================================================
+table scan/index    the owning table's epoch (any row change); touched
+                    hash-index buckets are *patched*, the rest survive
+compiled d-trees    ``changed_variables`` lineage only (value edits,
+                    inserts and deletes never recompile existing entries)
+prepared plans      cardinality fingerprint (shape changes only)
+fused kernels       plan identity (data-independent; never invalidated)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Delta", "DeltaLog", "LineageIndex"]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One applied mutation, as seen by cache-invalidation listeners."""
+
+    #: Name of the mutated table.
+    table: str
+    #: ``"insert"`` | ``"update"`` | ``"delete"``.
+    kind: str
+    #: Number of base rows touched (inserted, rewritten, or removed).
+    rows: int
+    #: Variables mentioned by the annotations of the touched rows (their
+    #: distributions are unchanged unless also in ``changed_variables``).
+    variables: frozenset = frozenset()
+    #: Variables whose *distribution* was reassigned by this mutation —
+    #: the lineage that invalidates compiled d-tree distributions.
+    changed_variables: frozenset = frozenset()
+    #: Whether the table's row count changed (plans re-key on
+    #: cardinalities; equal-size updates keep their prepared plans).
+    cardinality_changed: bool = False
+    #: The mutated table's epoch after the mutation.
+    epoch: int = 0
+    #: The database generation after the mutation.
+    generation: int = 0
+    #: Cache-patch diagnostics (e.g. ``buckets_patched``), for the
+    #: benchmark and ``/stats``; never part of answer fingerprints.
+    info: dict = field(default_factory=dict, compare=False)
+
+
+class DeltaLog:
+    """A bounded log of recent :class:`Delta` records.
+
+    Purely observational: invalidation is driven by the database's
+    listener fan-out at mutation time, not by replaying the log.  The
+    bound keeps bulk loads from accumulating unbounded history.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self._entries: deque[Delta] = deque(maxlen=max_entries)
+        self.total = 0
+
+    def append(self, delta: Delta) -> None:
+        self._entries.append(delta)
+        self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Delta]:
+        return iter(self._entries)
+
+    def last(self) -> Delta | None:
+        return self._entries[-1] if self._entries else None
+
+    def stats(self) -> dict:
+        """Counters by mutation kind over the retained window."""
+        kinds: dict[str, int] = {}
+        for delta in self._entries:
+            kinds[delta.kind] = kinds.get(delta.kind, 0) + 1
+        return {"total": self.total, "retained": len(self._entries), **kinds}
+
+    def __repr__(self):
+        return f"DeltaLog({len(self._entries)} retained, {self.total} total)"
+
+
+class LineageIndex:
+    """Bidirectional map between variables and dependent cache keys.
+
+    ``record(key, variables)`` registers that the cached object under
+    ``key`` was derived from the distributions of ``variables``;
+    ``pop(variables)`` returns (and unregisters) every key any of those
+    variables flows into.  Keys must be hashable; the index holds both
+    directions so eviction (``discard``) stays O(lineage of the key).
+    """
+
+    def __init__(self):
+        self._by_variable: dict[str, set] = {}
+        self._by_key: dict = {}
+
+    def record(self, key, variables: Iterable[str]) -> None:
+        names = frozenset(variables)
+        if not names:
+            return
+        previous = self._by_key.get(key)
+        if previous == names:
+            return
+        if previous:
+            self.discard(key)
+        self._by_key[key] = names
+        for name in names:
+            self._by_variable.setdefault(name, set()).add(key)
+
+    def discard(self, key) -> None:
+        """Unregister one key (cache eviction)."""
+        names = self._by_key.pop(key, None)
+        if not names:
+            return
+        for name in names:
+            dependents = self._by_variable.get(name)
+            if dependents is not None:
+                dependents.discard(key)
+                if not dependents:
+                    del self._by_variable[name]
+
+    def pop(self, variables: Iterable[str]) -> set:
+        """All keys depending on any of ``variables``, unregistered."""
+        doomed: set = set()
+        for name in variables:
+            doomed |= self._by_variable.get(name, set())
+        for key in doomed:
+            self.discard(key)
+        return doomed
+
+    def dependents(self, name: str) -> frozenset:
+        return frozenset(self._by_variable.get(name, ()))
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __repr__(self):
+        return (
+            f"LineageIndex({len(self._by_key)} keys, "
+            f"{len(self._by_variable)} variables)"
+        )

@@ -15,6 +15,7 @@ expressions.
 from __future__ import annotations
 
 import operator
+import weakref
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -23,9 +24,10 @@ from repro.algebra.expressions import ONE, SemiringExpr, Var, ssum
 from repro.algebra.semimodule import ModuleExpr
 from repro.algebra.semiring import BOOLEAN, Semiring
 from repro.algebra.valuation import Valuation
+from repro.db.mutations import Delta, DeltaLog
 from repro.db.relation import Relation
 from repro.db.schema import Schema
-from repro.errors import DistributionError, SchemaError
+from repro.errors import DistributionError, QueryValidationError, SchemaError
 from repro.prob.distribution import Distribution
 from repro.prob.variables import VariableRegistry
 
@@ -103,23 +105,45 @@ class PVCTable:
     1
     """
 
-    __slots__ = ("schema", "rows", "_scan_cache", "_index_cache", "_column_cache")
+    __slots__ = (
+        "schema",
+        "rows",
+        "_version",
+        "_scan_cache",
+        "_index_cache",
+        "_column_cache",
+    )
 
     def __init__(self, schema: Schema, rows: Iterable[PVCRow] = ()):
         self.schema = schema
         self.rows: list[PVCRow] = list(rows)
-        #: Caches for the physical executor, invalidated by row count:
-        #: the merged set-of-tuples scan, per-key-set hash indexes, and
-        #: the columnar (per-column + annotation) views.
-        #: Mutate rows through :meth:`add`/:meth:`add_block` (append-only,
-        #: so the count always changes); code that replaces entries of the
-        #: ``rows`` list in place must call :meth:`invalidate_caches`.
+        #: Monotonic epoch (the :class:`~repro.db.relation.Relation`
+        #: ``_version`` discipline): bumped by every mutation, and the
+        #: validity key of every cache below.  The row *count* is not a
+        #: safe key — an equal-size in-place update leaves it unchanged
+        #: while changing the data, which used to serve stale scans.
+        self._version = 0
+        #: Caches for the physical executor, keyed on the epoch: the
+        #: merged set-of-tuples scan (plus a values→position map for
+        #: incremental patching), per-key-set hash indexes, and the
+        #: columnar (per-column + annotation) views.  Mutate rows through
+        #: :meth:`add`/:meth:`update_rows`/:meth:`delete_rows`, which
+        #: bump the epoch and patch or drop the caches; any other
+        #: in-place edit of ``rows`` must call :meth:`invalidate_caches`
+        #: (statically enforced by the ``cache-epoch`` checker of
+        #: :mod:`repro.analysis`).
         self._scan_cache = None
         self._index_cache: dict = {}
         self._column_cache: dict = {}
 
+    @property
+    def epoch(self) -> int:
+        """The table's monotonic mutation counter."""
+        return self._version
+
     def invalidate_caches(self) -> None:
-        """Drop the cached scan/hash-index/column views after in-place edits."""
+        """Bump the epoch and drop every cached scan/index/column view."""
+        self._version += 1
         self._scan_cache = None
         self._index_cache.clear()
         self._column_cache.clear()
@@ -132,7 +156,209 @@ class PVCTable:
                 f"tuple of arity {len(values)} does not match schema "
                 f"{self.schema!r}"
             )
-        self.rows.append(PVCRow(values, annotation))
+        row = PVCRow(values, annotation)
+        self.rows.append(row)
+        previous = self._version
+        self._version += 1
+        self._patch_append(previous, row)
+
+    def _patch_append(self, previous: int, row: PVCRow) -> None:
+        """Carry current caches across an append without a rebuild.
+
+        An appended row merges into the scan at its existing entry (the
+        first-occurrence position is unchanged) or lands at the end —
+        exactly where a from-scratch :func:`merge_annotated_rows` would
+        put it, because the new row is last in row order.  ``ssum``
+        flattens nested sums and canonicalises child order, so the
+        incrementally merged annotation is structurally identical to the
+        rebuilt one.  Stale caches (``version != previous``) are left
+        behind; the epoch guard rejects them lazily.
+        """
+        cached = self._scan_cache
+        if cached is None or cached[0] != previous:
+            return
+        scan, positions = cached[1], cached[2]
+        if row.annotation.is_zero():
+            # The merged view is unchanged; re-stamp everything current.
+            self._scan_cache = (self._version, scan, positions)
+            for key_indices, entry in list(self._index_cache.items()):
+                if entry[0] == previous:
+                    self._index_cache[key_indices] = (self._version, entry[1])
+                else:
+                    del self._index_cache[key_indices]
+            for name, entry in list(self._column_cache.items()):
+                if entry[0] == previous:
+                    self._column_cache[name] = (self._version, entry[1])
+                else:
+                    del self._column_cache[name]
+            return
+        position = positions.get(row.values)
+        if position is None:
+            entry = (row.values, row.annotation)
+            positions[row.values] = len(scan)
+            scan.append(entry)
+        else:
+            entry = (row.values, ssum([scan[position][1], row.annotation]))
+            scan[position] = entry
+        self._scan_cache = (self._version, scan, positions)
+        for key_indices, cached_index in list(self._index_cache.items()):
+            if cached_index[0] != previous:
+                del self._index_cache[key_indices]
+                continue
+            buckets = cached_index[1]
+            key = tuple_getter(key_indices)(row.values)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [entry]
+            elif position is None:
+                bucket.append(entry)
+            else:
+                for i, existing in enumerate(bucket):
+                    if existing[0] == row.values:
+                        bucket[i] = entry
+                        break
+            self._index_cache[key_indices] = (self._version, buckets)
+        values_entry = self._column_cache.get("values")
+        if values_entry is not None and values_entry[0] == previous:
+            columns = values_entry[1]
+            for i, value in enumerate(row.values):
+                columns[i].append(value)
+            self._column_cache["values"] = (self._version, columns)
+        annotations_entry = self._column_cache.get("annotations")
+        if annotations_entry is not None and annotations_entry[0] == previous:
+            column = annotations_entry[1]
+            column.append(row.annotation)
+            self._column_cache["annotations"] = (self._version, column)
+
+    def update_rows(self, predicate, rewrite) -> dict:
+        """Rewrite every row matching ``predicate`` via ``rewrite(row)``.
+
+        ``rewrite`` returns the replacement :class:`PVCRow`.  The rows
+        list is rebuilt and swapped atomically (concurrent readers keep a
+        consistent pre-mutation snapshot), the epoch is bumped, and the
+        cached scan and hash indexes are *patched*: only the merged
+        entries and index buckets whose key tuples were touched are
+        rebuilt, the rest survive by reference.  Returns mutation info
+        (``rows`` matched, ``changed``, touched ``variables``, and
+        cache-patch counters).
+        """
+        rows = self.rows
+        new_rows: list[PVCRow] = []
+        touched: set[tuple] = set()
+        variables: frozenset = frozenset()
+        matched = 0
+        changed = 0
+        for row in rows:
+            if predicate(row):
+                matched += 1
+                new_row = rewrite(row)
+                if (
+                    new_row.values != row.values
+                    or new_row.annotation is not row.annotation
+                ):
+                    touched.add(row.values)
+                    touched.add(new_row.values)
+                    variables |= row.annotation.variables
+                    variables |= new_row.annotation.variables
+                    changed += 1
+                    row = new_row
+                else:
+                    variables |= row.annotation.variables
+            new_rows.append(row)
+        info = {"rows": matched, "changed": changed, "variables": variables}
+        if not changed:
+            return info
+        previous = self._version
+        self.rows = new_rows
+        self._version += 1
+        info.update(self._refresh_caches(previous, touched))
+        return info
+
+    def delete_rows(self, predicate) -> dict:
+        """Remove every row matching ``predicate``; patch the caches.
+
+        Deletion never reorders the survivors, so the merged scan keeps
+        its first-occurrence order and only the index buckets containing
+        a removed key tuple are rebuilt.  Returns mutation info like
+        :meth:`update_rows`.
+        """
+        rows = self.rows
+        kept: list[PVCRow] = []
+        touched: set[tuple] = set()
+        variables: frozenset = frozenset()
+        for row in rows:
+            if predicate(row):
+                touched.add(row.values)
+                variables |= row.annotation.variables
+            else:
+                kept.append(row)
+        removed = len(rows) - len(kept)
+        info = {"rows": removed, "variables": variables}
+        if not removed:
+            return info
+        previous = self._version
+        self.rows = kept
+        self._version += 1
+        info.update(self._refresh_caches(previous, touched))
+        return info
+
+    def _refresh_caches(self, previous: int, touched: set) -> dict:
+        """Re-merge the scan and patch index buckets after a mutation.
+
+        ``touched`` is the set of value tuples whose merged entry may
+        have changed.  The merged scan is rebuilt from the current rows
+        (first-occurrence order must match a from-scratch session
+        bit-for-bit, and update/delete can move an entry's position);
+        hash indexes are patched copy-on-write — only buckets whose key
+        contains a touched value tuple are rebuilt, untouched bucket
+        lists are carried over by reference.  Columnar views realign
+        wholesale and are simply dropped.
+        """
+        self._column_cache.clear()
+        cached = self._scan_cache
+        if cached is None or cached[0] != previous:
+            self._scan_cache = None
+            self._index_cache.clear()
+            return {"buckets_patched": 0, "caches_dropped": True}
+        old_scan, old_positions = cached[1], cached[2]
+        new_scan = merge_annotated_rows(
+            (row.values, row.annotation) for row in self.rows
+        )
+        new_positions = {values: i for i, (values, _) in enumerate(new_scan)}
+        self._scan_cache = (self._version, new_scan, new_positions)
+        # Narrow ``touched`` to the keys whose merged entry really
+        # differs (an update may touch a value tuple whose merged
+        # annotation ends up unchanged).
+        changed_keys = set()
+        for values in touched:
+            old_index = old_positions.get(values)
+            new_index = new_positions.get(values)
+            if (old_index is None) != (new_index is None):
+                changed_keys.add(values)
+            elif old_index is not None and (
+                old_scan[old_index][1] != new_scan[new_index][1]
+            ):
+                changed_keys.add(values)
+        buckets_patched = 0
+        for key_indices, cached_index in list(self._index_cache.items()):
+            if cached_index[0] != previous:
+                del self._index_cache[key_indices]
+                continue
+            key_of = tuple_getter(key_indices)
+            touched_keys = {key_of(values) for values in changed_keys}
+            buckets = dict(cached_index[1])
+            for key in touched_keys:
+                buckets.pop(key, None)
+            for entry in new_scan:
+                key = key_of(entry[0])
+                if key in touched_keys:
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = bucket = []
+                    bucket.append(entry)
+            buckets_patched += len(touched_keys)
+            self._index_cache[key_indices] = (self._version, buckets)
+        return {"buckets_patched": buckets_patched, "caches_dropped": False}
 
     def add_block(
         self,
@@ -175,16 +401,17 @@ class PVCTable:
         A pvc-table represents a *set* of tuples (Definition 6): rows
         stored with identical values are alternatives for one tuple and
         merge by annotation summation; zero-annotated rows are dropped.
-        The result is cached (keyed on the row count, which every mutator
-        changes) and shared — callers must not mutate it.
+        The result is cached (keyed on the epoch, which every mutator
+        bumps) and shared — callers must not mutate it.
         """
         cached = self._scan_cache
-        if cached is not None and cached[0] == len(self.rows):
+        if cached is not None and cached[0] == self._version:
             return cached[1]
         scan = merge_annotated_rows(
             (row.values, row.annotation) for row in self.rows
         )
-        self._scan_cache = (len(self.rows), scan)
+        positions = {values: i for i, (values, _) in enumerate(scan)}
+        self._scan_cache = (self._version, scan, positions)
         self._index_cache.clear()
         return scan
 
@@ -196,7 +423,7 @@ class PVCTable:
         rebuild the table's hash index.
         """
         cached = self._index_cache.get(key_indices)
-        if cached is not None and cached[0] == len(self.rows):
+        if cached is not None and cached[0] == self._version:
             return cached[1]
         key_of = tuple_getter(key_indices)
         buckets: dict[tuple, list] = {}
@@ -206,35 +433,35 @@ class PVCTable:
             if bucket is None:
                 buckets[key] = bucket = []
             bucket.append(row)
-        self._index_cache[key_indices] = (len(self.rows), buckets)
+        self._index_cache[key_indices] = (self._version, buckets)
         return buckets
 
     def value_columns(self) -> list:
         """Columnar view of the raw rows: one list per attribute, aligned
         with ``rows`` order (semimodule values appear unevaluated).
 
-        Memoised like the scan/hash-index caches (keyed on the row
-        count), so repeated plan bindings — the codegen per-world layout
-        in particular — never re-split rows into columns.
+        Memoised like the scan/hash-index caches (keyed on the epoch),
+        so repeated plan bindings — the codegen per-world layout in
+        particular — never re-split rows into columns.
         """
         cached = self._column_cache.get("values")
-        if cached is not None and cached[0] == len(self.rows):
+        if cached is not None and cached[0] == self._version:
             return cached[1]
         columns = [
             [row.values[i] for row in self.rows]
             for i in range(len(self.schema))
         ]
-        self._column_cache["values"] = (len(self.rows), columns)
+        self._column_cache["values"] = (self._version, columns)
         return columns
 
     def annotation_column(self) -> list:
         """The annotation column ``Φ`` of the raw rows, memoised like
         :meth:`value_columns`."""
         cached = self._column_cache.get("annotations")
-        if cached is not None and cached[0] == len(self.rows):
+        if cached is not None and cached[0] == self._version:
             return cached[1]
         column = [row.annotation for row in self.rows]
-        self._column_cache["annotations"] = (len(self.rows), column)
+        self._column_cache["annotations"] = (self._version, column)
         return column
 
     def __iter__(self) -> Iterator[PVCRow]:
@@ -311,6 +538,61 @@ class PVCDatabase:
         self.registry = registry if registry is not None else VariableRegistry()
         self.semiring = semiring
         self._variable_counters: dict[str, int] = {}
+        #: Bounded log of recent mutations (diagnostics; see
+        #: :class:`~repro.db.mutations.DeltaLog`).
+        self.deltas = DeltaLog()
+        #: Weakly-held mutation listeners (``listener(delta)``): caches
+        #: subscribe themselves and vanish with their owners, so a
+        #: discarded session can never leak a subscription.
+        self._listeners: list = []
+
+    @property
+    def generation(self) -> int:
+        """Monotonic database generation: any mutation increases it.
+
+        Derived from the table epochs plus the registry epoch, so it
+        moves for row changes *and* for probability reassignments (which
+        leave every table untouched), including mutations applied
+        directly on a :class:`PVCTable`.
+        """
+        generation = self.registry.epoch
+        for table in self.tables.values():
+            generation += table.epoch
+        return generation
+
+    def epochs(self) -> tuple:
+        """The epoch vector ``((table, epoch), ...)`` plus the registry.
+
+        Cache entries that read table data record this vector; a cache
+        hit requires it to match exactly, so no entry built before a
+        mutation can ever serve a post-mutation read.
+        """
+        return tuple(
+            sorted((name, table.epoch) for name, table in self.tables.items())
+        ) + (("$registry", self.registry.epoch),)
+
+    def subscribe(self, listener) -> None:
+        """Register a weakly-held mutation listener (idempotent)."""
+        for ref in self._listeners:
+            if ref() == listener:
+                return
+        try:
+            ref = weakref.WeakMethod(listener)
+        except TypeError:
+            ref = weakref.ref(listener)
+        self._listeners.append(ref)
+
+    def _notify(self, delta: Delta) -> None:
+        self.deltas.append(delta)
+        if not self._listeners:
+            return
+        alive = []
+        for ref in self._listeners:
+            listener = ref()
+            if listener is not None:
+                alive.append(ref)
+                listener(delta)
+        self._listeners[:] = alive
 
     def __getitem__(self, name: str) -> PVCTable:
         try:
@@ -395,24 +677,31 @@ class PVCDatabase:
                 raise DistributionError(
                     "an explicit annotation cannot be combined with p= or var="
                 )
-            table.add(values, annotation)
-            return annotation
-        if p is None:
+            expr = annotation
+        elif p is None:
             if var is not None:
                 raise DistributionError(
                     f"naming variable {var!r} requires a probability p"
                 )
-            table.add(values)
-            return ONE
-        if not 0.0 <= p <= 1.0:
+            expr = ONE
+        elif not 0.0 <= p <= 1.0:
             raise DistributionError(f"probability {p} is not in [0, 1]")
-        if p >= 1.0 and var is None:
-            table.add(values)  # certain row: no variable to mint
-            return ONE
-        name = var if var is not None else self.fresh_variable(f"{table_name}_")
-        self.registry.bernoulli(name, p)
-        expr = Var(name)
+        elif p >= 1.0 and var is None:
+            expr = ONE  # certain row: no variable to mint
+        else:
+            name = var if var is not None else self.fresh_variable(f"{table_name}_")
+            self.registry.bernoulli(name, p)
+            expr = Var(name)
         table.add(values, expr)
+        self._notify(Delta(
+            table=table_name,
+            kind="insert",
+            rows=1,
+            variables=expr.variables,
+            cardinality_changed=True,
+            epoch=table.epoch,
+            generation=self.generation,
+        ))
         return expr
 
     def insert_block(
@@ -438,7 +727,178 @@ class PVCDatabase:
         ]
         name = var if var is not None else self.fresh_variable(f"{table_name}_blk")
         table.add_block(alternatives, self.registry, name)
+        self._notify(Delta(
+            table=table_name,
+            kind="insert",
+            rows=len(alternatives),
+            variables=frozenset({name}),
+            cardinality_changed=True,
+            epoch=table.epoch,
+            generation=self.generation,
+        ))
         return name
+
+    def _row_predicate(self, table: PVCTable, where):
+        """Compile ``where`` into a row predicate.
+
+        ``where`` is either a mapping of attribute → value (conjunctive
+        equality) or a callable over the row's attribute dictionary.
+        """
+        if callable(where):
+            schema = table.schema
+            return lambda row: bool(where(row.value_dict(schema)))
+        if isinstance(where, Mapping):
+            attributes = list(table.schema.attributes)
+            unknown = set(where) - set(attributes)
+            if unknown:
+                raise SchemaError(
+                    f"where-clause attributes {sorted(unknown)} are not in "
+                    f"schema {table.schema!r}"
+                )
+            tests = [
+                (attributes.index(name), value) for name, value in where.items()
+            ]
+            return lambda row: all(
+                row.values[index] == value for index, value in tests
+            )
+        raise QueryValidationError(
+            f"cannot use {where!r} as a where-clause; expected an "
+            f"attribute mapping or a callable over a row dict"
+        )
+
+    def update(
+        self,
+        table_name: str,
+        where,
+        set_values=None,
+        p: float | None = None,
+    ) -> int:
+        """Update rows in place: new attribute values and/or probability.
+
+        ``where`` selects rows (mapping = conjunctive equality, or a
+        callable over the attribute dict).  ``set_values`` is a mapping
+        of attribute → new value, or a callable over the attribute dict
+        returning such a mapping.  ``p`` reassigns the Bernoulli
+        probability of the matched rows' annotation variables — each
+        matched row must be annotated with a single variable (the
+        tuple-independent encoding); the reassignment flows through the
+        lineage index so exactly the dependent compiled distributions
+        recompile.  Returns the number of matched rows.
+        """
+        table = self[table_name]
+        if set_values is None and p is None:
+            raise QueryValidationError(
+                "update() needs set_values= and/or p="
+            )
+        predicate = self._row_predicate(table, where)
+        changed_names: frozenset = frozenset()
+        if p is not None:
+            # Resolve the annotation variables against the *pre-update*
+            # rows: a set_values that rewrites the matched attributes
+            # must not make the probability reassignment miss them.
+            if not 0.0 <= p <= 1.0:
+                raise DistributionError(f"probability {p} is not in [0, 1]")
+            names = set()
+            for row in table.rows:
+                if predicate(row):
+                    if not isinstance(row.annotation, Var):
+                        raise DistributionError(
+                            f"p= updates require rows annotated with a "
+                            f"single variable, got {row.annotation!r}"
+                        )
+                    names.add(row.annotation.name)
+            changed_names = frozenset(names)
+        info = {"rows": 0, "variables": frozenset()}
+        if set_values is not None:
+            attributes = list(table.schema.attributes)
+            if not callable(set_values):
+                unknown = set(set_values) - set(attributes)
+                if unknown:
+                    raise SchemaError(
+                        f"update attributes {sorted(unknown)} are not in "
+                        f"schema {table.schema!r}"
+                    )
+            schema = table.schema
+
+            def rewrite(row: PVCRow) -> PVCRow:
+                changes = (
+                    set_values(row.value_dict(schema))
+                    if callable(set_values)
+                    else set_values
+                )
+                unknown = set(changes) - set(attributes)
+                if unknown:
+                    raise SchemaError(
+                        f"update attributes {sorted(unknown)} are not in "
+                        f"schema {schema!r}"
+                    )
+                values = list(row.values)
+                for name, value in changes.items():
+                    values[attributes.index(name)] = value
+                return PVCRow(tuple(values), row.annotation)
+
+            info = table.update_rows(predicate, rewrite)
+            matched = info["rows"]
+        else:
+            matched_rows = [row for row in table.rows if predicate(row)]
+            matched = len(matched_rows)
+            info = {
+                "rows": matched,
+                "variables": frozenset().union(
+                    *(row.annotation.variables for row in matched_rows),
+                    frozenset(),
+                ),
+            }
+        if p is not None and matched:
+            for name in sorted(changed_names):
+                self.registry.reassign(name, Distribution.bernoulli(p))
+        else:
+            changed_names = frozenset()
+        if matched:
+            self._notify(Delta(
+                table=table_name,
+                kind="update",
+                rows=matched,
+                variables=info["variables"] | changed_names,
+                changed_variables=changed_names,
+                cardinality_changed=False,
+                epoch=table.epoch,
+                generation=self.generation,
+                info={
+                    key: value
+                    for key, value in info.items()
+                    if key in ("buckets_patched", "caches_dropped", "changed")
+                },
+            ))
+        return matched
+
+    def delete(self, table_name: str, where) -> int:
+        """Delete rows matching ``where``; returns the number removed.
+
+        Removing rows never changes any compiled distribution (lineage
+        is untouched), so only the table's own scan/index caches are
+        patched and plans re-key on the new cardinality.
+        """
+        table = self[table_name]
+        predicate = self._row_predicate(table, where)
+        info = table.delete_rows(predicate)
+        removed = info["rows"]
+        if removed:
+            self._notify(Delta(
+                table=table_name,
+                kind="delete",
+                rows=removed,
+                variables=info["variables"],
+                cardinality_changed=True,
+                epoch=table.epoch,
+                generation=self.generation,
+                info={
+                    key: value
+                    for key, value in info.items()
+                    if key in ("buckets_patched", "caches_dropped")
+                },
+            ))
+        return removed
 
     @property
     def variables(self) -> frozenset:

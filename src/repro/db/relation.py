@@ -50,6 +50,21 @@ class Relation:
         for values, multiplicity in tuples:
             self.add(values, multiplicity)
 
+    @property
+    def epoch(self) -> int:
+        """The relation's monotonic mutation counter (cache validity key).
+
+        Same discipline as :attr:`repro.db.pvc_table.PVCTable.epoch`; the
+        shared name lets cache layers record mixed epoch vectors.
+        """
+        return self._version
+
+    def invalidate_caches(self) -> None:
+        """Bump the epoch and drop the memoised index/column views."""
+        self._version += 1
+        self._index_cache.clear()
+        self._column_cache.clear()
+
     def add(self, values: Sequence, multiplicity=None):
         """Add a tuple (alternative use: multiplicities combine additively)."""
         values = tuple(values)

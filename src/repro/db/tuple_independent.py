@@ -16,9 +16,11 @@ from typing import Iterable, Sequence
 from repro.algebra.expressions import Var
 from repro.db.pvc_table import PVCTable
 from repro.db.schema import Schema
+from repro.errors import DistributionError
+from repro.prob.distribution import Distribution
 from repro.prob.variables import VariableRegistry
 
-__all__ = ["tuple_independent_table", "bid_table"]
+__all__ = ["tuple_independent_table", "bid_table", "reassign_probability"]
 
 
 def tuple_independent_table(
@@ -69,3 +71,32 @@ def bid_table(
     for b, block in enumerate(blocks):
         table.add_block(block, registry, f"{prefix}{b}")
     return table
+
+
+def reassign_probability(
+    table: PVCTable,
+    registry: VariableRegistry,
+    values: Sequence,
+    p: float,
+) -> str:
+    """Change the marginal probability of one tuple-independent row.
+
+    Finds the row with exactly ``values`` (which must be annotated with a
+    single Boolean variable — the tuple-independent encoding), reassigns
+    its variable to ``Bernoulli(p)`` in ``registry``, and returns the
+    variable name so callers can route the change through lineage-based
+    cache invalidation (:meth:`repro.db.pvc_table.PVCDatabase.update`
+    with ``p=`` does all of this in one step and should be preferred on a
+    full database).
+    """
+    values = tuple(values)
+    for row in table.rows:
+        if row.values == values:
+            if not isinstance(row.annotation, Var):
+                raise DistributionError(
+                    f"row {values!r} is not tuple-independent; its "
+                    f"annotation is {row.annotation!r}"
+                )
+            registry.reassign(row.annotation.name, Distribution.bernoulli(p))
+            return row.annotation.name
+    raise DistributionError(f"no row with values {values!r}")

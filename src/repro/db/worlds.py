@@ -14,6 +14,7 @@ from typing import Iterator
 
 from repro.db.pvc_table import PVCDatabase
 from repro.db.relation import Relation
+from repro.errors import ConcurrentMutationError
 from repro.prob.space import ProbabilitySpace
 
 __all__ = ["enumerate_database_worlds", "world_count"]
@@ -34,10 +35,21 @@ def enumerate_database_worlds(
     :class:`~repro.db.relation.Relation` instances.  Only the variables
     actually used by the database are enumerated; unused registry
     variables are marginalised out.
+
+    Enumeration spans many reads of the live tables; a mutation landing
+    mid-sweep would mix epochs across worlds, so the generation is
+    checked per world and :class:`~repro.errors.ConcurrentMutationError`
+    raised when it moves.
     """
     space = ProbabilitySpace(db.registry, db.semiring)
     names = sorted(db.variables)
+    generation = db.generation
     for valuation, probability in space.enumerate_worlds(names):
+        if db.generation != generation:
+            raise ConcurrentMutationError(
+                f"database mutated during possible-worlds enumeration "
+                f"(generation {generation} -> {db.generation})"
+            )
         world = {
             table_name: table.instantiate(valuation, db.semiring)
             for table_name, table in db.tables.items()

@@ -199,6 +199,7 @@ class ApproxAdapter:
                 "converged": converged,
                 "max_width": max(widths, default=0.0),
                 "epsilon": epsilon,
+                "db_generation": self.db.generation,
             }
             if timed_out:
                 stats["deadline_hit"] = True

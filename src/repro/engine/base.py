@@ -36,6 +36,7 @@ from typing import Protocol, runtime_checkable
 from repro.algebra.expressions import ONE, Expr
 from repro.codegen import runtime_stats
 from repro.core.compile import Compiler
+from repro.db.mutations import LineageIndex
 from repro.db.pvc_table import PVCDatabase
 from repro.engine.approximate import ApproxAdapter
 from repro.engine.montecarlo import MonteCarloEngine
@@ -133,8 +134,12 @@ class CompilationCache:
             "hits",
             "misses",
             "evictions",
+            "invalidations",
+            "data_generation",
             "compiler",
             "_distributions",
+            "_lineage",
+            "_watched",
         ),
     }
 
@@ -149,7 +154,23 @@ class CompilationCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Entries dropped by lineage invalidation (vs LRU ``evictions``).
+        self.invalidations = 0
+        #: Bumped whenever stored distributions may have become invalid
+        #: (a variable's distribution changed).  Parallel fan-outs record
+        #: it before compiling and pass it back to :meth:`absorb`, so a
+        #: worker result computed against a pre-mutation registry can
+        #: never be stored after the invalidation ran.
+        self.data_generation = 0
         self._distributions: OrderedDict[Expr, Distribution] = OrderedDict()
+        #: Variable → dependent cache keys: the lineage index driving
+        #: selective invalidation.  A compiled distribution depends on
+        #: nothing but the distributions of its variables, so this is the
+        #: *exact* dependency set — value edits, inserts and deletes never
+        #: invalidate anything here.
+        self._lineage = LineageIndex()
+        #: ids of databases whose mutation feed we already subscribed to.
+        self._watched: set = set()
         self._lock = threading.RLock()
 
     @property
@@ -164,9 +185,11 @@ class CompilationCache:
         """Insert as most-recent and evict past the bound (lock held)."""
         self._distributions[key] = distribution
         self._distributions.move_to_end(key)
+        self._lineage.record(key, key.variables)
         if self.max_entries is not None:
             while len(self._distributions) > self.max_entries:
-                self._distributions.popitem(last=False)
+                evicted, _ = self._distributions.popitem(last=False)
+                self._lineage.discard(evicted)
                 self.evictions += 1
 
     def distribution(self, expr: Expr) -> Distribution:
@@ -195,15 +218,27 @@ class CompilationCache:
                 self._distributions.move_to_end(key)
             return cached
 
-    def absorb(self, key: Expr, distribution: Distribution) -> None:
+    def absorb(
+        self,
+        key: Expr,
+        distribution: Distribution,
+        generation: int | None = None,
+    ) -> None:
         """Merge one externally compiled distribution into the cache.
 
         The parallel compilation fan-out calls this with per-worker
         results: ``key`` must already be normalized.  The entry counts as
         a miss — the compile work happened, just in another process — so
         hit/miss accounting stays comparable with serial runs.
+
+        ``generation`` (when given) is the :attr:`data_generation` the
+        caller observed before fanning out; a mismatch means a mutation
+        invalidated distributions mid-flight and the worker's result is
+        silently discarded rather than stored stale.
         """
         with self._lock:
+            if generation is not None and generation != self.data_generation:
+                return
             if key not in self._distributions:
                 self.misses += 1
                 self._store_locked(key, distribution)
@@ -212,21 +247,72 @@ class CompilationCache:
         with self._lock:
             return self.compiler.compile(expr)
 
+    def _rebuild_compiler_locked(self) -> None:
+        """Replace the wrapped compiler, dropping its d-tree memo."""
+        self.compiler = Compiler(
+            self.compiler.registry,
+            self.compiler.semiring,
+            heuristic=self.compiler.choose_variable,
+            pruning=self.compiler.pruning,
+            max_mutex_nodes=self.compiler.max_mutex_nodes,
+        )
+
     def clear(self) -> None:
         """Drop every cached distribution and the compiler's d-tree memo.
 
-        Used by ``Session.close()``; the cache remains usable afterwards
-        (a closed-and-reused session simply recompiles on demand).
+        Used by ``Session.close()`` on session-owned caches; the cache
+        remains usable afterwards (a closed-and-reused session simply
+        recompiles on demand).
         """
         with self._lock:
             self._distributions.clear()
-            self.compiler = Compiler(
-                self.compiler.registry,
-                self.compiler.semiring,
-                heuristic=self.compiler.choose_variable,
-                pruning=self.compiler.pruning,
-                max_mutex_nodes=self.compiler.max_mutex_nodes,
-            )
+            self._lineage = LineageIndex()
+            self.data_generation += 1
+            self._rebuild_compiler_locked()
+
+    def invalidate_variables(self, names) -> int:
+        """Drop exactly the entries whose lineage mentions ``names``.
+
+        Called when variable distributions are reassigned (``UPDATE ...
+        p=``).  Every other stored distribution survives — its lineage is
+        untouched, so it is still correct.  The wrapped compiler's
+        internal d-tree memo cannot be pruned selectively and is rebuilt;
+        surviving entries keep short-circuiting repeated annotations,
+        which is where the warm-path work lives.  Returns the number of
+        entries dropped.
+        """
+        with self._lock:
+            doomed = self._lineage.pop(names)
+            for key in doomed:
+                self._distributions.pop(key, None)
+            self.invalidations += len(doomed)
+            self.data_generation += 1
+            self._rebuild_compiler_locked()
+            return len(doomed)
+
+    def on_mutation(self, delta) -> None:
+        """Database mutation listener (see :meth:`watch`).
+
+        Only distribution changes touch this cache: annotations are
+        lineage, and a stored distribution is a pure function of its
+        variables' distributions — inserts, deletes and value updates
+        leave every entry valid.
+        """
+        if delta.changed_variables:
+            self.invalidate_variables(delta.changed_variables)
+
+    def watch(self, db) -> None:
+        """Subscribe to ``db``'s mutation feed (idempotent per database).
+
+        Sessions call this for their own database; the query server calls
+        it once for the shared database, so one tenant's probability
+        update invalidates the affected entries for every tenant.
+        """
+        with self._lock:
+            if id(db) in self._watched:
+                return
+            self._watched.add(id(db))
+        db.subscribe(self.on_mutation)
 
     def stats(self) -> dict:
         """Counters snapshot (entries/hits/misses/evictions/bound)."""
@@ -237,6 +323,8 @@ class CompilationCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "data_generation": self.data_generation,
             }
 
     def __len__(self) -> int:
@@ -353,6 +441,7 @@ class SproutAdapter:
         with deadline_scope(deadline):
             result = self.engine.run(query, **options)
         result.engine = self.name
+        result.stats["db_generation"] = self.engine.db.generation
         if result.stats.get("deadline_hit"):
             # The engine degraded to a sound partial answer: compiled
             # rows are exact, the rest report [0, 1].  Under the
@@ -437,6 +526,7 @@ class NaiveAdapter:
         rows = _concrete_rows(schema, probabilities)
         stats = {"wall_seconds": elapsed, "rows": len(rows)}
         stats.update(self.engine.last_run_info)
+        stats["db_generation"] = self.engine.db.generation
         _codegen_stats(stats, counters)
         return QueryResult(
             schema,
@@ -469,6 +559,7 @@ class MonteCarloAdapter:
         rows = _concrete_rows(schema, intervals)
         stats = dict(info)
         stats["rows"] = len(rows)
+        stats["db_generation"] = self.engine.db.generation
         return QueryResult(
             schema,
             rows,
@@ -545,6 +636,7 @@ class MonteCarloAdapter:
         rows = _concrete_rows(schema, probabilities)
         stats = {"wall_seconds": elapsed, "rows": len(rows)}
         stats.update(self.engine.last_run_info)
+        stats["db_generation"] = self.engine.db.generation
         _codegen_stats(stats, counters)
         return QueryResult(
             schema,

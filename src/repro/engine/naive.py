@@ -72,21 +72,36 @@ class NaiveEngine:
         #: Diagnostics of the most recent run (``codegen_used``); the
         #: engine adapters surface these as ``QueryResult.stats``.
         self.last_run_info: dict = {}
+        #: Memoized ``(prepared, bound)`` of the last successful bind.
+        #: Binding hoists static tables and columnar layouts (O(rows));
+        #: the bound plan records the epoch vector it snapshotted, so it
+        #: is reused across runs exactly until a mutation touches one of
+        #: its inputs.
+        self._bound_cache: tuple | None = None
 
     def _bind(self, prepared: PreparedQuery):
         """A bound compiled plan for the whole-database world order, or
         ``None`` when codegen is off or the plan has no compiled form."""
         if not codegen_enabled(self.codegen):
             return None
+        cached = self._bound_cache
+        if (
+            cached is not None
+            and cached[0] is prepared
+            and cached[1].is_current(self.db)
+        ):
+            return cached[1]
         kernel = kernel_for(prepared, self.db.semiring)
         if kernel is None:
             return None
         try:
-            return kernel.bind(self.db, sorted(self.db.variables))
+            bound = kernel.bind(self.db, sorted(self.db.variables))
         except CodegenUnsupported:
             if codegen_strict():
                 raise
             return None
+        self._bound_cache = (prepared, bound)
+        return bound
 
     def _prepare(self, query: Query) -> PreparedQuery:
         """Validate and plan once; every enumerated world reuses the plan.

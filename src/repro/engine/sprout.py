@@ -335,6 +335,15 @@ class SproutEngine:
         once.  With a shared ``plan_source`` the lookup extends across
         sessions: structurally equal queries over a database with the same
         statistics reuse one prepared plan.
+
+        Mutation safety: a :class:`PreparedQuery` is *data-independent*
+        (its per-op caches hold compiled accessors, never row data), so
+        reuse across mutations is sound.  The cardinality fingerprint is
+        still the right key — it is exactly what the greedy join planner
+        consumed, so an equal-size update reuses the plan (as a fresh
+        session would plan identically) while inserts/deletes re-plan
+        (as a fresh session would).  That keeps post-mutation answers
+        bit-identical to a from-scratch session, row order included.
         """
         fingerprint = tuple(
             (name, len(table)) for name, table in self.db.tables.items()
@@ -475,6 +484,10 @@ class SproutEngine:
         chunk_count = min(len(pending), workers * 4)
         chunks = [pending[i::chunk_count] for i in range(chunk_count)]
         context = (self.db.registry, self.db.semiring, self.compiler_options)
+        # Snapshot the cache generation before fanning out: workers fork
+        # with the current registry, and absorb() discards their results
+        # if a mutation invalidated distributions while they ran.
+        generation = getattr(source, "data_generation", None)
         results, info = parallel_pool.execute(
             distribution_task, context, chunks, workers
         )
@@ -485,7 +498,10 @@ class SproutEngine:
                 for row in by_key[key]:
                     row._annotation_dist = distribution
                 if absorb is not None:
-                    absorb(key, distribution)
+                    if generation is not None:
+                        absorb(key, distribution, generation=generation)
+                    else:
+                        absorb(key, distribution)
         deltas = merge_stat_sums(
             (delta for _, delta in results), ("mutex_nodes",)
         )

@@ -50,6 +50,17 @@ class SchemaError(ReproError):
     """A relation or pvc-table was constructed or combined inconsistently."""
 
 
+class ConcurrentMutationError(ReproError):
+    """The database was mutated underneath a whole-database sweep.
+
+    Raised by consumers that read the database incrementally over time
+    (possible-worlds enumeration in particular) when the database
+    generation moves mid-sweep: the partial output would mix epochs.
+    Point-in-time readers (scans, queries) never raise this — they
+    operate on per-table snapshots.
+    """
+
+
 class QueryValidationError(ReproError):
     """A query violates the well-formedness constraints of Definition 5.
 

@@ -32,9 +32,18 @@ class VariableRegistry:
 
     def __init__(self, distributions: Mapping[str, Distribution] | None = None):
         self._distributions: dict[str, Distribution] = {}
+        #: Monotonic epoch: bumped whenever a name is added or an existing
+        #: distribution is replaced via :meth:`reassign`.  Caches derived
+        #: from the registry (d-tree distributions in particular) key their
+        #: validity on this counter together with the table epochs.
+        self._version = 0
         if distributions:
             for name, dist in distributions.items():
                 self.declare(name, dist)
+
+    @property
+    def epoch(self) -> int:
+        return self._version
 
     # -- declaration ---------------------------------------------------------
 
@@ -43,6 +52,9 @@ class VariableRegistry:
 
         Re-declaring a name with a *different* distribution is an error:
         the variables of a probability space are fixed and independent.
+        Mutation paths that legitimately change a probability (e.g.
+        ``UPDATE ... p=``) go through :meth:`reassign` instead, which is
+        wired to cache invalidation.
         """
         existing = self._distributions.get(name)
         if existing is not None and not existing.almost_equals(distribution):
@@ -50,6 +62,27 @@ class VariableRegistry:
                 f"variable {name!r} is already declared with a different "
                 f"distribution"
             )
+        if existing is None:
+            self._version += 1
+        self._distributions[name] = distribution
+        return distribution
+
+    def reassign(self, name: str, distribution: Distribution) -> Distribution:
+        """Replace the distribution of an already-declared variable.
+
+        The escape hatch :meth:`declare` deliberately does not offer: the
+        mutation API (:meth:`repro.db.pvc_table.PVCDatabase.update` with
+        ``p=``) uses it to change an event's probability in place.  Every
+        cached object derived from the old distribution becomes invalid;
+        callers are responsible for routing the change through the
+        lineage-based invalidation (a :class:`~repro.db.mutations.Delta`
+        with the name in ``changed_variables``).
+        """
+        if name not in self._distributions:
+            raise DistributionError(
+                f"cannot reassign undeclared variable {name!r}"
+            )
+        self._version += 1
         self._distributions[name] = distribution
         return distribution
 

@@ -1,7 +1,8 @@
 """The async multi-tenant query server.
 
-One :class:`QueryServer` fronts one immutable
-:class:`~repro.db.pvc_table.PVCDatabase` for many tenants:
+One :class:`QueryServer` fronts one shared (and, since the mutable-table
+work, *writable*) :class:`~repro.db.pvc_table.PVCDatabase` for many
+tenants:
 
 * **Per-tenant sessions over shared base data.**  Each tenant name maps
   to its own :class:`~repro.session.Session` (engine adapters, Monte-
@@ -26,9 +27,18 @@ One :class:`QueryServer` fronts one immutable
   :mod:`repro.parallel` process pool via the usual ``workers`` spec
   field.
 
+* **Serialised writes with lineage-scoped invalidation.**  ``POST
+  /mutate`` (or the TCP ``mutate`` op) inserts, updates or deletes rows
+  of the shared database.  Writes serialise on one mutation lock; the
+  shared distribution cache is subscribed to the database's delta feed
+  and drops exactly the entries whose variables a mutation re-weighted,
+  while prepared plans and compiled kernels self-invalidate via epoch
+  fingerprints — every tenant's next answer reflects the new
+  generation, and nothing that did not change recompiles.
+
 The wire protocols live in :mod:`repro.server.http` (JSON over HTTP:
-``POST /query``, ``GET /stats``, ``GET /healthz``) and
-:mod:`repro.server.tcp` (line-delimited JSON with streaming
+``POST /query``, ``POST /mutate``, ``GET /stats``, ``GET /healthz``)
+and :mod:`repro.server.tcp` (line-delimited JSON with streaming
 ``run_iter`` interval snapshots).
 """
 
@@ -181,8 +191,17 @@ class QueryServer:
         self.statements = StatementCache(
             max_entries=self.config.statement_cache_size
         )
+        #: Mutations invalidate cache entries by lineage: the cache
+        #: subscribes to the database's delta feed up front, before any
+        #: tenant session exists.
+        self.cache.watch(db)
         self._sessions: OrderedDict[str, Session] = OrderedDict()
         self._sessions_lock = threading.Lock()
+        #: Writes serialise on one lock: mutations are rare relative to
+        #: queries and each one rewrites table rows + patches caches as
+        #: one atomic step (readers are lock-free — they see either the
+        #: old or the new row list, never a half-applied write).
+        self._mutation_lock = threading.Lock()
         self._tenant_locks: dict[str, asyncio.Lock] = {}
         self._tenant_busy: dict[str, int] = {}
         self._executor: ThreadPoolExecutor | None = None
@@ -201,6 +220,7 @@ class QueryServer:
             "shed": 0,
             "errors": 0,
             "streams": 0,
+            "mutations": 0,
             "tenants_evicted": 0,
             "drain_abandoned": 0,
         }
@@ -259,7 +279,11 @@ class QueryServer:
         if victim is None:
             self._count("shed")
             raise ServerOverloadedError(self.config.retry_after)
-        del self._sessions[victim]
+        session = self._sessions.pop(victim)
+        # Safe on a shared cache: close() releases only session-owned
+        # state (engine adapters, memos); the server-wide distribution
+        # and plan caches keep every other tenant's warm entries.
+        session.close()
         self._tenant_locks.pop(victim, None)
         self._count("tenants_evicted")
 
@@ -340,6 +364,105 @@ class QueryServer:
                 f"unknown request fields {sorted(unknown_keys)}"
             )
         return sql, tenant, engine, samples, fields
+
+    def _unpack_mutation(self, payload) -> tuple[str, str, dict]:
+        """Validate a mutation request envelope; raise ProtocolError early."""
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"request must be a JSON object, got {type(payload).__name__}"
+            )
+        table = payload.get("table")
+        if not isinstance(table, str) or not table:
+            raise ProtocolError("mutation needs a non-empty 'table' string")
+        action = payload.get("action")
+        if action not in ("insert", "update", "delete"):
+            raise ProtocolError(
+                f"unknown mutation action {action!r}; expected "
+                f"'insert', 'update' or 'delete'"
+            )
+        allowed = {"op", "tenant", "table", "action"}
+        if action == "insert":
+            allowed |= {"values", "p"}
+            if "values" not in payload:
+                raise ProtocolError("insert needs a 'values' list or object")
+        else:
+            where = payload.get("where")
+            if not isinstance(where, dict) or not where:
+                raise ProtocolError(
+                    f"{action} needs a non-empty 'where' object "
+                    f"(attribute equality match)"
+                )
+            allowed |= {"where"}
+            if action == "update":
+                allowed |= {"set", "p"}
+                if payload.get("set") is None and payload.get("p") is None:
+                    raise ProtocolError("update needs 'set' and/or 'p'")
+        p = payload.get("p")
+        if p is not None and (
+            isinstance(p, bool) or not isinstance(p, (int, float))
+        ):
+            raise ProtocolError("'p' must be a number")
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ProtocolError(f"unknown mutation fields {sorted(unknown)}")
+        return table, action, payload
+
+    def _apply_mutation(self, table: str, action: str, payload: dict) -> dict:
+        """Apply one validated mutation (runs on an executor thread).
+
+        Writes serialise on ``_mutation_lock``; lineage-driven cache
+        invalidation runs inside the table/database mutators via the
+        delta subscriptions, so by the time the lock drops every shared
+        cache is consistent with the new generation.
+        """
+        with self._mutation_lock:
+            if action == "insert":
+                values = payload["values"]
+                if isinstance(values, list):
+                    values = tuple(values)
+                self.db.insert(table, values, p=payload.get("p"))
+                rows = 1
+            elif action == "update":
+                rows = self.db.update(
+                    table,
+                    payload["where"],
+                    set_values=payload.get("set"),
+                    p=payload.get("p"),
+                )
+            else:
+                rows = self.db.delete(table, payload["where"])
+            return {
+                "table": table,
+                "action": action,
+                "rows": rows,
+                "db_generation": self.db.generation,
+            }
+
+    async def mutate(self, payload) -> dict:
+        """The write path shared by ``POST /mutate`` and the TCP op.
+
+        Mutations claim an in-flight slot like queries (a write burst
+        counts against the admission limits) but are never degraded —
+        load-shedding rewrites *answers* to anytime mode, while a write
+        either happens exactly or not at all.
+        """
+        self._count("requests")
+        table, action, fields = self._unpack_mutation(payload)
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 200:
+            raise ProtocolError(
+                "'tenant' must be a non-empty string of at most 200 chars"
+            )
+        self._admit()  # claims the in-flight slot on success
+        try:
+            mutation = await self._offload(
+                self._apply_mutation, table, action, fields
+            )
+        finally:
+            self._release_slot()
+        self._count("completed")
+        self._count("mutations")
+        return {"mutation": mutation, "tenant": tenant}
 
     # -- admission control -----------------------------------------------------
 
@@ -621,6 +744,8 @@ class QueryServer:
                     name: len(table) for name, table in self.db.tables.items()
                 },
                 "variables": len(self.db.registry),
+                "generation": self.db.generation,
+                "mutations": self.db.deltas.stats(),
             },
             "config": jsonable(asdict(self.config)),
         }

@@ -10,7 +10,10 @@ speaks both wire protocols:
   an async iterator of progressively tightening
   :class:`~repro.server.codec.RemoteResult` snapshots;
 * :meth:`ServerClient.tcp_query` — a one-shot query over the TCP
-  protocol (used by tests to exercise both stacks).
+  protocol (used by tests to exercise both stacks);
+* :meth:`ServerClient.mutate` — ``POST /mutate``: insert, update or
+  delete rows of the server's shared database (never retried — writes
+  are not idempotent).
 
 `query` mirrors :meth:`Session.run`'s keyword surface (``engine=``,
 ``samples=``, ``spec=``, and the inline ``mode``/``epsilon``/…
@@ -325,6 +328,49 @@ class ServerClient:
             )
 
         return await self._with_retry(attempt_once)
+
+    async def mutate(
+        self,
+        table: str,
+        action: str,
+        *,
+        tenant: str | None = None,
+        values=None,
+        where: dict | None = None,
+        set_values: dict | None = None,
+        p: float | None = None,
+    ) -> dict:
+        """Apply one mutation on the server (``POST /mutate``).
+
+        ``action`` is ``"insert"`` (with ``values`` and optional ``p``),
+        ``"update"`` (with ``where`` and ``set_values`` and/or ``p``) or
+        ``"delete"`` (with ``where``).  Returns the server's mutation
+        summary (``rows`` affected, new ``db_generation``).  Mutations
+        are **not idempotent**, so they never retry — a transient
+        failure raises immediately and the caller decides whether the
+        write landed (compare ``db_generation`` via :meth:`stats`).
+        """
+        payload: dict = {
+            "table": table,
+            "action": action,
+            "tenant": tenant if tenant is not None else self.tenant,
+        }
+        if values is not None:
+            payload["values"] = (
+                list(values) if isinstance(values, tuple) else values
+            )
+        if where is not None:
+            payload["where"] = where
+        if set_values is not None:
+            payload["set"] = set_values
+        if p is not None:
+            payload["p"] = p
+        status, _, response = await self._http("POST", "/mutate", payload)
+        if status != 200:
+            _raise_for_error(
+                response.get("error", {"message": f"HTTP {status}"})
+            )
+        return response
 
     async def stats(self) -> dict:
         return await self._with_retry(lambda: self._get_json("/stats"))

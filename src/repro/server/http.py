@@ -7,6 +7,11 @@ framework, and the protocol surface is three routes):
     Body ``{"sql": ..., "tenant": ..., "engine": ..., "samples": ...,
     "spec": {...}}`` → ``200`` with ``{"result": <encoded QueryResult>,
     "tenant": ..., "degraded": ..., "statement_cache_hit": ...}``.
+``POST /mutate``
+    Body ``{"table": ..., "action": "insert"|"update"|"delete",
+    "values"/"where"/"set"/"p": ...}`` → ``200`` with
+    ``{"mutation": {"table": ..., "action": ..., "rows": ...,
+    "db_generation": ...}, "tenant": ...}``.
 ``GET /stats``
     Server counters and the hit/miss/eviction statistics of the three
     shared caches.
@@ -144,20 +149,21 @@ async def _dispatch(server, method: str, path: str, body: bytes):
         if method != "GET":
             return 405, _error_body(ProtocolError("use GET /stats")), None
         return 200, server.stats(), None
-    if path == "/query":
+    if path in ("/query", "/mutate"):
         if method != "POST":
-            return 405, _error_body(ProtocolError("use POST /query")), None
+            return 405, _error_body(ProtocolError(f"use POST {path}")), None
         try:
             payload = json.loads(body.decode("utf-8")) if body else None
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             server.note_error()
             return 400, _error_body(ProtocolError(f"bad JSON body: {exc}")), None
+        handler = server.mutate if path == "/mutate" else server.execute
         try:
             # Injected faults escape this try on purpose: an io fault
             # here surfaces as a 500 (retryable by the client policy),
             # exactly like a genuine mid-request infrastructure failure.
             fault_point("server.http.request")
-            return 200, await server.execute(payload), None
+            return 200, await handler(payload), None
         except ServerOverloadedError as exc:
             server.note_error()
             return 503, {

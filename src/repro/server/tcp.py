@@ -10,6 +10,9 @@ JSON object with an ``"ok"`` flag.  Supported ``"op"`` values:
 ``query``
     Same request fields as ``POST /query``; one response line with the
     encoded result.
+``mutate``
+    Same request fields as ``POST /mutate``; one response line with the
+    applied mutation summary (``rows``, ``db_generation``).
 ``stream``
     The anytime path: the server iterates ``Session.run_iter`` and
     pushes one line per interval snapshot —
@@ -87,6 +90,9 @@ async def _serve_line(server, writer: asyncio.StreamWriter, line: bytes) -> None
         elif op == "query":
             response = await server.execute(payload)
             await _send(writer, {"ok": True, **response})
+        elif op == "mutate":
+            response = await server.mutate(payload)
+            await _send(writer, {"ok": True, **response})
         elif op == "stream":
             count = 0
             stream = server.execute_stream(payload)
@@ -103,7 +109,8 @@ async def _serve_line(server, writer: asyncio.StreamWriter, line: bytes) -> None
             await _send(writer, {"ok": True, "done": True, "snapshots": count})
         else:
             raise ProtocolError(
-                f"unknown op {op!r}; expected ping, stats, query or stream"
+                f"unknown op {op!r}; expected ping, stats, query, mutate "
+                f"or stream"
             )
     except ServerOverloadedError as exc:
         server.note_error()

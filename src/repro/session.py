@@ -104,6 +104,23 @@ class TableHandle(QueryBuilder):
         self._session.db.insert_block(self.name, alternatives, var=var)
         return self
 
+    def update(self, where, set_values=None, p=None) -> int:
+        """Update matching rows in place; returns the match count.
+
+        ``where`` is an attribute mapping (equality match) or a predicate
+        over the row's value dict.  ``set_values`` rewrites attribute
+        values; ``p`` reassigns the matched rows' Bernoulli marginals.
+        Dependent cached distributions are invalidated by lineage — see
+        :meth:`repro.db.pvc_table.PVCDatabase.update`.
+        """
+        return self._session.db.update(
+            self.name, where, set_values=set_values, p=p
+        )
+
+    def delete(self, where) -> int:
+        """Delete matching rows; returns the number removed."""
+        return self._session.db.delete(self.name, where)
+
     def __len__(self) -> int:
         return len(self.table)
 
@@ -165,22 +182,40 @@ class Session:
                     f"shared CompilationCache semiring {cache.semiring!r} "
                     f"conflicts with the session semiring {self.semiring!r}"
                 )
-            self.compiler = cache.compiler
             self.cache = cache
+            #: A shared cache outlives this session; ``close()`` must not
+            #: flush the other tenants' warm entries.
+            self._owns_cache = False
         else:
-            #: The persistent compiler; its d-tree memo is shared by every
-            #: sprout run of this session.
-            self.compiler = Compiler(
-                self.registry, self.semiring, **compiler_options
+            #: Distribution cache keyed on normalized annotations; wraps
+            #: the persistent compiler whose d-tree memo is shared by
+            #: every sprout run of this session.
+            self.cache = CompilationCache(
+                Compiler(self.registry, self.semiring, **compiler_options)
             )
-            #: Distribution cache keyed on normalized annotations.
-            self.cache = CompilationCache(self.compiler)
+            self._owns_cache = True
+        #: Mutations on this session's database invalidate exactly the
+        #: cache entries whose lineage they touch (weakly subscribed, so
+        #: discarded sessions leave nothing behind).
+        self.cache.watch(self.db)
         #: Optional shared prepared-plan cache (see
         #: :class:`~repro.engine.base.PlanCache`); ``None`` keeps the
-        #: engines' private per-query memo.
+        #: engines' private per-query memo.  Always treated as shared:
+        #: entries self-invalidate via cardinality fingerprints, so
+        #: ``close()`` never clears it.
         self.plan_cache = plan_cache
         self._engines: dict[str, Engine] = {}
         self._tuple_independent: tuple | None = None
+
+    @property
+    def compiler(self) -> Compiler:
+        """The cache's current persistent compiler.
+
+        A property rather than a snapshot: lineage invalidation replaces
+        the compiler under the cache when variable distributions change,
+        and a stale reference would compile against dead distributions.
+        """
+        return self.cache.compiler
 
     # -- schema and data ------------------------------------------------------
 
@@ -483,20 +518,17 @@ class Session:
 
         :func:`~repro.query.tractability.tuple_independent_relations`
         scans every row of every table; under ``engine="auto"`` it would
-        otherwise run on each query.  The scan is memoized against a cheap
-        fingerprint (table count, total rows, registry size) that changes
-        on every insert.
+        otherwise run on each query.  The scan is memoized against the
+        database generation, which moves on *every* mutation — the old
+        fingerprint (table count, total rows, registry size) was blind to
+        equal-size updates.
         """
-        fingerprint = (
-            len(self.db.tables),
-            sum(len(table) for table in self.db.tables.values()),
-            len(self.registry),
-        )
+        generation = (len(self.db.tables), self.db.generation)
         if self._tuple_independent is None or (
-            self._tuple_independent[0] != fingerprint
+            self._tuple_independent[0] != generation
         ):
             self._tuple_independent = (
-                fingerprint,
+                generation,
                 tuple_independent_relations(self.db),
             )
         return self._tuple_independent[1]
@@ -604,15 +636,19 @@ class Session:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the session's caches.
+        """Release the session-owned caches.
 
         Clears the :class:`CompilationCache` (including the persistent
-        compiler's d-tree memo), drops the cached engine adapters and the
-        tuple-independence scan.  The session stays usable afterwards —
-        data and registry are untouched; later runs simply recompile.
+        compiler's d-tree memo) *only when this session owns it* — a
+        shared server-level cache, injected via ``cache=``, serves other
+        tenants and must survive one tenant's close (clearing it here
+        used to flush every tenant's warm entries).  Cached engine
+        adapters and the tuple-independence scan are always dropped; the
+        session stays usable afterwards — data and registry are
+        untouched; later runs simply recompile.
         """
-        self.cache.clear()
-        self.compiler = self.cache.compiler
+        if self._owns_cache:
+            self.cache.clear()
         self._engines.clear()
         self._tuple_independent = None
 

@@ -1,0 +1,233 @@
+"""Fixture corpus for the cache-epoch checker.
+
+The rule gets the four-way treatment: a seeded violation is flagged,
+the corrected version passes, an inline suppression silences it, and a
+baseline entry grandfathers it.  The final tests re-introduce the
+PR-10 staleness bug (an equal-size in-place update that leaves the
+row-count unchanged, so count-keyed caches never notice) and prove the
+shipped mutable-table classes satisfy the discipline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.checkers.epochs import CacheEpochChecker
+
+CHECKERS = [CacheEpochChecker()]
+
+
+def rule_ids(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+CACHE_CLASS_HEADER = """\
+    class Table:
+        def __init__(self, rows):
+            self.rows = list(rows)
+            self._version = 0
+            self._scan_cache = None
+"""
+
+
+class TestCacheEpochRule:
+    def test_flags_append_without_bump(self, analyze):
+        result = analyze(
+            CACHE_CLASS_HEADER
+            + """
+        def add(self, row):
+            self.rows.append(row)
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["cache-epoch"]
+        assert "_scan_cache" in result.findings[0].message
+
+    def test_passes_append_with_bump(self, analyze):
+        result = analyze(
+            CACHE_CLASS_HEADER
+            + """
+        def add(self, row):
+            self.rows.append(row)
+            self._version += 1
+    """,
+            CHECKERS,
+        )
+        assert result.clean
+
+    def test_flags_equal_size_rebind_without_bump(self, analyze):
+        # The PR-10 staleness shape: rewriting rows in place keeps
+        # len(self.rows) identical, so a row-count cache guard never
+        # fires — only an epoch bump invalidates the memoised views.
+        result = analyze(
+            CACHE_CLASS_HEADER
+            + """
+        def update_rows(self, rewrite):
+            self.rows = [rewrite(row) for row in self.rows]
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["cache-epoch"]
+
+    def test_passes_rebind_with_invalidate_call(self, analyze):
+        result = analyze(
+            CACHE_CLASS_HEADER
+            + """
+        def invalidate_caches(self):
+            self._version += 1
+            self._scan_cache = None
+
+        def update_rows(self, rewrite):
+            self.rows = [rewrite(row) for row in self.rows]
+            self.invalidate_caches()
+    """,
+            CHECKERS,
+        )
+        assert result.clean
+
+    def test_flags_subscript_store_and_clear(self, analyze):
+        result = analyze(
+            CACHE_CLASS_HEADER
+            + """
+        def patch(self, i, row):
+            self.rows[i] = row
+
+        def wipe(self):
+            self.rows.clear()
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["cache-epoch", "cache-epoch"]
+
+    def test_tuples_storage_is_covered(self, analyze):
+        result = analyze(
+            """
+    class Relation:
+        def __init__(self):
+            self._tuples = {}
+            self._version = 0
+            self._index_cache = {}
+
+        def add(self, values, mult):
+            self._tuples[values] = mult
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["cache-epoch"]
+
+    def test_cacheless_class_is_ignored(self, analyze):
+        # A plain row container owes nobody an epoch.
+        result = analyze(
+            """
+    class Bag:
+        def __init__(self):
+            self.rows = []
+
+        def add(self, row):
+            self.rows.append(row)
+    """,
+            CHECKERS,
+        )
+        assert result.clean
+
+    def test_init_family_is_exempt(self, analyze):
+        result = analyze(CACHE_CLASS_HEADER, CHECKERS)
+        assert result.clean
+
+    def test_locked_helper_is_exempt(self, analyze):
+        result = analyze(
+            CACHE_CLASS_HEADER
+            + """
+        def _add_locked(self, row):
+            self.rows.append(row)
+    """,
+            CHECKERS,
+        )
+        assert result.clean
+
+    def test_suppression_silences_and_is_marked_used(self, analyze):
+        result = analyze(
+            CACHE_CLASS_HEADER
+            + """
+        def add(self, row):
+            self.rows.append(row)  # repro: allow(cache-epoch)
+    """,
+            CHECKERS,
+        )
+        assert result.clean
+        assert [f.rule_id for f in result.suppressed] == ["cache-epoch"]
+
+    def test_baseline_grandfathers_finding(self, analyze, tmp_path):
+        source = CACHE_CLASS_HEADER + """
+        def add(self, row):
+            self.rows.append(row)
+    """
+        flagged = analyze(source, CHECKERS)
+        assert len(flagged.findings) == 1
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "file": flagged.findings[0].file,
+                            "rule": flagged.findings[0].rule_id,
+                            "message": flagged.findings[0].message,
+                            "why": "fixture: grandfathered on purpose",
+                        }
+                    ]
+                }
+            )
+        )
+        result = analyze(source, CHECKERS, baseline=str(baseline_path))
+        assert result.clean
+        assert [f.rule_id for f in result.baselined] == ["cache-epoch"]
+
+
+class TestShippedClassesSatisfyTheDiscipline:
+    def test_pvc_table_and_relation_are_clean(self, analyze):
+        from pathlib import Path
+
+        import repro.db.pvc_table as pvc_table
+        import repro.db.relation as relation
+
+        for module in (pvc_table, relation):
+            source = Path(module.__file__).read_text(encoding="utf-8")
+            result = analyze(source, CHECKERS)
+            assert result.clean, result.findings
+
+    def test_reintroduced_countkeyed_staleness_is_flagged(self, analyze):
+        # Strip the bump from a faithful miniature of PVCTable.update_rows
+        # and the checker must notice.
+        result = analyze(
+            """
+    class PVCTable:
+        def __init__(self, schema):
+            self.schema = schema
+            self.rows = []
+            self._version = 0
+            self._scan_cache = None
+            self._index_cache = {}
+            self._column_cache = {}
+
+        def update_rows(self, predicate, rewrite):
+            new_rows = []
+            changed = 0
+            for row in self.rows:
+                if predicate(row):
+                    new_rows.append(rewrite(row))
+                    changed += 1
+                else:
+                    new_rows.append(row)
+            self.rows = new_rows
+            return changed
+    """,
+            CHECKERS,
+        )
+        assert rule_ids(result) == ["cache-epoch"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -1,0 +1,358 @@
+"""Mutable pvc-tables: epochs, incremental cache patching, delta feed.
+
+The headline regression here is the stale-cache bug this PR fixes: the
+scan/index/column caches used to be keyed on ``len(self.rows)``, so an
+**equal-size in-place update** (same row count, different data) kept
+serving the pre-update caches.  Epoch-keyed caches must never do that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import ONE, Var, ssum
+from repro.db.mutations import Delta, DeltaLog, LineageIndex
+from repro.db.pvc_table import PVCDatabase, PVCTable, merge_annotated_rows
+from repro.db.schema import Schema
+from repro.errors import (
+    DistributionError,
+    QueryValidationError,
+    SchemaError,
+)
+from repro.prob.variables import VariableRegistry
+
+
+def small_table() -> PVCTable:
+    table = PVCTable(Schema(["sid", "shop"]))
+    table.add((1, "M&S"), Var("x1"))
+    table.add((2, "Boots"), Var("x2"))
+    table.add((3, "Tesco"), Var("x3"))
+    return table
+
+
+def fresh_db() -> PVCDatabase:
+    db = PVCDatabase(registry=VariableRegistry())
+    db.create_table("items", ["name", "price"])
+    return db
+
+
+class TestEpochDiscipline:
+    def test_every_mutator_bumps_the_epoch(self):
+        table = small_table()
+        epoch = table.epoch
+        table.add((4, "Spar"), Var("x4"))
+        assert table.epoch == epoch + 1
+        table.update_rows(
+            lambda row: row.values[0] == 4,
+            lambda row: row.__class__((4, "Lidl"), row.annotation),
+        )
+        assert table.epoch == epoch + 2
+        table.delete_rows(lambda row: row.values[0] == 4)
+        assert table.epoch == epoch + 3
+        table.invalidate_caches()
+        assert table.epoch == epoch + 4
+
+    def test_equal_size_update_invalidates_scan_cache(self):
+        # The PR-10 regression: same row count, different data.  A
+        # len()-keyed cache would return the pre-update scan here.
+        table = small_table()
+        before = table.scan_rows()
+        assert ((1, "M&S"), Var("x1")) in before
+        matched = table.update_rows(
+            lambda row: row.values[1] == "M&S",
+            lambda row: row.__class__((1, "Ocado"), row.annotation),
+        )
+        assert matched["rows"] == 1
+        assert len(table) == 3  # unchanged cardinality
+        after = table.scan_rows()
+        assert ((1, "Ocado"), Var("x1")) in after
+        assert all(values != (1, "M&S") for values, _ in after)
+
+    def test_equal_size_update_invalidates_hash_index(self):
+        table = small_table()
+        index = table.hash_index((1,))
+        assert ("M&S",) in index
+        table.update_rows(
+            lambda row: row.values[1] == "M&S",
+            lambda row: row.__class__((1, "Ocado"), row.annotation),
+        )
+        index = table.hash_index((1,))
+        assert ("M&S",) not in index
+        assert index[("Ocado",)] == [((1, "Ocado"), Var("x1"))]
+
+    def test_equal_size_update_invalidates_column_caches(self):
+        table = small_table()
+        assert table.value_columns()[1][0] == "M&S"
+        assert table.annotation_column()[0] == Var("x1")
+        table.update_rows(
+            lambda row: row.values[1] == "M&S",
+            lambda row: row.__class__((1, "Ocado"), Var("x9")),
+        )
+        assert table.value_columns()[1][0] == "Ocado"
+        assert table.annotation_column()[0] == Var("x9")
+
+    def test_database_generation_moves_on_every_mutation(self):
+        db = fresh_db()
+        generation = db.generation
+        db.insert("items", ("inkjet", 99), p=0.7)
+        assert db.generation > generation
+        generation = db.generation
+        db.update("items", {"name": "inkjet"}, set_values={"price": 120})
+        assert db.generation > generation
+        generation = db.generation
+        db.update("items", {"name": "inkjet"}, p=0.4)
+        assert db.generation > generation  # registry epoch moved
+        generation = db.generation
+        db.delete("items", {"name": "inkjet"})
+        assert db.generation > generation
+
+    def test_epoch_vector_includes_registry_sentinel(self):
+        db = fresh_db()
+        db.insert("items", ("inkjet", 99), p=0.7)
+        epochs = dict(db.epochs())
+        assert "$registry" in epochs
+        db.update("items", {"name": "inkjet"}, p=0.2)
+        assert dict(db.epochs())["$registry"] > epochs["$registry"]
+
+
+class TestIncrementalPatching:
+    def test_append_patches_cached_scan_in_place(self):
+        table = small_table()
+        table.scan_rows()
+        table.hash_index((1,))
+        table.add((4, "Spar"), Var("x4"))
+        # Patched caches are current (no rebuild) and correct.
+        assert table._scan_cache[0] == table.epoch
+        assert table.scan_rows()[-1] == ((4, "Spar"), Var("x4"))
+        assert table.hash_index((1,))[("Spar",)] == [((4, "Spar"), Var("x4"))]
+
+    def test_append_duplicate_merges_annotations_like_fresh_build(self):
+        table = small_table()
+        table.scan_rows()
+        table.add((1, "M&S"), Var("x9"))
+        incremental = table.scan_rows()
+        rebuilt = merge_annotated_rows(
+            (row.values, row.annotation) for row in table.rows
+        )
+        assert incremental == rebuilt
+        assert incremental[0] == ((1, "M&S"), ssum([Var("x1"), Var("x9")]))
+
+    def test_zero_annotated_append_keeps_merged_view(self):
+        table = small_table()
+        before = list(table.scan_rows())
+        table.add((9, "Ghost"), ssum([]))  # zero annotation
+        assert table.scan_rows() == before
+        assert table._scan_cache[0] == table.epoch
+
+    def test_update_patches_only_touched_buckets(self):
+        table = small_table()
+        table.hash_index((1,))
+        untouched = table.hash_index((1,))[("Boots",)]
+        info = table.update_rows(
+            lambda row: row.values[1] == "M&S",
+            lambda row: row.__class__((1, "Ocado"), row.annotation),
+        )
+        assert info["buckets_patched"] == 2  # M&S removed, Ocado added
+        assert not info["caches_dropped"]
+        # The untouched bucket list survived by reference.
+        assert table.hash_index((1,))[("Boots",)] is untouched
+
+    def test_delete_patches_scan_and_buckets(self):
+        table = small_table()
+        table.scan_rows()
+        table.hash_index((1,))
+        info = table.delete_rows(lambda row: row.values[1] == "Boots")
+        assert info["rows"] == 1
+        assert ("Boots",) not in table.hash_index((1,))
+        assert [values for values, _ in table.scan_rows()] == [
+            (1, "M&S"),
+            (3, "Tesco"),
+        ]
+
+    def test_patched_caches_match_fresh_table(self):
+        table = small_table()
+        table.scan_rows()
+        table.hash_index((1,))
+        table.add((1, "M&S"), Var("x4"))
+        table.update_rows(
+            lambda row: row.values[0] == 2,
+            lambda row: row.__class__((2, "Superdrug"), row.annotation),
+        )
+        table.delete_rows(lambda row: row.values[0] == 3)
+        fresh = PVCTable(table.schema, list(table.rows))
+        assert table.scan_rows() == fresh.scan_rows()
+        assert table.hash_index((1,)) == fresh.hash_index((1,))
+
+    def test_cold_caches_stay_cold(self):
+        table = small_table()
+        info = table.update_rows(
+            lambda row: row.values[0] == 1,
+            lambda row: row.__class__((1, "Ocado"), row.annotation),
+        )
+        assert info["caches_dropped"]
+        assert table._scan_cache is None
+
+
+class TestDatabaseMutationAPI:
+    def test_update_with_mapping_where_and_set(self):
+        db = fresh_db()
+        db.insert("items", ("inkjet", 99), p=0.7)
+        db.insert("items", ("laser", 300), p=0.5)
+        matched = db.update(
+            "items", {"name": "inkjet"}, set_values={"price": 120}
+        )
+        assert matched == 1
+        assert db["items"].rows[0].values == ("inkjet", 120)
+
+    def test_update_with_callable_where_and_set(self):
+        db = fresh_db()
+        db.insert("items", ("inkjet", 99), p=0.7)
+        db.insert("items", ("laser", 300), p=0.5)
+        matched = db.update(
+            "items",
+            lambda row: row["price"] > 100,
+            set_values=lambda row: {"price": row["price"] * 2},
+        )
+        assert matched == 1
+        assert db["items"].rows[1].values == ("laser", 600)
+
+    def test_update_probability_reassigns_variable(self):
+        db = fresh_db()
+        expr = db.insert("items", ("inkjet", 99), p=0.7)
+        (name,) = expr.variables
+        assert db.registry[name][True] == pytest.approx(0.7)
+        db.update("items", {"name": "inkjet"}, p=0.2)
+        assert db.registry[name][True] == pytest.approx(0.2)
+
+    def test_update_p_resolves_where_before_set_rewrite(self):
+        # set_values rewrites the attribute the where-clause matches on;
+        # the probability reassignment must still hit the matched rows.
+        db = fresh_db()
+        expr = db.insert("items", ("inkjet", 99), p=0.7)
+        (name,) = expr.variables
+        db.update(
+            "items",
+            {"name": "inkjet"},
+            set_values={"name": "laser"},
+            p=0.1,
+        )
+        assert db["items"].rows[0].values == ("laser", 99)
+        assert db.registry[name][True] == pytest.approx(0.1)
+
+    def test_update_p_requires_single_variable_annotation(self):
+        db = fresh_db()
+        db.insert("items", ("inkjet", 99))  # certain row (annotation 1)
+        with pytest.raises(DistributionError):
+            db.update("items", {"name": "inkjet"}, p=0.5)
+
+    def test_update_requires_set_or_p(self):
+        db = fresh_db()
+        with pytest.raises(QueryValidationError):
+            db.update("items", {"name": "inkjet"})
+
+    def test_unknown_where_attribute_raises(self):
+        db = fresh_db()
+        with pytest.raises(SchemaError):
+            db.update("items", {"colour": "red"}, set_values={"price": 1})
+
+    def test_unknown_set_attribute_raises(self):
+        db = fresh_db()
+        db.insert("items", ("inkjet", 99))
+        with pytest.raises(SchemaError):
+            db.update("items", {"name": "inkjet"}, set_values={"colour": "red"})
+
+    def test_delete_removes_matching_rows(self):
+        db = fresh_db()
+        db.insert("items", ("inkjet", 99), p=0.7)
+        db.insert("items", ("laser", 300), p=0.5)
+        assert db.delete("items", {"name": "inkjet"}) == 1
+        assert len(db["items"]) == 1
+        assert db.delete("items", {"name": "missing"}) == 0
+
+    def test_bad_where_type_raises(self):
+        db = fresh_db()
+        with pytest.raises(QueryValidationError):
+            db.delete("items", 42)
+
+
+class TestDeltaFeed:
+    def test_mutations_are_logged(self):
+        db = fresh_db()
+        db.insert("items", ("inkjet", 99), p=0.7)
+        db.update("items", {"name": "inkjet"}, set_values={"price": 1})
+        db.update("items", {"name": "inkjet"}, p=0.3)
+        db.delete("items", {"name": "inkjet"})
+        stats = db.deltas.stats()
+        assert stats["insert"] == 1
+        assert stats["update"] == 2
+        assert stats["delete"] == 1
+        assert stats["total"] == 4
+
+    def test_only_probability_updates_carry_changed_variables(self):
+        db = fresh_db()
+        db.insert("items", ("inkjet", 99), p=0.7)
+        db.update("items", {"name": "inkjet"}, set_values={"price": 1})
+        assert db.deltas.last().changed_variables == frozenset()
+        db.update("items", {"name": "inkjet"}, p=0.3)
+        assert db.deltas.last().changed_variables == {"items_0"}
+
+    def test_no_op_mutations_notify_nothing(self):
+        db = fresh_db()
+        db.insert("items", ("inkjet", 99), p=0.7)
+        total = db.deltas.total
+        assert db.update("items", {"name": "nope"}, set_values={"price": 1}) == 0
+        assert db.delete("items", {"name": "nope"}) == 0
+        assert db.deltas.total == total
+
+    def test_listeners_are_weak(self):
+        db = fresh_db()
+
+        class Cache:
+            def __init__(self):
+                self.seen = []
+
+            def on_mutation(self, delta):
+                self.seen.append(delta)
+
+        cache = Cache()
+        db.subscribe(cache.on_mutation)
+        db.subscribe(cache.on_mutation)  # idempotent
+        assert len(db._listeners) == 1
+        db.insert("items", ("inkjet", 99), p=0.7)
+        assert len(cache.seen) == 1
+        del cache
+        db.insert("items", ("laser", 300), p=0.5)
+        assert db._listeners == []
+
+
+class TestLineageIndex:
+    def test_record_and_pop_by_variable(self):
+        index = LineageIndex()
+        index.record("key-a", {"x", "y"})
+        index.record("key-b", {"y", "z"})
+        assert index.dependents("y") == {"key-a", "key-b"}
+        popped = index.pop({"x"})
+        assert popped == {"key-a"}
+        assert index.dependents("y") == {"key-b"}
+        assert len(index) == 1
+
+    def test_discard_unlinks_both_directions(self):
+        index = LineageIndex()
+        index.record("key-a", {"x"})
+        index.discard("key-a")
+        assert index.dependents("x") == set()
+        assert index.pop({"x"}) == set()
+
+    def test_delta_log_bounded(self):
+        log = DeltaLog(max_entries=2)
+        for i in range(5):
+            log.append(Delta(
+                table="t", kind="insert", rows=1, variables=frozenset(),
+                cardinality_changed=True, epoch=i, generation=i,
+            ))
+        assert log.total == 5
+        assert log.stats()["retained"] == 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))
